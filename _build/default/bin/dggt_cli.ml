@@ -1,0 +1,144 @@
+(* dggt — the command-line front end.
+
+     dggt synth  -d textediting "delete all numbers"
+     dggt synth  -d astmatcher --engine hisyn "find all virtual methods"
+     dggt explain -d textediting "insert \"-\" at the start of each line"
+     dggt eval   -d astmatcher --timeout 5
+
+   `synth` prints the codelet; `explain` dumps every pipeline stage
+   (dependency parse, pruned graph, WordToAPI map, orphans, statistics);
+   `eval` sweeps a benchmark domain and reports accuracy/timeouts. *)
+
+open Cmdliner
+open Dggt_core
+open Dggt_domains
+module Nlu = Dggt_nlu
+
+let domain_of_string = function
+  | "textediting" | "te" -> Ok Text_editing.domain
+  | "astmatcher" | "am" -> Ok Astmatcher.domain
+  | s -> Error (`Msg (Printf.sprintf "unknown domain %S (textediting|astmatcher)" s))
+
+let domain_conv =
+  Arg.conv
+    ( domain_of_string,
+      fun fmt (d : Domain.t) -> Format.pp_print_string fmt d.Domain.name )
+
+let algorithm_conv =
+  Arg.conv
+    ( (function
+      | "dggt" -> Ok Engine.Dggt_alg
+      | "hisyn" -> Ok Engine.Hisyn_alg
+      | s -> Error (`Msg (Printf.sprintf "unknown engine %S (dggt|hisyn)" s))),
+      fun fmt -> function
+        | Engine.Dggt_alg -> Format.pp_print_string fmt "dggt"
+        | Engine.Hisyn_alg -> Format.pp_print_string fmt "hisyn" )
+
+let domain_arg =
+  Arg.(
+    value
+    & opt domain_conv Text_editing.domain
+    & info [ "d"; "domain" ] ~docv:"DOMAIN" ~doc:"Target domain (textediting|astmatcher).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt algorithm_conv Engine.Dggt_alg
+    & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Synthesis engine (dggt|hisyn).")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 20.0
+    & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Per-query wall-clock budget.")
+
+let query_arg =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"The query words.")
+
+let config dom alg timeout =
+  Domain.configure dom
+    { (Engine.default alg) with Engine.timeout_s = Some timeout }
+
+(* --- synth --------------------------------------------------------- *)
+
+let synth_cmd =
+  let run dom alg timeout words =
+    let query = String.concat " " words in
+    let o =
+      Engine.synthesize (config dom alg timeout)
+        (Lazy.force dom.Domain.graph) (Lazy.force dom.Domain.doc) query
+    in
+    match o.Engine.code with
+    | Some code ->
+        Format.printf "%s@." code;
+        Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
+          (Option.value o.Engine.cgt_size ~default:0);
+        `Ok ()
+    | None ->
+        Format.eprintf "no codelet: %s@."
+          (Option.value o.Engine.failure ~default:"unknown failure");
+        `Error (false, "synthesis failed")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a codelet from a natural-language query.")
+    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg $ query_arg))
+
+(* --- explain ------------------------------------------------------- *)
+
+let explain_cmd =
+  let run dom timeout words =
+    let query = String.concat " " words in
+    let graph = Lazy.force dom.Domain.graph in
+    let doc = Lazy.force dom.Domain.doc in
+    Format.printf "query: %s@.@." query;
+    let dg = Nlu.Depparser.parse query in
+    Format.printf "dependency parse:@.  %s@.@." (Nlu.Depgraph.to_string dg);
+    let pruned = Queryprune.prune dg in
+    Format.printf "pruned graph:@.  %s@.@." (Nlu.Depgraph.to_string pruned);
+    let w2a = Word2api.build ~top_k:max_int doc pruned in
+    let pruned', w2a = Engine.absorb_modifiers doc pruned w2a in
+    let w2a = Word2api.cap w2a 6 in
+    Format.printf "WordToAPI (after modifier absorption):@.  %a@.@." Word2api.pp w2a;
+    let e2p = Edge2path.build graph pruned' w2a in
+    Format.printf "EdgeToPath: %d candidate paths, %d orphan(s)@.@."
+      (Edge2path.total_path_count e2p)
+      (List.length (Edge2path.orphans e2p));
+    let o =
+      Engine.synthesize (config dom Engine.Dggt_alg timeout) graph doc query
+    in
+    Format.printf "statistics: %a@.@." Stats.pp o.Engine.stats;
+    Format.printf "codelet: %s@."
+      (Option.value o.Engine.code ~default:"<none>");
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show every pipeline stage for a query.")
+    Term.(ret (const run $ domain_arg $ timeout_arg $ query_arg))
+
+(* --- eval ---------------------------------------------------------- *)
+
+let eval_cmd =
+  let run dom alg timeout =
+    let r =
+      Dggt_eval.Runner.run_domain ~timeout_s:timeout
+        ~progress:(fun i n ->
+          if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
+        dom alg
+    in
+    Format.printf "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
+      r.Dggt_eval.Runner.domain_name
+      (match alg with Engine.Dggt_alg -> "DGGT" | Engine.Hisyn_alg -> "HISyn")
+      (Dggt_eval.Runner.accuracy r)
+      (Dggt_eval.Runner.timeouts r)
+      (Dggt_eval.Runner.total_time r);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Run a benchmark domain's full query set.")
+    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg))
+
+let () =
+  let info =
+    Cmd.info "dggt" ~version:"1.0.0"
+      ~doc:"Near real-time NLU-driven natural-language programming (DGGT)."
+  in
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; explain_cmd; eval_cmd ]))

@@ -1,0 +1,1 @@
+examples/code_search.ml: Array Astmatcher Dggt_core Dggt_domains Domain Engine Format Lazy List Option String Sys

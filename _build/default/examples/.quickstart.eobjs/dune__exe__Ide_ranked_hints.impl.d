@@ -1,0 +1,1 @@
+examples/ide_ranked_hints.ml: Astmatcher Dggt_core Dggt_domains Domain Engine Float Format Lazy List Option Stats Text_editing

@@ -1,0 +1,1 @@
+examples/ide_ranked_hints.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apidoc Dggt_core Dggt_grammar Engine Fmt Format List Option

@@ -1,0 +1,1 @@
+examples/text_editor_assistant.ml: Array Dggt_core Dggt_domains Domain Engine Format Lazy List Option String Sys Text_editing

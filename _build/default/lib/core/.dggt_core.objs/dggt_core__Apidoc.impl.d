@@ -1,0 +1,1 @@
+lib/core/apidoc.ml: Dggt_nlu Dggt_util Hashtbl Lemmatizer List Listutil String Strutil Token Tokenizer

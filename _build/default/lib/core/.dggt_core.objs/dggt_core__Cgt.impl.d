@@ -1,0 +1,1 @@
+lib/core/cgt.ml: Array Dggt_grammar Format Ggraph Gpath Hashtbl Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/core/cgt.mli: Dggt_grammar Format

@@ -1,0 +1,1 @@
+lib/core/dgg.ml: Cgt Float Format Hashtbl List Printf

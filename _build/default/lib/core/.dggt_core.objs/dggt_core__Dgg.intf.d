@@ -1,0 +1,1 @@
+lib/core/dgg.mli: Cgt Format

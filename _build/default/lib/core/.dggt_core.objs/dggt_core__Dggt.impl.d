@@ -1,0 +1,1 @@
+lib/core/dggt.ml: Budget Cgt Depgraph Dgg Dggt_grammar Dggt_nlu Dggt_util Edge2path Ggraph Gpath Gprune List Listutil Option Sprune Stats Synres Word2api

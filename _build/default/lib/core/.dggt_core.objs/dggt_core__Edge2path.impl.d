@@ -1,0 +1,1 @@
+lib/core/edge2path.ml: Depgraph Dggt_grammar Dggt_nlu Format Ggraph Gpath List Option Printf Word2api

@@ -1,0 +1,1 @@
+lib/core/edge2path.mli: Dggt_grammar Dggt_nlu Format Word2api

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Apidoc Budget Cgt Depgraph Depparser Dggt Dggt_grammar Dggt_nlu Dggt_util Edge2path Format Hisyn List Orphan Pos Queryprune Result Similarity Stats Synres Tree2expr Unix Word2api

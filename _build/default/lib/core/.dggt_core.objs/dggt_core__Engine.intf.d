@@ -1,0 +1,1 @@
+lib/core/engine.mli: Apidoc Dggt_grammar Dggt_nlu Stats Tree2expr Word2api

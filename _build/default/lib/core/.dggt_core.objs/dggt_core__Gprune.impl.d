@@ -1,0 +1,1 @@
+lib/core/gprune.ml: Budget Dggt_grammar Dggt_util Edge2path Hashtbl List Listutil

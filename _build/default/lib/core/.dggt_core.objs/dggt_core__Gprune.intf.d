@@ -1,0 +1,1 @@
+lib/core/gprune.mli: Dggt_grammar Dggt_util Edge2path

@@ -1,0 +1,1 @@
+lib/core/hisyn.ml: Budget Cgt Dggt_nlu Dggt_util Edge2path Float Hashtbl List Listutil Option Stats Synres Word2api

@@ -1,0 +1,1 @@
+lib/core/hisyn.mli: Dggt_grammar Dggt_nlu Dggt_util Edge2path Stats Synres Word2api

@@ -1,0 +1,1 @@
+lib/core/orphan.ml: Depgraph Dggt_grammar Dggt_nlu Dggt_util Ggraph List Listutil Word2api

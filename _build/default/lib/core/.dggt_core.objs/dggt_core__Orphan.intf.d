@@ -1,0 +1,1 @@
+lib/core/orphan.mli: Dggt_grammar Dggt_nlu Word2api

@@ -1,0 +1,1 @@
+lib/core/queryprune.ml: Dep Depgraph Dggt_nlu Lexicon List Pos

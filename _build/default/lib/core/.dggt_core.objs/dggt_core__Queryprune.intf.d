@@ -1,0 +1,1 @@
+lib/core/queryprune.mli: Dggt_nlu

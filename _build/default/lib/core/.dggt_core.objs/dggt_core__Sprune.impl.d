@@ -1,0 +1,1 @@
+lib/core/sprune.ml: Array Dggt_grammar Edge2path List Set String

@@ -1,0 +1,1 @@
+lib/core/sprune.mli: Edge2path

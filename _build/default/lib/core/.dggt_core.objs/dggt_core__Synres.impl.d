@@ -1,0 +1,1 @@
+lib/core/synres.ml: Cgt List

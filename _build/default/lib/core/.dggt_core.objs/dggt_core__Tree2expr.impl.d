@@ -1,0 +1,1 @@
+lib/core/tree2expr.ml: Array Cfg Cgt Dggt_grammar Dggt_util Format Ggraph Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/tree2expr.mli: Cgt Dggt_grammar Format

@@ -1,0 +1,1 @@
+lib/core/word2api.ml: Apidoc Depgraph Dggt_nlu Dggt_util Float Format List Pos Printf Similarity String

@@ -1,0 +1,1 @@
+lib/core/word2api.mli: Apidoc Dggt_nlu Format

@@ -1,0 +1,115 @@
+open Dggt_util
+open Dggt_nlu
+
+type lit_kind = Lit_none | Lit_str | Lit_num
+
+type pos_pref = Any | Verbish | Nounish
+
+type entry = {
+  api : string;
+  description : string;
+  name_keywords : string list;
+  keywords : string list;
+  lit : lit_kind;
+  pos_pref : pos_pref;
+}
+
+type t = { entries : entry list; by_api : (string, entry) Hashtbl.t }
+
+let function_words =
+  [ "the"; "a"; "an"; "of"; "to"; "in"; "on"; "at"; "by"; "for"; "with";
+    "and"; "or"; "that"; "which"; "this"; "it"; "its"; "is"; "are"; "be";
+    "as"; "into"; "from"; "when"; "where"; "whether"; "can"; "may"; "will";
+    "given"; "etc"; "eg"; "ie"; "also"; "used"; "use"; "uses"; "any";
+    "some"; "one"; "two"; "such"; "other"; "no"; "only"; "over";
+    "under"; "whose"; "than"; "then"; "them"; "these"; "those"; "but" ]
+
+let derive_keywords ~api ~description =
+  ignore api;
+  let desc_words =
+    Tokenizer.tokenize description
+    |> List.filter_map (fun (tk : Token.t) ->
+           match tk.Token.kind with
+           | Token.Word ->
+               let w = Token.lower tk in
+               if List.mem w function_words || String.length w <= 1 then None
+               else
+                 (* lemmatize with a nominal-first guess; the verb lemma is
+                    added too when it differs, so "matches" indexes both
+                    "match" (v) and "match" (n) equivalently *)
+                 Some (Lemmatizer.lemma_noun w)
+           | _ -> None)
+  in
+  let verb_lemmas =
+    List.filter_map
+      (fun w ->
+        let v = Lemmatizer.lemma_verb w in
+        if v <> w then Some v else None)
+      desc_words
+  in
+  Listutil.uniq (desc_words @ verb_lemmas)
+
+(* Conventional identifier abbreviations, expanded so that "variables"
+   finds varDecl and "expressions" finds callExpr by name. *)
+let abbreviations =
+  [ ("var", "variable"); ("decl", "declaration"); ("expr", "expression");
+    ("stmt", "statement"); ("parm", "parameter"); ("ref", "reference");
+    ("init", "initializer"); ("arg", "argument"); ("ptr", "pointer");
+    ("num", "number"); ("func", "function"); ("str", "string");
+    ("record", "class") ]
+
+let name_keywords_of api =
+  let subtokens =
+    (* single-letter fragments ("c" in isExternC) are noise *)
+    List.filter (fun t -> String.length t > 1) (Strutil.split_camel api)
+  in
+  let lemmas = List.map Lemmatizer.lemma_noun subtokens in
+  let verb_lemmas = List.map Lemmatizer.lemma_verb subtokens in
+  let expanded =
+    List.filter_map (fun t -> List.assoc_opt t abbreviations) subtokens
+  in
+  Listutil.uniq (subtokens @ lemmas @ verb_lemmas @ expanded)
+
+let entry_of ?(literal_apis = []) ?(number_apis = []) ?(verb_apis = [])
+    ?(noun_apis = []) (api, description) =
+  let lit =
+    if List.mem api number_apis then Lit_num
+    else if List.mem api literal_apis then Lit_str
+    else Lit_none
+  in
+  let pos_pref =
+    if List.mem api verb_apis then Verbish
+    else if List.mem api noun_apis then Nounish
+    else Any
+  in
+  {
+    api;
+    description;
+    name_keywords = name_keywords_of api;
+    keywords = derive_keywords ~api ~description;
+    lit;
+    pos_pref;
+  }
+
+let make_entries entries =
+  let by_api = Hashtbl.create (List.length entries) in
+  List.iter (fun e -> Hashtbl.replace by_api e.api e) entries;
+  { entries; by_api }
+
+let make ?(literal_apis = []) ?(number_apis = []) ?(verb_apis = [])
+    ?(noun_apis = []) pairs =
+  make_entries (List.map (entry_of ~literal_apis ~number_apis ~verb_apis ~noun_apis) pairs)
+
+let entries t = t.entries
+let find t api = Hashtbl.find_opt t.by_api api
+
+let keywords_of t api =
+  match find t api with Some e -> e.keywords | None -> []
+
+let literal_apis t =
+  List.filter_map (fun e -> if e.lit = Lit_str then Some e.api else None) t.entries
+
+let number_apis t =
+  List.filter_map (fun e -> if e.lit = Lit_num then Some e.api else None) t.entries
+
+let size t = List.length t.entries

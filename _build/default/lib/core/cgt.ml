@@ -1,0 +1,106 @@
+open Dggt_grammar
+module IS = Set.Make (Int)
+
+type t = { edges : IS.t; lone : IS.t (* nodes contributed without edges *) }
+
+let empty = { edges = IS.empty; lone = IS.empty }
+let is_empty t = IS.is_empty t.edges && IS.is_empty t.lone
+
+let merge a b = { edges = IS.union a.edges b.edges; lone = IS.union a.lone b.lone }
+
+let merge_path t (p : Gpath.t) =
+  if Array.length p.Gpath.edges = 0 then
+    { t with lone = IS.add p.Gpath.nodes.(0) t.lone }
+  else
+    { t with edges = Array.fold_left (fun s e -> IS.add e s) t.edges p.Gpath.edges }
+
+let of_paths _g paths = List.fold_left merge_path empty paths
+
+let edge_ids t = IS.elements t.edges
+let edge_count t = IS.cardinal t.edges
+let mem_edge t id = IS.mem id t.edges
+let equal a b = IS.equal a.edges b.edges && IS.equal a.lone b.lone
+
+let compare a b =
+  match IS.compare a.edges b.edges with
+  | 0 -> IS.compare a.lone b.lone
+  | c -> c
+
+let node_set g t =
+  IS.fold
+    (fun eid acc ->
+      let e = Ggraph.edge g eid in
+      IS.add e.Ggraph.src (IS.add e.Ggraph.dst acc))
+    t.edges t.lone
+
+let nodes g t = IS.elements (node_set g t)
+
+let api_size g t =
+  IS.fold
+    (fun nid acc -> if Ggraph.is_api g nid then acc + 1 else acc)
+    (node_set g t) 0
+
+let in_degree g t nid =
+  IS.fold
+    (fun eid acc -> if (Ggraph.edge g eid).Ggraph.dst = nid then acc + 1 else acc)
+    t.edges 0
+
+let roots_of g t =
+  IS.filter (fun nid -> in_degree g t nid = 0) (node_set g t)
+
+let is_tree g t =
+  if is_empty t then true
+  else begin
+    let ns = node_set g t in
+    let roots = roots_of g t in
+    if IS.cardinal roots <> 1 then false
+    else if not (IS.for_all (fun nid -> in_degree g t nid <= 1) ns) then false
+    else begin
+      (* in-degree <= 1 with a single root still admits a disjoint cycle
+         component (all in-degree 1); demand reachability from the root. *)
+      let seen = Hashtbl.create 16 in
+      let rec dfs nid =
+        if not (Hashtbl.mem seen nid) then begin
+          Hashtbl.add seen nid ();
+          IS.iter
+            (fun eid ->
+              let e = Ggraph.edge g eid in
+              if e.Ggraph.src = nid then dfs e.Ggraph.dst)
+            t.edges
+        end
+      in
+      dfs (IS.choose roots);
+      IS.for_all (Hashtbl.mem seen) ns
+    end
+  end
+
+let is_grammar_valid g t =
+  let prods : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  try
+    IS.iter
+      (fun eid ->
+        let e = Ggraph.edge g eid in
+        match Hashtbl.find_opt prods e.Ggraph.src with
+        | Some p when p <> e.Ggraph.prod -> raise Exit
+        | Some _ -> ()
+        | None -> Hashtbl.add prods e.Ggraph.src e.Ggraph.prod)
+      t.edges;
+    true
+  with Exit -> false
+
+let well_formed g t = is_tree g t && is_grammar_valid g t
+
+let root g t =
+  if is_empty t then None
+  else if not (is_tree g t) then None
+  else IS.choose_opt (roots_of g t)
+
+let pp g fmt t =
+  Format.fprintf fmt "CGT{%s}"
+    (String.concat ", "
+       (List.map
+          (fun eid ->
+            let e = Ggraph.edge g eid in
+            Printf.sprintf "%s->%s" (Ggraph.node_name g e.Ggraph.src)
+              (Ggraph.node_name g e.Ggraph.dst))
+          (edge_ids t)))

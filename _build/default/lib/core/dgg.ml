@@ -1,0 +1,106 @@
+type node_kind =
+  | Start
+  | ApiN of { dep : int; api : string }
+  | PcgtN of { dep : int; api : string; idx : int }
+
+type node = {
+  id : int;
+  kind : node_kind;
+  mutable min_size : int;
+  mutable min_cgt : Cgt.t;
+  mutable assignment : (int * string) list;
+  mutable score : float; (* WordToAPI score of [assignment] *)
+}
+
+type edge = { src : int; dst : int; epath : int option }
+
+type t = {
+  mutable rev_nodes : node list;
+  mutable rev_edges : edge list;
+  mutable count : int;
+  api_tbl : (int * string, node) Hashtbl.t;
+  start_node : node;
+}
+
+let mk_node t kind =
+  let n =
+    { id = t.count; kind; min_size = max_int; min_cgt = Cgt.empty;
+      assignment = []; score = 0.0 }
+  in
+  t.rev_nodes <- n :: t.rev_nodes;
+  t.count <- t.count + 1;
+  n
+
+let create () =
+  let start =
+    { id = 0; kind = Start; min_size = 0; min_cgt = Cgt.empty; assignment = [];
+      score = 0.0 }
+  in
+  { rev_nodes = [ start ]; rev_edges = []; count = 1; api_tbl = Hashtbl.create 32; start_node = start }
+
+let start t = t.start_node
+
+let find_api t ~dep ~api = Hashtbl.find_opt t.api_tbl (dep, api)
+
+let add_api t ~dep ~api =
+  match find_api t ~dep ~api with
+  | Some n -> n
+  | None ->
+      let n = mk_node t (ApiN { dep; api }) in
+      Hashtbl.add t.api_tbl (dep, api) n;
+      n
+
+let add_pcgt t ~dep ~api ~idx = mk_node t (PcgtN { dep; api; idx })
+
+let add_edge t ~src ~dst ~epath =
+  t.rev_edges <- { src = src.id; dst = dst.id; epath } :: t.rev_edges
+
+let set_ n = n.min_size < max_int
+
+let update_min n ~size ~cgt ~assignment ~score =
+  (* Coverage first (a partial CGT that interprets more of the query's
+     words wins), then size, then the WordToAPI score of the assignment,
+     then CGT structure — the structural tie-break keeps DGGT and the
+     HISyn baseline on the same tree among equal optima. *)
+  let cov = List.length assignment in
+  let cur_cov = List.length n.assignment in
+  let better =
+    (not (set_ n))
+    || cov > cur_cov
+    || (cov = cur_cov
+       && (size < n.min_size
+          || (size = n.min_size
+             && (score > n.score +. 1e-9
+                || (Float.abs (score -. n.score) <= 1e-9
+                   && Cgt.compare cgt n.min_cgt < 0)))))
+  in
+  if better then begin
+    n.min_size <- size;
+    n.min_cgt <- cgt;
+    n.assignment <- assignment;
+    n.score <- score
+  end
+
+let set n = set_ n
+
+let nodes t = List.rev t.rev_nodes
+let edges t = List.rev t.rev_edges
+let node_count t = t.count
+let edge_count t = List.length t.rev_edges
+
+let api_nodes_of_dep t dep =
+  nodes t
+  |> List.filter (fun n -> match n.kind with ApiN a -> a.dep = dep | _ -> false)
+
+let pp fmt t =
+  List.iter
+    (fun n ->
+      let label =
+        match n.kind with
+        | Start -> "START"
+        | ApiN a -> Printf.sprintf "API(%d,%s)" a.dep a.api
+        | PcgtN p -> Printf.sprintf "PCGT(%d,%s,#%d)" p.dep p.api p.idx
+      in
+      if set n then Format.fprintf fmt "%s min_size=%d@ " label n.min_size
+      else Format.fprintf fmt "%s unset@ " label)
+    (nodes t)

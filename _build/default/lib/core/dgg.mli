@@ -1,0 +1,63 @@
+(** The dynamic grammar graph (paper §IV-B.1).
+
+    Three node kinds: the start node; API nodes N_(dep word, API); and
+    partial-CGT nodes recording one surviving path combination of sibling
+    edges. Two edge kinds: path edges (carrying the epath id of the grammar
+    path they represent) and auxiliary zero-length edges (start -> API,
+    PCGT -> its root API).
+
+    Every node memoizes the optimal partial CGT from the start node to
+    itself ([min_cgt]) and its size in APIs ([min_size]) — the dynamic
+    programming state that lets DGGT assemble the global optimum without
+    re-merging shared substructure. The [assignment] records which API each
+    covered dependency word resolved to (needed to bind query literals when
+    the chosen CGT is linearized). *)
+
+type node_kind =
+  | Start
+  | ApiN of { dep : int; api : string }
+      (** candidate API [api] for dependency node [dep] *)
+  | PcgtN of { dep : int; api : string; idx : int }
+      (** [idx]-th surviving combination for governor [dep] resolved as
+          [api] *)
+
+type node = {
+  id : int;
+  kind : node_kind;
+  mutable min_size : int;   (** [max_int] until set *)
+  mutable min_cgt : Cgt.t;
+  mutable assignment : (int * string) list;
+  mutable score : float;    (** WordToAPI score of [assignment] *)
+}
+
+type edge = { src : int; dst : int; epath : int option (** None = auxiliary *) }
+
+type t
+
+val create : unit -> t
+val start : t -> node
+val add_api : t -> dep:int -> api:string -> node
+(** Returns the existing node when (dep, api) was added before. *)
+
+val find_api : t -> dep:int -> api:string -> node option
+val add_pcgt : t -> dep:int -> api:string -> idx:int -> node
+val add_edge : t -> src:node -> dst:node -> epath:int option -> unit
+
+val update_min :
+  node -> size:int -> cgt:Cgt.t -> assignment:(int * string) list ->
+  score:float -> unit
+(** Keep the better of the current and proposed partial CGTs: more words
+    covered, then fewer APIs, then higher WordToAPI score, then CGT
+    structure. *)
+
+val set : node -> bool
+(** Has [min_size] been set? *)
+
+val nodes : t -> node list
+val edges : t -> edge list
+val node_count : t -> int
+val edge_count : t -> int
+val api_nodes_of_dep : t -> int -> node list
+(** All API nodes registered for a dependency node, insertion order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,300 @@
+open Dggt_util
+open Dggt_nlu
+open Dggt_grammar
+
+(* The paper's Algorithm 1: a bottom-up traversal of the pruned dependency
+   graph builds the dynamic grammar graph, memoizing the optimal partial
+   CGT per (word, API) pair; the final answer is read off the root word's
+   best API node. Case I (single child) and Case II (sibling children,
+   with grammar- and size-based pruning before prefix-tree merging) follow
+   the paper; coverage-first comparison and the single-edge fallback are
+   this implementation's robustness extensions (see DESIGN.md). *)
+
+let singleton_cgt g api =
+  match Ggraph.api_node g api with
+  | Some nid ->
+      Some
+        (Cgt.merge_path Cgt.empty
+           { Gpath.nodes = [| nid |]; edges = [||]; apis = [| api |] })
+  | None -> None
+
+let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
+    (dg : Depgraph.t) w2a e2p =
+  let dyng = Dgg.create () in
+  let start = Dgg.start dyng in
+
+  (* Seed an API node for a (dep, api) pair as a leaf interpretation. *)
+  let seed_leaf dep api =
+    match singleton_cgt g api with
+    | None -> ()
+    | Some cgt ->
+        let n = Dgg.add_api dyng ~dep ~api in
+        if not (Dgg.set n) then begin
+          Dgg.add_edge dyng ~src:start ~dst:n ~epath:None;
+          Dgg.update_min n ~size:1 ~cgt ~assignment:[ (dep, api) ]
+            ~score:(Word2api.score w2a dep api)
+        end
+  in
+
+  (* Which APIs can a node take? The union of dep_api over its incoming
+     edge's paths; for the root, the union of gov_api over its outgoing
+     edges' paths. *)
+  let node_apis (n : Depgraph.node) =
+    let id = n.Depgraph.id in
+    let incoming =
+      List.concat_map
+        (fun (e : Depgraph.edge) ->
+          if e.Depgraph.dep = id then
+            List.map
+              (fun (p : Edge2path.epath) -> p.Edge2path.dep_api)
+              (Edge2path.paths_of_edge e2p e)
+          else [])
+        dg.Depgraph.edges
+    in
+    let outgoing =
+      List.concat_map
+        (fun (e : Depgraph.edge) ->
+          if e.Depgraph.gov = id then
+            List.filter_map
+              (fun (p : Edge2path.epath) -> p.Edge2path.gov_api)
+              (Edge2path.paths_of_edge e2p e)
+          else [])
+        dg.Depgraph.edges
+    in
+    Listutil.uniq (incoming @ outgoing)
+  in
+
+  (* Bottom-up: deepest dependency nodes first. *)
+  let order =
+    List.map (fun (n : Depgraph.node) -> (Depgraph.depth dg n.Depgraph.id, n)) dg.Depgraph.nodes
+    |> List.sort (fun (d1, n1) (d2, n2) ->
+           match compare d2 d1 with
+           | 0 -> compare n1.Depgraph.id n2.Depgraph.id
+           | c -> c)
+    |> List.map snd
+  in
+
+  let process (n1 : Depgraph.node) =
+    let id = n1.Depgraph.id in
+    let child_edges = Depgraph.children dg id in
+    (* usable: paths whose dependent interpretation has a solved API node *)
+    let usable (e : Depgraph.edge) =
+      Edge2path.paths_of_edge e2p e
+      |> List.filter (fun (p : Edge2path.epath) ->
+             match Dgg.find_api dyng ~dep:e.Depgraph.dep ~api:p.Edge2path.dep_api with
+             | Some child -> Dgg.set child
+             | None -> false)
+    in
+    let edges_with_paths =
+      List.filter_map
+        (fun e -> match usable e with [] -> None | ps -> Some (e, ps))
+        child_edges
+    in
+    (* Every candidate API seeds a singleton interpretation (Algorithm 1,
+       line 3 for leaves); for governors these are fallbacks that drop the
+       subtree — coverage-first update_min keeps them only when no fuller
+       interpretation exists, which is what lets a mis-attached noise child
+       degrade gracefully instead of erasing the word. *)
+    List.iter (fun api -> seed_leaf id api)
+      (Dggt_util.Listutil.uniq (Word2api.apis w2a id @ node_apis n1));
+    if edges_with_paths <> [] then begin
+      let all_paths = List.concat_map snd edges_with_paths in
+      (* group by governor API; a governor API is viable only if it has a
+         path for every sibling edge (same condition HISyn's consistency
+         check enforces) *)
+      let gov_apis =
+        Listutil.uniq
+          (List.filter_map (fun (p : Edge2path.epath) -> p.Edge2path.gov_api) all_paths)
+      in
+      let child_extra (p : Edge2path.epath) =
+        match
+          Dgg.find_api dyng ~dep:p.Edge2path.edge.Depgraph.dep ~api:p.Edge2path.dep_api
+        with
+        | Some child when Dgg.set child -> child.Dgg.min_size - 1
+        | _ -> 0
+      in
+      let conflict_tbl = Gprune.prepare g all_paths in
+      List.iter
+        (fun a ->
+          let groups =
+            (* gov_api = None marks a root-anchored orphan path (HISyn's
+               orphan treatment, reachable here when relocation is disabled
+               in ablations): it does not constrain the governor's API, so
+               it joins every governor's group; the final well-formedness
+               check decides whether it actually fuses. *)
+            List.map
+              (fun (_, ps) ->
+                List.filter
+                  (fun (p : Edge2path.epath) ->
+                    p.Edge2path.gov_api = Some a || p.Edge2path.gov_api = None)
+                  ps)
+              edges_with_paths
+          in
+          if List.for_all (fun gp -> gp <> []) groups then begin
+            let case_ii = List.length groups > 1 in
+            (* grammar-based pruning happens inside combination generation *)
+            let survivors, total =
+              Gprune.combos ~budget conflict_tbl ~enabled:(gprune && case_ii) groups
+            in
+            if case_ii then begin
+              stats.Stats.combos_total <- stats.Stats.combos_total + total;
+              stats.Stats.combos_after_gprune <-
+                stats.Stats.combos_after_gprune + List.length survivors
+            end;
+            let survivors =
+              if case_ii then Sprune.prune ~enabled:sprune ~extra:child_extra survivors
+              else survivors
+            in
+            if case_ii then
+              stats.Stats.combos_after_sprune <-
+                stats.Stats.combos_after_sprune + List.length survivors;
+            let api_node = ref None in
+            let get_api_node () =
+              match !api_node with
+              | Some n -> n
+              | None ->
+                  let n = Dgg.add_api dyng ~dep:id ~api:a in
+                  api_node := Some n;
+                  n
+            in
+            let merged_any = ref false in
+            let try_combo idx combo =
+                Budget.check budget;
+                if case_ii then
+                  stats.Stats.combos_merged <- stats.Stats.combos_merged + 1;
+                (* merge the combination's paths (the prefix tree) together
+                   with the children's optimal partial CGTs *)
+                let merged, assignment, ok =
+                  List.fold_left
+                    (fun (cgt, asg, ok) (p : Edge2path.epath) ->
+                      if not ok then (cgt, asg, false)
+                      else
+                        match
+                          Dgg.find_api dyng
+                            ~dep:p.Edge2path.edge.Depgraph.dep
+                            ~api:p.Edge2path.dep_api
+                        with
+                        | Some child when Dgg.set child ->
+                            ( Cgt.merge (Cgt.merge_path cgt p.Edge2path.path)
+                                child.Dgg.min_cgt,
+                              child.Dgg.assignment @ asg,
+                              true )
+                        | _ -> (cgt, asg, false))
+                    (Cgt.empty, [], true)
+                    combo
+                in
+                let assignment = (id, a) :: assignment in
+                if ok && Synres.injective assignment && Cgt.well_formed g merged
+                then begin
+                  merged_any := true;
+                  let size = Cgt.api_size g merged in
+                  let score = Word2api.assignment_score w2a assignment in
+                  let target = get_api_node () in
+                  if case_ii then begin
+                    let pcgt = Dgg.add_pcgt dyng ~dep:id ~api:a ~idx in
+                    Dgg.update_min pcgt ~size ~cgt:merged ~assignment ~score;
+                    List.iter
+                      (fun (p : Edge2path.epath) ->
+                        match
+                          Dgg.find_api dyng
+                            ~dep:p.Edge2path.edge.Depgraph.dep
+                            ~api:p.Edge2path.dep_api
+                        with
+                        | Some child ->
+                            Dgg.add_edge dyng ~src:child ~dst:pcgt
+                              ~epath:(Some p.Edge2path.id)
+                        | None -> ())
+                      combo;
+                    Dgg.add_edge dyng ~src:pcgt ~dst:target ~epath:None
+                  end
+                  else begin
+                    match combo with
+                    | [ p ] -> (
+                        match
+                          Dgg.find_api dyng
+                            ~dep:p.Edge2path.edge.Depgraph.dep
+                            ~api:p.Edge2path.dep_api
+                        with
+                        | Some child ->
+                            Dgg.add_edge dyng ~src:child ~dst:target
+                              ~epath:(Some p.Edge2path.id)
+                        | None -> ())
+                    | _ -> ()
+                  end;
+                  Dgg.update_min target ~size ~cgt:merged ~assignment ~score
+                end
+            in
+            List.iteri try_combo survivors;
+            if not !merged_any then
+              (* No joint interpretation of the sibling edges exists under
+                 this governor (mutually exclusive "or" alternatives, e.g. a
+                 matcher grammar that allows one inner argument). Degrade to
+                 the best single-edge interpretations so the fullest subtree
+                 still survives; coverage-first selection does the rest. *)
+              List.iter
+                (fun group -> List.iter (fun p -> try_combo 0 [ p ]) group)
+                groups
+          end)
+        gov_apis
+    end
+  in
+  List.iter process order;
+
+  stats.Stats.dgg_nodes <- Dgg.node_count dyng;
+  stats.Stats.dgg_edges <- Dgg.edge_count dyng;
+
+  (* the optimal CGT backtrack: the root word's best API node *)
+  let best =
+    Dgg.api_nodes_of_dep dyng dg.Depgraph.root
+    |> List.filter Dgg.set
+    |> Listutil.min_by (fun (a : Dgg.node) b ->
+           (* coverage first (as in update_min), then size, then the same
+              structural tie-break as the baseline; node id (creation order
+              — the WordToAPI ranking for single-word queries) breaks
+              residual ties between structurally identical options *)
+           match
+             compare (List.length b.Dgg.assignment) (List.length a.Dgg.assignment)
+           with
+           | 0 -> (
+               match compare a.Dgg.min_size b.Dgg.min_size with
+               | 0 -> (
+                   match compare b.Dgg.score a.Dgg.score with
+                   | 0 -> (
+                       match Cgt.compare a.Dgg.min_cgt b.Dgg.min_cgt with
+                       | 0 -> compare a.Dgg.id b.Dgg.id
+                       | c -> c)
+                   | c -> c)
+               | c -> c)
+           | c -> c)
+  in
+  let res =
+    Option.map
+      (fun (n : Dgg.node) ->
+        { Synres.cgt = n.Dgg.min_cgt; size = n.Dgg.min_size; assignment = n.Dgg.assignment })
+      best
+  in
+  (res, dyng)
+
+let synthesize ~budget ~stats ?gprune ?sprune g dg w2a e2p =
+  fst (synthesize_with_graph ~budget ~stats ?gprune ?sprune g dg w2a e2p)
+
+let synthesize_ranked ~budget ~stats ?gprune ?sprune ~k g (dg : Depgraph.t) w2a
+    e2p =
+  let _, dyng = synthesize_with_graph ~budget ~stats ?gprune ?sprune g dg w2a e2p in
+  Dgg.api_nodes_of_dep dyng dg.Depgraph.root
+  |> List.filter Dgg.set
+  |> List.sort (fun (a : Dgg.node) b ->
+         match
+           compare (List.length b.Dgg.assignment) (List.length a.Dgg.assignment)
+         with
+         | 0 -> (
+             match compare a.Dgg.min_size b.Dgg.min_size with
+             | 0 -> (
+                 match compare b.Dgg.score a.Dgg.score with
+                 | 0 -> compare a.Dgg.id b.Dgg.id
+                 | c -> c)
+             | c -> c)
+         | c -> c)
+  |> Listutil.take k
+  |> List.map (fun (n : Dgg.node) ->
+         { Synres.cgt = n.Dgg.min_cgt; size = n.Dgg.min_size; assignment = n.Dgg.assignment })

@@ -1,0 +1,61 @@
+(** Dynamic grammar graph-based translation — the paper's Algorithm 1.
+
+    DGGT replaces HISyn's global combination enumeration with dynamic
+    programming over the pruned dependency graph, processed bottom-up:
+
+    - a leaf word's candidate APIs seed singleton partial CGTs;
+    - a governor with a single child (Case I) extends each child partial
+      CGT along each candidate grammar path, keeping the smallest per
+      (word, API) pair;
+    - a governor with sibling children (Case II) enumerates only the
+      per-level combinations of its children's paths — grammar-based and
+      size-based pruning run {e before} prefix trees are merged — and
+      records each survivor as a partial-CGT node;
+    - the optimal global CGT is read off the root word's best API node
+      (the memoized [min_cgt] makes the paper's backtrack a lookup).
+
+    Complexity: O(sum over levels of p^e) instead of O(product). *)
+
+val synthesize :
+  budget:Dggt_util.Budget.t ->
+  stats:Stats.t ->
+  ?gprune:bool ->
+  ?sprune:bool ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  Edge2path.t ->
+  Synres.t option
+(** Both pruning optimizations default to enabled. Raises
+    {!Dggt_util.Budget.Exhausted} on budget exhaustion. Returns the graph
+    structure statistics through [stats]. *)
+
+val synthesize_ranked :
+  budget:Dggt_util.Budget.t ->
+  stats:Stats.t ->
+  ?gprune:bool ->
+  ?sprune:bool ->
+  k:int ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  Edge2path.t ->
+  Synres.t list
+(** The paper's §VII-B.4 usage mode: instead of only the optimal CGT,
+    return up to [k] candidate codelets ranked by (coverage, size, score)
+    — one per distinct interpretation of the root word, read directly off
+    the dynamic grammar graph's root API nodes. The head of the list is
+    exactly {!synthesize}'s answer. *)
+
+val synthesize_with_graph :
+  budget:Dggt_util.Budget.t ->
+  stats:Stats.t ->
+  ?gprune:bool ->
+  ?sprune:bool ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  Edge2path.t ->
+  Synres.t option * Dgg.t
+(** Same, also exposing the constructed dynamic grammar graph (used by the
+    CLI's explain mode and by tests). *)

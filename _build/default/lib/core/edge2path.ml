@@ -1,0 +1,141 @@
+open Dggt_nlu
+open Dggt_grammar
+
+type epath = {
+  id : int;
+  label : string;
+  edge : Depgraph.edge;
+  gov_api : string option;
+  dep_api : string;
+  path : Gpath.t;
+}
+
+type t = {
+  by_edge : ((int * int) * epath list) list; (* (gov, dep) keyed, edge order *)
+  orphan_ids : int list;
+  next_id : int;
+}
+
+let edge_key (e : Depgraph.edge) = (e.Depgraph.gov, e.Depgraph.dep)
+
+let search_pairs ?limits g govs deps =
+  (* all paths for each (gov_api, dep_api) pair, deduplicated *)
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b ->
+          if a = b then []
+          else
+            Gpath.search_between_apis ?limits g ~src_api:a ~dst_api:b
+            |> List.map (fun p -> (Some a, b, p)))
+        deps)
+    govs
+
+let build ?limits g (dg : Depgraph.t) w2a =
+  let next_id = ref 0 in
+  let by_edge =
+    List.mapi
+      (fun edge_idx (e : Depgraph.edge) ->
+        let govs = Word2api.apis w2a e.Depgraph.gov in
+        let deps = Word2api.apis w2a e.Depgraph.dep in
+        let found = search_pairs ?limits g govs deps in
+        let eps =
+          List.mapi
+            (fun k (gov_api, dep_api, path) ->
+              let id = !next_id in
+              incr next_id;
+              {
+                id;
+                label = Printf.sprintf "%d.%d" (edge_idx + 1) (k + 1);
+                edge = e;
+                gov_api;
+                dep_api;
+                path;
+              })
+            found
+        in
+        (edge_key e, eps))
+      dg.Depgraph.edges
+  in
+  let orphan_ids =
+    List.filter_map
+      (fun ((_, dep), eps) -> if eps = [] then Some dep else None)
+      by_edge
+    |> List.sort_uniq compare
+  in
+  { by_edge; orphan_ids; next_id = !next_id }
+
+let paths_of_edge t e =
+  match List.assoc_opt (edge_key e) t.by_edge with Some l -> l | None -> []
+
+let all t = List.concat_map snd t.by_edge
+let orphans t = t.orphan_ids
+let total_path_count t = List.length (all t)
+let find t id = List.find_opt (fun p -> p.id = id) (all t)
+
+let anchor_orphans ?limits g (dg : Depgraph.t) w2a t =
+  (* Rewrite each orphan's edge to hang off the dependency root, and search
+     paths from the grammar root down to the orphan's candidate APIs. *)
+  let orphan_set = t.orphan_ids in
+  let dg' =
+    {
+      dg with
+      Depgraph.edges =
+        List.map
+          (fun (e : Depgraph.edge) ->
+            if List.mem e.Depgraph.dep orphan_set && e.Depgraph.gov <> dg.Depgraph.root
+            then { e with Depgraph.gov = dg.Depgraph.root }
+            else e)
+          dg.Depgraph.edges;
+    }
+  in
+  let next_id = ref t.next_id in
+  let by_edge =
+    List.mapi
+      (fun edge_idx (e : Depgraph.edge) ->
+        if List.mem e.Depgraph.dep orphan_set then begin
+          let deps = Word2api.apis w2a e.Depgraph.dep in
+          let found =
+            List.concat_map
+              (fun b ->
+                match Ggraph.api_node g b with
+                | None -> []
+                | Some dst ->
+                    Gpath.search_from_root ?limits g ~dst
+                    |> List.map (fun p -> (None, b, p)))
+              deps
+          in
+          let eps =
+            List.mapi
+              (fun k (gov_api, dep_api, path) ->
+                let id = !next_id in
+                incr next_id;
+                {
+                  id;
+                  label = Printf.sprintf "%d.%d*" (edge_idx + 1) (k + 1);
+                  edge = e;
+                  gov_api;
+                  dep_api;
+                  path;
+                })
+              found
+          in
+          (edge_key e, eps)
+        end
+        else
+          (* carry over the existing paths, updating nothing *)
+          (edge_key e, paths_of_edge t e))
+      dg'.Depgraph.edges
+  in
+  (dg', { by_edge; orphan_ids = []; next_id = !next_id })
+
+let pp g fmt t =
+  List.iter
+    (fun (_, eps) ->
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "%s: %s->%s %a@ " p.label
+            (Option.value p.gov_api ~default:"<root>")
+            p.dep_api (Gpath.pp g) p.path)
+        eps)
+    t.by_edge

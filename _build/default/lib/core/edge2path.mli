@@ -1,0 +1,53 @@
+(** Step 4: EdgeToPath — candidate grammar paths per dependency edge.
+
+    For every edge (n1 -> n2) of the pruned dependency graph and every pair
+    (a, b) of candidate APIs of n1 and n2, the reversed all-path search
+    collects the grammar paths a ~> b. A dependent with no path for any
+    candidate pair is an {e orphan} (paper §V-B).
+
+    Paths carry globally unique integer ids (per map) plus a printable
+    label "e.k" (edge ordinal, path ordinal) matching the paper's figures. *)
+
+type epath = {
+  id : int;             (** unique within this map *)
+  label : string;       (** "2.1"-style display label *)
+  edge : Dggt_nlu.Depgraph.edge;
+  gov_api : string option; (** None for root-anchored orphan paths *)
+  dep_api : string;
+  path : Dggt_grammar.Gpath.t;
+}
+
+type t
+
+val build :
+  ?limits:Dggt_grammar.Gpath.limits ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  t
+(** Computes candidate paths for every edge. Orphan dependents are only
+    {e detected} here; how they are handled differs per engine: the HISyn
+    baseline re-anchors them at the grammar root ({!anchor_orphans}),
+    DGGT relocates them ({!Orphan}). *)
+
+val paths_of_edge : t -> Dggt_nlu.Depgraph.edge -> epath list
+val all : t -> epath list
+val orphans : t -> int list
+(** Dependent node ids whose edge has no candidate path, token order. *)
+
+val total_path_count : t -> int
+val find : t -> int -> epath option
+
+val anchor_orphans :
+  ?limits:Dggt_grammar.Gpath.limits ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  t ->
+  Dggt_nlu.Depgraph.t * t
+(** The HISyn treatment: every orphan becomes a child of the dependency
+    root, with candidate paths searched from the {e grammar root} down to
+    the orphan's APIs ([gov_api = None]). Returns the rewritten dependency
+    graph and the extended map. *)
+
+val pp : Dggt_grammar.Ggraph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,346 @@
+open Dggt_util
+open Dggt_nlu
+
+type algorithm = Hisyn_alg | Dggt_alg
+
+type config = {
+  algorithm : algorithm;
+  timeout_s : float option;
+  max_steps : int option;
+  top_k : int;
+  threshold : float;
+  path_limits : Dggt_grammar.Gpath.limits;
+  gprune : bool;
+  sprune : bool;
+  orphan_reloc : bool;
+  max_reloc_graphs : int;
+  defaults : (string * string) list;
+  unit_filter : (string -> bool) option;
+  stop_verbs : string list;
+}
+
+let default algorithm =
+  {
+    algorithm;
+    timeout_s = Some 20.0;
+    max_steps = None;
+    top_k = 4;
+    threshold = Similarity.min_score;
+    path_limits = Dggt_grammar.Gpath.default_limits;
+    gprune = true;
+    sprune = true;
+    orphan_reloc = true;
+    max_reloc_graphs = 8;
+    defaults = [];
+    unit_filter = None;
+    stop_verbs = [];
+  }
+
+type outcome = {
+  expr : Tree2expr.expr option;
+  code : string option;
+  cgt_size : int option;
+  time_s : float;
+  timed_out : bool;
+  failure : string option;
+  stats : Stats.t;
+}
+
+(* An adjectival or compound modifier that shares candidate APIs with its
+   head noun refines the head rather than naming a second entity:
+   "capitalized words" is one CAPSTOKEN mention, "constructor expressions"
+   one cxxConstructExpr. Restrict the head to the shared APIs and drop the
+   modifier word. *)
+let absorb_modifiers doc (dg : Depgraph.t) w2a =
+  (* Only noun-marked (entity) APIs may swallow a modifier: "copy
+     constructors" must stay cxxConstructorDecl + isCopyConstructor, not
+     collapse into the narrowing matcher. When the document declares no
+     noun APIs at all, every shared API qualifies. *)
+  let nounish api =
+    match Apidoc.find doc api with
+    | Some e -> e.Apidoc.pos_pref = Apidoc.Nounish
+    | None -> false
+  in
+  let has_noun_marks =
+    List.exists (fun (e : Apidoc.entry) -> e.Apidoc.pos_pref = Apidoc.Nounish)
+      (Apidoc.entries doc)
+  in
+  List.fold_left
+    (fun (dg, w2a) (e : Depgraph.edge) ->
+      match e.Depgraph.label with
+      | Dggt_nlu.Dep.Amod | Dggt_nlu.Dep.Compound ->
+          let head = Word2api.apis w2a e.Depgraph.gov in
+          let modif = Word2api.apis w2a e.Depgraph.dep in
+          (* Entity (noun-marked) APIs absorb preferentially; when the head
+             has no entity reading at all ("right hand side" only matches
+             traversal matchers), any shared API may absorb. *)
+          let head_has_noun = has_noun_marks && List.exists nounish head in
+          let shared =
+            List.filter
+              (fun a -> List.mem a modif && ((not head_has_noun) || nounish a))
+              head
+          in
+          if shared = [] then (dg, w2a)
+          else
+            ( Queryprune.drop_nodes dg [ e.Depgraph.dep ],
+              Word2api.merge_modifier w2a ~head:e.Depgraph.gov
+                ~modifier:e.Depgraph.dep shared )
+      | _ -> (dg, w2a))
+    (dg, w2a) dg.Depgraph.edges
+
+(* The subject of a conditional clause names the iterated unit ("if a
+   *sentence* starts with ..."); when the domain distinguishes unit/scope
+   APIs, restrict such words to them. *)
+let apply_unit_filter cfg (dg : Depgraph.t) w2a =
+  match cfg.unit_filter with
+  | None -> w2a
+  | Some f ->
+      List.fold_left
+        (fun w2a (e : Depgraph.edge) ->
+          match e.Depgraph.label with
+          | Dggt_nlu.Dep.Nsubj -> (
+              let cands = Word2api.apis w2a e.Depgraph.dep in
+              match List.filter f cands with
+              | [] -> w2a
+              | api :: _ -> Word2api.restrict w2a e.Depgraph.dep api)
+          | _ -> w2a)
+        w2a dg.Depgraph.edges
+
+let make_budget cfg =
+  match (cfg.timeout_s, cfg.max_steps) with
+  | Some s, Some n -> Budget.of_seconds_and_steps s n
+  | Some s, None -> Budget.of_seconds s
+  | None, Some n -> Budget.of_steps n
+  | None, None -> Budget.unlimited ()
+
+(* literal bindings: (api, literal) pairs in token order, for the nodes the
+   winning assignment actually interpreted *)
+let literal_bindings (dg : Depgraph.t) (assignment : (int * string) list) =
+  dg.Depgraph.nodes
+  |> List.filter_map (fun (n : Depgraph.node) ->
+         match (n.Depgraph.lit, List.assoc_opt n.Depgraph.id assignment) with
+         | Some v, Some api -> Some (api, v)
+         | _ -> None)
+
+let finish cfg g dg (res : Synres.t option) ~time_s ~timed_out ~stats =
+  match res with
+  | None ->
+      {
+        expr = None;
+        code = None;
+        cgt_size = None;
+        time_s;
+        timed_out;
+        failure = Some (if timed_out then "timeout" else "no well-formed CGT found");
+        stats;
+      }
+  | Some r -> (
+      let lits = literal_bindings dg r.Synres.assignment in
+      match
+        Result.map Tree2expr.normalize
+          (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults g r.Synres.cgt)
+      with
+      | Ok expr ->
+          {
+            expr = Some expr;
+            code = Some (Tree2expr.to_string expr);
+            cgt_size = Some r.Synres.size;
+            time_s;
+            timed_out;
+            failure = None;
+            stats;
+          }
+      | Error e ->
+          {
+            expr = None;
+            code = None;
+            cgt_size = Some r.Synres.size;
+            time_s;
+            timed_out;
+            failure = Some (Format.asprintf "linearization: %a" Tree2expr.pp_error e);
+            stats;
+          })
+
+let run_dggt cfg g doc budget stats (pruned : Depgraph.t) =
+  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold doc pruned in
+  let pruned, w2a = absorb_modifiers doc pruned w2a in
+  let w2a = apply_unit_filter cfg pruned w2a in
+  let w2a = Word2api.cap w2a cfg.top_k in
+  let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
+  stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
+  let e2p = Edge2path.build ~limits:cfg.path_limits g pruned w2a in
+  stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
+  let orphans = Edge2path.orphans e2p in
+  stats.Stats.orphan_count <- List.length orphans;
+  if orphans = [] || not cfg.orphan_reloc then begin
+    let dg, e2p =
+      if orphans = [] then (pruned, e2p)
+      else
+        (* ablation: fall back to the baseline's root anchoring *)
+        Edge2path.anchor_orphans ~limits:cfg.path_limits g pruned w2a e2p
+    in
+    stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
+    stats.Stats.reloc_graphs <- 1;
+    let res =
+      Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune g dg
+        w2a e2p
+    in
+    (dg, res)
+  end
+  else begin
+    let variants =
+      Orphan.relocate ~max_graphs:cfg.max_reloc_graphs g pruned w2a ~orphans
+    in
+    stats.Stats.reloc_graphs <- List.length variants;
+    let best =
+      List.fold_left
+        (fun acc dg ->
+          let e2p = Edge2path.build ~limits:cfg.path_limits g dg w2a in
+          stats.Stats.paths_after_reloc <-
+            max stats.Stats.paths_after_reloc (Edge2path.total_path_count e2p);
+          let res =
+            Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune
+              g dg w2a e2p
+          in
+          match (acc, res) with
+          | None, Some r -> Some (dg, r)
+          | Some (_, b), Some r
+          (* the paper's minimality is among CGTs covering the query's
+             semantics: a variant interpreting more of the words beats a
+             smaller CGT that dropped a subtree *)
+            when let cov x = List.length x.Synres.assignment in
+                 cov r > cov b || (cov r = cov b && r.Synres.size < b.Synres.size)
+            ->
+              Some (dg, r)
+          | _ -> acc)
+        None variants
+    in
+    match best with
+    | Some (dg, r) -> (dg, Some r)
+    | None -> (pruned, None)
+  end
+
+let run_hisyn cfg g doc budget stats (pruned : Depgraph.t) =
+  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold doc pruned in
+  let pruned, w2a = absorb_modifiers doc pruned w2a in
+  let w2a = apply_unit_filter cfg pruned w2a in
+  let w2a = Word2api.cap w2a cfg.top_k in
+  let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
+  stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
+  let e2p = Edge2path.build ~limits:cfg.path_limits g pruned w2a in
+  stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
+  let orphans = Edge2path.orphans e2p in
+  stats.Stats.orphan_count <- List.length orphans;
+  let dg, e2p =
+    if orphans = [] then (pruned, e2p)
+    else Edge2path.anchor_orphans ~limits:cfg.path_limits g pruned w2a e2p
+  in
+  stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
+  stats.Stats.reloc_graphs <- 1;
+  let res =
+    match Hisyn.synthesize ~budget ~stats g dg w2a e2p with
+    | Some r -> Some r
+    | None when dg.Depgraph.edges = [] || List.for_all
+        (fun e -> Edge2path.paths_of_edge e2p e = []) dg.Depgraph.edges -> (
+        (* single-word query (or nothing connected): the best lone API *)
+        match Word2api.candidates w2a dg.Depgraph.root with
+        | { Word2api.api; _ } :: _ -> (
+            match Dggt_grammar.Ggraph.api_node g api with
+            | Some nid ->
+                let cgt =
+                  Cgt.merge_path Cgt.empty
+                    {
+                      Dggt_grammar.Gpath.nodes = [| nid |];
+                      edges = [||];
+                      apis = [| api |];
+                    }
+                in
+                Some { Synres.cgt; size = 1; assignment = [ (dg.Depgraph.root, api) ] }
+            | None -> None)
+        | [] -> None)
+    | None -> None
+  in
+  (dg, res)
+
+let synthesize_graph cfg g doc (dg : Depgraph.t) =
+  let stats = Stats.create () in
+  let budget = make_budget cfg in
+  let t0 = Unix.gettimeofday () in
+  let run () =
+    let pruned = Queryprune.prune dg in
+    (* command verbs without API meaning ("find", "list" in code-search
+       domains) would otherwise soak up spurious keyword matches *)
+    let pruned =
+      let rn = Depgraph.node_opt pruned pruned.Depgraph.root in
+      match rn with
+      | Some rn
+        when Pos.is_verb rn.Depgraph.pos && List.mem rn.Depgraph.lemma cfg.stop_verbs
+        ->
+          Queryprune.drop_nodes pruned [ pruned.Depgraph.root ]
+      | _ -> pruned
+    in
+    match cfg.algorithm with
+    | Dggt_alg -> run_dggt cfg g doc budget stats pruned
+    | Hisyn_alg -> run_hisyn cfg g doc budget stats pruned
+  in
+  match run () with
+  | dg', res ->
+      let time_s = Unix.gettimeofday () -. t0 in
+      finish cfg g dg' res ~time_s ~timed_out:false ~stats
+  | exception Budget.Exhausted ->
+      let time_s =
+        match cfg.timeout_s with
+        | Some limit -> limit
+        | None -> Unix.gettimeofday () -. t0
+      in
+      finish cfg g dg None ~time_s ~timed_out:true ~stats
+
+let synthesize cfg g doc query =
+  synthesize_graph cfg g doc (Depparser.parse query)
+
+let synthesize_ranked ?(k = 5) cfg g doc query =
+  let budget = make_budget cfg in
+  let stats = Stats.create () in
+  try
+    let pruned = Queryprune.prune (Depparser.parse query) in
+    let pruned =
+      match Depgraph.node_opt pruned pruned.Depgraph.root with
+      | Some rn
+        when Pos.is_verb rn.Depgraph.pos && List.mem rn.Depgraph.lemma cfg.stop_verbs
+        ->
+          Queryprune.drop_nodes pruned [ pruned.Depgraph.root ]
+      | _ -> pruned
+    in
+    let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold doc pruned in
+    let pruned, w2a = absorb_modifiers doc pruned w2a in
+    let w2a = apply_unit_filter cfg pruned w2a in
+    let w2a = Word2api.cap w2a cfg.top_k in
+    let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
+    let e2p = Edge2path.build ~limits:cfg.path_limits g pruned w2a in
+    let orphans = Edge2path.orphans e2p in
+    let dg, e2p =
+      if orphans = [] then (pruned, e2p)
+      else
+        (* ranked mode keeps a single dependency graph: relocate orphans to
+           their first plausible governor so every hint shares one parse *)
+        let variants =
+          Orphan.relocate ~max_graphs:1 g pruned w2a ~orphans
+        in
+        let dg = match variants with v :: _ -> v | [] -> pruned in
+        (dg, Edge2path.build ~limits:cfg.path_limits g dg w2a)
+    in
+    let ranked =
+      Dggt.synthesize_ranked ~budget ~stats ~gprune:cfg.gprune
+        ~sprune:cfg.sprune ~k g dg w2a e2p
+    in
+    List.filter_map
+      (fun (r : Synres.t) ->
+        let lits = literal_bindings dg r.Synres.assignment in
+        match
+          Result.map Tree2expr.normalize
+            (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults g r.Synres.cgt)
+        with
+        | Ok expr -> Some (expr, Tree2expr.to_string expr)
+        | Error _ -> None)
+      ranked
+  with Budget.Exhausted -> []

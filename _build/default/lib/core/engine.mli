@@ -1,0 +1,86 @@
+(** The end-to-end synthesis driver: query text in, codelet out.
+
+    Runs the six-step pipeline with either engine for step 5:
+
+    + dependency parsing ({!Dggt_nlu.Depparser});
+    + query-graph pruning ({!Queryprune}), plus removal of words the
+      WordToAPI step cannot cover;
+    + WordToAPI ({!Word2api});
+    + EdgeToPath ({!Edge2path});
+    + PathMerging — {!Hisyn} (exhaustive baseline) or {!Dggt}; orphans are
+      root-anchored (HISyn) or relocated ({!Orphan}, DGGT);
+    + TreeToExpression ({!Tree2expr}) with query-literal binding.
+
+    Timeouts follow the paper's protocol: a wall-clock budget (default
+    20 s) checked inside the enumeration loops; an exhausted budget makes
+    the query a timeout (counted as an error, time capped at the limit). *)
+
+type algorithm = Hisyn_alg | Dggt_alg
+
+type config = {
+  algorithm : algorithm;
+  timeout_s : float option;   (** None = no wall-clock limit *)
+  max_steps : int option;     (** deterministic budget for tests *)
+  top_k : int;                (** WordToAPI candidate fan-out *)
+  threshold : float;          (** WordToAPI score threshold *)
+  path_limits : Dggt_grammar.Gpath.limits;
+  gprune : bool;              (** grammar-based pruning (DGGT) *)
+  sprune : bool;              (** size-based pruning (DGGT) *)
+  orphan_reloc : bool;        (** orphan relocation (DGGT); false falls
+                                  back to HISyn's root anchoring *)
+  max_reloc_graphs : int;
+  defaults : (string * string) list;
+      (** nonterminal -> default codelet for argument completion
+          ({!Tree2expr.of_cgt}); [] for domains without required args *)
+  unit_filter : (string -> bool) option;
+      (** restricts the candidate APIs of a conditional clause's subject
+          (the iterated unit) to scope-like APIs; None = no restriction *)
+  stop_verbs : string list;
+      (** imperative root verbs with no API meaning in the domain ("find",
+          "list" for code search): dropped before WordToAPI *)
+}
+
+val default : algorithm -> config
+(** 20 s timeout, top_k 4, default path limits, all optimizations on. *)
+
+type outcome = {
+  expr : Tree2expr.expr option;  (** the synthesized codelet *)
+  code : string option;          (** [Tree2expr.to_string] of [expr] *)
+  cgt_size : int option;
+  time_s : float;                (** wall-clock, capped at the limit on
+                                     timeout *)
+  timed_out : bool;
+  failure : string option;       (** set when no codelet was produced *)
+  stats : Stats.t;
+}
+
+val synthesize :
+  config -> Dggt_grammar.Ggraph.t -> Apidoc.t -> string -> outcome
+(** Never raises. *)
+
+val absorb_modifiers :
+  Apidoc.t -> Dggt_nlu.Depgraph.t -> Word2api.t -> Dggt_nlu.Depgraph.t * Word2api.t
+(** The modifier-absorption step, exposed for tests and debugging tools:
+    an amod/compound dependent sharing candidate APIs with its head noun
+    refines the head ("constructor expressions" -> cxxConstructExpr) and
+    disappears as a separate word. *)
+
+val synthesize_ranked :
+  ?k:int ->
+  config ->
+  Dggt_grammar.Ggraph.t ->
+  Apidoc.t ->
+  string ->
+  (Tree2expr.expr * string) list
+(** Ranked-hints mode (paper §VII-B.4): up to [k] candidate codelets for
+    the query, best first (default [k = 5]). Always uses the DGGT engine;
+    the head of the list is {!synthesize}'s codelet. Timeouts yield []. *)
+
+val synthesize_graph :
+  config ->
+  Dggt_grammar.Ggraph.t ->
+  Apidoc.t ->
+  Dggt_nlu.Depgraph.t ->
+  outcome
+(** Skip parsing: synthesize from a pre-built dependency graph (used by
+    tests to pin parses, and by the property suite to fuzz graph shapes). *)

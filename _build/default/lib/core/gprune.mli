@@ -1,0 +1,34 @@
+(** Grammar-based pruning (paper §V-A).
+
+    Given the candidate paths of a set of sibling dependency edges, two
+    paths form a {e conflict pair} when they vote for different
+    alternatives of the same grammar node ({!Dggt_grammar.Pathvote}). A
+    combination containing a conflict pair can never merge into a
+    grammatically valid CGT, so such combinations are pruned {e before}
+    they are enumerated: the combination generator extends a partial
+    combination only with paths that do not conflict with any already
+    chosen one. *)
+
+type t
+
+val prepare : Dggt_grammar.Ggraph.t -> Edge2path.epath list -> t
+(** Precompute the conflict table over the given sibling-edge paths. *)
+
+val conflict_pairs : t -> (int * int) list
+(** Conflicting epath-id pairs, (smaller, larger). *)
+
+val conflicts_with : t -> int -> int list -> bool
+(** [conflicts_with t p chosen]: does epath [p] conflict with any of
+    [chosen]? *)
+
+val combos :
+  ?budget:Dggt_util.Budget.t ->
+  t ->
+  enabled:bool ->
+  Edge2path.epath list list ->
+  Edge2path.epath list list * int
+(** [combos t ~enabled groups] enumerates one-path-per-group combinations,
+    skipping (when [enabled]) every combination containing a conflict pair.
+    Returns the surviving combinations and the total combination count
+    before pruning (the product of group sizes, saturating). The budget is
+    ticked per emitted combination. *)

@@ -1,0 +1,23 @@
+(** The HISyn baseline's PathMerging (paper §II step 5, §III-A).
+
+    Enumerates {e every} combination of candidate grammar paths — one per
+    dependency edge — merges each combination into a candidate CGT, filters
+    the ill-formed ones, and keeps the smallest. Worst-case cost is
+    the product of the per-edge path counts, which is what DGGT eliminates.
+
+    The budget is ticked once per combination; when it is exhausted the
+    enumeration aborts with {!Dggt_util.Budget.Exhausted}, which the engine
+    reports as a timeout (the paper's 20 s protocol). *)
+
+
+val synthesize :
+  budget:Dggt_util.Budget.t ->
+  stats:Stats.t ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  Edge2path.t ->
+  Synres.t option
+(** [None] when no combination merges into a well-formed CGT. Edges with an
+    empty candidate-path list are skipped (their subtree words go
+    uncovered), matching HISyn's behaviour after root-anchoring fails. *)

@@ -1,0 +1,33 @@
+(** Orphan node relocation (paper §V-B).
+
+    A dependent whose edge has no candidate grammar path is an orphan: the
+    NL parse attached it to the wrong governor. Instead of HISyn's
+    root-anchoring (which searches {e all} paths from the grammar root and
+    blows up the path count), relocation consults the grammar: any
+    dependency word one of whose candidate APIs is a grammar-graph ancestor
+    of one of the orphan's candidate APIs is a plausible governor. Each
+    plausible governor spawns a dependency-graph variant; the engine
+    synthesizes all variants and keeps the smallest CGT. *)
+
+val governor_candidates :
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  orphan:int ->
+  int list
+(** Dependency node ids that could govern the orphan: not the orphan
+    itself, not in the orphan's subtree (no cycles), and with the
+    grammar-ancestor property. Ordered by token index. *)
+
+val relocate :
+  ?max_graphs:int ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  orphans:int list ->
+  Dggt_nlu.Depgraph.t list
+(** All dependency-graph variants obtained by re-homing each orphan under
+    one of its governor candidates (cartesian across orphans, capped at
+    [max_graphs], default 8). An orphan with no candidate governor stays
+    where it is (its subtree will simply go uncovered). Always returns at
+    least the input graph when nothing can be relocated. *)

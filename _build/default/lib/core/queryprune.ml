@@ -1,0 +1,129 @@
+open Dggt_nlu
+
+let quantifiers = [ "every"; "each"; "all"; "any"; "both" ]
+
+let keep (n : Depgraph.node) =
+  match n.pos with
+  | Pos.LIT | Pos.CD -> true
+  | Pos.IN -> List.mem n.lemma [ "after"; "before"; "with" ] (* position/containment *)
+  | Pos.RB ->
+      (* negation reaches NOTCOND; locational adverbs reach scope APIs *)
+      List.mem n.lemma [ "not"; "never"; "everywhere"; "anywhere"; "then" ]
+  | Pos.DT -> List.mem n.lemma quantifiers
+  | Pos.VB | Pos.VBZ | Pos.VBG | Pos.VBN ->
+      (* copulas and generic verbs carry no API semantics *)
+      n.lemma <> "be" && not (Lexicon.is_stopword n.lemma)
+  | Pos.NN | Pos.NNS | Pos.JJ -> not (Lexicon.is_stopword n.lemma)
+  | _ -> false
+
+(* Remove one node, splicing its children to its governor. Children of a
+   removed root become children of the promoted node. *)
+let splice_out (g : Depgraph.t) id =
+  match Depgraph.parent g id with
+  | Some pe ->
+      let edges =
+        List.filter_map
+          (fun (e : Depgraph.edge) ->
+            if e.dep = id then None
+            else if e.gov = id then Some { e with gov = pe.gov }
+            else Some e)
+          g.edges
+      in
+      {
+        Depgraph.nodes = List.filter (fun (n : Depgraph.node) -> n.id <> id) g.nodes;
+        edges;
+        root = g.root;
+      }
+  | None ->
+      if id <> g.root then Depgraph.remove_node g id
+      else begin
+        (* root removal: promote the most verb-like child *)
+        let kids = Depgraph.children g id in
+        let promoted =
+          let verbish =
+            List.filter
+              (fun (e : Depgraph.edge) ->
+                match Depgraph.node_opt g e.dep with
+                | Some n -> Pos.is_verb n.Depgraph.pos
+                | None -> false)
+              kids
+          in
+          match (verbish, kids) with
+          | e :: _, _ -> Some e.Depgraph.dep
+          | [], e :: _ -> Some e.Depgraph.dep
+          | [], [] -> None
+        in
+        match promoted with
+        | None -> g (* nothing to promote; keep the root *)
+        | Some new_root ->
+            let edges =
+              List.filter_map
+                (fun (e : Depgraph.edge) ->
+                  if e.dep = id then None
+                  else if e.dep = new_root then None
+                  else if e.gov = id then Some { e with gov = new_root }
+                  else Some e)
+                g.edges
+            in
+            {
+              Depgraph.nodes =
+                List.filter (fun (n : Depgraph.node) -> n.id <> id) g.nodes;
+              edges;
+              root = new_root;
+            }
+      end
+
+let drop_nodes g ids =
+  List.fold_left
+    (fun (g : Depgraph.t) id ->
+      if List.length g.Depgraph.nodes <= 1 then g
+      else if Depgraph.mem g id then splice_out g id
+      else g)
+    g ids
+
+(* The subject of a clause names the unit the clause's condition tests
+   ("if a sentence starts with ..." iterates over sentences): re-home it
+   under the clause verb's own governor so it can resolve to a scope API
+   rather than fight the condition's entity slot. *)
+let rehome_subjects (g : Depgraph.t) =
+  let edges =
+    List.map
+      (fun (e : Depgraph.edge) ->
+        match e.Depgraph.label with
+        | Dep.Nsubj -> (
+            match Depgraph.parent g e.Depgraph.gov with
+            | Some pe -> { e with Depgraph.gov = pe.Depgraph.gov } (* keep Nsubj label: the engine reads it as "iterated unit" *)
+            | None -> e)
+        | _ -> e)
+      g.Depgraph.edges
+  in
+  { g with Depgraph.edges }
+
+let prune g =
+  if g.Depgraph.nodes = [] then g
+  else
+  let g = rehome_subjects g in
+  (* Iterate to a fixed point: splicing can expose a new prunable root.
+     A preposition node earns its keep only while it governs a complement:
+     leftover collapsed prepositions (re-parented to the root by the
+     parser's cleanup pass) carry no semantics. *)
+  let keep_in_graph (g : Depgraph.t) (n : Depgraph.node) =
+    keep n
+    && (n.pos <> Pos.IN || Depgraph.children g n.id <> [])
+  in
+  let rec go (g : Depgraph.t) =
+    match
+      List.find_opt
+        (fun (n : Depgraph.node) -> not (keep_in_graph g n))
+        (List.filter (fun (n : Depgraph.node) -> n.id <> g.root) g.nodes)
+    with
+    | Some n -> go (splice_out g n.id)
+    | None ->
+        (* finally consider the root itself *)
+        let rn = Depgraph.node g g.root in
+        if (not (keep rn)) && List.length g.nodes > 1 then
+          let g' = splice_out g g.root in
+          if g'.Depgraph.root <> g.root then go g' else g'
+        else g
+  in
+  go g

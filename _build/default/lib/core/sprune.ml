@@ -1,0 +1,32 @@
+module SS = Set.Make (String)
+
+type bounds = { lo : int; hi : int }
+
+let bounds_of ~extra combo =
+  let n = List.length combo in
+  let union_apis =
+    List.fold_left
+      (fun acc (p : Edge2path.epath) ->
+        Array.fold_left (fun acc a -> SS.add a acc) acc p.Edge2path.path.Dggt_grammar.Gpath.apis)
+      SS.empty combo
+  in
+  let sum_sizes =
+    List.fold_left
+      (fun acc (p : Edge2path.epath) ->
+        acc + Dggt_grammar.Gpath.size p.Edge2path.path)
+      0 combo
+  in
+  let extras = List.fold_left (fun acc p -> acc + extra p) 0 combo in
+  { lo = SS.cardinal union_apis + extras; hi = sum_sizes - (n - 1) + extras }
+
+let prune ~enabled ~extra combos =
+  if (not enabled) || combos = [] then combos
+  else begin
+    let with_bounds = List.map (fun c -> (c, bounds_of ~extra c)) combos in
+    let min_hi =
+      List.fold_left (fun acc (_, b) -> min acc b.hi) max_int with_bounds
+    in
+    List.filter_map
+      (fun (c, b) -> if b.lo > min_hi then None else Some c)
+      with_bounds
+  end

@@ -1,0 +1,59 @@
+type t = {
+  mutable dep_edges : int;
+  mutable orig_paths : int;
+  mutable paths_after_reloc : int;
+  mutable orphan_count : int;
+  mutable reloc_graphs : int;
+  mutable combos_total : int;
+  mutable combos_after_gprune : int;
+  mutable combos_after_sprune : int;
+  mutable combos_merged : int;
+  mutable hisyn_combos_enumerated : int;
+  mutable hisyn_combos_possible : int;
+  mutable dgg_nodes : int;
+  mutable dgg_edges : int;
+}
+
+let create () =
+  {
+    dep_edges = 0;
+    orig_paths = 0;
+    paths_after_reloc = 0;
+    orphan_count = 0;
+    reloc_graphs = 0;
+    combos_total = 0;
+    combos_after_gprune = 0;
+    combos_after_sprune = 0;
+    combos_merged = 0;
+    hisyn_combos_enumerated = 0;
+    hisyn_combos_possible = 0;
+    dgg_nodes = 0;
+    dgg_edges = 0;
+  }
+
+let add a b =
+  {
+    dep_edges = max a.dep_edges b.dep_edges;
+    orig_paths = max a.orig_paths b.orig_paths;
+    paths_after_reloc = max a.paths_after_reloc b.paths_after_reloc;
+    orphan_count = max a.orphan_count b.orphan_count;
+    reloc_graphs = a.reloc_graphs + b.reloc_graphs;
+    combos_total = a.combos_total + b.combos_total;
+    combos_after_gprune = a.combos_after_gprune + b.combos_after_gprune;
+    combos_after_sprune = a.combos_after_sprune + b.combos_after_sprune;
+    combos_merged = a.combos_merged + b.combos_merged;
+    hisyn_combos_enumerated = a.hisyn_combos_enumerated + b.hisyn_combos_enumerated;
+    hisyn_combos_possible = max a.hisyn_combos_possible b.hisyn_combos_possible;
+    dgg_nodes = a.dgg_nodes + b.dgg_nodes;
+    dgg_edges = a.dgg_edges + b.dgg_edges;
+  }
+
+let gprune_removed t = t.combos_total - t.combos_after_gprune
+let sprune_removed t = t.combos_after_gprune - t.combos_after_sprune
+
+let pp fmt t =
+  Format.fprintf fmt
+    "edges=%d paths=%d->%d orphans=%d graphs=%d combos=%d -gp-> %d -sp-> %d merged=%d hisyn_enum=%d dgg=%d/%d"
+    t.dep_edges t.orig_paths t.paths_after_reloc t.orphan_count t.reloc_graphs
+    t.combos_total t.combos_after_gprune t.combos_after_sprune t.combos_merged
+    t.hisyn_combos_enumerated t.dgg_nodes t.dgg_edges

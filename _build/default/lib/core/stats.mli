@@ -1,0 +1,29 @@
+(** Counters collected during synthesis — the quantities reported in the
+    paper's Table III (paths before/after orphan relocation, combinations
+    before/after each pruning stage, …). *)
+
+type t = {
+  mutable dep_edges : int;          (** edges in the pruned dependency graph *)
+  mutable orig_paths : int;         (** candidate paths before relocation *)
+  mutable paths_after_reloc : int;  (** candidate paths after relocation *)
+  mutable orphan_count : int;
+  mutable reloc_graphs : int;       (** dependency-graph variants explored *)
+  mutable combos_total : int;       (** combinations before pruning (sibling levels) *)
+  mutable combos_after_gprune : int;
+  mutable combos_after_sprune : int;
+  mutable combos_merged : int;      (** prefix trees actually built *)
+  mutable hisyn_combos_enumerated : int; (** baseline: combinations visited *)
+  mutable hisyn_combos_possible : int;   (** baseline: full product (saturated) *)
+  mutable dgg_nodes : int;          (** nodes in the dynamic grammar graph *)
+  mutable dgg_edges : int;
+}
+
+val create : unit -> t
+val add : t -> t -> t
+(** Pointwise sum (for aggregating over relocation forks); [dep_edges],
+    [orphan_count] and path counts take the max instead (they describe the
+    query, not the fork). *)
+
+val pp : Format.formatter -> t -> unit
+val gprune_removed : t -> int
+val sprune_removed : t -> int

@@ -1,0 +1,17 @@
+(** Result of one synthesis engine run: the winning CGT, its API size, and
+    the dependency-word-to-API assignment used to bind query literals. *)
+
+type t = { cgt : Cgt.t; size : int; assignment : (int * string) list }
+
+(* Two different query words must not resolve to the same API: a CGT holds
+   each grammar node once, so fusing two mentions silently drops one of
+   them (and scrambles literal payloads). *)
+let injective assignment =
+  let rec go seen = function
+    | [] -> true
+    | (node, api) :: rest -> (
+        match List.assoc_opt api seen with
+        | Some n when n <> node -> false
+        | _ -> go ((api, node) :: seen) rest)
+  in
+  go [] assignment

@@ -1,0 +1,1 @@
+lib/domains/am_doc.ml: Am_spec Dggt_core List

@@ -1,0 +1,1 @@
+lib/domains/am_grammar.ml: Am_spec Buffer List Printf String

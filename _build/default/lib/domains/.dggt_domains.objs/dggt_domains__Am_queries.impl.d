@@ -1,0 +1,1 @@
+lib/domains/am_queries.ml: Domain

@@ -1,0 +1,1 @@
+lib/domains/astmatcher.ml: Am_doc Am_grammar Am_queries Dggt_grammar Domain Format Lazy

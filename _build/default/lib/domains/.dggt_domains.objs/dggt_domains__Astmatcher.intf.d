@@ -1,0 +1,1 @@
+lib/domains/astmatcher.mli: Domain

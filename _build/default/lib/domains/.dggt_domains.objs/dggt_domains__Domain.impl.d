@@ -1,0 +1,1 @@
+lib/domains/domain.ml: Dggt_core Dggt_grammar Lazy List Option Printf

@@ -1,0 +1,1 @@
+lib/domains/domain.mli: Dggt_core Dggt_grammar Lazy

@@ -1,0 +1,1 @@
+lib/domains/te_doc.ml: Dggt_core

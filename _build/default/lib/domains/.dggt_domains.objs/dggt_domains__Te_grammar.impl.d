@@ -1,0 +1,1 @@
+lib/domains/te_grammar.ml:

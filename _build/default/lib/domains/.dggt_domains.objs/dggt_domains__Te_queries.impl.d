@@ -1,0 +1,1 @@
+lib/domains/te_queries.ml: Domain

@@ -1,0 +1,1 @@
+lib/domains/text_editing.ml: Dggt_grammar Dggt_util Domain Format Te_doc Te_grammar Te_queries

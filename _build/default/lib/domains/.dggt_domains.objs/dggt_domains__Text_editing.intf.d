@@ -1,0 +1,1 @@
+lib/domains/text_editing.mli: Domain

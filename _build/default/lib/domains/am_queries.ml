@@ -1,0 +1,181 @@
+(* The ASTMatcher evaluation query set: 100 natural-language code-search
+   requests with ground-truth matcher expressions, authored after the
+   published examples (paper Table I, rows 5-7). The original HISyn query
+   set is not public; these follow the same style: an imperative
+   find/search/list head, a node-matcher noun phrase, and zero or more
+   chained restrictions.
+
+   [hard] queries need constructs outside the synthesizable fragment
+   (two inner arguments on one matcher, repeated literals, argument
+   indices) — the realistic error tail. *)
+
+let q ?(hard = false) id text expected = { Domain.id; text; expected; hard }
+
+let queries =
+  [
+    (* --- the paper's published examples (1-3) ----------------------- *)
+    q 1 "find cxx constructor expressions which declare a cxx method named \"PI\""
+      "cxxConstructExpr(hasDeclaration(cxxMethodDecl(hasName(\"PI\"))))";
+    q 2 "search for call expressions whose argument is a float literal"
+      "callExpr(hasArgument(floatLiteral()))";
+    q 3 "list all binary operators named \"*\""
+      "binaryOperator(hasOperatorName(\"*\"))";
+    (* --- bare node matchers (4-15) ---------------------------------- *)
+    q 4 "find all call expressions" "callExpr()";
+    q 5 "list all lambda expressions" "lambdaExpr()";
+    q 6 "find all while loops" "whileStmt()";
+    q 7 "show all return statements" "returnStmt()";
+    q 8 "find all string literals" "stringLiteral()";
+    q 9 "list all integer literals" "integerLiteral()";
+    q 10 "find all goto statements" "gotoStmt()";
+    q 11 "find all field declarations" "fieldDecl()";
+    q 12 "list all namespace declarations" "namespaceDecl()";
+    q 13 "find all switch statements" "switchStmt()";
+    q 14 "find all new expressions" "cxxNewExpr()";
+    q 15 "list all member access expressions" "memberExpr()";
+    (* --- hasName and friends (16-30) -------------------------------- *)
+    q 16 "find functions named \"main\"" "functionDecl(hasName(\"main\"))";
+    q 17 "find all variables named \"tmp\"" "varDecl(hasName(\"tmp\"))";
+    q 18 "find classes named \"Vector\"" "recordDecl(hasName(\"Vector\"))";
+    q 19 "list all namespaces named \"detail\"" "namespaceDecl(hasName(\"detail\"))";
+    q 20 "find all fields named \"size\"" "fieldDecl(hasName(\"size\"))";
+    q 21 "find enum declarations named \"Color\"" "enumDecl(hasName(\"Color\"))";
+    q 22 "find all methods named \"begin\"" "cxxMethodDecl(hasName(\"begin\"))";
+    q 23 "find typedef declarations named \"size_type\"" "typedefDecl(hasName(\"size_type\"))";
+    q 24 "find all parameters named \"ctx\"" "parmVarDecl(hasName(\"ctx\"))";
+    q 25 "search for class templates named \"Map\"" "classTemplateDecl(hasName(\"Map\"))";
+    q 26 "find all unary operators named \"!\"" "unaryOperator(hasOperatorName(\"!\"))";
+    q 27 "find all conversion operator declarations" "cxxConversionDecl()";
+    q 28 "find all labels named \"retry\"" "labelDecl(hasName(\"retry\"))";
+    q 29 "find concept declarations named \"Sortable\"" "conceptDecl(hasName(\"Sortable\"))";
+    q 30 "find all friend declarations" "friendDecl()";
+    (* --- hasDeclaration / to / callee chains (31-45) ----------------- *)
+    q 31 "find call expressions invoking a function named \"free\""
+      "callExpr(callee(functionDecl(hasName(\"free\"))))";
+    q 32 "find all calls that invoke a method named \"clone\""
+      "callExpr(callee(cxxMethodDecl(hasName(\"clone\"))))";
+    q 33 "find declaration references which refer to a variable named \"errno\""
+      "declRefExpr(to(varDecl(hasName(\"errno\"))))";
+    q 34 "find constructor expressions which declare a constructor declaration"
+      "cxxConstructExpr(hasDeclaration(cxxConstructorDecl()))";
+    q 35 "find member expressions whose member is a field named \"data\""
+      "memberExpr(member(fieldDecl(hasName(\"data\"))))";
+    q 36 "find all calls invoking a variadic function"
+      "callExpr(callee(functionDecl(isVariadic())))";
+    q 37 "find declaration references referring to an enumerator constant"
+      "declRefExpr(to(enumConstantDecl()))";
+    q 38 "find member call expressions invoking a const method"
+      "cxxMemberCallExpr(callee(cxxMethodDecl(isConst())))";
+    q 39 "find all calls which invoke a deleted function"
+      "callExpr(callee(functionDecl(isDeleted())))";
+    q 40 "find member expressions whose member is a bit field"
+      "memberExpr(member(fieldDecl(isBitField())))";
+    q 41 "find all message expressions declaring an Objective C method"
+      "objcMessageExpr(hasDeclaration(objcMethodDecl()))";
+    q 42 "find declaration references which refer to a parameter named \"argv\""
+      "declRefExpr(to(parmVarDecl(hasName(\"argv\"))))";
+    q 43 "find member call expressions invoking a method named \"size\""
+      "cxxMemberCallExpr(callee(cxxMethodDecl(hasName(\"size\"))))";
+    q 44 "find all calls invoking an inline function"
+      "callExpr(callee(functionDecl(isInline())))";
+    q 45 "find construct expressions declaring a copy constructor"
+      "cxxConstructExpr(hasDeclaration(cxxConstructorDecl(isCopyConstructor())))";
+    (* --- hasArgument / operands (46-55) ------------------------------ *)
+    q 46 "find calls whose argument is a string literal"
+      "callExpr(hasArgument(stringLiteral()))";
+    q 47 "find construct expressions whose argument is an integer literal"
+      "cxxConstructExpr(hasArgument(integerLiteral()))";
+    q 48 "find binary operators whose left hand side is an integer literal"
+      "binaryOperator(hasLHS(integerLiteral()))";
+    q 49 "find binary operators whose right hand side is a call expression"
+      "binaryOperator(hasRHS(callExpr()))";
+    q 50 "find unary operators whose operand is a declaration reference"
+      "unaryOperator(hasUnaryOperand(declRefExpr()))";
+    q 51 "find calls whose argument is a lambda expression"
+      "callExpr(hasArgument(lambdaExpr()))";
+    q 52 "find all calls taking 3 arguments" "callExpr(argumentCountIs(3))";
+    q 53 "find functions taking 2 parameters" "functionDecl(parameterCountIs(2))";
+    q 54 "find member calls whose argument is a null pointer literal"
+      "cxxMemberCallExpr(hasArgument(cxxNullPtrLiteralExpr()))";
+    q 55 "find operator calls whose argument is a this expression"
+      "cxxOperatorCallExpr(hasArgument(cxxThisExpr()))";
+    (* --- body / condition / branches (56-70) ------------------------- *)
+    q 56 "find while loops whose body is a compound statement"
+      "whileStmt(hasBody(compoundStmt()))";
+    q 57 "find functions whose body is a compound statement"
+      "functionDecl(hasBody(compoundStmt()))";
+    q 58 "find all while loops whose condition is a call expression"
+      "whileStmt(hasCondition(callExpr()))";
+    q 59 "find conditional branches whose condition is a binary operator"
+      "ifStmt(hasCondition(binaryOperator()))";
+    q 60 "find conditional branches whose else part is a compound statement"
+      "ifStmt(hasElse(compoundStmt()))";
+    q 61 "find conditional branches whose then part is a return statement"
+      "ifStmt(hasThen(returnStmt()))";
+    q 62 "find range based for loops containing a break statement"
+      "cxxForRangeStmt(hasDescendant(breakStmt()))";
+    q 63 "find return statements whose value is a member expression"
+      "returnStmt(hasReturnValue(memberExpr()))";
+    q 64 "find case clauses whose constant is an integer literal"
+      "caseStmt(hasCaseConstant(integerLiteral()))";
+    q 65 "find variables whose initializer is a call expression"
+      "varDecl(hasInitializer(callExpr()))";
+    q 66 "find all variables whose initializer is an integer literal"
+      "varDecl(hasInitializer(integerLiteral()))";
+    q 67 "find conditional operators whose condition is a declaration reference"
+      "conditionalOperator(hasCondition(declRefExpr()))";
+    q 68 "find all switch statements whose condition is a member expression"
+      "switchStmt(hasCondition(memberExpr()))";
+    q 69 "find declaration statements containing a variable declaration"
+      "declStmt(containsDeclaration(varDecl()))";
+    q 70 "find functions containing a goto statement"
+      "functionDecl(hasDescendant(gotoStmt()))";
+    (* --- narrowing adjectives (71-85) -------------------------------- *)
+    q 71 "find all virtual methods" "cxxMethodDecl(isVirtual())";
+    q 72 "find all const methods" "cxxMethodDecl(isConst())";
+    q 73 "find pure methods" "cxxMethodDecl(isPure())";
+    q 74 "find all deleted functions" "functionDecl(isDeleted())";
+    q 75 "find all defaulted methods" "cxxMethodDecl(isDefaulted())";
+    q 76 "find all inline functions" "functionDecl(isInline())";
+    q 77 "find all variadic functions" "functionDecl(isVariadic())";
+    q 78 "find all explicit constructors" "cxxConstructorDecl(isExplicit())";
+    q 79 "find all copy constructors" "cxxConstructorDecl(isCopyConstructor())";
+    q 80 "find all move constructors" "cxxConstructorDecl(isMoveConstructor())";
+    q 81 "find all anonymous namespaces" "namespaceDecl(isAnonymous())";
+    q 82 "find all scoped enums" "enumDecl(isScoped())";
+    q 83 "find all main functions" "functionDecl(isMain())";
+    q 84 "find all constexpr functions" "functionDecl(isConstexpr())";
+    q 85 "find all lambda classes" "recordDecl(isLambda())";
+    (* --- types (86-95) ------------------------------------------------ *)
+    q 86 "find variables whose type is a pointer type"
+      "varDecl(hasType(pointerType()))";
+    q 87 "find all fields whose type is a reference type"
+      "fieldDecl(hasType(referenceType()))";
+    q 88 "find functions returning a pointer type"
+      "functionDecl(returns(pointerType()))";
+    q 89 "find all parameters whose type is an enum type"
+      "parmVarDecl(hasType(enumType()))";
+    q 90 "find pointer types whose pointee is a builtin type"
+      "pointerType(pointee(builtinType()))";
+    q 91 "find variables whose type is an auto deduced type"
+      "varDecl(hasType(autoType()))";
+    q 92 "find array types whose element is a record type"
+      "arrayType(hasElementType(recordType()))";
+    q 93 "find all typedef declarations whose underlying type is a pointer type"
+      "typedefDecl(hasUnderlyingType(pointerType()))";
+    q 94 "find functions returning a const qualified type"
+      "functionDecl(returns(qualType(isConstQualified())))";
+    q 95 "find casts whose destination type is a pointer type"
+      "explicitCastExpr(hasDestinationType(pointerType()))";
+    (* --- hard / out-of-fragment (96-100) ------------------------------ *)
+    q ~hard:true 96 "find all static inline functions"
+      "functionDecl(isStaticLocal(), isInline())";
+    q ~hard:true 97 "find calls whose second argument is a string literal"
+      "callExpr(hasArgument(1, stringLiteral()))";
+    q ~hard:true 98 "find methods named \"get\" returning a pointer type"
+      "cxxMethodDecl(hasName(\"get\"), returns(pointerType()))";
+    q ~hard:true 99 "find classes named \"Base\" with a method named \"run\""
+      "cxxRecordDecl(hasName(\"Base\"), hasMethod(cxxMethodDecl(hasName(\"run\"))))";
+    q ~hard:true 100 "find binary operators named \"+\" whose left hand side is a call"
+      "binaryOperator(hasOperatorName(\"+\"), hasLHS(callExpr()))";
+  ]

@@ -1,0 +1,7 @@
+(** The ASTMatcher benchmark domain (paper Table I, row 2): the Clang
+    LibASTMatchers vocabulary (~505 APIs) with 100 evaluation queries. *)
+
+val domain : Domain.t
+
+val defaults : (string * string) list
+(** Empty: matcher arguments are optional, nothing is completed. *)

@@ -1,0 +1,42 @@
+(** Benchmark domains: a target DSL (grammar + API document) together with
+    its evaluation query set (the paper's Table I). *)
+
+type query = {
+  id : int;            (** 1-based, stable — Table III refers to these *)
+  text : string;       (** the natural-language query *)
+  expected : string;   (** ground-truth codelet, {!Dggt_core.Tree2expr.parse}-able *)
+  hard : bool;         (** known-hard case (deep/ambiguous), for case studies *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : string;         (** provenance note, cited in Table I *)
+  graph : Dggt_grammar.Ggraph.t Lazy.t;
+  doc : Dggt_core.Apidoc.t Lazy.t;
+  queries : query list;
+  defaults : (string * string) list;
+      (** argument-completion defaults ({!Dggt_core.Tree2expr.of_cgt}) *)
+  unit_filter : (string -> bool) option;
+      (** scope restriction for conditional-clause subjects *)
+  path_limits : Dggt_grammar.Gpath.limits option;
+      (** domain-tuned caps for the all-path search (dense grammars need
+          tighter ones); [None] = {!Dggt_grammar.Gpath.default_limits} *)
+  stop_verbs : string list;
+  top_k : int option; (** WordToAPI fan-out override *)
+}
+
+val configure : t -> Dggt_core.Engine.config -> Dggt_core.Engine.config
+(** Apply the domain's defaults/unit_filter/path_limits to an engine
+    configuration. *)
+
+val api_count : t -> int
+val query_count : t -> int
+
+val expected_expr : query -> Dggt_core.Tree2expr.expr
+(** Parses [expected]; raises [Invalid_argument] with the query id when the
+    ground truth is malformed (tests guard against this). *)
+
+val check : t -> Dggt_core.Tree2expr.expr option -> query -> bool
+(** The paper's correctness criterion: exact structural match with the
+    ground truth. *)

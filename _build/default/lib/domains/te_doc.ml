@@ -1,0 +1,98 @@
+(* The TextEditing DSL reference document: one prose entry per API, in the
+   style of an end-user command-language manual. WordToAPI keywords are
+   derived from the API name's subtokens plus these descriptions, so the
+   wording below determines the candidate fan-out the engines see. *)
+
+let entries =
+  [
+    (* commands ------------------------------------------------------ *)
+    ("INSERT", "insert or add a given string at a position in the text");
+    ("DELETE", "delete or remove the given entity from the text");
+    ("REPLACE", "replace the given entity with a string");
+    ("SELECT", "select or highlight the given entity");
+    ("PRINT", "print or show or display or list the given entity");
+    ("COPY", "copy or duplicate the given entity to a position");
+    ("MOVE", "move the given entity to a position");
+    ("COUNT", "count how many occurrences of the given entity exist");
+    (* literals. PATTERN precedes STRING: for commands with both slots
+       (replace X with Y) the first literal is the pattern. *)
+    ("PATTERN", "a literal search pattern to look for in the text");
+    ("STRING", "a literal string value given by the user");
+    ("NUMBER", "a literal numeric value given by the user");
+    (* tokens -------------------------------------------------------- *)
+    ("WORDTOKEN", "a word in the text");
+    ("NUMBERTOKEN", "a number or numeral or numeric digit in the text");
+    ("CHARTOKEN", "a character or letter in the text");
+    ("LINETOKEN", "a line of the text");
+    ("SENTENCETOKEN", "a sentence of the text");
+    ("PARAGRAPHTOKEN", "a paragraph of the text");
+    ("WHITESPACETOKEN", "a whitespace or space or blank or tab in the text");
+    ("PUNCTTOKEN", "a punctuation mark such as a comma or period or colon or semicolon");
+    ("CAPSTOKEN", "a capitalized or uppercase word in the text");
+    ("LOWERTOKEN", "a lowercase word in the text");
+    ("SYMBOLTOKEN", "a symbol or special sign in the text");
+    (* positions ----------------------------------------------------- *)
+    ("START", "the start or beginning or front of the scope");
+    ("END", "the end or tail or back of the scope");
+    ("POSITION", "a specific position or place in the text");
+    ("BEFORE", "the position before or preceding the given anchor");
+    ("AFTER", "the position after or following the given anchor");
+    ("STARTFROM", "the position starting from the given anchor");
+    ("CHARNUM", "a position counted in characters from the beginning");
+    (* iteration ----------------------------------------------------- *)
+    ("SINGLESCOPE", "apply the command a single time only");
+    ("ITERATIONSCOPE", "repeat the command over every or each unit that meets the condition");
+    (* scopes -------------------------------------------------------- *)
+    ("LINESCOPE", "the scope of a line so the command works line by line");
+    ("SENTENCESCOPE", "the scope of a sentence so the command works sentence by sentence");
+    ("PARAGRAPHSCOPE", "the scope of a paragraph so the command works paragraph by paragraph");
+    ("DOCSCOPE", "the scope of the whole document or file or everything or everywhere");
+    ("WORDSCOPE", "the scope of a word so the command works word by word");
+    ("SELECTIONSCOPE", "the scope of the current selection or the selected region");
+    (* conditions ---------------------------------------------------- *)
+    ("ALWAYS", "no condition so the command always applies");
+    ("BCONDOCCURRENCE", "restrict which occurrences the condition picks");
+    ("CONTAINS", "the unit contains or includes or has the given entity");
+    ("STARTSWITH", "the unit starts or begins with the given entity");
+    ("ENDSWITH", "the unit ends or finishes with the given entity");
+    ("EQUALS", "the unit equals or is exactly the given entity");
+    ("MATCHES", "the unit matches the given pattern or regular expression");
+    ("ANDCOND", "both conditions are true at the same time");
+    ("ORCOND", "either one of the two conditions is true");
+    ("NOTCOND", "the condition is not true; negated");
+    (* occurrence selectors ------------------------------------------ *)
+    ("ALL", "all or every occurrence");
+    ("FIRST", "only the first or initial occurrence");
+    ("LAST", "only the last or final occurrence");
+    ("NTH", "only the occurrence at the given ordinal index");
+    ("EVERYNTH", "the nth occurrences repeating at the given interval");
+  ]
+
+let literal_apis = [ "STRING"; "PATTERN" ]
+let number_apis = [ "NUMBER" ]
+
+(* Commands and condition predicates are verb-form mentions; entities,
+   positions and scopes are noun-form mentions. *)
+let verb_apis =
+  [ "INSERT"; "DELETE"; "REPLACE"; "SELECT"; "PRINT"; "COPY"; "MOVE"; "COUNT";
+    "CONTAINS"; "STARTSWITH"; "ENDSWITH"; "EQUALS"; "MATCHES" ]
+
+let noun_apis =
+  [ "START"; "END"; "POSITION"; "CHARNUM"; "WORDTOKEN"; "NUMBERTOKEN";
+    "CHARTOKEN"; "LINETOKEN"; "SENTENCETOKEN"; "PARAGRAPHTOKEN";
+    "WHITESPACETOKEN"; "PUNCTTOKEN"; "CAPSTOKEN"; "LOWERTOKEN"; "SYMBOLTOKEN";
+    "LINESCOPE"; "SENTENCESCOPE"; "PARAGRAPHSCOPE"; "DOCSCOPE"; "WORDSCOPE";
+    "SELECTIONSCOPE" ]
+
+(* Default derivations for the required arguments the query left
+   unmentioned — visible in the paper's codelets as END() and ALL(). *)
+let defaults =
+  [
+    ("pos", "END()");
+    ("iter", "SINGLESCOPE()");
+    ("occ", "ALL()");
+    ("cond", "ALWAYS()");
+  ]
+
+let doc =
+  lazy (Dggt_core.Apidoc.make ~literal_apis ~number_apis ~verb_apis ~noun_apis entries)

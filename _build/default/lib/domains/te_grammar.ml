@@ -1,0 +1,95 @@
+(* The TextEditing DSL grammar (52 APIs), reconstructed from the fragments
+   published in the paper (Figs. 3-5 and the Table I examples) in the style
+   of Desai et al., "Program synthesis using natural language" (ICSE 2016).
+
+   Conventions: ALL-CAPS identifiers are API terminals; the first terminal
+   of a right-hand side is the head API, whose remaining symbols become its
+   arguments (see Dggt_grammar.Ggraph). *)
+
+let bnf =
+  {|
+# ------------------------------------------------------------------
+# commands
+# ------------------------------------------------------------------
+cmd        ::= insert | delete | replace | select | print | copy | move | count ;
+
+insert     ::= INSERT string pos iter ;
+delete     ::= DELETE entity iter ;
+replace    ::= REPLACE sentity string iter ;
+select     ::= SELECT entity iter ;
+print      ::= PRINT entity iter ;
+copy       ::= COPY entity pos iter ;
+move       ::= MOVE entity pos iter ;
+count      ::= COUNT entity iter ;
+
+# ------------------------------------------------------------------
+# literals
+# ------------------------------------------------------------------
+string     ::= STRING ;
+number     ::= NUMBER ;
+
+# ------------------------------------------------------------------
+# entities (what a command acts upon)
+# ------------------------------------------------------------------
+entity     ::= token | string ;
+sentity    ::= pattern | token ;
+pattern    ::= PATTERN ;
+token      ::= WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+             | SENTENCETOKEN | PARAGRAPHTOKEN | WHITESPACETOKEN
+             | PUNCTTOKEN | CAPSTOKEN | LOWERTOKEN | SYMBOLTOKEN ;
+
+# ------------------------------------------------------------------
+# positions
+# ------------------------------------------------------------------
+pos        ::= START | END | posrel | position ;
+position   ::= POSITION charpos ;
+posrel     ::= before | after | startfrom ;
+before     ::= BEFORE anchor ;
+after      ::= AFTER anchor ;
+startfrom  ::= STARTFROM sanchor ;
+# anchors and condition entities list the token alternatives through their
+# own nonterminals (atoken/mtoken): sharing `token` with the command's
+# entity slot would merge two distinct mentions into one graph node
+anchor     ::= pattern | atoken | charpos ;
+sanchor    ::= pattern | charpos ;
+atoken     ::= WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+             | SENTENCETOKEN | PARAGRAPHTOKEN | WHITESPACETOKEN
+             | PUNCTTOKEN | CAPSTOKEN | LOWERTOKEN | SYMBOLTOKEN ;
+charpos    ::= CHARNUM number ;
+
+# ------------------------------------------------------------------
+# iteration
+# ------------------------------------------------------------------
+iter       ::= iterscope | SINGLESCOPE ;
+iterscope  ::= ITERATIONSCOPE scope cond ;
+scope      ::= LINESCOPE | SENTENCESCOPE | PARAGRAPHSCOPE | DOCSCOPE
+             | WORDSCOPE | SELECTIONSCOPE ;
+
+# ------------------------------------------------------------------
+# conditions and occurrence selection
+# ------------------------------------------------------------------
+cond       ::= bcond | ALWAYS ;
+bcond      ::= BCONDOCCURRENCE match occ ;
+match      ::= contains | startswith | endswith | equals | matches | combined ;
+contains   ::= CONTAINS mentity ;
+startswith ::= STARTSWITH mentity ;
+endswith   ::= ENDSWITH mentity ;
+equals     ::= EQUALS mentity ;
+matches    ::= MATCHES mentity ;
+combined   ::= andcond | orcond | notcond ;
+# nested conditions use their own inner nonterminal: reusing `match` would
+# put two parents on one node in the merged CGT (tree violation)
+andcond    ::= ANDCOND imatch imatch ;
+orcond     ::= ORCOND imatch imatch ;
+notcond    ::= NOTCOND imatch ;
+imatch     ::= contains | startswith | endswith | equals | matches ;
+mentity    ::= pattern | mtoken ;
+mtoken     ::= WORDTOKEN | NUMBERTOKEN | CHARTOKEN | LINETOKEN
+             | SENTENCETOKEN | PARAGRAPHTOKEN | WHITESPACETOKEN
+             | PUNCTTOKEN | CAPSTOKEN | LOWERTOKEN | SYMBOLTOKEN ;
+occ        ::= ALL | FIRST | LAST | nth | everynth ;
+nth        ::= NTH number ;
+everynth   ::= EVERYNTH number ;
+|}
+
+let start = "cmd"

@@ -1,0 +1,459 @@
+(* The TextEditing evaluation query set: 200 natural-language editing
+   commands with ground-truth codelets, authored in the style of the Desai
+   et al. benchmark the paper evaluates on (the original set is not
+   public). Ground truths follow the DSL's semantics conventions:
+
+   - an unmentioned position defaults to END(), an unmentioned iteration
+     to SINGLESCOPE(), an unmentioned condition to ALWAYS(), an
+     unmentioned occurrence selector to ALL();
+   - "every"/"each" over a unit iterate via ITERATIONSCOPE + *SCOPE;
+   - "all <entity>" selects all occurrences (BCONDOCCURRENCE(ALL()));
+   - a quoted object of replace/search is a PATTERN, an inserted or
+     replacement literal is a STRING.
+
+   Queries marked [hard] are deliberately outside the synthesizable
+   fragment (ordinal words carrying numbers, coordinated conditions
+   needing ANDCOND's two match slots, heavy word fusion) — they model the
+   error tail that keeps accuracy below 100% in the paper. *)
+
+let q ?(hard = false) id text expected = { Domain.id; text; expected; hard }
+
+let queries =
+  [
+    (* ---------------------------------------------------------------- *)
+    (* F1: INSERT / append at positions and scopes (1-25)               *)
+    (* ---------------------------------------------------------------- *)
+    q 1 "Append \":\" in every line containing numerals."
+      "INSERT(STRING(\":\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 2 "if a sentence starts with \"-\", add \":\" after 14 characters"
+      "INSERT(STRING(\":\"), AFTER(CHARNUM(NUMBER(14))), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(STARTSWITH(PATTERN(\"-\")), ALL())))";
+    q 3 "insert \"> \" at the start of each line"
+      "INSERT(STRING(\"> \"), START(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 4 "append \";\" at the end of every line"
+      "INSERT(STRING(\";\"), END(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 5 "insert \"#\" at the beginning of each paragraph"
+      "INSERT(STRING(\"#\"), START(), ITERATIONSCOPE(PARAGRAPHSCOPE(), ALWAYS()))";
+    q 6 "add \"!\" at the end of every sentence"
+      "INSERT(STRING(\"!\"), END(), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    q 7 "insert \"--\" at the end"
+      "INSERT(STRING(\"--\"), END(), SINGLESCOPE())";
+    q 8 "append \".\""
+      "INSERT(STRING(\".\"), END(), SINGLESCOPE())";
+    q 9 "insert \"* \" at the start"
+      "INSERT(STRING(\"* \"), START(), SINGLESCOPE())";
+    q 10 "add \"|\" at the end of each word"
+      "INSERT(STRING(\"|\"), END(), ITERATIONSCOPE(WORDSCOPE(), ALWAYS()))";
+    q 11 "insert \"\\t\" at the start of every paragraph"
+      "INSERT(STRING(\"\\t\"), START(), ITERATIONSCOPE(PARAGRAPHSCOPE(), ALWAYS()))";
+    q 12 "append \" \" at the end of the selection"
+      "INSERT(STRING(\" \"), END(), ITERATIONSCOPE(SELECTIONSCOPE(), ALWAYS()))";
+    q 13 "insert \"(\" at the beginning of the selection"
+      "INSERT(STRING(\"(\"), START(), ITERATIONSCOPE(SELECTIONSCOPE(), ALWAYS()))";
+    q 14 "add \"=====\" at the start of the document"
+      "INSERT(STRING(\"=====\"), START(), ITERATIONSCOPE(DOCSCOPE(), ALWAYS()))";
+    q 15 "append \"EOF\" at the end of the document"
+      "INSERT(STRING(\"EOF\"), END(), ITERATIONSCOPE(DOCSCOPE(), ALWAYS()))";
+    q 16 "insert \"- \" at the start of every sentence"
+      "INSERT(STRING(\"- \"), START(), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    q 17 "put \"~\" at the end of each paragraph"
+      "INSERT(STRING(\"~\"), END(), ITERATIONSCOPE(PARAGRAPHSCOPE(), ALWAYS()))";
+    q 18 "insert \"note: \" at the start of each sentence"
+      "INSERT(STRING(\"note: \"), START(), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    q 19 "add \",\" at the end of every word"
+      "INSERT(STRING(\",\"), END(), ITERATIONSCOPE(WORDSCOPE(), ALWAYS()))";
+    q 20 "insert \"97\" at the end"
+      "INSERT(STRING(\"97\"), END(), SINGLESCOPE())";
+    q 21 "prepend \"$\" at the start of each line"
+      "INSERT(STRING(\"$\"), START(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q ~hard:true 22 "insert \"|\" at the start of every line of the selection"
+      "INSERT(STRING(\"|\"), START(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 23 "place \"::\" at the end of each line"
+      "INSERT(STRING(\"::\"), END(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 24 "append \"%\" at the end of the line"
+      "INSERT(STRING(\"%\"), END(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 25 "insert \"->\" at the start of the sentence"
+      "INSERT(STRING(\"->\"), START(), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    (* ---------------------------------------------------------------- *)
+    (* F2: INSERT with conditions (26-45)                               *)
+    (* ---------------------------------------------------------------- *)
+    q 26 "insert \"TODO \" at the start of every line containing \"FIXME\""
+      "INSERT(STRING(\"TODO \"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(PATTERN(\"FIXME\")), ALL())))";
+    q 27 "append \";\" in every line containing numbers"
+      "INSERT(STRING(\";\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 28 "add \"#\" at the start of every line starting with \"//\""
+      "INSERT(STRING(\"#\"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(STARTSWITH(PATTERN(\"//\")), ALL())))";
+    q 29 "insert \"!\" at the end of every sentence containing capitals"
+      "INSERT(STRING(\"!\"), END(), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(CONTAINS(CAPSTOKEN()), ALL())))";
+    q 30 "append \" (checked)\" in every line ending with \"ok\""
+      "INSERT(STRING(\" (checked)\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ENDSWITH(PATTERN(\"ok\")), ALL())))";
+    q 31 "insert \"WARN \" at the start of every line containing \"deprecated\""
+      "INSERT(STRING(\"WARN \"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(PATTERN(\"deprecated\")), ALL())))";
+    q 32 "add \"*\" at the start of every paragraph containing numerals"
+      "INSERT(STRING(\"*\"), START(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 33 "if a line contains \"ERROR\", insert \">>>\" at the start"
+      "INSERT(STRING(\">>>\"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(PATTERN(\"ERROR\")), ALL())))";
+    q 34 "if a sentence contains numbers, append \"*\""
+      "INSERT(STRING(\"*\"), END(), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 35 "if a paragraph starts with \"NOTE\", insert \"<<\" at the start"
+      "INSERT(STRING(\"<<\"), START(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(STARTSWITH(PATTERN(\"NOTE\")), ALL())))";
+    q 36 "append \"$\" in every line with whitespace"
+      "INSERT(STRING(\"$\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(WHITESPACETOKEN()), ALL())))";
+    q 37 "insert \"^\" at the start of every line with punctuation"
+      "INSERT(STRING(\"^\"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(PUNCTTOKEN()), ALL())))";
+    q 38 "add \"[cite]\" at the end of every sentence ending with \"al\""
+      "INSERT(STRING(\"[cite]\"), END(), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(ENDSWITH(PATTERN(\"al\")), ALL())))";
+    q 39 "insert \"0\" at the start of every line starting with numerals"
+      "INSERT(STRING(\"0\"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(STARTSWITH(NUMBERTOKEN()), ALL())))";
+    q 40 "append \";\" in every line not containing punctuation"
+      "INSERT(STRING(\";\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(NOTCOND(CONTAINS(PUNCTTOKEN())), ALL())))";
+    q 41 "insert \"idx \" at the start of every line matching \"[0-9]+\""
+      "INSERT(STRING(\"idx \"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(MATCHES(PATTERN(\"[0-9]+\")), ALL())))";
+    q 42 "if a word equals \"teh\", insert \"[sic]\" at the end"
+      "INSERT(STRING(\"[sic]\"), END(), ITERATIONSCOPE(WORDSCOPE(), BCONDOCCURRENCE(EQUALS(PATTERN(\"teh\")), ALL())))";
+    q 43 "insert \"NB \" at the start of every paragraph with capitals"
+      "INSERT(STRING(\"NB \"), START(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(CONTAINS(CAPSTOKEN()), ALL())))";
+    q 44 "append \" EOL\" in every line with symbols"
+      "INSERT(STRING(\" EOL\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(SYMBOLTOKEN()), ALL())))";
+    q 45 "if a line ends with \"\\\\\", append \" continued\""
+      "INSERT(STRING(\" continued\"), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ENDSWITH(PATTERN(\"\\\\\")), ALL())))";
+    (* ---------------------------------------------------------------- *)
+    (* F3: INSERT before/after anchors (46-57)                          *)
+    (* ---------------------------------------------------------------- *)
+    q 46 "add \":\" after 14 characters"
+      "INSERT(STRING(\":\"), AFTER(CHARNUM(NUMBER(14))), SINGLESCOPE())";
+    q 47 "insert \"-\" before 3 characters"
+      "INSERT(STRING(\"-\"), BEFORE(CHARNUM(NUMBER(3))), SINGLESCOPE())";
+    q 48 "insert \" \" after every comma"
+      "INSERT(STRING(\" \"), AFTER(PUNCTTOKEN()), ITERATIONSCOPE(ALWAYS()))";
+    q 49 "add \"\\n\" after each sentence"
+      "INSERT(STRING(\"\\n\"), AFTER(SENTENCETOKEN()), ITERATIONSCOPE(ALWAYS()))";
+    q 50 "insert \"(\" before every number"
+      "INSERT(STRING(\"(\"), BEFORE(NUMBERTOKEN()), ITERATIONSCOPE(ALWAYS()))";
+    q 51 "insert \"'\" before \"s\""
+      "INSERT(STRING(\"'\"), BEFORE(PATTERN(\"s\")), SINGLESCOPE())";
+    q 52 "add \"=\" after \"x\""
+      "INSERT(STRING(\"=\"), AFTER(PATTERN(\"x\")), SINGLESCOPE())";
+    q 53 "insert \", \" after every word"
+      "INSERT(STRING(\", \"), AFTER(WORDTOKEN()), ITERATIONSCOPE(ALWAYS()))";
+    q 54 "add \" unit\" after every numeral"
+      "INSERT(STRING(\" unit\"), AFTER(NUMBERTOKEN()), ITERATIONSCOPE(ALWAYS()))";
+    q 55 "insert \"> \" after 8 characters"
+      "INSERT(STRING(\"> \"), AFTER(CHARNUM(NUMBER(8))), SINGLESCOPE())";
+    q 56 "add \"_\" before every capitalized word"
+      "INSERT(STRING(\"_\"), BEFORE(CAPSTOKEN()), ITERATIONSCOPE(ALWAYS()))";
+    q 57 "insert \".\" after \"etc\""
+      "INSERT(STRING(\".\"), AFTER(PATTERN(\"etc\")), SINGLESCOPE())";
+    (* ---------------------------------------------------------------- *)
+    (* F4: DELETE (58-85)                                               *)
+    (* ---------------------------------------------------------------- *)
+    q 58 "delete all numbers"
+      "DELETE(NUMBERTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 59 "remove all punctuation"
+      "DELETE(PUNCTTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 60 "delete every number"
+      "DELETE(NUMBERTOKEN(), ITERATIONSCOPE(ALWAYS()))";
+    q 61 "delete the first word of each line"
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(FIRST())))";
+    q 62 "delete the last word of each sentence"
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(LAST())))";
+    q 63 "remove the first character of every line"
+      "DELETE(CHARTOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(FIRST())))";
+    q 64 "delete \"draft\""
+      "DELETE(STRING(\"draft\"), SINGLESCOPE())";
+    q 65 "remove \"--\" in every line"
+      "DELETE(STRING(\"--\"), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 66 "delete all whitespace"
+      "DELETE(WHITESPACETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 67 "erase all symbols"
+      "DELETE(SYMBOLTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 68 "delete every line containing \"DEBUG\""
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"DEBUG\")), ALL())))";
+    q 69 "remove every line starting with \"#\""
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(STARTSWITH(PATTERN(\"#\")), ALL())))";
+    q 70 "delete every sentence containing \"lorem\""
+      "DELETE(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"lorem\")), ALL())))";
+    q 71 "delete all lines with numbers"
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 72 "remove every word containing digits"
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 73 "delete the last sentence of every paragraph"
+      "DELETE(SENTENCETOKEN(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(LAST())))";
+    q 74 "remove all capitalized words"
+      "DELETE(CAPSTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 75 "delete every paragraph ending with \"TBD\""
+      "DELETE(PARAGRAPHTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\"TBD\")), ALL())))";
+    q 76 "remove all lines not containing words"
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(NOTCOND(CONTAINS(WORDTOKEN())), ALL())))";
+    q 77 "delete the first line"
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(FIRST())))";
+    q 78 "delete the last paragraph"
+      "DELETE(PARAGRAPHTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(LAST())))";
+    q 79 "remove \"very\" in every sentence"
+      "DELETE(STRING(\"very\"), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    q 80 "delete all words matching \"temp.*\""
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(MATCHES(PATTERN(\"temp.*\")), ALL())))";
+    q 81 "delete every word equal to \"foo\""
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(EQUALS(PATTERN(\"foo\")), ALL())))";
+    q 82 "erase the first sentence of the document"
+      "DELETE(SENTENCETOKEN(), ITERATIONSCOPE(DOCSCOPE(), BCONDOCCURRENCE(FIRST())))";
+    q 83 "delete all lowercase words"
+      "DELETE(LOWERTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 84 "remove all whitespace in the selection"
+      "DELETE(WHITESPACETOKEN(), ITERATIONSCOPE(SELECTIONSCOPE(), BCONDOCCURRENCE(ALL())))";
+    q 85 "delete the last character of each word"
+      "DELETE(CHARTOKEN(), ITERATIONSCOPE(WORDSCOPE(), BCONDOCCURRENCE(LAST())))";
+    (* ---------------------------------------------------------------- *)
+    (* F5: REPLACE (86-110)                                             *)
+    (* ---------------------------------------------------------------- *)
+    q 86 "replace \",\" with \";\""
+      "REPLACE(PATTERN(\",\"), STRING(\";\"), SINGLESCOPE())";
+    q 87 "replace \"color\" with \"colour\" in every line"
+      "REPLACE(PATTERN(\"color\"), STRING(\"colour\"), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 88 "substitute \"&\" with \"and\""
+      "REPLACE(PATTERN(\"&\"), STRING(\"and\"), SINGLESCOPE())";
+    q 89 "replace all numbers with \"N\""
+      "REPLACE(NUMBERTOKEN(), STRING(\"N\"), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 90 "replace every numeral with \"#\""
+      "REPLACE(NUMBERTOKEN(), STRING(\"#\"), ITERATIONSCOPE(ALWAYS()))";
+    q 91 "replace all punctuation with \" \""
+      "REPLACE(PUNCTTOKEN(), STRING(\" \"), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 92 "replace \"teh\" with \"the\" in every sentence"
+      "REPLACE(PATTERN(\"teh\"), STRING(\"the\"), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    q 93 "replace all whitespace with \"_\""
+      "REPLACE(WHITESPACETOKEN(), STRING(\"_\"), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 94 "swap \"true\" with \"false\""
+      "REPLACE(PATTERN(\"true\"), STRING(\"false\"), SINGLESCOPE())";
+    q ~hard:true 95 "replace \";\" with \",\" in every line containing \"list\""
+      "REPLACE(PATTERN(\";\"), STRING(\",\"), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(PATTERN(\"list\")), ALL())))";
+    q 96 "replace all symbols with \"?\""
+      "REPLACE(SYMBOLTOKEN(), STRING(\"?\"), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 97 "replace the first word of each line with \"-\""
+      "REPLACE(WORDTOKEN(), STRING(\"-\"), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(FIRST())))";
+    q 98 "replace \"\\t\" with \"  \" in every line"
+      "REPLACE(PATTERN(\"\\t\"), STRING(\"  \"), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 99 "replace every capitalized word with \"X\""
+      "REPLACE(CAPSTOKEN(), STRING(\"X\"), ITERATIONSCOPE(ALWAYS()))";
+    q ~hard:true 100 "replace \"Mr\" with \"Mister\" in every sentence containing \"Smith\""
+      "REPLACE(PATTERN(\"Mr\"), STRING(\"Mister\"), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(CONTAINS(PATTERN(\"Smith\")), ALL())))";
+    q 101 "replace the last word of every sentence with \".\""
+      "REPLACE(WORDTOKEN(), STRING(\".\"), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(LAST())))";
+    q 102 "substitute all lowercase words with \"w\""
+      "REPLACE(LOWERTOKEN(), STRING(\"w\"), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 103 "replace \"etc\" with \"and so on\" everywhere"
+      "REPLACE(PATTERN(\"etc\"), STRING(\"and so on\"), ITERATIONSCOPE(DOCSCOPE(), ALWAYS()))";
+    q 104 "replace every word matching \"colou?r\" with \"paint\""
+      "REPLACE(WORDTOKEN(), STRING(\"paint\"), ITERATIONSCOPE(BCONDOCCURRENCE(MATCHES(PATTERN(\"colou?r\")), ALL())))";
+    q 105 "change \"old\" into \"new\""
+      "REPLACE(PATTERN(\"old\"), STRING(\"new\"), SINGLESCOPE())";
+    q 106 "replace all numbers in the selection with \"0\""
+      "REPLACE(NUMBERTOKEN(), STRING(\"0\"), ITERATIONSCOPE(SELECTIONSCOPE(), BCONDOCCURRENCE(ALL())))";
+    q 107 "replace \"foo\" with \"bar\" in every paragraph"
+      "REPLACE(PATTERN(\"foo\"), STRING(\"bar\"), ITERATIONSCOPE(PARAGRAPHSCOPE(), ALWAYS()))";
+    q 108 "replace every line equal to \"---\" with \"===\""
+      "REPLACE(LINETOKEN(), STRING(\"===\"), ITERATIONSCOPE(BCONDOCCURRENCE(EQUALS(PATTERN(\"---\")), ALL())))";
+    q 109 "replace all punctuation in every sentence with \".\""
+      "REPLACE(PUNCTTOKEN(), STRING(\".\"), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(ALL())))";
+    q 110 "replace the first character of every word with \"*\""
+      "REPLACE(CHARTOKEN(), STRING(\"*\"), ITERATIONSCOPE(WORDSCOPE(), BCONDOCCURRENCE(FIRST())))";
+    (* ---------------------------------------------------------------- *)
+    (* F6: SELECT (111-124)                                             *)
+    (* ---------------------------------------------------------------- *)
+    q 111 "select all numbers"
+      "SELECT(NUMBERTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 112 "select the first word"
+      "SELECT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(FIRST())))";
+    q 113 "select every line containing \"TODO\""
+      "SELECT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"TODO\")), ALL())))";
+    q 114 "highlight all capitalized words"
+      "SELECT(CAPSTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 115 "select the last sentence"
+      "SELECT(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(LAST())))";
+    q 116 "select all words starting with \"un\""
+      "SELECT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(STARTSWITH(PATTERN(\"un\")), ALL())))";
+    q 117 "select every paragraph containing numerals"
+      "SELECT(PARAGRAPHTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 118 "highlight every word matching \"[A-Z]+\""
+      "SELECT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(MATCHES(PATTERN(\"[A-Z]+\")), ALL())))";
+    q 119 "select the first line of each paragraph"
+      "SELECT(LINETOKEN(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(FIRST())))";
+    q 120 "select \"WARNING\""
+      "SELECT(STRING(\"WARNING\"), SINGLESCOPE())";
+    q 121 "select all lines ending with \"{\""
+      "SELECT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\"{\")), ALL())))";
+    q 122 "select every sentence with punctuation"
+      "SELECT(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PUNCTTOKEN()), ALL())))";
+    q 123 "select all whitespace in the document"
+      "SELECT(WHITESPACETOKEN(), ITERATIONSCOPE(DOCSCOPE(), BCONDOCCURRENCE(ALL())))";
+    q 124 "select the last word of every line"
+      "SELECT(WORDTOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(LAST())))";
+    (* ---------------------------------------------------------------- *)
+    (* F7: PRINT (125-137)                                              *)
+    (* ---------------------------------------------------------------- *)
+    q 125 "print all lines containing \"error\""
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"error\")), ALL())))";
+    q 126 "show every line starting with \">\""
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(STARTSWITH(PATTERN(\">\")), ALL())))";
+    q 127 "display all numbers"
+      "PRINT(NUMBERTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 128 "print the first line"
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(FIRST())))";
+    q 129 "list all capitalized words"
+      "PRINT(CAPSTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 130 "print every sentence containing \"theorem\""
+      "PRINT(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"theorem\")), ALL())))";
+    q 131 "show the last paragraph"
+      "PRINT(PARAGRAPHTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(LAST())))";
+    q 132 "print all words ending with \"ing\""
+      "PRINT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\"ing\")), ALL())))";
+    q 133 "display every line of the selection"
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(SELECTIONSCOPE(), ALWAYS()))";
+    q 134 "print all lines not containing whitespace"
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(NOTCOND(CONTAINS(WHITESPACETOKEN())), ALL())))";
+    q 135 "print every word equal to \"nil\""
+      "PRINT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(EQUALS(PATTERN(\"nil\")), ALL())))";
+    q 136 "show all symbols in the document"
+      "PRINT(SYMBOLTOKEN(), ITERATIONSCOPE(DOCSCOPE(), BCONDOCCURRENCE(ALL())))";
+    q 137 "print the last line of every paragraph"
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(LAST())))";
+    (* ---------------------------------------------------------------- *)
+    (* F8: COPY (138-146)                                               *)
+    (* ---------------------------------------------------------------- *)
+    q 138 "copy the first line"
+      "COPY(LINETOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(FIRST())))";
+    q 139 "copy all numbers at the end"
+      "COPY(NUMBERTOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 140 "copy every line containing \"sum\" at the end"
+      "COPY(LINETOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"sum\")), ALL())))";
+    q 141 "duplicate the last paragraph"
+      "COPY(PARAGRAPHTOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(LAST())))";
+    q 142 "copy the first sentence at the start"
+      "COPY(SENTENCETOKEN(), START(), ITERATIONSCOPE(BCONDOCCURRENCE(FIRST())))";
+    q 143 "copy \"header\" at the start of every paragraph"
+      "COPY(STRING(\"header\"), START(), ITERATIONSCOPE(PARAGRAPHSCOPE(), ALWAYS()))";
+    q 144 "duplicate every line ending with \";\""
+      "COPY(LINETOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\";\")), ALL())))";
+    q 145 "copy the last word of every line at the end"
+      "COPY(WORDTOKEN(), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(LAST())))";
+    q 146 "copy all capitalized words at the end of the document"
+      "COPY(CAPSTOKEN(), END(), ITERATIONSCOPE(DOCSCOPE(), BCONDOCCURRENCE(ALL())))";
+    (* ---------------------------------------------------------------- *)
+    (* F9: MOVE (147-155)                                               *)
+    (* ---------------------------------------------------------------- *)
+    q 147 "move the first line at the end"
+      "MOVE(LINETOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(FIRST())))";
+    q 148 "move all numbers at the end"
+      "MOVE(NUMBERTOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 149 "move the last sentence at the start"
+      "MOVE(SENTENCETOKEN(), START(), ITERATIONSCOPE(BCONDOCCURRENCE(LAST())))";
+    q 150 "move every line containing \"import\" at the start"
+      "MOVE(LINETOKEN(), START(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"import\")), ALL())))";
+    q 151 "move \"summary\" at the start"
+      "MOVE(STRING(\"summary\"), START(), SINGLESCOPE())";
+    q 152 "move the last paragraph at the start of the document"
+      "MOVE(PARAGRAPHTOKEN(), START(), ITERATIONSCOPE(DOCSCOPE(), BCONDOCCURRENCE(LAST())))";
+    q 153 "move every sentence starting with \"However\" at the end"
+      "MOVE(SENTENCETOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(STARTSWITH(PATTERN(\"However\")), ALL())))";
+    q 154 "move all punctuation at the end"
+      "MOVE(PUNCTTOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 155 "move the first word of every line at the end"
+      "MOVE(WORDTOKEN(), END(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(FIRST())))";
+    (* ---------------------------------------------------------------- *)
+    (* F10: COUNT (156-170)                                             *)
+    (* ---------------------------------------------------------------- *)
+    q 156 "count the words in the document"
+      "COUNT(WORDTOKEN(), ITERATIONSCOPE(DOCSCOPE(), ALWAYS()))";
+    q 157 "count all numbers"
+      "COUNT(NUMBERTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 158 "count the lines"
+      "COUNT(LINETOKEN(), SINGLESCOPE())";
+    q 159 "count every sentence containing \"data\""
+      "COUNT(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"data\")), ALL())))";
+    q 160 "count all lines starting with \"*\""
+      "COUNT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(STARTSWITH(PATTERN(\"*\")), ALL())))";
+    q 161 "count the paragraphs"
+      "COUNT(PARAGRAPHTOKEN(), SINGLESCOPE())";
+    q 162 "count the characters in every word"
+      "COUNT(CHARTOKEN(), ITERATIONSCOPE(WORDSCOPE(), ALWAYS()))";
+    q 163 "count all capitalized words"
+      "COUNT(CAPSTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q 164 "count every word ending with \"ly\""
+      "COUNT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\"ly\")), ALL())))";
+    q 165 "count the sentences in each paragraph"
+      "COUNT(SENTENCETOKEN(), ITERATIONSCOPE(PARAGRAPHSCOPE(), ALWAYS()))";
+    q 166 "count all words matching \"[0-9]+\""
+      "COUNT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(MATCHES(PATTERN(\"[0-9]+\")), ALL())))";
+    q 167 "count the whitespace in every line"
+      "COUNT(WHITESPACETOKEN(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q 168 "count all lines not containing numbers"
+      "COUNT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(NOTCOND(CONTAINS(NUMBERTOKEN())), ALL())))";
+    q 169 "count every symbol in the selection"
+      "COUNT(SYMBOLTOKEN(), ITERATIONSCOPE(SELECTIONSCOPE(), ALWAYS()))";
+    q 170 "count the words in every sentence"
+      "COUNT(WORDTOKEN(), ITERATIONSCOPE(SENTENCESCOPE(), ALWAYS()))";
+    (* ---------------------------------------------------------------- *)
+    (* F11: conditional clauses and negation (171-185)                  *)
+    (* ---------------------------------------------------------------- *)
+    q 171 "if a line contains \"password\", delete the line"
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(CONTAINS(PATTERN(\"password\")), ALL())))";
+    q 172 "if a word starts with \"z\", select the word"
+      "SELECT(WORDTOKEN(), ITERATIONSCOPE(WORDSCOPE(), BCONDOCCURRENCE(STARTSWITH(PATTERN(\"z\")), ALL())))";
+    q 173 "if a sentence ends with \"?\", print the sentence"
+      "PRINT(SENTENCETOKEN(), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(ENDSWITH(PATTERN(\"?\")), ALL())))";
+    q 174 "if a paragraph contains numerals, select the paragraph"
+      "SELECT(PARAGRAPHTOKEN(), ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q 175 "if a line equals \"---\", delete the line"
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(EQUALS(PATTERN(\"---\")), ALL())))";
+    q 176 "delete every line that contains \"secret\""
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"secret\")), ALL())))";
+    q 177 "print every word that starts with \"pre\""
+      "PRINT(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(STARTSWITH(PATTERN(\"pre\")), ALL())))";
+    q 178 "select every sentence that ends with \"!\""
+      "SELECT(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\"!\")), ALL())))";
+    q 179 "delete every word that matches \"x+\""
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(MATCHES(PATTERN(\"x+\")), ALL())))";
+    q 180 "remove every sentence not containing capitals"
+      "DELETE(SENTENCETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(NOTCOND(CONTAINS(CAPSTOKEN())), ALL())))";
+    q 181 "print all lines with \"http\""
+      "PRINT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(CONTAINS(PATTERN(\"http\")), ALL())))";
+    q ~hard:true 182 "select every line with numbers in the selection"
+      "SELECT(LINETOKEN(), ITERATIONSCOPE(SELECTIONSCOPE(), BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))";
+    q ~hard:true 183 "if a line starts with whitespace, delete the whitespace"
+      "DELETE(WHITESPACETOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(STARTSWITH(WHITESPACETOKEN()), ALL())))";
+    q 184 "count every line that ends with \"}\""
+      "COUNT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ENDSWITH(PATTERN(\"}\")), ALL())))";
+    q 185 "if a word contains symbols, replace the word with \" \""
+      "REPLACE(WORDTOKEN(), STRING(\" \"), ITERATIONSCOPE(WORDSCOPE(), BCONDOCCURRENCE(CONTAINS(SYMBOLTOKEN()), ALL())))";
+    (* ---------------------------------------------------------------- *)
+    (* F12: hard / out-of-fragment cases (186-200)                      *)
+    (* ---------------------------------------------------------------- *)
+    q ~hard:true 186 "delete the third word of each line"
+      "DELETE(WORDTOKEN(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(NTH(NUMBER(3)))))";
+    q ~hard:true 187 "select every second line"
+      "SELECT(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(EVERYNTH(NUMBER(2)))))";
+    q ~hard:true 188 "insert \"-\" at the start of every line containing numbers and symbols"
+      "INSERT(STRING(\"-\"), START(), ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ANDCOND(CONTAINS(NUMBERTOKEN()), CONTAINS(SYMBOLTOKEN())), ALL())))";
+    q ~hard:true 189 "delete every line starting with \"#\" or ending with \";\""
+      "DELETE(LINETOKEN(), ITERATIONSCOPE(BCONDOCCURRENCE(ORCOND(STARTSWITH(PATTERN(\"#\")), ENDSWITH(PATTERN(\";\"))), ALL())))";
+    q ~hard:true 190 "append \";\" at the end of the line and at the end of the paragraph"
+      "INSERT(STRING(\";\"), END(), ITERATIONSCOPE(LINESCOPE(), ALWAYS()))";
+    q ~hard:true 191 "move the caret to the next blank line"
+      "MOVE(LINETOKEN(), END(), SINGLESCOPE())";
+    q ~hard:true 192 "make the first letter of every word uppercase"
+      "REPLACE(CHARTOKEN(), STRING(\"\"), ITERATIONSCOPE(WORDSCOPE(), BCONDOCCURRENCE(FIRST())))";
+    q ~hard:true 193 "add \":\" at the end of the fourth sentence"
+      "INSERT(STRING(\":\"), END(), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(NTH(NUMBER(4)))))";
+    q ~hard:true 194 "undo the last change"
+      "DELETE(STRING(\"\"), SINGLESCOPE())";
+    q ~hard:true 195 "replace the second occurrence of \"x\" with \"y\""
+      "REPLACE(PATTERN(\"x\"), STRING(\"y\"), ITERATIONSCOPE(BCONDOCCURRENCE(NTH(NUMBER(2)))))";
+    q ~hard:true 196 "wrap every number in parentheses"
+      "INSERT(STRING(\"(\"), BEFORE(NUMBERTOKEN()), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q ~hard:true 197 "sort all lines alphabetically"
+      "MOVE(LINETOKEN(), END(), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q ~hard:true 198 "delete everything after the last period"
+      "DELETE(STRING(\"\"), ITERATIONSCOPE(BCONDOCCURRENCE(LAST())))";
+    q ~hard:true 199 "insert a blank line between every pair of paragraphs"
+      "INSERT(STRING(\"\\n\"), AFTER(PARAGRAPHTOKEN()), ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))";
+    q ~hard:true 200 "capitalize every sentence in the document"
+      "REPLACE(CHARTOKEN(), STRING(\"\"), ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(FIRST())))";
+  ]

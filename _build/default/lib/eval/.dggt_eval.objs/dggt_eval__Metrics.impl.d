@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Dggt_core Float List Runner

@@ -1,0 +1,1 @@
+lib/eval/report.ml: Array Astmatcher Dggt_core Dggt_domains Dggt_util Domain Engine Float Format Fun Lazy List Metrics Printf Runner Stats String Text_editing

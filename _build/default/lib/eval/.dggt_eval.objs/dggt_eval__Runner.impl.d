@@ -1,0 +1,1 @@
+lib/eval/runner.ml: Dggt_core Dggt_domains Domain Engine Fun Lazy List

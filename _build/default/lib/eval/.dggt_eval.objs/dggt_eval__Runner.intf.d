@@ -1,0 +1,1 @@
+lib/eval/runner.mli: Dggt_core Dggt_domains

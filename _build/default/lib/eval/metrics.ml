@@ -1,0 +1,51 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let maximum = function [] -> 0.0 | xs -> List.fold_left Float.max neg_infinity xs
+
+type speedups = { max : float; mean : float; median : float }
+
+let speedups ~baseline ~optimized =
+  let tb = Runner.times baseline and td = Runner.times optimized in
+  if List.length tb <> List.length td then
+    invalid_arg "Metrics.speedups: runs cover different query sets";
+  let ratios =
+    List.map2 (fun b d -> b /. Float.max d 1e-6) tb td
+  in
+  { max = maximum ratios; mean = mean ratios; median = median ratios }
+
+type buckets = {
+  under_100ms : int;
+  ms100_to_1s : int;
+  over_1s : int;
+  timed_out : int;
+}
+
+let buckets (r : Runner.run) =
+  List.fold_left
+    (fun acc (q : Runner.qresult) ->
+      if q.Runner.outcome.Dggt_core.Engine.timed_out then
+        { acc with timed_out = acc.timed_out + 1 }
+      else
+        let t = q.Runner.outcome.Dggt_core.Engine.time_s in
+        if t < 0.1 then { acc with under_100ms = acc.under_100ms + 1 }
+        else if t < 1.0 then { acc with ms100_to_1s = acc.ms100_to_1s + 1 }
+        else { acc with over_1s = acc.over_1s + 1 })
+    { under_100ms = 0; ms100_to_1s = 0; over_1s = 0; timed_out = 0 }
+    r.Runner.results
+
+let accumulated (r : Runner.run) =
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (acc, out) t -> (acc +. t, (acc +. t) :: out))
+          (0.0, []) (Runner.times r)))

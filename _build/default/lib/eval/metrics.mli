@@ -1,0 +1,24 @@
+(** Aggregate statistics for the evaluation tables and figures. *)
+
+val mean : float list -> float
+val median : float list -> float
+val maximum : float list -> float
+
+type speedups = { max : float; mean : float; median : float }
+
+val speedups : baseline:Runner.run -> optimized:Runner.run -> speedups
+(** Per-query t(baseline)/t(optimized), aggregated — the paper's Table II
+    quantities. Runs must cover the same query list in the same order. *)
+
+type buckets = {
+  under_100ms : int;
+  ms100_to_1s : int;
+  over_1s : int;   (** finished, but above one second *)
+  timed_out : int;
+}
+
+val buckets : Runner.run -> buckets
+(** The response-time distribution of Figure 7. *)
+
+val accumulated : Runner.run -> float list
+(** Running total of synthesis time after each case — Figure 8's curves. *)

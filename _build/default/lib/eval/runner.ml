@@ -1,0 +1,45 @@
+open Dggt_core
+open Dggt_domains
+
+type qresult = {
+  query : Domain.query;
+  outcome : Engine.outcome;
+  correct : bool;
+}
+
+type run = {
+  domain_name : string;
+  algorithm : Engine.algorithm;
+  timeout_s : float;
+  results : qresult list;
+}
+
+let run_domain ?(timeout_s = 20.0) ?(tweak = Fun.id) ?(progress = fun _ _ -> ())
+    (dom : Domain.t) algorithm =
+  let g = Lazy.force dom.Domain.graph in
+  let doc = Lazy.force dom.Domain.doc in
+  let cfg =
+    tweak
+      (Domain.configure dom
+         { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s })
+  in
+  let n = List.length dom.Domain.queries in
+  let results =
+    List.mapi
+      (fun i (q : Domain.query) ->
+        let outcome = Engine.synthesize cfg g doc q.Domain.text in
+        progress (i + 1) n;
+        { query = q; outcome; correct = Domain.check dom outcome.Engine.expr q })
+      dom.Domain.queries
+  in
+  { domain_name = dom.Domain.name; algorithm; timeout_s; results }
+
+let accuracy r =
+  let ok = List.length (List.filter (fun q -> q.correct) r.results) in
+  float_of_int ok /. float_of_int (max 1 (List.length r.results))
+
+let timeouts r =
+  List.length (List.filter (fun q -> q.outcome.Engine.timed_out) r.results)
+
+let times r = List.map (fun q -> q.outcome.Engine.time_s) r.results
+let total_time r = List.fold_left ( +. ) 0.0 (times r)

@@ -1,0 +1,34 @@
+(** Executes a benchmark domain's query set under one engine configuration
+    and collects per-query results — the raw material every table and
+    figure of the paper's evaluation is computed from. *)
+
+type qresult = {
+  query : Dggt_domains.Domain.query;
+  outcome : Dggt_core.Engine.outcome;
+  correct : bool;
+}
+
+type run = {
+  domain_name : string;
+  algorithm : Dggt_core.Engine.algorithm;
+  timeout_s : float;
+  results : qresult list;
+}
+
+val run_domain :
+  ?timeout_s:float ->
+  ?tweak:(Dggt_core.Engine.config -> Dggt_core.Engine.config) ->
+  ?progress:(int -> int -> unit) ->
+  Dggt_domains.Domain.t ->
+  Dggt_core.Engine.algorithm ->
+  run
+(** Default timeout 20 s — the paper's interactive-use cutoff. [tweak]
+    post-processes the domain-configured engine config (used by the
+    ablation bench to toggle optimizations). [progress i n] is called
+    after each query. *)
+
+val accuracy : run -> float
+val timeouts : run -> int
+val total_time : run -> float
+val times : run -> float list
+(** Per-query times in query order. *)

@@ -1,0 +1,1 @@
+lib/grammar/bnf.ml: Buffer Dggt_util Format List Listutil Printf Result String Strutil

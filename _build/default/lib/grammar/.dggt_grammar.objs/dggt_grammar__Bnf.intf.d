@@ -1,0 +1,1 @@
+lib/grammar/bnf.mli: Format

@@ -1,0 +1,1 @@
+lib/grammar/cfg.ml: Array Bnf Dggt_util Format List Listutil

@@ -1,0 +1,1 @@
+lib/grammar/ggraph.ml: Array Cfg Format Hashtbl List Printf Queue

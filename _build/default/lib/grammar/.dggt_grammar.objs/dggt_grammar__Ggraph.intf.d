@@ -1,0 +1,1 @@
+lib/grammar/ggraph.mli: Cfg Format

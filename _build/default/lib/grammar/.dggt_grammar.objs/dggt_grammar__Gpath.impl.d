@@ -1,0 +1,1 @@
+lib/grammar/gpath.ml: Array Format Ggraph List String

@@ -1,0 +1,1 @@
+lib/grammar/gpath.mli: Format Ggraph

@@ -1,0 +1,1 @@
+lib/grammar/pathvote.ml: Array Ggraph Gpath Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/grammar/pathvote.mli: Ggraph Gpath Hashtbl

@@ -1,0 +1,120 @@
+open Dggt_util
+
+type rule = { lhs : string; alternatives : string list list }
+type t = rule list
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+type tok = Ident of string | Define | Bar | Semi
+
+let is_ident_char c = Strutil.is_alnum c || c = '_'
+
+(* Lex one line into tokens; comments run to end of line. *)
+let lex_line ~lineno s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let err = ref None in
+  while !i < n && !err = None do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then i := n
+    else if c = '|' then begin
+      toks := Bar :: !toks;
+      incr i
+    end
+    else if c = ';' then begin
+      toks := Semi :: !toks;
+      incr i
+    end
+    else if c = ':' && !i + 2 < n && s.[!i + 1] = ':' && s.[!i + 2] = '=' then begin
+      toks := Define :: !toks;
+      i := !i + 3
+    end
+    else if Strutil.is_alpha c || c = '_' then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else
+      err :=
+        Some { line = lineno; message = Printf.sprintf "unexpected character %C" c }
+  done;
+  match !err with Some e -> Error e | None -> Ok (List.rev !toks)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* Lex everything first, remembering line numbers so errors stay precise. *)
+  let rec lex_all lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match lex_line ~lineno l with
+        | Error e -> Error e
+        | Ok toks ->
+            lex_all (lineno + 1)
+              (List.rev_append (List.map (fun t -> (lineno, t)) toks) acc)
+              rest)
+  in
+  match lex_all 1 [] lines with
+  | Error e -> Error e
+  | Ok toks ->
+      (* Parse a token stream of rules. A rule ends at ";" or at the start
+         of the next "ident ::=" pair. *)
+      let rec rules acc toks =
+        match toks with
+        | [] -> Ok (List.rev acc)
+        | (ln, Ident lhs) :: (_, Define) :: rest -> alternatives ln lhs [] [] acc rest
+        | (ln, _) :: _ ->
+            Error { line = ln; message = "expected a rule of the form name ::= ..." }
+      and alternatives ln lhs cur_alt alts acc toks =
+        let close_alt () =
+          if cur_alt = [] then
+            Error { line = ln; message = "empty alternative in rule " ^ lhs }
+          else Ok (List.rev cur_alt :: alts)
+        in
+        match toks with
+        | [] -> (
+            match close_alt () with
+            | Error e -> Error e
+            | Ok alts -> Ok (List.rev ({ lhs; alternatives = List.rev alts } :: acc)))
+        | (_, Semi) :: rest -> (
+            match close_alt () with
+            | Error e -> Error e
+            | Ok alts -> rules ({ lhs; alternatives = List.rev alts } :: acc) rest)
+        | (ln', Bar) :: rest -> (
+            match close_alt () with
+            | Error e -> Error e
+            | Ok alts -> alternatives ln' lhs [] alts acc rest)
+        | (_, Ident _) :: (_, Define) :: _ when cur_alt <> [] -> (
+            (* lookahead: a new rule begins; close the current one *)
+            match close_alt () with
+            | Error e -> Error e
+            | Ok alts -> rules ({ lhs; alternatives = List.rev alts } :: acc) toks)
+        | (ln', Ident id) :: rest -> alternatives ln' lhs (id :: cur_alt) alts acc rest
+        | (ln', Define) :: _ ->
+            Error { line = ln'; message = "unexpected ::=" }
+      in
+      let parsed = rules [] toks in
+      (* merge duplicate LHS *)
+      Result.map
+        (fun rs ->
+          Listutil.group_by ~key:(fun r -> r.lhs) rs
+          |> List.map (fun (lhs, group) ->
+                 { lhs; alternatives = List.concat_map (fun r -> r.alternatives) group }))
+        parsed
+
+let to_text rules =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf r.lhs;
+      Buffer.add_string buf " ::= ";
+      Buffer.add_string buf
+        (String.concat " | " (List.map (String.concat " ") r.alternatives));
+      Buffer.add_string buf " ;\n")
+    rules;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Concrete syntax for domain grammars, in Backus-Naur form.
+
+    The synthesizer takes the target DSL's grammar as BNF text (input item
+    (iii) of the paper's pipeline). The accepted dialect:
+
+    {v
+    # comment to end of line
+    cmd        ::= insert | delete ;
+    insert     ::= INSERT insert_arg ;
+    insert_arg ::= string pos iter ;
+    pos        ::= POSITION | START ;
+    v}
+
+    - a rule is [name ::= alternative ("|" alternative)* ";"?]
+    - an alternative is a non-empty sequence of identifiers
+    - identifiers match [[A-Za-z_][A-Za-z0-9_]*]
+    - any identifier that never appears on a left-hand side is a terminal,
+      i.e. an API name
+    - the trailing [";"] is optional when the next line starts a new rule *)
+
+type rule = { lhs : string; alternatives : string list list }
+(** One grammar rule; each alternative is a symbol sequence. *)
+
+type t = rule list
+
+type error = { line : int; message : string }
+
+val parse : string -> (t, error) result
+(** Parse BNF text. Errors report 1-based line numbers. Duplicate rules for
+    the same nonterminal are merged in order of appearance. *)
+
+val pp_error : Format.formatter -> error -> unit
+val to_text : t -> string
+(** Pretty-print back to the accepted dialect (round-trips through
+    {!parse}). *)

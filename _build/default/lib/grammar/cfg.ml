@@ -1,0 +1,78 @@
+open Dggt_util
+
+type symbol = T of string | N of string
+
+type production = { id : int; lhs : string; rhs : symbol list }
+
+type t = {
+  start : string;
+  productions : production array;
+  nonterminals : string list;
+  terminals : string list;
+}
+
+type error =
+  | Parse_error of Bnf.error
+  | Undefined_start of string
+  | Empty_grammar
+
+let pp_error fmt = function
+  | Parse_error e -> Bnf.pp_error fmt e
+  | Undefined_start s -> Format.fprintf fmt "start symbol %s has no rule" s
+  | Empty_grammar -> Format.fprintf fmt "grammar has no rules"
+
+let symbol_name = function T s -> s | N s -> s
+let pp_symbol fmt = function
+  | T s -> Format.fprintf fmt "%s" s
+  | N s -> Format.fprintf fmt "<%s>" s
+
+let of_bnf ~start rules =
+  if rules = [] then Error Empty_grammar
+  else begin
+    let nts = List.map (fun (r : Bnf.rule) -> r.lhs) rules in
+    if not (List.mem start nts) then Error (Undefined_start start)
+    else begin
+      let is_nt s = List.mem s nts in
+      let terminals = ref [] in
+      let note_terminal s =
+        if (not (is_nt s)) && not (List.mem s !terminals) then
+          terminals := s :: !terminals
+      in
+      let productions = ref [] in
+      let next_id = ref 0 in
+      List.iter
+        (fun (r : Bnf.rule) ->
+          List.iter
+            (fun alt ->
+              let rhs =
+                List.map
+                  (fun s ->
+                    note_terminal s;
+                    if is_nt s then N s else T s)
+                  alt
+              in
+              productions := { id = !next_id; lhs = r.lhs; rhs } :: !productions;
+              incr next_id)
+            r.alternatives)
+        rules;
+      Ok
+        {
+          start;
+          productions = Array.of_list (List.rev !productions);
+          nonterminals = Listutil.uniq nts;
+          terminals = List.rev !terminals;
+        }
+    end
+  end
+
+let of_text ~start text =
+  match Bnf.parse text with
+  | Error e -> Error (Parse_error e)
+  | Ok rules -> of_bnf ~start rules
+
+let productions_of t lhs =
+  Array.to_list t.productions |> List.filter (fun p -> p.lhs = lhs)
+
+let is_nonterminal t s = List.mem s t.nonterminals
+let is_terminal t s = List.mem s t.terminals
+let api_count t = List.length t.terminals

@@ -1,0 +1,179 @@
+type node_kind = Nt of string | Deriv of int | Api of string
+
+type node = { id : int; kind : node_kind }
+
+type edge = { id : int; src : int; dst : int; prod : int; pos : int; alt : bool }
+
+type t = {
+  cfg : Cfg.t;
+  nodes : node array;
+  edges : edge array;
+  children : int list array;
+  parents : int list array;
+  root : int;
+}
+
+type builder = {
+  mutable bnodes : node list; (* reversed *)
+  mutable bedges : edge list; (* reversed *)
+  mutable nnodes : int;
+  mutable nedges : int;
+  api_tbl : (string, int) Hashtbl.t;
+  nt_tbl : (string, int) Hashtbl.t;
+}
+
+let new_node b kind =
+  let id = b.nnodes in
+  b.bnodes <- { id; kind } :: b.bnodes;
+  b.nnodes <- id + 1;
+  id
+
+let new_edge b ~src ~dst ~prod ~pos ~alt =
+  let id = b.nedges in
+  b.bedges <- { id; src; dst; prod; pos; alt } :: b.bedges;
+  b.nedges <- id + 1
+
+let build (cfg : Cfg.t) =
+  let b =
+    {
+      bnodes = [];
+      bedges = [];
+      nnodes = 0;
+      nedges = 0;
+      api_tbl = Hashtbl.create 64;
+      nt_tbl = Hashtbl.create 64;
+    }
+  in
+  (* one node per nonterminal and per terminal *)
+  List.iter
+    (fun nt -> Hashtbl.replace b.nt_tbl nt (new_node b (Nt nt)))
+    cfg.Cfg.nonterminals;
+  List.iter
+    (fun api -> Hashtbl.replace b.api_tbl api (new_node b (Api api)))
+    cfg.Cfg.terminals;
+  let sym_node = function
+    | Cfg.T s -> Hashtbl.find b.api_tbl s
+    | Cfg.N s -> Hashtbl.find b.nt_tbl s
+  in
+  (* Attach one production's RHS below [parent]. [alt] marks or-edges.
+     Head-API productions hang their remaining symbols under the API. *)
+  let attach_rhs ~parent ~alt (p : Cfg.production) =
+    match p.rhs with
+    | [] -> assert false (* Bnf.parse rejects empty alternatives *)
+    | [ sym ] -> new_edge b ~src:parent ~dst:(sym_node sym) ~prod:p.id ~pos:0 ~alt
+    | Cfg.T api :: args ->
+        let api_n = Hashtbl.find b.api_tbl api in
+        new_edge b ~src:parent ~dst:api_n ~prod:p.id ~pos:0 ~alt;
+        List.iteri
+          (fun i sym ->
+            new_edge b ~src:api_n ~dst:(sym_node sym) ~prod:p.id ~pos:(i + 1)
+              ~alt:false)
+          args
+    | syms ->
+        List.iteri
+          (fun i sym -> new_edge b ~src:parent ~dst:(sym_node sym) ~prod:p.id ~pos:i ~alt)
+          syms
+  in
+  List.iter
+    (fun nt ->
+      let nt_n = Hashtbl.find b.nt_tbl nt in
+      let prods = Cfg.productions_of cfg nt in
+      let multi = List.length prods > 1 in
+      List.iter
+        (fun (p : Cfg.production) ->
+          if multi && List.length p.rhs > 1 then begin
+            (* alternative with several symbols: interpose a derivation
+               node so the or-choice is a single edge *)
+            let d = new_node b (Deriv p.id) in
+            new_edge b ~src:nt_n ~dst:d ~prod:p.id ~pos:0 ~alt:true;
+            attach_rhs ~parent:d ~alt:false p
+          end
+          else attach_rhs ~parent:nt_n ~alt:multi p)
+        prods)
+    cfg.Cfg.nonterminals;
+  let nodes = Array.of_list (List.rev b.bnodes) in
+  let edges = Array.of_list (List.rev b.bedges) in
+  let children = Array.make (Array.length nodes) [] in
+  let parents = Array.make (Array.length nodes) [] in
+  (* Populate adjacency in reverse so the lists end up in edge-id order,
+     which is (prod, pos) order by construction. *)
+  for i = Array.length edges - 1 downto 0 do
+    let e = edges.(i) in
+    children.(e.src) <- e.id :: children.(e.src);
+    parents.(e.dst) <- e.id :: parents.(e.dst)
+  done;
+  {
+    cfg;
+    nodes;
+    edges;
+    children;
+    parents;
+    root = Hashtbl.find b.nt_tbl cfg.Cfg.start;
+  }
+
+let node_name t id =
+  match t.nodes.(id).kind with
+  | Nt s -> s
+  | Api s -> s
+  | Deriv p -> Printf.sprintf "%s#%d" t.cfg.Cfg.productions.(p).Cfg.lhs p
+
+let find_node t pred =
+  let n = Array.length t.nodes in
+  let rec go i =
+    if i >= n then None else if pred t.nodes.(i) then Some i else go (i + 1)
+  in
+  go 0
+
+let api_node t name = find_node t (fun n -> n.kind = Api name)
+let nt_node t name = find_node t (fun n -> n.kind = Nt name)
+let is_api t id = match t.nodes.(id).kind with Api _ -> true | _ -> false
+
+let api_nodes t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> match n.kind with Api s -> Some (s, n.id) | _ -> None)
+
+let out_edges t id = List.map (fun e -> t.edges.(e)) t.children.(id)
+let in_edges t id = List.map (fun e -> t.edges.(e)) t.parents.(id)
+let edge t id = t.edges.(id)
+let node_count t = Array.length t.nodes
+let edge_count t = Array.length t.edges
+
+(* shortest-path distances, memoized per source (BFS). Doubles as the
+   reachability oracle. *)
+let dist_cache : (int, int array) Hashtbl.t = Hashtbl.create 64
+let dist_cache_owner : t option ref = ref None
+
+let dist_from t a =
+  (match !dist_cache_owner with
+  | Some g when g == t -> ()
+  | _ ->
+      Hashtbl.reset dist_cache;
+      dist_cache_owner := Some t);
+  match Hashtbl.find_opt dist_cache a with
+  | Some d -> d
+  | None ->
+      let d = Array.make (Array.length t.nodes) max_int in
+      d.(a) <- 0;
+      let queue = Queue.create () in
+      Queue.add a queue;
+      while not (Queue.is_empty queue) do
+        let id = Queue.take queue in
+        List.iter
+          (fun eid ->
+            let dst = t.edges.(eid).dst in
+            if d.(dst) = max_int then begin
+              d.(dst) <- d.(id) + 1;
+              Queue.add dst queue
+            end)
+          t.children.(id)
+      done;
+      Hashtbl.add dist_cache a d;
+      d
+
+let distance t a b = (dist_from t a).(b)
+let reachable t a b = distance t a b < max_int
+
+let pp_stats fmt t =
+  let apis = List.length (api_nodes t) in
+  Format.fprintf fmt "grammar graph: %d nodes (%d APIs), %d edges, root=%s"
+    (node_count t) apis (edge_count t) (node_name t t.root)

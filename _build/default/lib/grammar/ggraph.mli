@@ -1,0 +1,75 @@
+(** Grammar graphs (paper §II, §IV-A).
+
+    The grammar graph is the CFG rendered as a directed graph with three
+    node kinds:
+
+    - {e nonterminal nodes}, one per nonterminal;
+    - {e derivation nodes}, one per production of a nonterminal that has
+      several productions and a multi-symbol right-hand side;
+    - {e API nodes}, one per terminal.
+
+    Edge structure encodes the paper's two edge flavours. Edges out of a
+    nonterminal with several productions are "or" edges ([alt = true]):
+    mutually exclusive alternatives. All other edges are concatenation
+    edges. Additionally, a production whose right-hand side begins with an
+    API terminal ("head API", e.g. [insert ::= INSERT insert_arg]) hangs the
+    remaining symbols {e under the API node}, so that grammar paths descend
+    from an API to the APIs of its arguments — the shape the reversed
+    all-path search of EdgeToPath expects.
+
+    Every edge carries its production id; a valid code generation tree uses
+    at most one production per node (which subsumes the "conflicting or
+    edges" rule of grammar-based pruning). *)
+
+type node_kind =
+  | Nt of string
+  | Deriv of int  (** production id *)
+  | Api of string
+
+type node = { id : int; kind : node_kind }
+
+type edge = {
+  id : int;
+  src : int;
+  dst : int;
+  prod : int;    (** production this edge realizes *)
+  pos : int;     (** position of [dst] within the production's RHS *)
+  alt : bool;    (** true when [src] is a nonterminal with alternatives *)
+}
+
+type t = private {
+  cfg : Cfg.t;
+  nodes : node array;       (** indexed by node id *)
+  edges : edge array;       (** indexed by edge id *)
+  children : int list array; (** node id -> outgoing edge ids, by (prod, pos) *)
+  parents : int list array;  (** node id -> incoming edge ids *)
+  root : int;               (** node of the start nonterminal *)
+}
+
+val build : Cfg.t -> t
+
+val node_name : t -> int -> string
+(** Nonterminal/API name; derivation nodes render as "lhs#k". *)
+
+val api_node : t -> string -> int option
+val nt_node : t -> string -> int option
+val is_api : t -> int -> bool
+val api_nodes : t -> (string * int) list
+
+val out_edges : t -> int -> edge list
+val in_edges : t -> int -> edge list
+val edge : t -> int -> edge
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val reachable : t -> int -> int -> bool
+(** [reachable g a b]: is there a directed path from node [a] to node [b]?
+    (Used by orphan relocation's ancestor test.) Memoized per source. *)
+
+val distance : t -> int -> int -> int
+(** Length (in edges) of the shortest directed path from [a] to [b];
+    [max_int] when unreachable. Memoized per source — the all-path search
+    uses it to cut branches that cannot complete within the length cap. *)
+
+val pp_stats : Format.formatter -> t -> unit

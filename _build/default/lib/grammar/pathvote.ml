@@ -1,0 +1,65 @@
+type vote = { edge : int; paths : int list }
+
+let votes paths =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (pid, (p : Gpath.t)) ->
+      Array.iter
+        (fun eid ->
+          let prev = Option.value (Hashtbl.find_opt tbl eid) ~default:[] in
+          Hashtbl.replace tbl eid (pid :: prev))
+        p.Gpath.edges)
+    paths;
+  Hashtbl.fold (fun edge ps acc -> { edge; paths = List.rev ps } :: acc) tbl []
+  |> List.sort (fun a b -> compare a.edge b.edge)
+
+let conflict_table g paths =
+  (* node id -> (prod -> path ids using an out-edge of that node with that
+     prod) *)
+  let by_node : (int, (int, int list ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (pid, (p : Gpath.t)) ->
+      Array.iter
+        (fun eid ->
+          let e = Ggraph.edge g eid in
+          let prods =
+            match Hashtbl.find_opt by_node e.src with
+            | Some t -> t
+            | None ->
+                let t = Hashtbl.create 4 in
+                Hashtbl.add by_node e.src t;
+                t
+          in
+          match Hashtbl.find_opt prods e.prod with
+          | Some cell -> if not (List.mem pid !cell) then cell := pid :: !cell
+          | None -> Hashtbl.add prods e.prod (ref [ pid ]))
+        p.Gpath.edges)
+    paths;
+  let out = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _node prods ->
+      if Hashtbl.length prods > 1 then begin
+        let groups = Hashtbl.fold (fun _prod cell acc -> !cell :: acc) prods [] in
+        let rec pairs = function
+          | [] -> ()
+          | g1 :: rest ->
+              List.iter
+                (fun g2 ->
+                  List.iter
+                    (fun p ->
+                      List.iter
+                        (fun q ->
+                          if p <> q then
+                            Hashtbl.replace out (min p q, max p q) ())
+                        g2)
+                    g1)
+                rest;
+              pairs rest
+        in
+        pairs groups
+      end)
+    by_node;
+  out
+
+let conflicts g paths =
+  conflict_table g paths |> Hashtbl.to_seq_keys |> List.of_seq |> List.sort compare

@@ -1,0 +1,1 @@
+lib/nlu/dep.ml: Format

@@ -1,0 +1,1 @@
+lib/nlu/depgraph.ml: Dep Format List Pos Printf

@@ -1,0 +1,1 @@
+lib/nlu/depgraph.mli: Dep Format Pos

@@ -1,0 +1,1 @@
+lib/nlu/depparser.ml: Array Dep Depgraph Hashtbl Lemmatizer List Option Pos Tagger Token Tokenizer

@@ -1,0 +1,1 @@
+lib/nlu/depparser.mli: Depgraph Pos Token

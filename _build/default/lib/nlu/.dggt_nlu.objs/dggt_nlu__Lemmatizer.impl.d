@@ -1,0 +1,1 @@
+lib/nlu/lemmatizer.ml: Dggt_util List Pos String Strutil

@@ -1,0 +1,1 @@
+lib/nlu/lemmatizer.mli: Pos

@@ -1,0 +1,1 @@
+lib/nlu/lexicon.ml: List Pos Set String

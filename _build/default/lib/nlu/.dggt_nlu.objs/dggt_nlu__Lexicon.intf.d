@@ -1,0 +1,1 @@
+lib/nlu/lexicon.mli: Pos

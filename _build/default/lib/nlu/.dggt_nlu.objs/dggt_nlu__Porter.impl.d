@@ -1,0 +1,1 @@
+lib/nlu/porter.ml: Bytes String

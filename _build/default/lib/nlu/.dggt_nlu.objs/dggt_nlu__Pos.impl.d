@@ -1,0 +1,1 @@
+lib/nlu/pos.ml: Format

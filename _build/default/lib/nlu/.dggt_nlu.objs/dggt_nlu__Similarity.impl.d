@@ -1,0 +1,1 @@
+lib/nlu/similarity.ml: Dggt_util Float Levenshtein List Porter String Synonyms

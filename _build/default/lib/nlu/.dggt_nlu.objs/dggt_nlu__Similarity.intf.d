@@ -1,0 +1,1 @@
+lib/nlu/similarity.mli:

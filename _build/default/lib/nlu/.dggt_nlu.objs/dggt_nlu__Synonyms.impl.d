@@ -1,0 +1,1 @@
+lib/nlu/synonyms.ml: Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/nlu/tagger.ml: Array Dggt_util Lemmatizer Lexicon List Listutil Pos Strutil Token Tokenizer

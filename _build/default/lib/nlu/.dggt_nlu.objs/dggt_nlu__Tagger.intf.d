@@ -1,0 +1,1 @@
+lib/nlu/tagger.mli: Pos Token

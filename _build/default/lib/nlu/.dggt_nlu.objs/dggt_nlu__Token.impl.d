@@ -1,0 +1,1 @@
+lib/nlu/token.ml: Dggt_util Format

@@ -1,0 +1,1 @@
+lib/nlu/token.mli: Format

@@ -1,0 +1,1 @@
+lib/nlu/tokenizer.ml: Char Dggt_util List String Strutil Token

@@ -1,0 +1,1 @@
+lib/nlu/tokenizer.mli: Token

@@ -1,0 +1,32 @@
+type t =
+  | Root
+  | Obj
+  | Nsubj
+  | Nmod of string
+  | Advcl of string
+  | Acl
+  | Amod
+  | Det
+  | Nummod
+  | Compound
+  | Conj of string
+  | Lit
+  | Dep
+
+let to_string = function
+  | Root -> "root"
+  | Obj -> "obj"
+  | Nsubj -> "nsubj"
+  | Nmod p -> "nmod:" ^ p
+  | Advcl m -> "advcl:" ^ m
+  | Acl -> "acl"
+  | Amod -> "amod"
+  | Det -> "det"
+  | Nummod -> "nummod"
+  | Compound -> "compound"
+  | Conj c -> "conj:" ^ c
+  | Lit -> "lit"
+  | Dep -> "dep"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal (a : t) b = a = b

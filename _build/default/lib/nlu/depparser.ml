@@ -1,0 +1,421 @@
+open Pos
+
+(* The parser walks the tagged tokens left to right, keeping track of:
+   - the clause structure (main clause root, current clause head verb);
+   - the most recent verb-like and noun-like attachment sites;
+   - a pending preposition / subordinator / conjunction waiting for its
+     complement.
+
+   Attachment decisions follow the collapsed-dependency conventions that
+   HISyn's pipeline expects (prepositions folded into edge labels,
+   relative pronouns dropped, subordinate-clause verbs attached to the
+   main verb with an [Advcl] label). *)
+
+type state = {
+  mutable edges : Depgraph.edge list;
+  mutable root : int option;
+  mutable clause_verb : int option; (* verb of the current clause *)
+  mutable clause_verb_lemma : string option;
+  mutable last_verb : int option; (* most recent verb-like site (incl. VBG) *)
+  mutable last_noun : int option; (* most recent noun head *)
+  mutable last_adj : int option;
+  mutable pending_prep : (int * string) option; (* token id, lowercase text *)
+  mutable pending_sub : string option; (* "if"/"when" marker for next verb *)
+  mutable pending_wdt : bool; (* saw a relative pronoun *)
+  mutable pending_poss : bool; (* saw "whose": next noun is possessed *)
+  mutable pending_cc : string option; (* coordination waiting for right conjunct *)
+  mutable verb_has_obj : (int * bool) list;
+  mutable attached : int list;
+}
+
+let add st e =
+  st.edges <- e :: st.edges;
+  st.attached <- e.Depgraph.dep :: st.attached
+
+let mark_obj st v =
+  st.verb_has_obj <- (v, true) :: List.remove_assoc v st.verb_has_obj
+
+let has_obj st v = match List.assoc_opt v st.verb_has_obj with Some b -> b | None -> false
+
+(* Subordinators introduce adverbial clauses rather than PP complements. *)
+let subordinators = [ "if"; "when"; "whenever"; "where"; "wherever"; "unless"; "until"; "till" ]
+
+let parse_tagged tagged =
+  let st =
+    {
+      edges = [];
+      root = None;
+      clause_verb = None;
+      clause_verb_lemma = None;
+      last_verb = None;
+      last_noun = None;
+      last_adj = None;
+      pending_prep = None;
+      pending_sub = None;
+      pending_wdt = false;
+      pending_poss = false;
+      pending_cc = None;
+      verb_has_obj = [];
+      attached = [];
+    }
+  in
+  let arr = Array.of_list tagged in
+  let n = Array.length arr in
+  if n = 0 then { Depgraph.nodes = []; edges = []; root = 0 }
+  else begin
+  let tok i = fst arr.(i) in
+  let pos i = snd arr.(i) in
+  let id i = (tok i).Token.index in
+  (* Pre-pass: pick the root — the first tag-resolved verb outside any
+     subordinate clause; failing that the first noun; failing that token 0. *)
+  let root_idx =
+    let in_sub = ref false in
+    let found = ref None in
+    for i = 0 to n - 1 do
+      (match pos i with
+      | IN when List.mem (Token.lower (tok i)) subordinators -> in_sub := true
+      | PUNCT -> in_sub := false
+      | VB when !found = None && not !in_sub -> found := Some i
+      | _ -> ());
+      ()
+    done;
+    match !found with
+    | Some i -> i
+    | None -> (
+        let rec first_verb i =
+          if i >= n then None
+          else if Pos.is_verb (pos i) then Some i
+          else first_verb (i + 1)
+        in
+        let rec first_noun i =
+          if i >= n then None
+          else if Pos.is_noun (pos i) then Some i
+          else first_noun (i + 1)
+        in
+        match first_verb 0 with
+        | Some i -> i
+        | None -> ( match first_noun 0 with Some i -> i | None -> 0))
+  in
+  st.root <- Some (id root_idx);
+
+  (* Governor for a prepositional complement. "of" is noun-attaching ("the
+     start of each line"); locative/temporal prepositions prefer the clause
+     verb ("insert X at the start", "add Y after 14 characters"); the rest
+     ("with", "containing") attach by recency, which handles both "lines
+     with numbers" (noun) and "starts with '-'" (verb). *)
+  let verb_attaching =
+    [ "at"; "in"; "on"; "into"; "onto"; "from"; "to"; "after"; "before";
+      "within"; "under"; "over"; "through"; "across"; "upon"; "for" ]
+  in
+  let prep_governor prep =
+    match (st.last_noun, st.last_verb) with
+    | Some nn, Some v ->
+        if prep = "of" then nn
+        else if List.mem prep verb_attaching then
+          (* locatives modify the command, not an intervening participle:
+             "move every sentence starting with X *at the end*" *)
+          Option.value st.clause_verb ~default:v
+        else if nn > v then nn
+        else v
+    | Some nn, None -> nn
+    | None, Some v -> Option.value st.clause_verb ~default:v
+    | None, None -> Option.value st.root ~default:0
+  in
+
+  (* Attach an NP head (noun or nominal CD/DT) at token [i]. *)
+  let attach_nominal i =
+    let me = id i in
+    (if st.pending_poss && st.last_noun <> None then begin
+       (* "expressions whose argument ..." — the new noun belongs to the
+          preceding one; collapsed possessive. *)
+       add st { Depgraph.gov = Option.get st.last_noun; dep = me; label = Dep.Nmod "poss" };
+       st.pending_poss <- false;
+       st.pending_wdt <- false
+     end
+     else
+    match st.pending_cc with
+    | Some cc when st.last_noun <> None ->
+        add st { Depgraph.gov = Option.get st.last_noun; dep = me; label = Dep.Conj cc };
+        st.pending_cc <- None
+    | _ -> (
+        match st.pending_prep with
+        | Some (_, p) ->
+            add st { Depgraph.gov = prep_governor p; dep = me; label = Dep.Nmod p };
+            st.pending_prep <- None
+        | None -> (
+            match st.pending_sub with
+            | Some _ ->
+                (* "if a sentence starts ..." — the noun is the subject of a
+                   verb we have not seen yet; postpone by treating it as the
+                   clause's subject candidate: remember as last_noun only. *)
+                ()
+            | None -> (
+                match st.last_verb with
+                | Some v when not (has_obj st v) ->
+                    add st { Depgraph.gov = v; dep = me; label = Dep.Obj };
+                    mark_obj st v
+                | Some v -> add st { Depgraph.gov = v; dep = me; label = Dep.Dep }
+                | None ->
+                    if Some me <> st.root then
+                      add st
+                        {
+                          Depgraph.gov = Option.value st.root ~default:me;
+                          dep = me;
+                          label = Dep.Dep;
+                        }))));
+    st.last_noun <- Some me
+  in
+
+  let i = ref 0 in
+  while !i < n do
+    let cur = !i in
+    let me = id cur in
+    let t = pos cur in
+    let w = Token.lower (tok cur) in
+    (match t with
+    | PUNCT ->
+        (* Clause boundary: subordinate markers and pending material reset.
+           The sentence root persists. *)
+        st.pending_prep <- None;
+        st.pending_wdt <- false;
+        st.pending_cc <- None
+    | VB | VBZ when cur = root_idx ->
+        st.clause_verb <- Some me;
+        st.clause_verb_lemma <- Some (Lemmatizer.lemma_verb w);
+        st.last_verb <- Some me
+    | VB | VBZ ->
+        (* A finite verb after the root: relative clause ("lines that
+           contain numbers"), subordinate clause ("if a sentence starts"),
+           coordination ("find and replace"), or a serial imperative. *)
+        if st.pending_wdt && st.last_noun <> None then begin
+          add st { Depgraph.gov = Option.get st.last_noun; dep = me; label = Dep.Acl };
+          st.pending_wdt <- false
+        end
+        else if st.pending_sub <> None then begin
+          let marker = Option.get st.pending_sub in
+          add st
+            { Depgraph.gov = Option.value st.root ~default:me; dep = me; label = Dep.Advcl marker };
+          st.pending_sub <- None;
+          (* its subject is the most recent noun *)
+          match st.last_noun with
+          | Some s ->
+              add st { Depgraph.gov = me; dep = s; label = Dep.Nsubj };
+              st.attached <- s :: st.attached
+          | None -> ()
+        end
+        else if st.pending_cc <> None && st.last_verb <> None then begin
+          add st
+            {
+              Depgraph.gov = Option.get st.last_verb;
+              dep = me;
+              label = Dep.Conj (Option.get st.pending_cc);
+            };
+          st.pending_cc <- None
+        end
+        else if st.last_noun <> None && t = VBZ then
+          (* "...whose argument is..." without WDT bookkeeping: treat a bare
+             finite verb after a noun as a reduced relative clause. *)
+          add st { Depgraph.gov = Option.get st.last_noun; dep = me; label = Dep.Acl }
+        else
+          add st
+            { Depgraph.gov = Option.value st.root ~default:me; dep = me; label = Dep.Dep };
+        st.clause_verb <- Some me;
+        st.clause_verb_lemma <- Some (Lemmatizer.lemma_verb w);
+        st.last_verb <- Some me;
+        st.last_noun <- None
+    | VBG | VBN ->
+        (* Participles modify the preceding noun ("line containing
+           numerals", "method named PI"); with no noun they act as the
+           clause verb complement. *)
+        (match st.pending_prep with
+        | Some (_, p) ->
+            (* "without using", "after removing" *)
+            add st { Depgraph.gov = prep_governor p; dep = me; label = Dep.Advcl p };
+            st.pending_prep <- None
+        | None -> (
+            match st.last_noun with
+            | Some nn -> add st { Depgraph.gov = nn; dep = me; label = Dep.Acl }
+            | None -> (
+                match st.last_verb with
+                | Some v -> add st { Depgraph.gov = v; dep = me; label = Dep.Dep }
+                | None ->
+                    add st
+                      {
+                        Depgraph.gov = Option.value st.root ~default:me;
+                        dep = me;
+                        label = Dep.Dep;
+                      })));
+        st.last_verb <- Some me
+    | NN | NNS ->
+        (* Noun-compound buffering: a run of nouns forms one NP whose head
+           is the *last* noun; earlier members attach to the head as
+           Compound. Scan the run now. *)
+        let j = ref cur in
+        while
+          !j + 1 < n
+          && Pos.is_noun (pos (!j + 1))
+          && st.pending_cc = None
+        do
+          incr j
+        done;
+        let head = !j in
+        (* attach non-head members to head *)
+        for k = cur to head - 1 do
+          add st { Depgraph.gov = id head; dep = id k; label = Dep.Compound }
+        done;
+        if id head = Option.value st.root ~default:min_int then begin
+          (* nominal root: nothing to attach *)
+          st.last_noun <- Some (id head)
+        end
+        else attach_nominal head;
+        (* adjective stack: adjectives seen since the last head attach to
+           this NP head — handled when the adjective was read (postponed);
+           here we flush the recorded pending adjectives. *)
+        i := head
+    | JJ ->
+        (* Attach forward to the next noun if one follows before a verb;
+           otherwise treat as a nominal ("select the first" -> first acts
+           as the object). *)
+        let rec next_noun k =
+          if k >= n then None
+          else
+            match pos k with
+            | NN | NNS -> Some k
+            | JJ | CC | CD | DT | VBG | VBN -> next_noun (k + 1)
+            | _ -> None
+        in
+        (match next_noun (cur + 1) with
+        | Some k -> add st { Depgraph.gov = id k; dep = me; label = Dep.Amod }
+        | None -> attach_nominal cur)
+    | CD ->
+        (* "14 characters" -> nummod under the noun; bare numbers act as
+           nominals ("after 14"). *)
+        let nexti = cur + 1 in
+        if nexti < n && Pos.is_noun (pos nexti) then
+          add st { Depgraph.gov = id nexti; dep = me; label = Dep.Nummod }
+        else attach_nominal cur
+    | LIT ->
+        (* Quoted literals: complement of a pending preposition, else
+           object of the nearest verb-like site, else attach to the last
+           noun. *)
+        (match st.pending_prep with
+        | Some (_, p) ->
+            add st { Depgraph.gov = prep_governor p; dep = me; label = Dep.Nmod p };
+            st.pending_prep <- None
+        | None -> (
+            match st.last_verb with
+            | Some v when not (has_obj st v) ->
+                add st { Depgraph.gov = v; dep = me; label = Dep.Obj };
+                mark_obj st v
+            | Some v -> add st { Depgraph.gov = v; dep = me; label = Dep.Lit }
+            | None -> (
+                match st.last_noun with
+                | Some nn -> add st { Depgraph.gov = nn; dep = me; label = Dep.Lit }
+                | None ->
+                    if Some me <> st.root then
+                      add st
+                        {
+                          Depgraph.gov = Option.value st.root ~default:me;
+                          dep = me;
+                          label = Dep.Lit;
+                        })));
+        (* A literal can serve as an NP for later "of"-attachment:
+           [replace "," of the first line]. *)
+        st.last_noun <- Some me
+    | IN ->
+        if List.mem w subordinators then st.pending_sub <- Some w
+        else if List.mem w [ "after"; "before" ] then begin
+          (* Semantically loaded prepositions (they name position APIs in
+             editing DSLs) stay as nodes: gov -> prep -> complement. *)
+          add st { Depgraph.gov = prep_governor w; dep = me; label = Dep.Nmod w };
+          st.last_verb <- Some me (* complements attach under the prep *)
+        end
+        else if
+          w = "with"
+          && st.clause_verb_lemma <> Some "replace"
+          && st.clause_verb_lemma <> Some "substitute"
+          && st.clause_verb_lemma <> Some "swap"
+          &&
+          (* containment reading only after a genuine noun head: "lines
+             with numbers"; after a verb or a literal, "with" is an
+             argument marker ("starts with", "replace , with ;") *)
+          (match (st.last_noun, st.last_verb) with
+          | Some nn, v when (match v with Some v -> nn > v | None -> true) ->
+              nn < n && Pos.is_noun (pos nn)
+          | _ -> false)
+        then begin
+          add st
+            { Depgraph.gov = Option.get st.last_noun; dep = me; label = Dep.Nmod w };
+          st.last_verb <- Some me
+        end
+        else st.pending_prep <- Some (me, w)
+    | DT ->
+        (* Quantifying determiners carry semantics (every/each/all ->
+           iteration APIs); they attach to the following noun. Bare
+           quantifiers with no noun act as nominals ("select all"). *)
+        let nexti = cur + 1 in
+        let rec next_noun k =
+          if k >= n then None
+          else
+            match pos k with
+            | NN | NNS -> Some k
+            | JJ | CD | VBG | VBN -> next_noun (k + 1)
+            | _ -> None
+        in
+        (match next_noun nexti with
+        | Some k -> add st { Depgraph.gov = id k; dep = me; label = Dep.Det }
+        | None -> attach_nominal cur)
+    | WDT ->
+        st.pending_wdt <- true;
+        if w = "whose" then st.pending_poss <- true
+    | CC ->
+        st.pending_cc <- Some w
+    | TO | MD | PRP | RB | SYM ->
+        (* Function words without domain semantics: leave unattached; the
+           cleanup pass parents them under the root so the graph is total,
+           and query pruning will drop them. *)
+        ());
+    incr i
+  done;
+
+  let root = Option.value st.root ~default:0 in
+  (* Cleanup: every token except the root must have a governor. *)
+  let nodes =
+    List.map
+      (fun ((t : Token.t), p) ->
+        let lemma = Lemmatizer.lemma ~pos:p (Token.lower t) in
+        let lit =
+          match t.Token.kind with
+          | Token.Quoted | Token.Number -> Some t.Token.text
+          | _ -> None
+        in
+        { Depgraph.id = t.Token.index; text = t.Token.text; lemma; pos = p; lit })
+      tagged
+  in
+  let edges = List.rev st.edges in
+  let edges =
+    (* Drop self-loops and edges into the root; keep first governor only. *)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (e : Depgraph.edge) ->
+        if e.dep = e.gov || e.dep = root then false
+        else if Hashtbl.mem seen e.dep then false
+        else begin
+          Hashtbl.add seen e.dep ();
+          true
+        end)
+      edges
+  in
+  let attached = List.map (fun (e : Depgraph.edge) -> e.dep) edges in
+  let extra =
+    List.filter_map
+      (fun (nd : Depgraph.node) ->
+        if nd.id <> root && not (List.mem nd.id attached) then
+          Some { Depgraph.gov = root; dep = nd.id; label = Dep.Dep }
+        else None)
+      nodes
+  in
+  { Depgraph.nodes; edges = edges @ extra; root }
+  end
+
+let parse query = parse_tagged (Tagger.tag (Tokenizer.tokenize query))

@@ -1,0 +1,105 @@
+open Dggt_util
+
+(* Irregular verb forms that occur in editing / code-analysis queries. *)
+let irregular_verbs =
+  [
+    ("found", "find"); ("made", "make"); ("put", "put"); ("cut", "cut");
+    ("kept", "keep"); ("left", "leave"); ("got", "get"); ("gotten", "get");
+    ("begun", "begin"); ("began", "begin"); ("written", "write"); ("wrote", "write");
+    ("given", "give"); ("gave", "give"); ("taken", "take"); ("took", "take");
+    ("shown", "show"); ("showed", "show"); ("has", "have"); ("had", "have");
+    ("is", "be"); ("are", "be"); ("was", "be"); ("were", "be"); ("been", "be");
+    ("being", "be"); ("does", "do"); ("did", "do"); ("done", "do");
+  ]
+
+let irregular_nouns =
+  [
+    ("parentheses", "parenthesis"); ("indices", "index"); ("matrices", "matrix");
+    ("vertices", "vertex"); ("children", "child"); ("men", "man"); ("women", "woman");
+    ("feet", "foot"); ("data", "datum"); ("criteria", "criterion");
+    ("analyses", "analysis"); ("theses", "thesis"); ("bases", "basis");
+  ]
+
+let vowel c = c = 'a' || c = 'e' || c = 'i' || c = 'o' || c = 'u'
+
+(* Undo consonant doubling introduced by -ing/-ed ("stopping" -> "stop"),
+   but keep legitimate doubles ("fill" stays "fill" — we only undo when the
+   stem would end in the same doubled consonant, e.g. "stopp"). Words whose
+   base form genuinely ends in a double consonant followed by a vowel-initial
+   suffix ("filling" -> "fill") are covered because undoubling "filll" never
+   arises: we check the doubled pair is preceded by a single vowel. *)
+let undouble stem =
+  let n = String.length stem in
+  if
+    n >= 3
+    && stem.[n - 1] = stem.[n - 2]
+    && (not (vowel stem.[n - 1]))
+    && stem.[n - 1] <> 'l'
+    && stem.[n - 1] <> 's'
+    && vowel stem.[n - 3]
+  then String.sub stem 0 (n - 1)
+  else stem
+
+(* Restore a dropped final 'e' for CVC-shaped stems ("replac" -> "replace",
+   "remov" -> "remove"). The heuristic: stem ends consonant and the
+   pre-final letter is a vowel preceded by a consonant, or it ends in a
+   cluster that requires 'e' (-ac, -iz, -at, -in with long vowel...). We use
+   a targeted list of cluster endings that occur in the domains; anything
+   else is left alone — the Similarity layer falls back to Porter stems so
+   an imperfect lemma is not fatal. *)
+let e_restoring_endings =
+  [ "ac"; "iz"; "at"; "iev"; "ov"; "eas"; "as"; "us"; "ang"; "erg"; "arg";
+    "eat"; "it"; "ot"; "ut"; "ompil"; "abl"; "ttl"; "angl"; "ubl"; "captur";
+    "cas"; "clos"; "declar"; "combin"; "compar"; "describ"; "eras"; "escap";
+    "exclud"; "includ"; "ignor"; "invok"; "nam"; "pars"; "past"; "quot";
+    "sav"; "stor"; "typ"; "writ"; "chang"; "deriv"; "referenc"; "provid";
+    "requir"; "separ"; "lin" ]
+
+let maybe_restore_e stem =
+  if List.exists (fun e -> Strutil.ends_with ~suffix:e stem) e_restoring_endings
+  then stem ^ "e"
+  else stem
+
+let lemma_verb w =
+  match List.assoc_opt w irregular_verbs with
+  | Some l -> l
+  | None ->
+      let n = String.length w in
+      if Strutil.ends_with ~suffix:"ies" w && n > 4 then String.sub w 0 (n - 3) ^ "y"
+      else if Strutil.ends_with ~suffix:"sses" w then String.sub w 0 (n - 2)
+      else if Strutil.ends_with ~suffix:"ches" w || Strutil.ends_with ~suffix:"shes" w
+              || Strutil.ends_with ~suffix:"xes" w || Strutil.ends_with ~suffix:"zes" w
+      then String.sub w 0 (n - 2)
+      else if Strutil.ends_with ~suffix:"s" w && n > 3 && w.[n - 2] <> 's'
+              && w.[n - 2] <> 'u' (* "plus" *)
+      then String.sub w 0 (n - 1)
+      else if Strutil.ends_with ~suffix:"ying" w && n > 5 then String.sub w 0 (n - 4) ^ "y"
+      else if Strutil.ends_with ~suffix:"ing" w && n > 4 then
+        maybe_restore_e (undouble (String.sub w 0 (n - 3)))
+      else if Strutil.ends_with ~suffix:"ied" w && n > 4 then String.sub w 0 (n - 3) ^ "y"
+      else if Strutil.ends_with ~suffix:"eed" w then String.sub w 0 (n - 1) (* agreed *)
+      else if Strutil.ends_with ~suffix:"ed" w && n > 3 then
+        (* Drop "ed", then repair: "stopped" -> "stopp" -> "stop";
+           "named" -> "nam" -> "name"; "inserted" -> "insert". *)
+        maybe_restore_e (undouble (String.sub w 0 (n - 2)))
+      else w
+
+let lemma_noun w =
+  match List.assoc_opt w irregular_nouns with
+  | Some l -> l
+  | None ->
+      let n = String.length w in
+      if Strutil.ends_with ~suffix:"ies" w && n > 4 then String.sub w 0 (n - 3) ^ "y"
+      else if Strutil.ends_with ~suffix:"sses" w || Strutil.ends_with ~suffix:"ches" w
+              || Strutil.ends_with ~suffix:"shes" w || Strutil.ends_with ~suffix:"xes" w
+      then String.sub w 0 (n - 2)
+      else if Strutil.ends_with ~suffix:"ss" w then w
+      else if Strutil.ends_with ~suffix:"s" w && n > 3 && w.[n - 2] <> 'u' then
+        String.sub w 0 (n - 1)
+      else w
+
+let lemma ~pos w =
+  match pos with
+  | Pos.VB | Pos.VBZ | Pos.VBG | Pos.VBN -> lemma_verb w
+  | Pos.NN | Pos.NNS -> lemma_noun w
+  | _ -> w

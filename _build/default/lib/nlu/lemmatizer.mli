@@ -1,0 +1,18 @@
+(** Dictionary-and-rule lemmatizer.
+
+    Where the Porter stemmer produces index terms ("replaces" -> "replac"),
+    the lemmatizer produces dictionary forms ("replaces" -> "replace"),
+    which the POS tagger and the WordToAPI matcher both need. Irregular
+    forms relevant to the query corpora are table-driven; the rest is
+    handled by inflection rules. *)
+
+val lemma_verb : string -> string
+(** Lemma of a (lowercase) verb form: ["starts"] -> ["start"],
+    ["containing"] -> ["contain"], ["found"] -> ["find"]. *)
+
+val lemma_noun : string -> string
+(** Singular of a (lowercase) noun: ["lines"] -> ["line"],
+    ["occurrences"] -> ["occurrence"], ["parentheses"] -> ["parenthesis"]. *)
+
+val lemma : pos:Pos.t -> string -> string
+(** Dispatch on POS; non-verb/non-noun words are returned unchanged. *)

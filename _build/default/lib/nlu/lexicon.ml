@@ -1,0 +1,144 @@
+open Pos
+
+(* Closed classes -------------------------------------------------------- *)
+
+let determiners =
+  [ "the"; "a"; "an"; "every"; "each"; "all"; "any"; "some"; "this"; "that";
+    "these"; "those"; "no"; "both" ]
+
+let prepositions =
+  [ "in"; "on"; "at"; "of"; "by"; "for"; "with"; "without"; "from"; "into"; "onto";
+    "after"; "before"; "under"; "over"; "between"; "within"; "through";
+    "during"; "against"; "if"; "when"; "whenever"; "where"; "wherever";
+    "unless"; "until"; "till"; "as"; "per"; "inside"; "outside"; "across";
+    "toward"; "towards"; "upon"; "via"; "except"; "beside"; "behind" ]
+
+let conjunctions = [ "and"; "or"; "but"; "nor"; "plus" ]
+let pronouns = [ "it"; "its"; "them"; "they"; "i"; "you"; "me"; "we"; "us"; "she"; "he" ]
+let modals = [ "should"; "would"; "could"; "can"; "may"; "might"; "must"; "shall"; "will" ]
+let wh_words = [ "which"; "whose"; "what"; "who"; "whom" ]
+
+let adverbs =
+  [ "only"; "also"; "just"; "then"; "once"; "twice"; "again"; "respectively";
+    "immediately"; "directly"; "exactly"; "already"; "instead"; "too";
+    "together"; "separately"; "everywhere"; "anywhere"; "not"; "n't"; "never";
+    "always"; "there"; "here"; "up"; "down"; "out"; "off"; "away"; "back";
+    "please" ]
+
+(* Open classes ----------------------------------------------------------- *)
+(* Verbs of the editing and code-analysis domains, base form. *)
+let verbs =
+  [ "insert"; "add"; "append"; "prepend"; "put"; "place"; "write"; "attach";
+    "delete"; "remove"; "erase"; "drop"; "eliminate"; "strip"; "clear"; "trim";
+    "cut"; "replace"; "substitute"; "change"; "swap"; "convert"; "turn";
+    "rename"; "move"; "copy"; "duplicate"; "paste"; "select"; "highlight";
+    "print"; "show"; "display"; "list"; "output"; "find"; "search"; "look";
+    "locate"; "match"; "detect"; "identify"; "extract"; "get"; "retrieve";
+    "fetch"; "count"; "number"; "split"; "merge"; "join"; "concatenate";
+    "capitalize"; "uppercase"; "lowercase"; "indent"; "unindent"; "align";
+    "sort"; "reverse"; "wrap"; "surround"; "enclose"; "quote"; "unquote";
+    "contain"; "include"; "start"; "begin"; "end"; "finish"; "terminate";
+    "follow"; "precede"; "occur"; "appear"; "consist"; "comprise"; "have";
+    "be"; "do"; "make"; "take"; "give"; "use"; "declare"; "define"; "call";
+    "invoke"; "return"; "reference"; "refer"; "point"; "name"; "type";
+    "cast"; "inherit"; "derive"; "override"; "overload"; "implement";
+    "initialize"; "assign"; "bind"; "access"; "accept"; "check"; "test";
+    "want"; "need"; "like"; "keep"; "leave"; "go"; "come"; "equal";
+    "repeat"; "apply"; "skip"; "ignore"; "except"; "mark"; "denote" ]
+
+(* Nouns of the two domains. *)
+let nouns =
+  [ "line"; "row"; "word"; "token"; "character"; "char"; "letter"; "symbol";
+    "string"; "text"; "number"; "numeral"; "digit"; "integer"; "float";
+    "sentence"; "paragraph"; "document"; "file"; "page"; "column"; "cell";
+    "space"; "whitespace"; "tab"; "newline"; "comma"; "period"; "dot";
+    "colon"; "semicolon"; "hyphen"; "dash"; "underscore"; "bracket";
+    "parenthesis"; "brace"; "quote"; "position"; "start"; "beginning";
+    "front"; "end"; "tail"; "back"; "middle"; "occurrence"; "instance";
+    "time"; "place"; "content"; "part"; "piece"; "segment"; "section";
+    "selection"; "region"; "range"; "scope"; "pattern"; "condition";
+    "expression"; "statement"; "declaration"; "definition"; "function";
+    "method"; "constructor"; "destructor"; "operator"; "operand"; "argument";
+    "parameter"; "variable"; "field"; "member"; "class"; "struct"; "record";
+    "union"; "enum"; "template"; "namespace"; "type"; "typedef"; "pointer";
+    "reference"; "array"; "vector"; "loop"; "branch"; "call"; "invocation";
+    "cast"; "literal"; "constant"; "value"; "name"; "identifier"; "label";
+    "initializer"; "assignment"; "return"; "body"; "block"; "compound";
+    "base"; "derived"; "parent"; "child"; "ancestor"; "descendant";
+    "node"; "tree"; "ast"; "matcher"; "code"; "source"; "program";
+    "lambda"; "exception"; "throw"; "catch"; "try"; "case"; "switch";
+    "default"; "goto"; "break"; "continue"; "sizeof"; "alignof"; "this";
+    "bool"; "int"; "double"; "void"; "auto"; "size"; "length"; "count";
+    "thing"; "stuff"; "one"; "ones"; "item"; "element"; "entry"; "unit" ]
+
+(* Adjectives. *)
+let adjectives =
+  [ "first"; "second"; "third"; "fourth"; "fifth"; "last"; "next"; "previous";
+    "final"; "initial"; "new"; "old"; "empty"; "blank"; "nonempty";
+    "non-empty"; "whole"; "entire"; "full"; "same"; "different"; "other";
+    "single"; "double"; "multiple"; "numeric"; "numerical"; "alphabetic";
+    "alphanumeric"; "uppercase"; "lowercase"; "capital"; "odd"; "even";
+    "leading"; "trailing"; "nested"; "global"; "local"; "static"; "const";
+    "constant"; "virtual"; "pure"; "public"; "private"; "protected";
+    "abstract"; "explicit"; "implicit"; "inline"; "signed"; "unsigned";
+    "binary"; "unary"; "ternary"; "conditional"; "boolean"; "floating";
+    "integral"; "literal"; "current"; "given"; "specific"; "specified";
+    "particular"; "certain"; "corresponding"; "following"; "preceding";
+    "equal"; "identical"; "longer"; "shorter"; "greater"; "less"; "more";
+    "fewer"; "least"; "most"; "default"; "main"; "overloaded"; "defaulted";
+    "deleted"; "anonymous"; "unnamed"; "variadic" ]
+
+(* Words that can be both verb and noun; listed to force the ambiguity into
+   the tagger's context rules rather than a single lexicon answer. *)
+let verb_noun_ambiguous =
+  [ "start"; "end"; "name"; "type"; "call"; "match"; "return"; "count";
+    "quote"; "reference"; "cast"; "copy"; "move"; "place"; "number"; "search";
+    "select"; "cut"; "mark"; "label"; "string"; "comment"; "declare" ]
+
+module SS = Set.Make (String)
+
+let det_set = SS.of_list determiners
+let prep_set = SS.of_list prepositions
+let conj_set = SS.of_list conjunctions
+let pron_set = SS.of_list pronouns
+let modal_set = SS.of_list modals
+let wh_set = SS.of_list wh_words
+let adv_set = SS.of_list adverbs
+let verb_set = SS.of_list verbs
+let noun_set = SS.of_list nouns
+let adj_set = SS.of_list adjectives
+let ambig_set = SS.of_list verb_noun_ambiguous
+
+let stopwords =
+  SS.of_list
+    [ "please"; "want"; "need"; "like"; "thing"; "stuff"; "way"; "let";
+      "just"; "kindly"; "me"; "am"; "is"; "are"; "be"; "do"; "does"; "can";
+      "could"; "would"; "should"; "go"; "come"; "there"; "here"; "etc" ]
+
+let lookup w =
+  (* Closed classes win outright. Note "that"/"all" are overloaded; the
+     tagger resolves them contextually, the lexicon reports the options. *)
+  if w = "that" then [ DT; WDT ]
+  else if w = "to" then [ TO ]
+  else if SS.mem w wh_set then [ WDT ]
+  else if SS.mem w modal_set then [ MD ]
+  else if SS.mem w pron_set && w <> "this" then [ PRP ]
+  else if SS.mem w conj_set then [ CC ]
+  else
+    let opts = ref [] in
+    let push t = if not (List.mem t !opts) then opts := !opts @ [ t ] in
+    if SS.mem w det_set then push DT;
+    if SS.mem w prep_set then push IN;
+    if SS.mem w ambig_set then begin
+      push VB;
+      push NN
+    end;
+    if SS.mem w verb_set then push VB;
+    if SS.mem w noun_set then push NN;
+    if SS.mem w adj_set then push JJ;
+    if SS.mem w adv_set then push RB;
+    !opts
+
+let is_stopword w = SS.mem w stopwords
+let can_be_verb w = SS.mem w verb_set || SS.mem w ambig_set
+let can_be_noun w = SS.mem w noun_set || SS.mem w ambig_set

@@ -1,0 +1,17 @@
+(** Closed-class word lists and an open-class POS lexicon covering the
+    vocabulary of the two benchmark domains (text editing, Clang AST
+    matching) plus general imperative English.
+
+    The tagger consults this lexicon first and falls back to suffix
+    heuristics ({!Tagger}) for out-of-vocabulary words. *)
+
+val lookup : string -> Pos.t list
+(** Candidate tags for a lowercase word, most likely first. Empty for
+    out-of-vocabulary words. *)
+
+val is_stopword : string -> bool
+(** Words carrying no domain semantics, dropped by query-graph pruning even
+    though some are content-POS ("please", "want", "like", "thing"). *)
+
+val can_be_verb : string -> bool
+val can_be_noun : string -> bool

@@ -1,0 +1,220 @@
+(* Faithful implementation of Porter (1980), "An algorithm for suffix
+   stripping". We operate on a mutable buffer [b] with logical end [k]
+   (inclusive), mirroring the reference C implementation's structure so the
+   tricky measure/condition logic can be checked against the paper. *)
+
+type state = { mutable b : Bytes.t; mutable k : int; mutable j : int }
+
+let rec is_consonant s i =
+  match Bytes.get s.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_consonant s (i - 1))
+  | _ -> true
+
+(* m() — the measure of the stem between 0 and j: the number of VC
+   sequences. *)
+let measure s =
+  let n = ref 0 in
+  let i = ref 0 in
+  let j = s.j in
+  let rec skip_c () =
+    if !i > j then true
+    else if is_consonant s !i then begin
+      incr i;
+      skip_c ()
+    end
+    else false
+  in
+  let rec skip_v () =
+    if !i > j then true
+    else if not (is_consonant s !i) then begin
+      incr i;
+      skip_v ()
+    end
+    else false
+  in
+  if skip_c () then 0
+  else begin
+    let quit = ref false in
+    while not !quit do
+      if skip_v () then quit := true
+      else begin
+        incr n;
+        if skip_c () then quit := true
+      end
+    done;
+    !n
+  end
+
+(* vowel_in_stem: true iff 0..j contains a vowel *)
+let vowel_in_stem s =
+  let rec go i = i <= s.j && ((not (is_consonant s i)) || go (i + 1)) in
+  go 0
+
+(* double_consonant at j *)
+let doublec s j =
+  j >= 1 && Bytes.get s.b j = Bytes.get s.b (j - 1) && is_consonant s j
+
+(* cvc(i) — consonant-vowel-consonant ending at i, where the final consonant
+   is not w, x or y. Used to restore an 'e' (hop -> hope). *)
+let cvc s i =
+  if i < 2 || not (is_consonant s i) || is_consonant s (i - 1) || not (is_consonant s (i - 2))
+  then false
+  else match Bytes.get s.b i with 'w' | 'x' | 'y' -> false | _ -> true
+
+let ends s suffix =
+  let l = String.length suffix in
+  if l > s.k + 1 then false
+  else if Bytes.sub_string s.b (s.k - l + 1) l <> suffix then false
+  else begin
+    s.j <- s.k - l;
+    true
+  end
+
+let setto s suffix =
+  let l = String.length suffix in
+  Bytes.blit_string suffix 0 s.b (s.j + 1) l;
+  s.k <- s.j + l
+
+let r s suffix = if measure s > 0 then setto s suffix
+
+(* Step 1a: plurals. caresses->caress, ponies->poni, ties->ti, cats->cat *)
+let step1a s =
+  if Bytes.get s.b s.k = 's' then begin
+    if ends s "sses" then s.k <- s.k - 2
+    else if ends s "ies" then setto s "i"
+    else if s.k >= 1 && Bytes.get s.b (s.k - 1) <> 's' then s.k <- s.k - 1
+  end
+
+(* Step 1b: -eed, -ed, -ing. agreed->agree, plastered->plaster,
+   motoring->motor, sing->sing *)
+let step1b s =
+  let second_third () =
+    if ends s "at" then setto s "ate"
+    else if ends s "bl" then setto s "ble"
+    else if ends s "iz" then setto s "ize"
+    else if doublec s s.k then begin
+      s.k <- s.k - 1;
+      match Bytes.get s.b s.k with
+      | 'l' | 's' | 'z' -> s.k <- s.k + 1
+      | _ -> ()
+    end
+    else if measure s = 1 && cvc s s.k then setto s "e"
+  in
+  if ends s "eed" then begin
+    if measure s > 0 then s.k <- s.k - 1
+  end
+  else if ends s "ed" then begin
+    if vowel_in_stem s then begin
+      s.k <- s.j;
+      second_third ()
+    end
+  end
+  else if ends s "ing" then
+    if vowel_in_stem s then begin
+      s.k <- s.j;
+      second_third ()
+    end
+
+(* Step 1c: y -> i when there is a vowel in the stem. happy->happi *)
+let step1c s =
+  if ends s "y" && vowel_in_stem s then Bytes.set s.b s.k 'i'
+
+(* Step 2: double suffices mapped to single ones, m > 0. *)
+let step2 s =
+  if s.k < 1 then ()
+  else
+    match Bytes.get s.b (s.k - 1) with
+    | 'a' ->
+        if ends s "ational" then r s "ate" else if ends s "tional" then r s "tion"
+    | 'c' -> if ends s "enci" then r s "ence" else if ends s "anci" then r s "ance"
+    | 'e' -> if ends s "izer" then r s "ize"
+    | 'l' ->
+        if ends s "bli" then r s "ble"
+        else if ends s "alli" then r s "al"
+        else if ends s "entli" then r s "ent"
+        else if ends s "eli" then r s "e"
+        else if ends s "ousli" then r s "ous"
+    | 'o' ->
+        if ends s "ization" then r s "ize"
+        else if ends s "ation" then r s "ate"
+        else if ends s "ator" then r s "ate"
+    | 's' ->
+        if ends s "alism" then r s "al"
+        else if ends s "iveness" then r s "ive"
+        else if ends s "fulness" then r s "ful"
+        else if ends s "ousness" then r s "ous"
+    | 't' ->
+        if ends s "aliti" then r s "al"
+        else if ends s "iviti" then r s "ive"
+        else if ends s "biliti" then r s "ble"
+    | 'g' -> if ends s "logi" then r s "log"
+    | _ -> ()
+
+(* Step 3: -icate, -ative, etc., m > 0. *)
+let step3 s =
+  match Bytes.get s.b s.k with
+  | 'e' ->
+      if ends s "icate" then r s "ic"
+      else if ends s "ative" then r s ""
+      else if ends s "alize" then r s "al"
+  | 'i' -> if ends s "iciti" then r s "ic"
+  | 'l' -> if ends s "ical" then r s "ic" else if ends s "ful" then r s ""
+  | 's' -> if ends s "ness" then r s ""
+  | _ -> ()
+
+(* Step 4: suffices removed when m > 1. *)
+let step4 s =
+  if s.k < 1 then ()
+  else begin
+    let matched =
+      match Bytes.get s.b (s.k - 1) with
+      | 'a' -> ends s "al"
+      | 'c' -> ends s "ance" || ends s "ence"
+      | 'e' -> ends s "er"
+      | 'i' -> ends s "ic"
+      | 'l' -> ends s "able" || ends s "ible"
+      | 'n' -> ends s "ant" || ends s "ement" || ends s "ment" || ends s "ent"
+      | 'o' ->
+          (ends s "ion"
+          && s.j >= 0
+          && (Bytes.get s.b s.j = 's' || Bytes.get s.b s.j = 't'))
+          || ends s "ou"
+      | 's' -> ends s "ism"
+      | 't' -> ends s "ate" || ends s "iti"
+      | 'u' -> ends s "ous"
+      | 'v' -> ends s "ive"
+      | 'z' -> ends s "ize"
+      | _ -> false
+    in
+    if matched && measure s > 1 then s.k <- s.j
+  end
+
+(* Step 5a: remove a final -e if m > 1, or m = 1 and not cvc.
+   Step 5b: -ll -> -l if m > 1. *)
+let step5 s =
+  s.j <- s.k;
+  if Bytes.get s.b s.k = 'e' then begin
+    s.j <- s.k - 1;
+    let m = measure s in
+    if m > 1 || (m = 1 && not (cvc s (s.k - 1))) then s.k <- s.k - 1
+  end;
+  if Bytes.get s.b s.k = 'l' && doublec s s.k then begin
+    s.j <- s.k - 1;
+    if measure s > 1 then s.k <- s.k - 1
+  end
+
+let stem w =
+  let n = String.length w in
+  if n <= 2 then w
+  else begin
+    let s = { b = Bytes.of_string w; k = n - 1; j = 0 } in
+    step1a s;
+    if s.k > 0 then step1b s;
+    if s.k > 0 then step1c s;
+    if s.k > 0 then step2 s;
+    if s.k > 0 then step3 s;
+    if s.k > 0 then step4 s;
+    if s.k > 0 then step5 s;
+    Bytes.sub_string s.b 0 (s.k + 1)
+  end

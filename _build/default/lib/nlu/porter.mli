@@ -1,0 +1,9 @@
+(** The classic Porter stemming algorithm (Porter, 1980).
+
+    Used by {!Similarity} to match query words against API-document keywords
+    ("matching" / "matches" / "matched" all stem to "match"). This is a
+    faithful implementation of the original five-step algorithm. *)
+
+val stem : string -> string
+(** [stem w] expects a lowercase ASCII word; words shorter than 3 characters
+    are returned unchanged, as in the reference implementation. *)

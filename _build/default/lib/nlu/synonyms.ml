@@ -1,0 +1,135 @@
+(* Synonym rings. Keep each ring tight: over-broad rings inflate the
+   WordToAPI candidate sets, which inflates p_l and slows both engines
+   (and hurts accuracy more than it helps recall). *)
+let rings =
+  [
+    (* actions: editing *)
+    [ "insert"; "add"; "append"; "prepend"; "put"; "place"; "attach"; "write" ];
+    [ "delete"; "remove"; "erase"; "drop"; "eliminate"; "strip"; "clear"; "cut" ];
+    [ "replace"; "substitute"; "swap"; "change"; "convert" ];
+    [ "copy"; "duplicate" ];
+    [ "move"; "shift"; "relocate" ];
+    [ "select"; "highlight"; "mark"; "choose" ];
+    [ "print"; "show"; "display"; "list"; "output"; "report" ];
+    [ "find"; "search"; "detect"; "identify"; "retrieve" ];
+    [ "match"; "fit"; "correspond" ];
+    [ "extract"; "pull" ];
+    [ "count"; "tally" ];
+    [ "split"; "divide"; "break" ];
+    [ "merge"; "join"; "concatenate"; "combine" ];
+    [ "capitalize"; "uppercase" ];
+    [ "wrap"; "surround"; "enclose" ];
+    (* states / relations *)
+    [ "contain"; "include"; "have"; "hold"; "comprise"; "with" ];
+    [ "start"; "begin"; "beginning"; "front"; "head" ];
+    [ "end"; "finish"; "tail"; "back"; "terminate" ];
+    [ "follow"; "succeed"; "after" ];
+    [ "precede"; "before" ];
+    [ "occur"; "appear"; "occurrence"; "instance"; "appearance" ];
+    [ "equal"; "identical"; "same"; "be" ];
+    (* entities: editing *)
+    [ "line"; "row" ];
+    [ "word"; "token" ];
+    [ "character"; "char"; "letter" ];
+    [ "number"; "numeral"; "digit"; "numeric"; "numerical"; "integer" ];
+    [ "string"; "text" ];
+    [ "sentence" ];
+    [ "paragraph" ];
+    [ "document"; "file"; "everything"; "everywhere" ];
+    [ "space"; "whitespace"; "blank" ];
+    [ "position"; "location"; "place"; "spot" ];
+    [ "every"; "each" ];
+    [ "first"; "initial"; "leading" ];
+    [ "last"; "final"; "trailing" ];
+    [ "empty"; "blank" ];
+    [ "comma" ]; [ "colon" ]; [ "semicolon" ];
+    [ "selection"; "region"; "selected" ];
+    (* entities: code analysis *)
+    [ "function"; "method"; "routine"; "procedure" ];
+    [ "constructor" ];
+    [ "destructor" ];
+    [ "variable"; "var" ];
+    [ "field"; "member" ];
+    [ "class"; "record"; "struct" ];
+    [ "declaration"; "decl"; "declare"; "declaring" ];
+    [ "definition"; "define" ];
+    [ "expression"; "expr" ];
+    [ "statement"; "stmt" ];
+    [ "call"; "invocation"; "invoke"; "invoked" ];
+    [ "argument"; "parameter"; "operand" ];
+    [ "operator" ];
+    [ "literal"; "constant" ];
+    [ "float"; "floating"; "double" ];
+    [ "integer"; "int" ];
+    [ "boolean"; "bool" ];
+    [ "name"; "named"; "identifier"; "called" ];
+    [ "type"; "kind" ];
+    [ "pointer"; "ptr" ];
+    [ "reference"; "ref"; "refer" ];
+    [ "loop"; "iteration"; "iterate"; "repeat"; "repeatedly" ];
+    [ "condition"; "conditional"; "test"; "predicate" ];
+    [ "body"; "block"; "compound" ];
+    [ "base"; "parent"; "super" ];
+    [ "derived"; "child"; "sub" ];
+    [ "ancestor" ];
+    [ "descendant"; "nested"; "inside"; "within" ];
+    [ "template" ];
+    [ "namespace" ];
+    [ "enum"; "enumeration" ];
+    [ "lambda"; "closure" ];
+    [ "cast"; "conversion"; "convert" ];
+    [ "return"; "returning" ];
+    [ "virtual" ];
+    [ "static" ];
+    [ "const"; "constant" ];
+    [ "public" ]; [ "private" ]; [ "protected" ];
+    [ "binary" ]; [ "unary" ];
+    [ "assignment"; "assign" ];
+    [ "initializer"; "initialize"; "init" ];
+    [ "array" ];
+    [ "string-literal" ];
+    [ "case"; "switch" ];
+    [ "throw"; "exception" ];
+    [ "catch"; "handler" ];
+    [ "label" ];
+    [ "goto" ];
+    [ "if" ];
+    [ "while" ]; [ "for" ];
+    [ "new"; "allocation" ];
+    [ "sizeof"; "size" ];
+    [ "this" ];
+    [ "override"; "overriding"; "overridden" ];
+    [ "overload"; "overloaded" ];
+    [ "default"; "defaulted" ];
+    [ "implicit" ]; [ "explicit" ];
+    [ "pure"; "abstract" ];
+    [ "anonymous"; "unnamed" ];
+    [ "variadic" ];
+  ]
+
+module SS = Set.Make (String)
+
+let index : (string, SS.t) Hashtbl.t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun ring ->
+      let set = SS.of_list ring in
+      List.iter
+        (fun w ->
+          let prev = Option.value (Hashtbl.find_opt tbl w) ~default:SS.empty in
+          Hashtbl.replace tbl w (SS.union prev set))
+        ring)
+    rings;
+  tbl
+
+let related w =
+  match Hashtbl.find_opt index w with
+  | Some set -> SS.elements (SS.remove w set)
+  | None -> []
+
+let share_ring a b =
+  a <> b
+  &&
+  match Hashtbl.find_opt index a with
+  | Some set -> SS.mem b set
+  | None -> false

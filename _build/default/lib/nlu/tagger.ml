@@ -1,0 +1,191 @@
+open Dggt_util
+open Pos
+
+(* Morphological guess for out-of-vocabulary words. *)
+let guess w =
+  if Strutil.ends_with ~suffix:"ing" w then [ VBG; NN ]
+  else if Strutil.ends_with ~suffix:"ed" w then [ VBN; JJ ]
+  else if Strutil.ends_with ~suffix:"ly" w then [ RB ]
+  else if
+    Strutil.ends_with ~suffix:"tion" w
+    || Strutil.ends_with ~suffix:"sion" w
+    || Strutil.ends_with ~suffix:"ment" w
+    || Strutil.ends_with ~suffix:"ness" w
+    || Strutil.ends_with ~suffix:"ance" w
+    || Strutil.ends_with ~suffix:"ence" w
+    || Strutil.ends_with ~suffix:"ity" w
+  then [ NN ]
+  else if
+    Strutil.ends_with ~suffix:"able" w
+    || Strutil.ends_with ~suffix:"ible" w
+    || Strutil.ends_with ~suffix:"ful" w
+    || Strutil.ends_with ~suffix:"less" w
+    || Strutil.ends_with ~suffix:"ous" w
+    || Strutil.ends_with ~suffix:"ic" w
+    || Strutil.ends_with ~suffix:"al" w
+  then [ JJ ]
+  else if Strutil.ends_with ~suffix:"es" w || Strutil.ends_with ~suffix:"s" w then
+    [ NNS; VBZ ]
+  else [ NN ]
+
+(* Candidate tags for one word, before context. *)
+let candidates w =
+  (* An -s form of a known verb can be VBZ even if the lexicon only lists
+     the base form: "starts", "contains". Likewise NNS for nouns. *)
+  let from_lex = Lexicon.lookup w in
+  let inflected =
+    let lv = Lemmatizer.lemma_verb w in
+    let ln = Lemmatizer.lemma_noun w in
+    let acc = ref [] in
+    if Strutil.ends_with ~suffix:"s" w && lv <> w && Lexicon.can_be_verb lv then
+      acc := VBZ :: !acc;
+    if Strutil.ends_with ~suffix:"s" w && ln <> w && Lexicon.can_be_noun ln then
+      acc := NNS :: !acc;
+    if Strutil.ends_with ~suffix:"ing" w && Lexicon.can_be_verb lv then
+      acc := VBG :: !acc;
+    if Strutil.ends_with ~suffix:"ed" w && Lexicon.can_be_verb lv then begin
+      (* participles double as adjectives: "capitalized words" *)
+      acc := JJ :: !acc;
+      acc := VBN :: !acc
+    end;
+    List.rev !acc
+  in
+  let all = inflected @ from_lex in
+  if all = [] then guess w else Listutil.uniq all
+
+let has t cands = List.mem t cands
+
+(* One token's final tag given its candidates and neighbours. [prev] is the
+   resolved tag of the previous word token (None at sentence start or after
+   punctuation). [next_cands] are the candidate tags of the next word. *)
+let resolve ~first ~prev ~prev_word ~next_cands cands w =
+  let mem = has in
+  let default = match cands with t :: _ -> t | [] -> NN in
+  (* "that" heading a relative clause ("lines that contain ...") is a
+     relativizer, not a determiner. *)
+  if w = "that" && List.exists (fun t -> t = VB || t = VBZ) next_cands then WDT
+  else
+  (* Imperative: a sentence-initial word that can be a verb is a verb. *)
+  if first && mem VB cands then VB
+  else
+    match prev with
+    | Some TO when mem VB cands -> VB
+    | Some DT ->
+        (* After a determiner: adjective if a noun follows, else noun. *)
+        if mem JJ cands && List.exists (fun t -> is_noun t) next_cands then JJ
+        else if mem NN cands then NN
+        else if mem NNS cands then NNS
+        else if mem JJ cands then JJ
+        else if mem VBG cands then VBG (* "every containing line" is odd but safe *)
+        else default
+    | Some JJ | Some CD ->
+        if mem NN cands then NN
+        else if mem NNS cands then NNS
+        else if mem JJ cands then JJ
+        else default
+    | Some IN ->
+        (* After a preposition: nominal reading preferred ("at the start",
+           "with a name"). *)
+        if mem DT cands then DT
+        else if mem JJ cands && List.exists is_noun next_cands then JJ
+        else if mem NN cands then NN
+        else if mem NNS cands then NNS
+        else if mem VBG cands then VBG (* "without using" *)
+        else default
+    | Some t when is_noun t ->
+        (* After a noun: a noun that is itself followed by a noun continues
+           a compound ("member call expressions"); gerunds/participles
+           modify it ("lines containing numerals", "method named PI"); a
+           bare verb form here is usually a relative-clause verb ("lines
+           that contain" handled via WDT). *)
+        let nounish_next =
+          next_cands = []
+          || List.exists is_noun next_cands
+          || List.mem WDT next_cands
+        in
+        if nounish_next && mem NNS cands then NNS
+        else if nounish_next && mem NN cands then NN
+        else if mem VBG cands then VBG
+        else if mem VBN cands then VBN
+        else if mem IN cands then IN
+        else if mem VBZ cands then VBZ
+        else if mem CC cands then CC
+        else if mem NN cands then NN
+        else if mem NNS cands then NNS
+        else default
+    | Some WDT when prev_word = Some "whose" ->
+        (* "whose type is ...": the possessed thing is nominal *)
+        if mem NN cands then NN
+        else if mem NNS cands then NNS
+        else default
+    | Some WDT ->
+        (* "which/that declare ..." — relative clause verb. *)
+        if mem VB cands then VB
+        else if mem VBZ cands then VBZ
+        else default
+    | Some CC ->
+        (* Coordination tends to repeat the category; without tracking the
+           conjunct head we prefer verb at clause level only at start. *)
+        if mem NN cands then NN else default
+    | _ ->
+        (* Fallback priorities: noun > adjective > verb forms. *)
+        if mem DT cands then DT
+        else if mem IN cands then IN
+        else if mem JJ cands && List.exists is_noun next_cands then JJ
+        else if mem NN cands then NN
+        else if mem NNS cands then NNS
+        else if mem VBG cands then VBG
+        else default
+
+let tag tokens =
+  let toks = Array.of_list tokens in
+  let n = Array.length toks in
+  let cands =
+    Array.map
+      (fun (t : Token.t) ->
+        match t.Token.kind with
+        | Token.Quoted -> [ LIT ]
+        | Token.Number -> [ CD ]
+        | Token.Punct -> [ PUNCT ]
+        | Token.Symbol -> [ SYM ]
+        | Token.Word -> candidates (Token.lower t))
+      toks
+  in
+  let out = Array.make n NN in
+  let prev = ref None in
+  let prev_word = ref None in
+  let first = ref true in
+  for i = 0 to n - 1 do
+    (match cands.(i) with
+    | [ t ] ->
+        out.(i) <- t;
+        if t = PUNCT then begin
+          prev := None;
+          prev_word := None;
+          first := true
+        end
+        else begin
+          (* LIT/CD/SYM don't end the clause but also shouldn't serve as the
+             contextual previous tag for word disambiguation. *)
+          (match t with
+          | LIT | CD | SYM -> ()
+          | _ ->
+              prev := Some t;
+              prev_word := Some (Token.lower toks.(i)));
+          if t <> LIT && t <> CD && t <> SYM then first := false
+        end
+    | cs ->
+        let next_cands = if i + 1 < n then cands.(i + 1) else [] in
+        let w = Token.lower toks.(i) in
+        let t =
+          resolve ~first:!first ~prev:!prev ~prev_word:!prev_word ~next_cands cs w
+        in
+        out.(i) <- t;
+        prev := Some t;
+        prev_word := Some w;
+        first := false)
+  done;
+  List.mapi (fun i tok -> (tok, out.(i))) (Array.to_list toks)
+
+let tag_words s =
+  tag (Tokenizer.tokenize s) |> List.map (fun (t, p) -> (t.Token.text, p))

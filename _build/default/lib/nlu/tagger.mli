@@ -1,0 +1,15 @@
+(** POS tagging for imperative natural-language queries.
+
+    A two-stage tagger in the spirit of Brill (1992): lexicon lookup
+    proposes candidate tags, morphological heuristics cover
+    out-of-vocabulary words, and a pass of contextual repair rules
+    disambiguates (imperative-initial verbs, determiner--noun, "to"+verb,
+    gerund attachment, and the verb/noun ambiguity of words like "name",
+    "match", "start"). *)
+
+val tag : Token.t list -> (Token.t * Pos.t) list
+(** Tags every token; tokens of kind [Quoted] become {!Pos.LIT}, [Number]
+    becomes {!Pos.CD}, [Punct] becomes {!Pos.PUNCT}. *)
+
+val tag_words : string -> (string * Pos.t) list
+(** Convenience: tokenize then tag, returning surface forms. *)

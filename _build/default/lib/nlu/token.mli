@@ -1,0 +1,23 @@
+(** Tokens produced by the query tokenizer. *)
+
+type kind =
+  | Word      (** alphabetic word, possibly hyphenated *)
+  | Number    (** integer or decimal numeral *)
+  | Quoted    (** quoted literal; [text] is the content without the quotes *)
+  | Punct     (** sentence punctuation: . , ; : ! ? *)
+  | Symbol    (** anything else, e.g. a bare "*" *)
+
+type t = {
+  index : int;     (** position in the token sequence, 0-based *)
+  text : string;   (** surface form (quotes stripped for [Quoted]) *)
+  kind : kind;
+}
+
+val make : int -> string -> kind -> t
+val is_word : t -> bool
+val lower : t -> string
+(** Lowercased surface form (identity for non-words). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val kind_to_string : kind -> string

@@ -1,0 +1,96 @@
+open Dggt_util
+
+(* Curly quotes arrive as UTF-8 multibyte sequences; we recognize the exact
+   byte sequences for “ ” ‘ ’ so that queries pasted from papers or editors
+   tokenize correctly. *)
+let quote_pairs =
+  [ ("\"", "\""); ("'", "'"); ("\xe2\x80\x9c", "\xe2\x80\x9d"); ("\xe2\x80\x98", "\xe2\x80\x99") ]
+
+let match_at s i pat =
+  let lp = String.length pat in
+  i + lp <= String.length s && String.sub s i lp = pat
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let idx = ref 0 in
+  let emit text kind =
+    tokens := Token.make !idx text kind :: !tokens;
+    incr idx
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      match
+        List.find_opt (fun (o, _) -> match_at input !i o) quote_pairs
+      with
+      | Some (opener, closer) ->
+          (* Quoted literal: scan to the matching closer (or end of input). *)
+          let start = !i + String.length opener in
+          let j = ref start in
+          while !j < n && not (match_at input !j closer) do
+            incr j
+          done;
+          emit (String.sub input start (!j - start)) Token.Quoted;
+          i := if !j < n then !j + String.length closer else n
+      | None ->
+          if Strutil.is_digit c then begin
+            (* Numeral: digits with at most one interior dot ("3.5"); a
+               trailing dot is sentence punctuation ("14." at end). *)
+            let j = ref !i in
+            while !j < n && Strutil.is_digit input.[!j] do
+              incr j
+            done;
+            if
+              !j + 1 < n
+              && input.[!j] = '.'
+              && Strutil.is_digit input.[!j + 1]
+            then begin
+              incr j;
+              while !j < n && Strutil.is_digit input.[!j] do
+                incr j
+              done
+            end;
+            emit (String.sub input !i (!j - !i)) Token.Number;
+            i := !j
+          end
+          else if Strutil.is_alpha c then begin
+            (* Word: letters, interior hyphens/apostrophes, digits allowed
+               after the first letter (identifiers like "utf8"). *)
+            let j = ref !i in
+            let continues k =
+              k < n
+              && (Strutil.is_alnum input.[k]
+                 || (input.[k] = '-' && k + 1 < n && Strutil.is_alpha input.[k + 1])
+                 || (input.[k] = '\'' && k + 1 < n && Strutil.is_alpha input.[k + 1]))
+            in
+            while continues !j do
+              incr j
+            done;
+            emit (String.sub input !i (!j - !i)) Token.Word;
+            i := !j
+          end
+          else if c = '.' || c = ',' || c = ';' || c = ':' || c = '!' || c = '?'
+          then begin
+            emit (String.make 1 c) Token.Punct;
+            incr i
+          end
+          else begin
+            (* Any other byte (math symbol, stray unicode lead byte): consume
+               the full UTF-8 sequence if it looks like one. *)
+            let len =
+              let b = Char.code c in
+              if b < 0x80 then 1
+              else if b < 0xe0 then 2
+              else if b < 0xf0 then 3
+              else 4
+            in
+            let len = min len (n - !i) in
+            emit (String.sub input !i len) Token.Symbol;
+            i := !i + len
+          end
+    end
+  done;
+  List.rev !tokens

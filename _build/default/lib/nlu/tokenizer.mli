@@ -1,0 +1,13 @@
+(** Tokenizer for natural-language queries.
+
+    Handles the quirks of the two benchmark domains:
+    - quoted literals in single, double, or curly quotes: ["append \":\" ..."],
+      [‘if a sentence starts with “-” ...’];
+    - decimal and integer numerals ("14", "3.5");
+    - hyphenated words kept whole ("non-empty");
+    - identifiers with internal capitals kept whole ("cxxMethodDecl"). *)
+
+val tokenize : string -> Token.t list
+(** Token indices are consecutive from 0. Never raises: unrecognized bytes
+    become {!Token.Symbol} tokens. An unterminated quote extends to the end
+    of the input. *)

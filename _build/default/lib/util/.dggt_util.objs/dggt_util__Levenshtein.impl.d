@@ -1,0 +1,1 @@
+lib/util/levenshtein.ml: Array Fun String

@@ -1,0 +1,49 @@
+type t = {
+  deadline : float option; (* absolute, Unix time *)
+  max_steps : int option;
+  started : float;
+  mutable steps : int;
+  mutable dead : bool;
+}
+
+exception Exhausted
+
+let now () = Unix.gettimeofday ()
+
+let make deadline max_steps =
+  { deadline; max_steps; started = now (); steps = 0; dead = false }
+
+let unlimited () = make None None
+let of_seconds s = make (Some (now () +. s)) None
+let of_steps n = make None (Some n)
+let of_seconds_and_steps s n = make (Some (now () +. s)) (Some n)
+
+let over t =
+  (match t.max_steps with Some m -> t.steps > m | None -> false)
+  ||
+  match t.deadline with
+  | Some d ->
+      (* Only sample the clock every 256 ticks: gettimeofday costs more than
+         the merge steps it guards. *)
+      if t.steps land 255 = 0 then begin
+        if now () > d then t.dead <- true;
+        t.dead
+      end
+      else t.dead
+  | None -> false
+
+let check t =
+  t.steps <- t.steps + 1;
+  if t.dead then raise Exhausted;
+  if over t then begin
+    t.dead <- true;
+    raise Exhausted
+  end
+
+let exhausted t =
+  t.dead
+  || (match t.max_steps with Some m -> t.steps > m | None -> false)
+  || (match t.deadline with Some d -> now () > d | None -> false)
+
+let steps_used t = t.steps
+let elapsed t = now () -. t.started

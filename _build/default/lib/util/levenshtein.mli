@@ -1,0 +1,10 @@
+(** Edit distance, used as the last-resort backoff in WordToAPI matching
+    (catching typos such as "serach" for "search" in the ASTMatcher query
+    set). *)
+
+val distance : string -> string -> int
+(** Classic Levenshtein distance (insert/delete/substitute, unit costs). *)
+
+val similarity : string -> string -> float
+(** [1 - distance a b / max (len a) (len b)], in [0, 1]; [1.] for equal
+    strings and for two empty strings. *)

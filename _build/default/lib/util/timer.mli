@@ -1,0 +1,7 @@
+(** Wall-clock measurement helpers for the evaluation harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_ignore : (unit -> 'a) -> float

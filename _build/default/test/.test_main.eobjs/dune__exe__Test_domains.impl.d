@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Am_grammar Am_spec Apidoc Astmatcher Dggt_core Dggt_domains Dggt_grammar Dggt_util Domain Engine Ggraph Lazy List Option Printf Text_editing Tree2expr

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Buffer Dggt_core Dggt_domains Dggt_eval Dggt_util Domain Engine Float Format Lazy List Metrics Report Runner Text_editing

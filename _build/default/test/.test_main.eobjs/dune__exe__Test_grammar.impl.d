@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Array Bnf Cfg Dggt_grammar Dggt_util Ggraph Gpath Hashtbl List Option Pathvote QCheck QCheck_alcotest Result String

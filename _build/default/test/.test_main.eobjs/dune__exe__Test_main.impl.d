@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_domains Test_eval Test_grammar Test_nlu Test_props Test_stress Test_util

@@ -1,0 +1,1 @@
+test/test_nlu.ml: Alcotest Dep Depgraph Depparser Dggt_nlu Gen Lemmatizer List Porter Pos Printf QCheck QCheck_alcotest Similarity String Synonyms Tagger Token Tokenizer

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Cfg Cgt Dggt_core Dggt_domains Dggt_grammar Dggt_nlu Edge2path Engine Fun Ggraph Gpath Gprune Lazy List Printf QCheck QCheck_alcotest Result Sprune Tree2expr

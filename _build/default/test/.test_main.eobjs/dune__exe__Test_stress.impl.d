@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Apidoc Cfg Cgt Dgg Dggt Dggt_core Dggt_grammar Dggt_nlu Dggt_util Edge2path Engine Ggraph Lazy List Printf Queryprune Result Stats String Synres Word2api

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Budget Dggt_util Fun Gen Levenshtein List Listutil QCheck QCheck_alcotest Strutil Timer Unix

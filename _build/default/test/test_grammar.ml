@@ -1,0 +1,361 @@
+(* Tests for dggt_grammar: BNF parsing, CFG construction, grammar graph,
+   reversed all-path search, path voting / conflicts.
+
+   The running example mirrors the paper's Figure 4: a fragment of the
+   text-editing DSL where INSERT takes (string, pos, iter), positions can be
+   plain START or parameterized POSITION(AFTER(string)/STARTFROM(string)),
+   giving two INSERT->STRING grammar paths of different sizes. *)
+
+open Dggt_grammar
+
+let fig4_bnf =
+  {|
+# Figure 4 fragment of the TextEditing DSL
+cmd        ::= insert ;
+insert     ::= INSERT insert_arg ;
+insert_arg ::= string pos iter ;
+string     ::= STRING ;
+pos        ::= position | START ;
+position   ::= POSITION pos_arg ;
+pos_arg    ::= after | startfrom ;
+after      ::= AFTER string ;
+startfrom  ::= STARTFROM string ;
+iter       ::= iterscope | ALL ;
+iterscope  ::= ITERATIONSCOPE scope ;
+scope      ::= LINESCOPE | DOCSCOPE ;
+|}
+
+let fig4_cfg () =
+  match Cfg.of_text ~start:"cmd" fig4_bnf with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "fig4 grammar rejected: %a" Cfg.pp_error e
+
+let fig4_graph () = Ggraph.build (fig4_cfg ())
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Bnf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bnf_basic () =
+  match Bnf.parse "a ::= B c ;\nc ::= D | E ;" with
+  | Error e -> Alcotest.failf "parse failed: %a" Bnf.pp_error e
+  | Ok rules ->
+      check_i "two rules" 2 (List.length rules);
+      let a = List.find (fun (r : Bnf.rule) -> r.lhs = "a") rules in
+      Alcotest.(check (list (list string))) "a alts" [ [ "B"; "c" ] ] a.alternatives;
+      let c = List.find (fun (r : Bnf.rule) -> r.lhs = "c") rules in
+      Alcotest.(check (list (list string))) "c alts" [ [ "D" ]; [ "E" ] ] c.alternatives
+
+let test_bnf_optional_semi () =
+  (* newline-started next rule closes the previous one *)
+  match Bnf.parse "a ::= B\nc ::= D" with
+  | Error e -> Alcotest.failf "parse failed: %a" Bnf.pp_error e
+  | Ok rules -> check_i "two rules" 2 (List.length rules)
+
+let test_bnf_comments_and_merge () =
+  match Bnf.parse "# header\na ::= B ; # trailing\na ::= C ;" with
+  | Error e -> Alcotest.failf "parse failed: %a" Bnf.pp_error e
+  | Ok rules -> (
+      match rules with
+      | [ r ] ->
+          check_s "merged lhs" "a" r.lhs;
+          Alcotest.(check (list (list string)))
+            "merged alternatives" [ [ "B" ]; [ "C" ] ] r.alternatives
+      | _ -> Alcotest.fail "expected one merged rule")
+
+let test_bnf_errors () =
+  let expect_err s =
+    match Bnf.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect_err "a ::= ;";
+  expect_err "a ::= b | ;";
+  expect_err "::= b";
+  expect_err "a b c";
+  expect_err "a ::= b $ c"
+
+let test_bnf_roundtrip () =
+  let src = "a ::= B c ;\nc ::= D | E ;" in
+  match Bnf.parse src with
+  | Error _ -> Alcotest.fail "parse failed"
+  | Ok rules -> (
+      match Bnf.parse (Bnf.to_text rules) with
+      | Error _ -> Alcotest.fail "reparse failed"
+      | Ok rules2 -> check_b "round trip" true (rules = rules2))
+
+let prop_bnf_roundtrip =
+  (* generate random small grammars, print, reparse, compare *)
+  let ident =
+    QCheck.Gen.(
+      map
+        (fun (c, rest) -> String.make 1 c ^ String.concat "" (List.map (String.make 1) rest))
+        (pair (char_range 'a' 'f') (list_size (0 -- 3) (char_range 'a' 'f'))))
+  in
+  let rule =
+    QCheck.Gen.(
+      map2
+        (fun lhs alts -> { Bnf.lhs; alternatives = alts })
+        ident
+        (list_size (1 -- 3) (list_size (1 -- 4) ident)))
+  in
+  let grammar_gen = QCheck.Gen.(list_size (1 -- 5) rule) in
+  QCheck.Test.make ~name:"bnf print/parse round-trip" ~count:200
+    (QCheck.make grammar_gen) (fun rules ->
+      (* merge duplicates the way the parser will, to compare canonical forms *)
+      let canonical =
+        Dggt_util.Listutil.group_by ~key:(fun (r : Bnf.rule) -> r.lhs) rules
+        |> List.map (fun (lhs, g) ->
+               { Bnf.lhs; alternatives = List.concat_map (fun (r : Bnf.rule) -> r.alternatives) g })
+      in
+      match Bnf.parse (Bnf.to_text canonical) with
+      | Ok round -> round = canonical
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cfg                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_classification () =
+  let c = fig4_cfg () in
+  check_b "insert_arg is nonterminal" true (Cfg.is_nonterminal c "insert_arg");
+  check_b "STRING is terminal" true (Cfg.is_terminal c "STRING");
+  check_b "STRING is not nonterminal" false (Cfg.is_nonterminal c "STRING");
+  check_i "api count" 10 (Cfg.api_count c);
+  check_s "start" "cmd" c.Cfg.start
+
+let test_cfg_productions () =
+  let c = fig4_cfg () in
+  let pos_prods = Cfg.productions_of c "pos" in
+  check_i "pos has two prods" 2 (List.length pos_prods);
+  (* production ids are dense and match array indexing *)
+  Array.iteri (fun i p -> check_i "dense ids" i p.Cfg.id) c.Cfg.productions
+
+let test_cfg_errors () =
+  (match Cfg.of_text ~start:"nope" fig4_bnf with
+  | Error (Cfg.Undefined_start _) -> ()
+  | _ -> Alcotest.fail "expected Undefined_start");
+  (match Cfg.of_text ~start:"cmd" "" with
+  | Error Cfg.Empty_grammar -> ()
+  | _ -> Alcotest.fail "expected Empty_grammar");
+  match Cfg.of_text ~start:"cmd" "a ::= $" with
+  | Error (Cfg.Parse_error _) -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+(* ------------------------------------------------------------------ *)
+(* Ggraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ggraph_nodes () =
+  let g = fig4_graph () in
+  check_b "api node exists" true (Ggraph.api_node g "INSERT" <> None);
+  check_b "nt node exists" true (Ggraph.nt_node g "insert_arg" <> None);
+  check_b "unknown api" true (Ggraph.api_node g "NOPE" = None);
+  check_i "api node count" 10 (List.length (Ggraph.api_nodes g));
+  check_s "root name" "cmd" (Ggraph.node_name g g.Ggraph.root)
+
+let test_ggraph_head_api_structure () =
+  (* insert ::= INSERT insert_arg — insert_arg must hang under the INSERT
+     API node, so paths descend through the head API. *)
+  let g = fig4_graph () in
+  let insert = Option.get (Ggraph.api_node g "INSERT") in
+  let outs = Ggraph.out_edges g insert in
+  check_i "INSERT has one argument edge" 1 (List.length outs);
+  check_s "argument is insert_arg" "insert_arg"
+    (Ggraph.node_name g (List.hd outs).Ggraph.dst)
+
+let test_ggraph_or_edges () =
+  let g = fig4_graph () in
+  let pos = Option.get (Ggraph.nt_node g "pos") in
+  let outs = Ggraph.out_edges g pos in
+  check_i "pos has two alternatives" 2 (List.length outs);
+  List.iter (fun (e : Ggraph.edge) -> check_b "alt flag" true e.alt) outs;
+  (* single-production NT: concatenation edges *)
+  let ia = Option.get (Ggraph.nt_node g "insert_arg") in
+  let outs = Ggraph.out_edges g ia in
+  check_i "insert_arg has three children" 3 (List.length outs);
+  List.iter (fun (e : Ggraph.edge) -> check_b "concat flag" false e.alt) outs;
+  (* children are in RHS position order *)
+  Alcotest.(check (list string))
+    "insert_arg children order" [ "string"; "pos"; "iter" ]
+    (List.map (fun (e : Ggraph.edge) -> Ggraph.node_name g e.Ggraph.dst) outs)
+
+let test_ggraph_multi_symbol_alternative_gets_deriv () =
+  (* pos ::= position | START has single-symbol alts: no Deriv nodes.
+     A multi-symbol alternative of a multi-production NT gets one. *)
+  let bnf = "s ::= A b | C ;\nb ::= B ;" in
+  let c = Result.get_ok (Cfg.of_text ~start:"s" bnf) in
+  let g = Ggraph.build c in
+  let s = Option.get (Ggraph.nt_node g "s") in
+  let outs = Ggraph.out_edges g s in
+  check_i "two or-edges" 2 (List.length outs);
+  let kinds =
+    List.map
+      (fun (e : Ggraph.edge) ->
+        match g.Ggraph.nodes.(e.Ggraph.dst).Ggraph.kind with
+        | Ggraph.Deriv _ -> "deriv"
+        | Ggraph.Api _ -> "api"
+        | Ggraph.Nt _ -> "nt")
+      outs
+  in
+  check_b "one deriv one api" true
+    (List.sort compare kinds = [ "api"; "deriv" ])
+
+let test_ggraph_reachable () =
+  let g = fig4_graph () in
+  let insert = Option.get (Ggraph.api_node g "INSERT") in
+  let string_ = Option.get (Ggraph.api_node g "STRING") in
+  let linescope = Option.get (Ggraph.api_node g "LINESCOPE") in
+  check_b "INSERT reaches STRING" true (Ggraph.reachable g insert string_);
+  check_b "INSERT reaches LINESCOPE" true (Ggraph.reachable g insert linescope);
+  check_b "STRING does not reach INSERT" false (Ggraph.reachable g string_ insert);
+  check_b "reflexive" true (Ggraph.reachable g insert insert)
+
+(* ------------------------------------------------------------------ *)
+(* Gpath                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let paths_between g a b =
+  Gpath.search_between_apis g ~src_api:a ~dst_api:b
+
+let test_path_search_insert_string () =
+  let g = fig4_graph () in
+  let ps = paths_between g "INSERT" "STRING" in
+  (* 2.1: INSERT -> insert_arg -> string -> STRING (2 APIs)
+     2.2/2.3: through POSITION/AFTER or POSITION/STARTFROM (4 APIs) *)
+  check_i "three INSERT->STRING paths" 3 (List.length ps);
+  let sizes = List.map Gpath.size ps |> List.sort compare in
+  Alcotest.(check (list int)) "path sizes" [ 2; 4; 4 ] sizes;
+  List.iter
+    (fun p ->
+      check_s "top is INSERT" "INSERT" p.Gpath.apis.(0);
+      check_s "bottom is STRING" "STRING"
+        p.Gpath.apis.(Array.length p.Gpath.apis - 1))
+    ps
+
+let test_path_search_no_path () =
+  let g = fig4_graph () in
+  check_i "STRING->INSERT impossible" 0 (List.length (paths_between g "STRING" "INSERT"));
+  check_i "LINESCOPE->STRING impossible" 0
+    (List.length (paths_between g "LINESCOPE" "STRING"))
+
+let test_path_search_same_node () =
+  let g = fig4_graph () in
+  let ps = paths_between g "INSERT" "INSERT" in
+  check_i "identity path" 1 (List.length ps);
+  check_i "identity size" 1 (Gpath.size (List.hd ps))
+
+let test_path_search_from_root () =
+  let g = fig4_graph () in
+  let string_ = Option.get (Ggraph.api_node g "STRING") in
+  let ps = Gpath.search_from_root g ~dst:string_ in
+  check_b "root paths exist" true (List.length ps >= 1);
+  List.iter
+    (fun p -> check_i "starts at root" g.Ggraph.root (Gpath.top p))
+    ps
+
+let test_path_limits () =
+  let g = fig4_graph () in
+  let insert = Option.get (Ggraph.api_node g "INSERT") in
+  let string_ = Option.get (Ggraph.api_node g "STRING") in
+  let ps = Gpath.search ~limits:{ Gpath.max_nodes = 4; max_paths = 10; max_steps = 100_000 } g ~src:insert ~dst:string_ in
+  check_i "length cap prunes long paths" 1 (List.length ps);
+  let ps = Gpath.search ~limits:{ Gpath.max_nodes = 24; max_paths = 2; max_steps = 100_000 } g ~src:insert ~dst:string_ in
+  check_i "count cap" 2 (List.length ps)
+
+let test_path_search_recursive_grammar () =
+  (* A recursive grammar has unboundedly many paths; caps keep it finite. *)
+  let bnf = "e ::= PLUS e | LIT ;" in
+  let c = Result.get_ok (Cfg.of_text ~start:"e" bnf) in
+  let g = Ggraph.build c in
+  let ps = Gpath.search_between_apis g ~src_api:"PLUS" ~dst_api:"LIT" in
+  check_b "terminates with paths" true (List.length ps >= 1);
+  check_b "bounded" true (List.length ps <= Gpath.default_limits.Gpath.max_paths)
+
+(* ------------------------------------------------------------------ *)
+(* Pathvote                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_votes () =
+  let g = fig4_graph () in
+  let ps = paths_between g "INSERT" "STRING" in
+  let numbered = List.mapi (fun i p -> (i, p)) ps in
+  let votes = Pathvote.votes numbered in
+  (* every edge of every path is voted for *)
+  List.iter
+    (fun (i, (p : Gpath.t)) ->
+      Array.iter
+        (fun eid ->
+          let v = List.find (fun (v : Pathvote.vote) -> v.edge = eid) votes in
+          check_b "path votes for its edge" true (List.mem i v.paths))
+        p.Gpath.edges)
+    numbered;
+  (* the INSERT->insert_arg edge is shared by all three paths *)
+  let insert = Option.get (Ggraph.api_node g "INSERT") in
+  let shared = List.hd (Ggraph.out_edges g insert) in
+  let v = List.find (fun (v : Pathvote.vote) -> v.edge = shared.Ggraph.id) votes in
+  check_i "shared edge has three votes" 3 (List.length v.paths)
+
+let test_conflicts () =
+  let g = fig4_graph () in
+  (* Paths INSERT->STRING via string (no pos choice), via POSITION/AFTER,
+     and via POSITION/STARTFROM. The two POSITION paths conflict at
+     pos_arg; each POSITION path also conflicts with a START path at pos. *)
+  let via_string, via_after, via_startfrom =
+    match paths_between g "INSERT" "STRING" |> List.sort (fun a b -> compare (Gpath.size a, a) (Gpath.size b, b)) with
+    | [ a; b; c ] ->
+        let has_api name (p : Gpath.t) = Array.exists (( = ) name) p.Gpath.apis in
+        ( a,
+          (if has_api "AFTER" b then b else c),
+          if has_api "STARTFROM" b then b else c )
+    | _ -> Alcotest.fail "expected 3 paths"
+  in
+  let start_path =
+    match paths_between g "INSERT" "START" with
+    | [ p ] -> p
+    | _ -> Alcotest.fail "expected one INSERT->START path"
+  in
+  let numbered =
+    [ (0, via_string); (1, via_after); (2, via_startfrom); (3, start_path) ]
+  in
+  let cs = Pathvote.conflicts g numbered in
+  check_b "AFTER vs STARTFROM conflict" true (List.mem (1, 2) cs);
+  check_b "POSITION vs START conflict" true (List.mem (1, 3) cs && List.mem (2, 3) cs);
+  check_b "plain string path conflicts with nothing" true
+    (List.for_all (fun (a, b) -> a <> 0 && b <> 0) cs);
+  (* hash-set variant agrees *)
+  let tbl = Pathvote.conflict_table g numbered in
+  check_i "table size" (List.length cs) (Hashtbl.length tbl);
+  List.iter (fun pair -> check_b "pair in table" true (Hashtbl.mem tbl pair)) cs
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_bnf_roundtrip ]
+
+let suite =
+  [
+    Alcotest.test_case "bnf basic" `Quick test_bnf_basic;
+    Alcotest.test_case "bnf optional semicolon" `Quick test_bnf_optional_semi;
+    Alcotest.test_case "bnf comments + merge" `Quick test_bnf_comments_and_merge;
+    Alcotest.test_case "bnf errors" `Quick test_bnf_errors;
+    Alcotest.test_case "bnf round-trip" `Quick test_bnf_roundtrip;
+    Alcotest.test_case "cfg classification" `Quick test_cfg_classification;
+    Alcotest.test_case "cfg productions" `Quick test_cfg_productions;
+    Alcotest.test_case "cfg errors" `Quick test_cfg_errors;
+    Alcotest.test_case "ggraph nodes" `Quick test_ggraph_nodes;
+    Alcotest.test_case "ggraph head-API structure" `Quick test_ggraph_head_api_structure;
+    Alcotest.test_case "ggraph or edges" `Quick test_ggraph_or_edges;
+    Alcotest.test_case "ggraph deriv nodes" `Quick test_ggraph_multi_symbol_alternative_gets_deriv;
+    Alcotest.test_case "ggraph reachable" `Quick test_ggraph_reachable;
+    Alcotest.test_case "paths INSERT->STRING" `Quick test_path_search_insert_string;
+    Alcotest.test_case "paths absent" `Quick test_path_search_no_path;
+    Alcotest.test_case "paths identity" `Quick test_path_search_same_node;
+    Alcotest.test_case "paths from root" `Quick test_path_search_from_root;
+    Alcotest.test_case "paths limits" `Quick test_path_limits;
+    Alcotest.test_case "paths recursive grammar" `Quick test_path_search_recursive_grammar;
+    Alcotest.test_case "pathvote votes" `Quick test_votes;
+    Alcotest.test_case "pathvote conflicts" `Quick test_conflicts;
+  ]
+  @ qsuite

@@ -1,0 +1,14 @@
+(* Test entry point: every module's suite is registered here. *)
+
+let () =
+  Alcotest.run "dggt"
+    [
+      ("util", Test_util.suite);
+      ("nlu", Test_nlu.suite);
+      ("grammar", Test_grammar.suite);
+      ("core", Test_core.suite);
+      ("domains", Test_domains.suite);
+      ("eval", Test_eval.suite);
+      ("properties", Test_props.suite);
+      ("stress", Test_stress.suite);
+    ]

@@ -1,0 +1,395 @@
+(* Tests for the dggt_nlu substrate: tokenizer, POS tagger, stemmer,
+   lemmatizer, dependency parser, synonyms, similarity. *)
+
+open Dggt_nlu
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kinds s = Tokenizer.tokenize s |> List.map (fun (t : Token.t) -> t.kind)
+let texts s = Tokenizer.tokenize s |> List.map (fun (t : Token.t) -> t.text)
+
+let test_tokenize_basic () =
+  Alcotest.(check (list string))
+    "plain words"
+    [ "insert"; "a"; "string" ]
+    (texts "insert a string");
+  Alcotest.(check (list string))
+    "indices consecutive" [ "0"; "1"; "2" ]
+    (Tokenizer.tokenize "a b c" |> List.map (fun (t : Token.t) -> string_of_int t.index))
+
+let test_tokenize_quotes () =
+  Alcotest.(check (list string)) "double quotes" [ "append"; ":" ] (texts "append \":\"");
+  check_b "quoted kind"
+    (List.mem Token.Quoted (kinds "append \":\""))
+    true;
+  Alcotest.(check (list string)) "curly quotes" [ "-" ] (texts "\xe2\x80\x9c-\xe2\x80\x9d");
+  Alcotest.(check (list string))
+    "single quotes with space inside" [ "a b" ] (texts "'a b'");
+  Alcotest.(check (list string))
+    "unterminated quote to end" [ "x"; "abc" ] (texts "x \"abc")
+
+let test_tokenize_numbers () =
+  Alcotest.(check (list string)) "integer" [ "14"; "characters" ] (texts "14 characters");
+  Alcotest.(check (list string)) "decimal" [ "3.5" ] (texts "3.5");
+  Alcotest.(check (list string))
+    "trailing dot is punct" [ "14"; "." ] (texts "14.");
+  check_b "number kind" true (List.mem Token.Number (kinds "14"))
+
+let test_tokenize_words () =
+  Alcotest.(check (list string)) "hyphenated" [ "non-empty" ] (texts "non-empty");
+  Alcotest.(check (list string)) "identifier" [ "cxxMethodDecl" ] (texts "cxxMethodDecl");
+  Alcotest.(check (list string)) "alnum" [ "utf8" ] (texts "utf8");
+  Alcotest.(check (list string))
+    "punct separated" [ "lines"; ","; "then" ] (texts "lines, then")
+
+let test_tokenize_symbols () =
+  check_b "star is symbol" true (List.mem Token.Symbol (kinds "*"));
+  (* tokenizer must be total on arbitrary bytes *)
+  check_i "weird bytes don't crash" (List.length (Tokenizer.tokenize "\xc3\xa9 x")) 2
+
+(* ------------------------------------------------------------------ *)
+(* Porter stemmer — reference pairs from Porter (1980)                *)
+(* ------------------------------------------------------------------ *)
+
+let test_porter () =
+  let cases =
+    [
+      ("caresses", "caress"); ("ponies", "poni"); ("ties", "ti"); ("caress", "caress");
+      ("cats", "cat"); ("feed", "feed"); ("agreed", "agre"); ("plastered", "plaster");
+      ("bled", "bled"); ("motoring", "motor"); ("sing", "sing"); ("conflated", "conflat");
+      ("troubled", "troubl"); ("sized", "size"); ("hopping", "hop"); ("tanned", "tan");
+      ("falling", "fall"); ("hissing", "hiss"); ("fizzed", "fizz"); ("failing", "fail");
+      ("filing", "file"); ("happy", "happi"); ("sky", "sky"); ("relational", "relat");
+      ("conditional", "condit"); ("rational", "ration"); ("valenci", "valenc");
+      ("digitizer", "digit"); ("operator", "oper"); ("feudalism", "feudal");
+      ("decisiveness", "decis"); ("hopefulness", "hope"); ("callousness", "callous");
+      ("formaliti", "formal"); ("sensitiviti", "sensit"); ("sensibiliti", "sensibl");
+      ("triplicate", "triplic"); ("formative", "form"); ("formalize", "formal");
+      ("electriciti", "electr"); ("electrical", "electr"); ("hopeful", "hope");
+      ("goodness", "good"); ("revival", "reviv"); ("allowance", "allow");
+      ("inference", "infer"); ("airliner", "airlin"); ("gyroscopic", "gyroscop");
+      ("adjustable", "adjust"); ("defensible", "defens"); ("irritant", "irrit");
+      ("replacement", "replac"); ("adjustment", "adjust"); ("dependent", "depend");
+      ("adoption", "adopt"); ("homologou", "homolog"); ("communism", "commun");
+      ("activate", "activ"); ("angulariti", "angular"); ("homologous", "homolog");
+      ("effective", "effect"); ("bowdlerize", "bowdler"); ("probate", "probat");
+      ("rate", "rate"); ("cease", "ceas"); ("controll", "control"); ("roll", "roll");
+    ]
+  in
+  List.iter (fun (w, expect) -> check_s w expect (Porter.stem w)) cases
+
+let test_porter_domain_words () =
+  (* The property the pipeline relies on: inflected forms share a stem. *)
+  let same a b = check_s (a ^ "~" ^ b) (Porter.stem a) (Porter.stem b) in
+  same "matching" "matched";
+  same "contains" "containing";
+  same "insertion" "inserted";
+  same "declares" "declaration" |> ignore;
+  check_b "short words unchanged" true (Porter.stem "do" = "do")
+
+(* ------------------------------------------------------------------ *)
+(* Lemmatizer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lemma_verbs () =
+  let v w e = check_s w e (Lemmatizer.lemma_verb w) in
+  v "starts" "start";
+  v "contains" "contain";
+  v "containing" "contain";
+  v "named" "name";
+  v "replaced" "replace";
+  v "replaces" "replace";
+  v "stopped" "stop";
+  v "inserted" "insert";
+  v "agreed" "agree";
+  v "found" "find";
+  v "is" "be";
+  v "copies" "copy";
+  v "matches" "match";
+  v "applied" "apply";
+  v "insert" "insert"
+
+let test_lemma_nouns () =
+  let n w e = check_s w e (Lemmatizer.lemma_noun w) in
+  n "lines" "line";
+  n "numerals" "numeral";
+  n "expressions" "expression";
+  n "parentheses" "parenthesis";
+  n "classes" "class";
+  n "branches" "branch";
+  n "copies" "copy";
+  n "class" "class";
+  n "indices" "index";
+  n "children" "child";
+  n "status" "status"
+
+let test_lemma_dispatch () =
+  check_s "verb pos" "contain" (Lemmatizer.lemma ~pos:Pos.VBG "containing");
+  check_s "noun pos" "line" (Lemmatizer.lemma ~pos:Pos.NNS "lines");
+  check_s "other pos unchanged" "containing" (Lemmatizer.lemma ~pos:Pos.IN "containing")
+
+(* ------------------------------------------------------------------ *)
+(* Tagger                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tag_of q w =
+  match List.assoc_opt w (Tagger.tag_words q) with
+  | Some t -> Pos.to_string t
+  | None -> Alcotest.failf "word %S not found in %S" w q
+
+let test_tagger_imperative () =
+  check_s "initial verb" "VB" (tag_of "insert a string" "insert");
+  check_s "object noun" "NN" (tag_of "insert a string" "string");
+  check_s "determiner" "DT" (tag_of "insert a string" "a")
+
+let test_tagger_ambiguity () =
+  (* "name" as noun after determiner, verb at start *)
+  check_s "name as verb" "VB" (tag_of "name the first line" "name");
+  check_s "name as noun" "NN" (tag_of "print the name" "name");
+  check_s "start as noun after at" "NN" (tag_of "at the start" "start");
+  check_s "starts as VBZ" "VBZ" (tag_of "if a sentence starts with x" "starts")
+
+let test_tagger_participles () =
+  check_s "gerund after noun" "VBG" (tag_of "every line containing numerals" "containing");
+  check_s "participle after noun" "VBN" (tag_of "a method named x" "named");
+  check_s "plural noun" "NNS" (tag_of "every line containing numerals" "numerals")
+
+let test_tagger_literals () =
+  let tags = Tagger.tag (Tokenizer.tokenize "append \":\" after 14 characters") in
+  let find txt =
+    List.find (fun ((t : Token.t), _) -> t.text = txt) tags |> snd |> Pos.to_string
+  in
+  check_s "literal" "LIT" (find ":");
+  check_s "number" "CD" (find "14");
+  check_s "preposition" "IN" (find "after")
+
+let test_tagger_oov () =
+  (* out-of-vocabulary: morphological guessing *)
+  check_s "-tion noun" "NN" (tag_of "find the prioritization" "prioritization");
+  check_s "-able adj" "JJ" (tag_of "find a parsable line" "parsable");
+  check_s "-ly adverb" "RB" (tag_of "delete quickly the line" "quickly")
+
+(* ------------------------------------------------------------------ *)
+(* Dependency parser                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let edge_str (g : Depgraph.t) (e : Depgraph.edge) =
+  let name id = (Depgraph.node g id).text in
+  Printf.sprintf "%s(%s,%s)" (Dep.to_string e.label) (name e.gov) (name e.dep)
+
+let has_edge g label gov dep =
+  List.exists
+    (fun (e : Depgraph.edge) ->
+      Dep.to_string e.label = label
+      && (Depgraph.node g e.gov).text = gov
+      && (Depgraph.node g e.dep).text = dep)
+    g.Depgraph.edges
+
+let assert_edge q label gov dep =
+  let g = Depparser.parse q in
+  if not (has_edge g label gov dep) then
+    Alcotest.failf "expected %s(%s,%s) in parse of %S; got: %s" label gov dep q
+      (String.concat " " (List.map (edge_str g) g.Depgraph.edges))
+
+let test_parse_insert () =
+  let q = "insert a string at the start of each line" in
+  assert_edge q "obj" "insert" "string";
+  assert_edge q "nmod:at" "insert" "start";
+  assert_edge q "nmod:of" "start" "line";
+  assert_edge q "det" "line" "each";
+  let g = Depparser.parse q in
+  check_s "root" "insert" (Depgraph.node g g.Depgraph.root).text
+
+let test_parse_append () =
+  let q = "Append \":\" in every line containing numerals." in
+  assert_edge q "obj" "Append" ":";
+  assert_edge q "nmod:in" "Append" "line";
+  assert_edge q "acl" "line" "containing";
+  assert_edge q "obj" "containing" "numerals"
+
+let test_parse_astmatcher () =
+  let q = "find cxx constructor expressions which declare a cxx method named \"PI\"" in
+  assert_edge q "compound" "expressions" "constructor";
+  assert_edge q "obj" "find" "expressions";
+  assert_edge q "acl" "expressions" "declare";
+  assert_edge q "obj" "declare" "method";
+  assert_edge q "acl" "method" "named";
+  assert_edge q "obj" "named" "PI"
+
+let test_parse_whose () =
+  let q = "search for call expressions whose argument is a float literal" in
+  assert_edge q "nmod:for" "search" "expressions";
+  assert_edge q "nmod:poss" "expressions" "argument";
+  assert_edge q "acl" "argument" "is";
+  assert_edge q "obj" "is" "literal";
+  assert_edge q "compound" "literal" "float"
+
+let test_parse_subordinate () =
+  let q = "if a sentence starts with \"-\", add \":\" after 14 characters" in
+  assert_edge q "advcl:if" "add" "starts";
+  assert_edge q "nsubj" "starts" "sentence";
+  assert_edge q "nmod:with" "starts" "-";
+  assert_edge q "obj" "add" ":";
+  (* "after" names a position API, so it stays as a node *)
+  assert_edge q "nmod:after" "add" "after";
+  assert_edge q "obj" "after" "characters";
+  assert_edge q "nummod" "characters" "14";
+  let g = Depparser.parse q in
+  check_s "root is main verb" "add" (Depgraph.node g g.Depgraph.root).text
+
+let test_parse_total () =
+  (* every non-root token has exactly one governor *)
+  let qs =
+    [ "insert a string at the start of each line";
+      "whatever unknown gibberish flows here";
+      "\"::\" 42 !?"; "" ]
+  in
+  List.iter
+    (fun q ->
+      let g = Depparser.parse q in
+      List.iter
+        (fun (n : Depgraph.node) ->
+          if n.id <> g.Depgraph.root then
+            check_i
+              (Printf.sprintf "%S token %d has one governor" q n.id)
+              1
+              (List.length
+                 (List.filter (fun (e : Depgraph.edge) -> e.dep = n.id) g.Depgraph.edges)))
+        g.Depgraph.nodes)
+    qs
+
+let prop_parse_never_raises =
+  QCheck.Test.make ~name:"depparser total on arbitrary strings" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun s ->
+      let g = Depparser.parse s in
+      List.length g.Depgraph.nodes >= 0)
+
+let prop_parse_tree_rootward =
+  QCheck.Test.make ~name:"parses of word soup are forests with one governor each"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 10)
+              (oneofl [ "insert"; "line"; "every"; "string"; "at"; "containing";
+                        "delete"; "word"; "first"; "of"; "the"; "and" ]))
+    (fun words ->
+      let q = String.concat " " words in
+      let g = Depparser.parse q in
+      List.for_all
+        (fun (n : Depgraph.node) ->
+          n.id = g.Depgraph.root
+          || List.length (List.filter (fun (e : Depgraph.edge) -> e.dep = n.id) g.Depgraph.edges)
+             = 1)
+        g.Depgraph.nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Depgraph structure                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_depgraph_levels () =
+  let g = Depparser.parse "insert a string at the start of each line" in
+  (* depth: insert=0; string,start=1; line,a,the=2; each=3 *)
+  check_i "root depth" 0 (Depgraph.depth g g.Depgraph.root);
+  let id_of txt =
+    (List.find (fun (n : Depgraph.node) -> n.text = txt) g.Depgraph.nodes).id
+  in
+  check_i "string depth" 1 (Depgraph.depth g (id_of "string"));
+  check_i "line depth" 2 (Depgraph.depth g (id_of "line"));
+  check_i "each depth" 3 (Depgraph.depth g (id_of "each"));
+  let levels = Depgraph.levels g in
+  check_b "levels nonempty" true (List.length levels >= 3);
+  (* first level contains only root-governed edges *)
+  List.iter
+    (fun (e : Depgraph.edge) ->
+      check_i "level-1 edges start at root" 0 (Depgraph.depth g e.gov))
+    (List.hd levels)
+
+let test_depgraph_tree_ops () =
+  let g = Depparser.parse "Append \":\" in every line containing numerals." in
+  check_b "is_tree" true (Depgraph.is_tree g);
+  let id_of txt =
+    (List.find (fun (n : Depgraph.node) -> n.text = txt) g.Depgraph.nodes).id
+  in
+  let removed = Depgraph.remove_node g (id_of ".") in
+  check_b "node removed" false (Depgraph.mem removed (id_of "."));
+  check_i "children of line" 2 (List.length (Depgraph.children g (id_of "line")));
+  (match Depgraph.parent g (id_of "numerals") with
+  | Some e -> check_s "parent of numerals" "containing" (Depgraph.node g e.gov).text
+  | None -> Alcotest.fail "numerals has no parent");
+  check_b "node_opt missing" true (Depgraph.node_opt g 999 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Synonyms and similarity                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_synonyms () =
+  check_b "insert~append" true (Synonyms.share_ring "insert" "append");
+  check_b "delete~remove" true (Synonyms.share_ring "delete" "remove");
+  check_b "insert!~delete" false (Synonyms.share_ring "insert" "delete");
+  check_b "word not reflexive" false (Synonyms.share_ring "insert" "insert");
+  check_b "unknown empty" true (Synonyms.related "zzyzx" = []);
+  check_b "related includes ring" true (List.mem "append" (Synonyms.related "insert"))
+
+let test_similarity () =
+  let open Similarity in
+  Alcotest.(check (float 1e-9)) "exact" 1.0 (word_score "line" "line");
+  check_b "stem match high" true (word_score "matching" "matches" >= 0.9);
+  check_b "synonym" true (word_score "remove" "delete" >= 0.8);
+  check_b "typo backoff" true (word_score "serach" "search" > 0.0);
+  Alcotest.(check (float 1e-9)) "unrelated" 0.0 (word_score "line" "constructor");
+  Alcotest.(check (float 1e-9)) "short no typo" 0.0 (word_score "cat" "cut");
+  check_b "best_against picks max" true
+    (best_against "remove" [ "insert"; "delete" ] >= 0.8);
+  Alcotest.(check (float 1e-9)) "best_against empty" 0.0 (best_against "x" [])
+
+let prop_word_score_bounded =
+  QCheck.Test.make ~name:"word_score in [0,1]" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 10)) (string_of_size Gen.(0 -- 10)))
+    (fun (a, b) ->
+      let s = Similarity.word_score a b in
+      s >= 0.0 && s <= 1.0)
+
+let prop_porter_total =
+  QCheck.Test.make ~name:"porter total on lowercase words" ~count:500
+    QCheck.(string_gen_of_size Gen.(0 -- 15) (Gen.char_range 'a' 'z'))
+    (fun w -> String.length (Porter.stem w) <= String.length w + 1)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_parse_never_raises; prop_parse_tree_rootward; prop_word_score_bounded;
+      prop_porter_total ]
+
+let suite =
+  [
+    Alcotest.test_case "tokenize basic" `Quick test_tokenize_basic;
+    Alcotest.test_case "tokenize quotes" `Quick test_tokenize_quotes;
+    Alcotest.test_case "tokenize numbers" `Quick test_tokenize_numbers;
+    Alcotest.test_case "tokenize words" `Quick test_tokenize_words;
+    Alcotest.test_case "tokenize symbols" `Quick test_tokenize_symbols;
+    Alcotest.test_case "porter reference vectors" `Quick test_porter;
+    Alcotest.test_case "porter domain words" `Quick test_porter_domain_words;
+    Alcotest.test_case "lemma verbs" `Quick test_lemma_verbs;
+    Alcotest.test_case "lemma nouns" `Quick test_lemma_nouns;
+    Alcotest.test_case "lemma dispatch" `Quick test_lemma_dispatch;
+    Alcotest.test_case "tagger imperative" `Quick test_tagger_imperative;
+    Alcotest.test_case "tagger ambiguity" `Quick test_tagger_ambiguity;
+    Alcotest.test_case "tagger participles" `Quick test_tagger_participles;
+    Alcotest.test_case "tagger literals" `Quick test_tagger_literals;
+    Alcotest.test_case "tagger OOV morphology" `Quick test_tagger_oov;
+    Alcotest.test_case "parse: insert/start/line" `Quick test_parse_insert;
+    Alcotest.test_case "parse: append/containing" `Quick test_parse_append;
+    Alcotest.test_case "parse: astmatcher relative clause" `Quick test_parse_astmatcher;
+    Alcotest.test_case "parse: whose-possessive" `Quick test_parse_whose;
+    Alcotest.test_case "parse: subordinate clause" `Quick test_parse_subordinate;
+    Alcotest.test_case "parse: total function" `Quick test_parse_total;
+    Alcotest.test_case "depgraph levels" `Quick test_depgraph_levels;
+    Alcotest.test_case "depgraph tree ops" `Quick test_depgraph_tree_ops;
+    Alcotest.test_case "synonyms" `Quick test_synonyms;
+    Alcotest.test_case "similarity" `Quick test_similarity;
+  ]
+  @ qsuite

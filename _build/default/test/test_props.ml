@@ -1,0 +1,240 @@
+(* Cross-module property tests on the invariants the algorithms rely on:
+   path well-formedness, pruning soundness, CGT size bounds, and engine
+   determinism. The fixture is the Figure 4 grammar from test_core. *)
+
+open Dggt_grammar
+open Dggt_core
+module Nlu = Dggt_nlu
+
+let fig4_bnf =
+  {|
+cmd        ::= insert ;
+insert     ::= INSERT insert_arg ;
+insert_arg ::= string pos iter ;
+string     ::= STRING ;
+pos        ::= position | START ;
+position   ::= POSITION pos_arg ;
+pos_arg    ::= after | startfrom ;
+after      ::= AFTER string ;
+startfrom  ::= STARTFROM string ;
+iter       ::= iterscope | ALL ;
+iterscope  ::= ITERATIONSCOPE scope ;
+scope      ::= linescope | DOCSCOPE ;
+linescope  ::= LINESCOPE ;
+|}
+
+let graph =
+  lazy (Ggraph.build (Result.get_ok (Cfg.of_text ~start:"cmd" fig4_bnf)))
+
+let api_names =
+  [ "INSERT"; "STRING"; "START"; "POSITION"; "AFTER"; "STARTFROM"; "ALL";
+    "ITERATIONSCOPE"; "LINESCOPE"; "DOCSCOPE" ]
+
+let api_pair_gen = QCheck.(pair (oneofl api_names) (oneofl api_names))
+
+(* Every path returned by the search is a well-formed top-down chain:
+   endpoints match, consecutive edges link, apis match the API nodes. *)
+let prop_path_well_formed =
+  QCheck.Test.make ~name:"grammar paths are well-formed chains" ~count:200
+    api_pair_gen (fun (a, b) ->
+      let g = Lazy.force graph in
+      let ps = Gpath.search_between_apis g ~src_api:a ~dst_api:b in
+      List.for_all
+        (fun (p : Gpath.t) ->
+          let n = Array.length p.Gpath.nodes in
+          n >= 1
+          && Array.length p.Gpath.edges = n - 1
+          && Ggraph.node_name g p.Gpath.nodes.(0) = a
+          && Ggraph.node_name g p.Gpath.nodes.(n - 1) = b
+          && Array.for_all
+               (fun i ->
+                 let e = Ggraph.edge g p.Gpath.edges.(i) in
+                 e.Ggraph.src = p.Gpath.nodes.(i)
+                 && e.Ggraph.dst = p.Gpath.nodes.(i + 1))
+               (Array.init (n - 1) Fun.id)
+          && Gpath.size p
+             = Array.length
+                 (Array.of_list
+                    (List.filter (Ggraph.is_api g) (Array.to_list p.Gpath.nodes))))
+        ps)
+
+(* Paths are simple: no node repeats. *)
+let prop_path_simple =
+  QCheck.Test.make ~name:"grammar paths are simple (no repeated node)" ~count:200
+    api_pair_gen (fun (a, b) ->
+      let g = Lazy.force graph in
+      Gpath.search_between_apis g ~src_api:a ~dst_api:b
+      |> List.for_all (fun (p : Gpath.t) ->
+             let l = Array.to_list p.Gpath.nodes in
+             List.length l = List.length (List.sort_uniq compare l)))
+
+(* The search never returns two identical paths. *)
+let prop_path_distinct =
+  QCheck.Test.make ~name:"path sets are duplicate-free" ~count:200 api_pair_gen
+    (fun (a, b) ->
+      let g = Lazy.force graph in
+      let ps = Gpath.search_between_apis g ~src_api:a ~dst_api:b in
+      let keys = List.map (fun (p : Gpath.t) -> Array.to_list p.Gpath.nodes) ps in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+(* Size-based pruning is sound: the true merged API size of any combination
+   lies within the precomputed bounds. *)
+(* The paper's size bound presumes sibling paths: they share the governor
+   API (DGGT groups combinations by governor, so the precondition always
+   holds in the engine). The generator respects it — dropping the shared
+   root makes the upper bound unsound, which this suite verified the hard
+   way. *)
+let random_paths_gen =
+  QCheck.Gen.(
+    list_size (1 -- 3)
+      (oneofl
+         [ ("INSERT", "STRING"); ("INSERT", "START"); ("INSERT", "LINESCOPE");
+           ("INSERT", "ALL"); ("INSERT", "POSITION"); ("INSERT", "AFTER") ]))
+
+let mk_epath i (p : Gpath.t) =
+  {
+    Edge2path.id = i;
+    label = string_of_int i;
+    edge = { Nlu.Depgraph.gov = 0; dep = i + 1; label = Nlu.Dep.Dep };
+    gov_api = Some p.Gpath.apis.(0);
+    dep_api = p.Gpath.apis.(Array.length p.Gpath.apis - 1);
+    path = p;
+  }
+
+let prop_sprune_bounds_sound =
+  QCheck.Test.make ~name:"size bounds contain the true merged size" ~count:200
+    (QCheck.make random_paths_gen) (fun pairs ->
+      let g = Lazy.force graph in
+      let paths =
+        List.concat_map
+          (fun (a, b) ->
+            match Gpath.search_between_apis g ~src_api:a ~dst_api:b with
+            | p :: _ -> [ p ]
+            | [] -> [])
+          pairs
+      in
+      paths = []
+      ||
+      let combo = List.mapi mk_epath paths in
+      let b = Sprune.bounds_of ~extra:(fun _ -> 0) combo in
+      let merged = Cgt.of_paths g paths in
+      let size = Cgt.api_size g merged in
+      b.Sprune.lo <= size && size <= b.Sprune.hi)
+
+(* Grammar-based pruning only removes combinations that are guaranteed
+   grammar-invalid: every pruned combination, if merged, violates
+   one-production-per-node. *)
+let prop_gprune_lossless =
+  QCheck.Test.make ~name:"grammar pruning removes only invalid combinations"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (oneofl [ ("INSERT", "STRING"); ("INSERT", "START") ])
+           (oneofl [ ("INSERT", "LINESCOPE"); ("INSERT", "ALL"); ("INSERT", "POSITION") ])))
+    (fun ((a1, b1), (a2, b2)) ->
+      let g = Lazy.force graph in
+      let ps1 = Gpath.search_between_apis g ~src_api:a1 ~dst_api:b1 in
+      let ps2 = Gpath.search_between_apis g ~src_api:a2 ~dst_api:b2 in
+      let g1 = List.mapi mk_epath ps1 in
+      let g2 = List.mapi (fun i p -> mk_epath (100 + i) p) ps2 in
+      g1 = [] || g2 = []
+      ||
+      let tbl = Gprune.prepare g (g1 @ g2) in
+      let survivors, total = Gprune.combos tbl ~enabled:true [ g1; g2 ] in
+      let all, _ = Gprune.combos tbl ~enabled:false [ g1; g2 ] in
+      let pruned =
+        List.filter (fun c -> not (List.mem c survivors)) all
+      in
+      total = List.length all
+      && List.for_all
+           (fun combo ->
+             let cgt =
+               Cgt.of_paths g (List.map (fun (p : Edge2path.epath) -> p.Edge2path.path) combo)
+             in
+             not (Cgt.is_grammar_valid g cgt))
+           pruned)
+
+(* CGT merging is commutative and associative in its effect. *)
+let prop_cgt_merge_acI =
+  QCheck.Test.make ~name:"CGT merge is commutative/associative/idempotent"
+    ~count:200
+    (QCheck.make random_paths_gen) (fun pairs ->
+      let g = Lazy.force graph in
+      let paths =
+        List.concat_map
+          (fun (a, b) ->
+            match Gpath.search_between_apis g ~src_api:a ~dst_api:b with
+            | p :: _ -> [ Cgt.of_paths g [ p ] ]
+            | [] -> [])
+          pairs
+      in
+      match paths with
+      | [ x ] -> Cgt.equal (Cgt.merge x x) x
+      | x :: y :: rest ->
+          let z = List.fold_left Cgt.merge Cgt.empty rest in
+          Cgt.equal (Cgt.merge x y) (Cgt.merge y x)
+          && Cgt.equal
+               (Cgt.merge (Cgt.merge x y) z)
+               (Cgt.merge x (Cgt.merge y z))
+          && Cgt.equal (Cgt.merge x x) x
+      | [] -> true)
+
+(* Engine determinism: synthesizing twice gives the identical codelet. *)
+let te_query_gen =
+  QCheck.Gen.(
+    map
+      (fun (v, o, w) -> Printf.sprintf "%s %s %s" v o w)
+      (triple
+         (oneofl [ "delete"; "select"; "print"; "count" ])
+         (oneofl [ "all numbers"; "every line"; "the first word"; "\"x\"" ])
+         (oneofl [ ""; "in every sentence"; "of each line"; "containing \"y\"" ])))
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine is deterministic" ~count:40
+    (QCheck.make te_query_gen ~print:Fun.id) (fun q ->
+      let dom = Dggt_domains.Text_editing.domain in
+      let g = Lazy.force dom.Dggt_domains.Domain.graph in
+      let doc = Lazy.force dom.Dggt_domains.Domain.doc in
+      let cfg =
+        Dggt_domains.Domain.configure dom
+          { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 5.0 }
+      in
+      let a = Engine.synthesize cfg g doc q in
+      let b = Engine.synthesize cfg g doc q in
+      a.Engine.code = b.Engine.code)
+
+(* Tree2expr parses whatever it prints (beyond the unit cases). *)
+let expr_gen =
+  let open QCheck.Gen in
+  let api = oneofl [ "A"; "Bb"; "Ccc"; "hasName"; "STRING" ] in
+  let lit = opt (oneofl [ "x"; "14"; ":"; "a b" ]) in
+  fix (fun self depth ->
+      if depth = 0 then
+        map2 (fun api lit -> { Tree2expr.api; lit; args = [] }) api lit
+      else
+        map3
+          (fun api lit args -> { Tree2expr.api; lit; args })
+          api lit
+          (list_size (0 -- 3) (self (depth - 1))))
+    2
+
+let prop_expr_print_parse =
+  QCheck.Test.make ~name:"expr print/parse round-trip" ~count:300
+    (QCheck.make expr_gen) (fun e ->
+      match Tree2expr.parse (Tree2expr.to_string e) with
+      | Ok e' -> Tree2expr.equal e e'
+      | Error _ -> false)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_path_well_formed;
+      prop_path_simple;
+      prop_path_distinct;
+      prop_sprune_bounds_sound;
+      prop_gprune_lossless;
+      prop_cgt_merge_acI;
+      prop_engine_deterministic;
+      prop_expr_print_parse;
+    ]

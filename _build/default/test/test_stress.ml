@@ -1,0 +1,236 @@
+(* Failure injection and structural introspection: malformed inputs,
+   budget exhaustion at every stage, degenerate grammars, and Figure 5-style
+   assertions on the dynamic grammar graph DGGT builds. *)
+
+open Dggt_grammar
+open Dggt_core
+module Nlu = Dggt_nlu
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let fig4_bnf =
+  {|
+cmd        ::= insert ;
+insert     ::= INSERT insert_arg ;
+insert_arg ::= string pos iter ;
+string     ::= STRING ;
+pos        ::= position | START ;
+position   ::= POSITION pos_arg ;
+pos_arg    ::= after | startfrom ;
+after      ::= AFTER string ;
+startfrom  ::= STARTFROM string ;
+iter       ::= iterscope | ALL ;
+iterscope  ::= ITERATIONSCOPE scope ;
+scope      ::= linescope | DOCSCOPE ;
+linescope  ::= LINESCOPE ;
+|}
+
+let graph = lazy (Ggraph.build (Result.get_ok (Cfg.of_text ~start:"cmd" fig4_bnf)))
+
+let doc =
+  lazy
+    (Apidoc.make ~literal_apis:[ "STRING" ]
+       [
+         ("INSERT", "insert add append a string at a position");
+         ("STRING", "a literal string of characters text");
+         ("START", "the start beginning of the scope");
+         ("POSITION", "a position in the text");
+         ("AFTER", "position after a string");
+         ("STARTFROM", "position starting from a string");
+         ("ALL", "all occurrences");
+         ("ITERATIONSCOPE", "iterate over every each scope");
+         ("LINESCOPE", "line scope each line");
+         ("DOCSCOPE", "whole document file scope");
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic grammar graph structure (paper Figure 5)                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_dgg query =
+  let g = Lazy.force graph in
+  let dg = Queryprune.prune (Nlu.Depparser.parse query) in
+  let w2a = Word2api.build (Lazy.force doc) dg in
+  let e2p = Edge2path.build g dg w2a in
+  let stats = Stats.create () in
+  let budget = Dggt_util.Budget.unlimited () in
+  let res, dyng = Dggt.synthesize_with_graph ~budget ~stats g dg w2a e2p in
+  (res, dyng, dg, stats)
+
+let test_dgg_structure () =
+  (* "insert '-' at the start": sibling edges under insert (literal and
+     position) — the graph must contain the start node, API nodes for every
+     candidate interpretation, and partial-CGT nodes for the surviving
+     sibling combinations, linked by path and auxiliary edges. *)
+  let res, dyng, dg, _ = build_dgg "insert \"-\" at the start" in
+  check_b "synthesis succeeded" true (res <> None);
+  let nodes = Dgg.nodes dyng in
+  let apis, pcgts, starts =
+    List.fold_left
+      (fun (a, p, s) (n : Dgg.node) ->
+        match n.Dgg.kind with
+        | Dgg.ApiN _ -> (a + 1, p, s)
+        | Dgg.PcgtN _ -> (a, p + 1, s)
+        | Dgg.Start -> (a, p, s + 1))
+      (0, 0, 0) nodes
+  in
+  check_i "one start node" 1 starts;
+  check_b "API nodes for candidate interpretations" true (apis >= 4);
+  check_b "partial-CGT nodes for sibling combinations" true (pcgts >= 1);
+  (* every non-start node is reachable via an edge *)
+  let edges = Dgg.edges dyng in
+  List.iter
+    (fun (n : Dgg.node) ->
+      if n.Dgg.kind <> Dgg.Start then
+        check_b "node has an incoming edge" true
+          (List.exists (fun (e : Dgg.edge) -> e.Dgg.dst = n.Dgg.id) edges))
+    nodes;
+  (* the winning assignment covers only nodes of the dependency graph and
+     the root's chosen API node has the reported size *)
+  (match res with
+  | Some r ->
+      List.iter
+        (fun (node, _) ->
+          check_b "assignment references dep nodes" true (Nlu.Depgraph.mem dg node))
+        r.Synres.assignment;
+      check_i "size equals CGT's API count" r.Synres.size
+        (Cgt.api_size (Lazy.force graph) r.Synres.cgt)
+  | None -> ())
+
+let test_dgg_memoizes_best () =
+  (* min_size fields never increase along the documented ordering: for any
+     API node, its recorded CGT really has the recorded size/coverage. *)
+  let _, dyng, _, _ = build_dgg "insert \"-\" at the start of each line" in
+  List.iter
+    (fun (n : Dgg.node) ->
+      if Dgg.set n && n.Dgg.kind <> Dgg.Start then begin
+        check_i "min_size consistent with stored CGT" n.Dgg.min_size
+          (Cgt.api_size (Lazy.force graph) n.Dgg.min_cgt);
+        check_b "assignment nonempty when set" true (n.Dgg.assignment <> [])
+      end)
+    (Dgg.nodes dyng)
+
+let test_dgg_stats_structure () =
+  let _, dyng, _, stats = build_dgg "insert \"-\" at the start of each line" in
+  check_i "stats node count matches graph" stats.Stats.dgg_nodes
+    (Dgg.node_count dyng);
+  check_i "stats edge count matches graph" stats.Stats.dgg_edges
+    (Dgg.edge_count dyng);
+  check_b "pruning monotone" true
+    (stats.Stats.combos_total >= stats.Stats.combos_after_gprune
+    && stats.Stats.combos_after_gprune >= stats.Stats.combos_after_sprune)
+
+(* ------------------------------------------------------------------ *)
+(* Budget exhaustion at every stage                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_exhaustion_ladder () =
+  (* with step budgets from tiny to generous, the engine must either time
+     out cleanly or produce the same answer as the unlimited run — never
+     crash, never return garbage *)
+  let g = Lazy.force graph and d = Lazy.force doc in
+  let q = "insert \"-\" at the start of each line" in
+  let reference =
+    Engine.synthesize { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = None } g d q
+  in
+  List.iter
+    (fun steps ->
+      let cfg =
+        {
+          (Engine.default Engine.Dggt_alg) with
+          Engine.timeout_s = None;
+          max_steps = Some steps;
+        }
+      in
+      let o = Engine.synthesize cfg g d q in
+      if not o.Engine.timed_out then
+        Alcotest.(check (option string))
+          (Printf.sprintf "steps=%d agrees with unlimited" steps)
+          reference.Engine.code o.Engine.code)
+    [ 1; 2; 5; 10; 50; 100; 1000; 100_000 ]
+
+let test_hisyn_budget_ladder () =
+  let g = Lazy.force graph and d = Lazy.force doc in
+  let q = "insert \"-\" at the start" in
+  List.iter
+    (fun steps ->
+      let cfg =
+        {
+          (Engine.default Engine.Hisyn_alg) with
+          Engine.timeout_s = None;
+          max_steps = Some steps;
+        }
+      in
+      let o = Engine.synthesize cfg g d q in
+      check_b "timeout or code" true (o.Engine.timed_out || o.Engine.code <> None))
+    [ 1; 3; 7; 19; 1_000_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate grammars and inputs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_rule_grammar () =
+  let cfg = Result.get_ok (Cfg.of_text ~start:"s" "s ::= ONLY ;") in
+  let g = Ggraph.build cfg in
+  let d = Apidoc.make [ ("ONLY", "the only thing there is") ] in
+  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "the only thing" in
+  Alcotest.(check (option string)) "trivial grammar synthesizes" (Some "ONLY()")
+    o.Engine.code
+
+let test_self_recursive_grammar () =
+  (* e ::= WRAP e | LIT: unbounded derivations; path caps keep everything
+     terminating, and synthesis still works *)
+  let cfg = Result.get_ok (Cfg.of_text ~start:"e" "e ::= wrap | LIT ;\nwrap ::= WRAP e ;") in
+  let g = Ggraph.build cfg in
+  let d =
+    Apidoc.make [ ("WRAP", "wrap the inner expression"); ("LIT", "a literal leaf value") ]
+  in
+  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "wrap a literal" in
+  Alcotest.(check (option string)) "recursive grammar" (Some "WRAP(LIT())") o.Engine.code
+
+let test_absurd_inputs_total () =
+  let g = Lazy.force graph and d = Lazy.force doc in
+  let cfg = { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 3.0 } in
+  List.iter
+    (fun q ->
+      let o = Engine.synthesize cfg g d q in
+      (* outcome is well-formed either way *)
+      check_b "code xor failure" true
+        ((o.Engine.code <> None) <> (o.Engine.failure <> None)))
+    [
+      "";
+      "????";
+      String.concat " " (List.init 120 (fun i -> if i mod 2 = 0 then "insert" else "line"));
+      "\"\" \"\" \"\"";
+      "insert insert insert insert";
+      "\xe2\x82\xac \xc3\xbc \xf0\x9f\x98\x80";
+      String.make 4096 'a';
+    ]
+
+let test_empty_document () =
+  let g = Lazy.force graph in
+  let d = Apidoc.make [] in
+  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "insert a string" in
+  check_b "no candidates -> clean failure" true (o.Engine.code = None)
+
+let test_doc_grammar_mismatch () =
+  (* a document mentioning APIs the grammar lacks must not crash *)
+  let g = Lazy.force graph in
+  let d = Apidoc.make [ ("GHOST", "a phantom api that the grammar does not know") ] in
+  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "a phantom api" in
+  check_b "unknown APIs ignored" true (o.Engine.code = None)
+
+let suite =
+  [
+    Alcotest.test_case "dgg structure (Fig 5)" `Quick test_dgg_structure;
+    Alcotest.test_case "dgg memoization consistent" `Quick test_dgg_memoizes_best;
+    Alcotest.test_case "dgg stats mirror graph" `Quick test_dgg_stats_structure;
+    Alcotest.test_case "DGGT budget ladder" `Quick test_budget_exhaustion_ladder;
+    Alcotest.test_case "HISyn budget ladder" `Quick test_hisyn_budget_ladder;
+    Alcotest.test_case "single-rule grammar" `Quick test_single_rule_grammar;
+    Alcotest.test_case "self-recursive grammar" `Quick test_self_recursive_grammar;
+    Alcotest.test_case "absurd inputs are total" `Quick test_absurd_inputs_total;
+    Alcotest.test_case "empty document" `Quick test_empty_document;
+    Alcotest.test_case "doc/grammar mismatch" `Quick test_doc_grammar_mismatch;
+  ]

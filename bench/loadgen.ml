@@ -1,0 +1,329 @@
+(* Closed-loop load generator for `dggt serve`.
+
+   N client threads each issue M POST /synthesize requests over a mixed
+   TextEditing + ASTMatcher query set (round-robin over a configurable
+   number of distinct queries, so large M gives a duplicate-heavy
+   workload that exercises the whole-query cache). Every response is
+   checked against a locally computed `Engine.synthesize` baseline, so
+   the run reports *correctness under concurrency*, not just speed.
+
+     dune exec bench/loadgen.exe --                      # in-process server
+     dune exec bench/loadgen.exe -- --clients 8 --requests 50 --workers 4
+     dune exec bench/loadgen.exe -- --port 8080          # external server
+
+   Prints throughput, the latency histogram (p50/p90/p99), per-outcome
+   counts, the measured whole-query cache hit rate, and the number of
+   wrong answers (must be zero). *)
+
+open Dggt_core
+module Serve = Dggt_server.Serve
+module J = Dggt_server.Jsonio
+module Hist = Dggt_server.Smetrics.Hist
+
+(* ------------------------------------------------------------------ *)
+(* flags                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let clients = ref 4
+let requests = ref 30
+let workers = ref 0
+let queue = ref 64
+let cache_size = ref 512
+let timeout_s = ref 10.0
+let port = ref 0 (* 0 = spawn an in-process server *)
+let host = ref "127.0.0.1"
+let distinct = ref 12
+let engine = ref "dggt"
+let print_metrics = ref false
+
+let spec =
+  [
+    ("--clients", Arg.Set_int clients, "N concurrent client threads (4)");
+    ("--requests", Arg.Set_int requests, "M requests per client (30)");
+    ("--workers", Arg.Set_int workers, "server worker pool size, in-process mode (ncores)");
+    ("--queue", Arg.Set_int queue, "server queue bound, in-process mode (64)");
+    ("--cache-size", Arg.Set_int cache_size, "server whole-query LRU size, in-process mode (512)");
+    ("--timeout", Arg.Set_float timeout_s, "per-request engine budget, seconds (10)");
+    ("--port", Arg.Set_int port, "target an already-running server on this port");
+    ("--host", Arg.Set_string host, "server host (127.0.0.1)");
+    ("--distinct", Arg.Set_int distinct, "distinct queries in the mix (12)");
+    ("--engine", Arg.Set_string engine, "dggt|hisyn (dggt)");
+    ("--print-metrics", Arg.Set print_metrics, "dump GET /metrics at the end");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* tiny HTTP/1.1 client (keep-alive, one request at a time)           *)
+(* ------------------------------------------------------------------ *)
+
+let connect () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string !host, !port));
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let read_response fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let header_end () =
+    let s = Buffer.contents buf in
+    let rec go i =
+      if i + 3 >= String.length s then None
+      else if
+        s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec fill () =
+    match header_end () with
+    | Some i -> i
+    | None ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "connection closed mid-response";
+        Buffer.add_subbytes buf chunk 0 n;
+        fill ()
+  in
+  let hdr_end = fill () in
+  let all = Buffer.contents buf in
+  let head = String.sub all 0 hdr_end in
+  let status =
+    match String.split_on_char ' ' head with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> failwith "bad status line"
+  in
+  let clen =
+    String.split_on_char '\n' head
+    |> List.find_map (fun l ->
+           match String.index_opt l ':' with
+           | Some i
+             when String.lowercase_ascii (String.trim (String.sub l 0 i))
+                  = "content-length" ->
+               int_of_string_opt
+                 (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+           | _ -> None)
+    |> Option.value ~default:0
+  in
+  let body = Buffer.create clen in
+  Buffer.add_string body
+    (String.sub all (hdr_end + 4) (String.length all - hdr_end - 4));
+  while Buffer.length body < clen do
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then failwith "connection closed mid-body";
+    Buffer.add_subbytes buf chunk 0 n;
+    Buffer.add_subbytes body chunk 0 n
+  done;
+  (status, String.sub (Buffer.contents body) 0 clen)
+
+let post fd path body =
+  write_all fd
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nhost: %s\r\ncontent-type: application/json\r\n\
+        content-length: %d\r\n\r\n%s"
+       path !host (String.length body) body);
+  read_response fd
+
+let get fd path =
+  write_all fd (Printf.sprintf "GET %s HTTP/1.1\r\nhost: %s\r\n\r\n" path !host);
+  read_response fd
+
+(* ------------------------------------------------------------------ *)
+(* workload                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type item = { domain : string; text : string; expected_code : string option }
+
+let build_mix () =
+  (* alternate easy (non-hard) queries from both domains *)
+  let pick (d : Dggt_domains.Domain.t) n =
+    d.Dggt_domains.Domain.queries
+    |> List.filter (fun (q : Dggt_domains.Domain.query) -> not q.hard)
+    |> Dggt_util.Listutil.take n
+    |> List.map (fun (q : Dggt_domains.Domain.query) ->
+           (d.Dggt_domains.Domain.name, d, q.Dggt_domains.Domain.text))
+  in
+  let te = Dggt_domains.Text_editing.domain in
+  let am = Dggt_domains.Astmatcher.domain in
+  let n_am = max 1 (!distinct / 3) in
+  let n_te = max 1 (!distinct - n_am) in
+  let raw = pick te n_te @ pick am n_am in
+  Printf.printf "computing local baselines for %d distinct queries...\n%!"
+    (List.length raw);
+  List.map
+    (fun (name, d, text) ->
+      let alg = if !engine = "hisyn" then Engine.Hisyn_alg else Engine.Dggt_alg in
+      let cfg =
+        Dggt_domains.Domain.configure d
+          { (Engine.default alg) with Engine.timeout_s = Some !timeout_s }
+      in
+      let o =
+        Engine.synthesize cfg
+          (Lazy.force d.Dggt_domains.Domain.graph)
+          (Lazy.force d.Dggt_domains.Domain.doc)
+          text
+      in
+      { domain = name; text; expected_code = o.Engine.code })
+    raw
+
+(* ------------------------------------------------------------------ *)
+(* shared result tallies                                              *)
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  mu : Mutex.t;
+  hist : Hist.t;
+  mutable ok : int;
+  mutable cached : int;
+  mutable failed : int;
+  mutable rejected : int;
+  mutable expired : int;
+  mutable errors : int;
+  mutable wrong : int;
+  mutable indeterminate : int;
+}
+
+let tally () =
+  {
+    mu = Mutex.create ();
+    hist = Hist.create ();
+    ok = 0;
+    cached = 0;
+    failed = 0;
+    rejected = 0;
+    expired = 0;
+    errors = 0;
+    wrong = 0;
+    indeterminate = 0;
+  }
+
+let record t f =
+  Mutex.lock t.mu;
+  f t;
+  Mutex.unlock t.mu
+
+let client_loop tally items id =
+  let n_items = Array.length items in
+  let fd = ref (connect ()) in
+  let reconnect () =
+    (try Unix.close !fd with Unix.Unix_error _ -> ());
+    fd := connect ()
+  in
+  for i = 0 to !requests - 1 do
+    let item = items.((id + i) mod n_items) in
+    let body =
+      J.to_string
+        (J.Obj
+           [
+             ("query", J.Str item.text);
+             ("domain", J.Str item.domain);
+             ("engine", J.Str !engine);
+             ("timeout", J.Num !timeout_s);
+           ])
+    in
+    let t0 = Unix.gettimeofday () in
+    match
+      try post !fd "/synthesize" body
+      with _ ->
+        (* server may have closed an idle keep-alive connection *)
+        reconnect ();
+        post !fd "/synthesize" body
+    with
+    | exception _ -> record tally (fun t -> t.errors <- t.errors + 1)
+    | status, resp_body ->
+        let dt = Unix.gettimeofday () -. t0 in
+        record tally (fun t ->
+            Hist.observe t.hist dt;
+            match status with
+            | 200 -> (
+                match J.of_string resp_body with
+                | Error _ -> t.errors <- t.errors + 1
+                | Ok j ->
+                    let code = J.str_field "code" j in
+                    let cached =
+                      Option.value (J.bool_field "cached" j) ~default:false
+                    in
+                    let timed_out =
+                      Option.value (J.bool_field "timed_out" j) ~default:false
+                    in
+                    if cached then t.cached <- t.cached + 1
+                    else if code <> None then t.ok <- t.ok + 1
+                    else t.failed <- t.failed + 1;
+                    (* correctness vs the single-shot baseline *)
+                    if timed_out then t.indeterminate <- t.indeterminate + 1
+                    else if code <> item.expected_code then
+                      t.wrong <- t.wrong + 1)
+            | 503 -> t.rejected <- t.rejected + 1
+            | 504 -> t.expired <- t.expired + 1
+            | _ -> t.errors <- t.errors + 1)
+  done;
+  try Unix.close !fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* main                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "loadgen [options]";
+  let items = Array.of_list (build_mix ()) in
+  let server =
+    if !port = 0 then begin
+      let s =
+        Serve.create
+          {
+            Serve.addr = !host;
+            port = 0;
+            workers = !workers;
+            queue_capacity = !queue;
+            cache_size = !cache_size;
+            default_timeout_s = !timeout_s;
+          }
+      in
+      port := Serve.port s;
+      Printf.printf "in-process server on port %d\n%!" !port;
+      Some s
+    end
+    else None
+  in
+  let t = tally () in
+  let wall0 = Unix.gettimeofday () in
+  let threads =
+    List.init !clients (fun id ->
+        Thread.create (fun () -> client_loop t items id) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let total = !clients * !requests in
+  let answered = t.ok + t.cached + t.failed in
+  Printf.printf "\n%d requests (%d clients x %d), %.2f s wall\n" total !clients
+    !requests wall;
+  Printf.printf "throughput: %.1f req/s\n" (float_of_int total /. wall);
+  Printf.printf "latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, max %.1f ms\n"
+    (1000. *. Hist.quantile t.hist 0.5)
+    (1000. *. Hist.quantile t.hist 0.9)
+    (1000. *. Hist.quantile t.hist 0.99)
+    (1000. *. Hist.max_value t.hist);
+  Printf.printf
+    "outcomes: %d ok, %d cached, %d failed, %d rejected (503), %d expired \
+     (504), %d transport errors\n"
+    t.ok t.cached t.failed t.rejected t.expired t.errors;
+  if answered > 0 then
+    Printf.printf "whole-query cache hit rate: %.1f%% of answered requests\n"
+      (100. *. float_of_int t.cached /. float_of_int answered);
+  Printf.printf "correctness: %d wrong answers, %d indeterminate (timeout)\n"
+    t.wrong t.indeterminate;
+  if !print_metrics then begin
+    let fd = connect () in
+    (match get fd "/metrics" with
+    | 200, body -> print_string body
+    | s, _ -> Printf.printf "GET /metrics -> %d\n" s);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end;
+  (match server with Some s -> Serve.stop s | None -> ());
+  if t.wrong > 0 then exit 1

@@ -4,10 +4,12 @@
      dggt synth  -d astmatcher --engine hisyn "find all virtual methods"
      dggt explain -d textediting "insert \"-\" at the start of each line"
      dggt eval   -d astmatcher --timeout 5
+     dggt serve  --port 8080 --workers 4 --queue 64 --cache-size 512
 
    `synth` prints the codelet; `explain` dumps every pipeline stage
    (dependency parse, pruned graph, WordToAPI map, orphans, statistics);
-   `eval` sweeps a benchmark domain and reports accuracy/timeouts. *)
+   `eval` sweeps a benchmark domain and reports accuracy/timeouts; `serve`
+   runs the long-lived HTTP synthesis service (see lib/server/). *)
 
 open Cmdliner
 open Dggt_core
@@ -136,9 +138,73 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Run a benchmark domain's full query set.")
     Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg))
 
+(* --- serve --------------------------------------------------------- *)
+
+let serve_cmd =
+  let open Dggt_server in
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen port (0 = ephemeral).")
+  in
+  let addr_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Listen address.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Worker pool size (0 = one per core).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bound on queued requests; a full queue answers 503 with \
+             Retry-After.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Whole-query LRU entries (per-stage caches get 4x this; 0 \
+             disables caching).")
+  in
+  let serve_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "t"; "timeout" ] ~docv:"SECONDS"
+          ~doc:"Default per-request engine budget.")
+  in
+  let run port addr workers queue cache_size timeout =
+    Serve.run
+      {
+        Serve.addr;
+        port;
+        workers;
+        queue_capacity = queue;
+        cache_size;
+        default_timeout_s = timeout;
+      };
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent HTTP synthesis service (POST /synthesize, POST \
+          /rank, GET /domains, GET /metrics, GET /healthz).")
+    Term.(
+      ret
+        (const run $ port_arg $ addr_arg $ workers_arg $ queue_arg $ cache_arg
+       $ serve_timeout_arg))
+
 let () =
   let info =
     Cmd.info "dggt" ~version:"1.0.0"
       ~doc:"Near real-time NLU-driven natural-language programming (DGGT)."
   in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; explain_cmd; eval_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; explain_cmd; eval_cmd; serve_cmd ]))

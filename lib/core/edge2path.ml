@@ -18,27 +18,31 @@ type t = {
 
 let edge_key (e : Depgraph.edge) = (e.Depgraph.gov, e.Depgraph.dep)
 
-let search_pairs ?limits g govs deps =
+let search_pairs ?limits ?pair_lookup g govs deps =
   (* all paths for each (gov_api, dep_api) pair, deduplicated *)
+  let search a b =
+    let compute () = Gpath.search_between_apis ?limits g ~src_api:a ~dst_api:b in
+    match pair_lookup with
+    | None -> compute ()
+    | Some f -> f ~src:a ~dst:b compute
+  in
   List.concat_map
     (fun a ->
       List.concat_map
         (fun b ->
           if a = b then []
-          else
-            Gpath.search_between_apis ?limits g ~src_api:a ~dst_api:b
-            |> List.map (fun p -> (Some a, b, p)))
+          else search a b |> List.map (fun p -> (Some a, b, p)))
         deps)
     govs
 
-let build ?limits g (dg : Depgraph.t) w2a =
+let build ?limits ?pair_lookup g (dg : Depgraph.t) w2a =
   let next_id = ref 0 in
   let by_edge =
     List.mapi
       (fun edge_idx (e : Depgraph.edge) ->
         let govs = Word2api.apis w2a e.Depgraph.gov in
         let deps = Word2api.apis w2a e.Depgraph.dep in
-        let found = search_pairs ?limits g govs deps in
+        let found = search_pairs ?limits ?pair_lookup g govs deps in
         let eps =
           List.mapi
             (fun k (gov_api, dep_api, path) ->

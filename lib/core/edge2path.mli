@@ -21,6 +21,11 @@ type t
 
 val build :
   ?limits:Dggt_grammar.Gpath.limits ->
+  ?pair_lookup:
+    (src:string ->
+    dst:string ->
+    (unit -> Dggt_grammar.Gpath.t list) ->
+    Dggt_grammar.Gpath.t list) ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->
@@ -28,7 +33,14 @@ val build :
 (** Computes candidate paths for every edge. Orphan dependents are only
     {e detected} here; how they are handled differs per engine: the HISyn
     baseline re-anchors them at the grammar root ({!anchor_orphans}),
-    DGGT relocates them ({!Orphan}). *)
+    DGGT relocates them ({!Orphan}).
+
+    [pair_lookup] is a memoization hook for the per-pair all-path search:
+    when given, the paths for [(src_api, dst_api)] come from
+    [pair_lookup ~src ~dst compute] instead of a direct search. The search
+    depends only on the grammar graph, the API pair and [limits] — both
+    query-independent — so a serving layer can back the hook with a cache
+    keyed [(domain, src, dst)] and reuse results across requests. *)
 
 val paths_of_edge : t -> Dggt_nlu.Depgraph.edge -> epath list
 val all : t -> epath list

@@ -3,6 +3,23 @@ open Dggt_nlu
 
 type algorithm = Hisyn_alg | Dggt_alg
 
+type lookups = {
+  word2api :
+    (lemma:string ->
+    pos:Pos.t ->
+    (unit -> Word2api.candidate list) ->
+    Word2api.candidate list)
+    option;
+  edge2path :
+    (src:string ->
+    dst:string ->
+    (unit -> Dggt_grammar.Gpath.t list) ->
+    Dggt_grammar.Gpath.t list)
+    option;
+}
+
+let no_lookups = { word2api = None; edge2path = None }
+
 type config = {
   algorithm : algorithm;
   timeout_s : float option;
@@ -17,6 +34,7 @@ type config = {
   defaults : (string * string) list;
   unit_filter : (string -> bool) option;
   stop_verbs : string list;
+  lookups : lookups;
 }
 
 let default algorithm =
@@ -34,6 +52,7 @@ let default algorithm =
     defaults = [];
     unit_filter = None;
     stop_verbs = [];
+    lookups = no_lookups;
   }
 
 type outcome = {
@@ -162,13 +181,15 @@ let finish cfg g dg (res : Synres.t option) ~time_s ~timed_out ~stats =
           })
 
 let run_dggt cfg g doc budget stats (pruned : Depgraph.t) =
-  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold doc pruned in
+  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold
+      ?lookup:cfg.lookups.word2api doc pruned in
   let pruned, w2a = absorb_modifiers doc pruned w2a in
   let w2a = apply_unit_filter cfg pruned w2a in
   let w2a = Word2api.cap w2a cfg.top_k in
   let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
   stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
-  let e2p = Edge2path.build ~limits:cfg.path_limits g pruned w2a in
+  let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g
+      pruned w2a in
   stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
   let orphans = Edge2path.orphans e2p in
   stats.Stats.orphan_count <- List.length orphans;
@@ -195,7 +216,8 @@ let run_dggt cfg g doc budget stats (pruned : Depgraph.t) =
     let best =
       List.fold_left
         (fun acc dg ->
-          let e2p = Edge2path.build ~limits:cfg.path_limits g dg w2a in
+          let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g dg
+            w2a in
           stats.Stats.paths_after_reloc <-
             max stats.Stats.paths_after_reloc (Edge2path.total_path_count e2p);
           let res =
@@ -221,13 +243,15 @@ let run_dggt cfg g doc budget stats (pruned : Depgraph.t) =
   end
 
 let run_hisyn cfg g doc budget stats (pruned : Depgraph.t) =
-  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold doc pruned in
+  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold
+      ?lookup:cfg.lookups.word2api doc pruned in
   let pruned, w2a = absorb_modifiers doc pruned w2a in
   let w2a = apply_unit_filter cfg pruned w2a in
   let w2a = Word2api.cap w2a cfg.top_k in
   let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
   stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
-  let e2p = Edge2path.build ~limits:cfg.path_limits g pruned w2a in
+  let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g
+      pruned w2a in
   stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
   let orphans = Edge2path.orphans e2p in
   stats.Stats.orphan_count <- List.length orphans;
@@ -311,12 +335,14 @@ let synthesize_ranked ?(k = 5) cfg g doc query =
           Queryprune.drop_nodes pruned [ pruned.Depgraph.root ]
       | _ -> pruned
     in
-    let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold doc pruned in
+    let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold
+      ?lookup:cfg.lookups.word2api doc pruned in
     let pruned, w2a = absorb_modifiers doc pruned w2a in
     let w2a = apply_unit_filter cfg pruned w2a in
     let w2a = Word2api.cap w2a cfg.top_k in
     let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
-    let e2p = Edge2path.build ~limits:cfg.path_limits g pruned w2a in
+    let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g
+      pruned w2a in
     let orphans = Edge2path.orphans e2p in
     let dg, e2p =
       if orphans = [] then (pruned, e2p)
@@ -327,7 +353,8 @@ let synthesize_ranked ?(k = 5) cfg g doc query =
           Orphan.relocate ~max_graphs:1 g pruned w2a ~orphans
         in
         let dg = match variants with v :: _ -> v | [] -> pruned in
-        (dg, Edge2path.build ~limits:cfg.path_limits g dg w2a)
+        (dg, Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g dg
+            w2a)
     in
     let ranked =
       Dggt.synthesize_ranked ~budget ~stats ~gprune:cfg.gprune

@@ -17,6 +17,30 @@
 
 type algorithm = Hisyn_alg | Dggt_alg
 
+type lookups = {
+  word2api :
+    (lemma:string ->
+    pos:Dggt_nlu.Pos.t ->
+    (unit -> Word2api.candidate list) ->
+    Word2api.candidate list)
+    option;  (** {!Word2api.build}'s [lookup] hook *)
+  edge2path :
+    (src:string ->
+    dst:string ->
+    (unit -> Dggt_grammar.Gpath.t list) ->
+    Dggt_grammar.Gpath.t list)
+    option;  (** {!Edge2path.build}'s [pair_lookup] hook *)
+}
+(** Optional memoization hooks threaded into the per-stage builders. Both
+    stages compute query-independent facts — a word's candidate APIs and the
+    grammar paths between an API pair — so a serving layer can back these
+    with shared caches and skip recomputation on repeat traffic. The hooks
+    receive a [compute] thunk and must return its (possibly cached) result;
+    cache keys must cover everything scoring depends on besides the
+    arguments: the document/grammar and the configuration. *)
+
+val no_lookups : lookups
+
 type config = {
   algorithm : algorithm;
   timeout_s : float option;   (** None = no wall-clock limit *)
@@ -38,6 +62,8 @@ type config = {
   stop_verbs : string list;
       (** imperative root verbs with no API meaning in the domain ("find",
           "list" for code search): dropped before WordToAPI *)
+  lookups : lookups;
+      (** per-stage memoization hooks; {!no_lookups} = compute everything *)
 }
 
 val default : algorithm -> config

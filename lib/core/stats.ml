@@ -31,19 +31,35 @@ let create () =
     dgg_edges = 0;
   }
 
+(* [add] aggregates counters across the relocation-graph variants explored
+   for ONE query (Engine.run_dggt forks the dependency graph per orphan
+   placement). Two aggregation rules apply, field by field:
+
+   - [max] for fields that describe the QUERY or its best parse — each
+     variant re-measures the same quantity, so summing would double-count
+     it (a query with 4 dep edges explored over 3 variants still has 4
+     edges, not 12);
+   - [+] for fields that count WORK PERFORMED — every variant's
+     enumeration, pruning and merging effort really happened, so the
+     paper's Table III work totals are the sum over variants.
+
+   The mixture is deliberate; the unit test test_stats_add_semantics pins
+   it. *)
 let add a b =
   {
+    (* query-shaped: max *)
     dep_edges = max a.dep_edges b.dep_edges;
     orig_paths = max a.orig_paths b.orig_paths;
     paths_after_reloc = max a.paths_after_reloc b.paths_after_reloc;
     orphan_count = max a.orphan_count b.orphan_count;
+    hisyn_combos_possible = max a.hisyn_combos_possible b.hisyn_combos_possible;
+    (* work-shaped: sum *)
     reloc_graphs = a.reloc_graphs + b.reloc_graphs;
     combos_total = a.combos_total + b.combos_total;
     combos_after_gprune = a.combos_after_gprune + b.combos_after_gprune;
     combos_after_sprune = a.combos_after_sprune + b.combos_after_sprune;
     combos_merged = a.combos_merged + b.combos_merged;
     hisyn_combos_enumerated = a.hisyn_combos_enumerated + b.hisyn_combos_enumerated;
-    hisyn_combos_possible = max a.hisyn_combos_possible b.hisyn_combos_possible;
     dgg_nodes = a.dgg_nodes + b.dgg_nodes;
     dgg_edges = a.dgg_edges + b.dgg_edges;
   }

@@ -19,10 +19,19 @@ type t = {
 }
 
 val create : unit -> t
+
 val add : t -> t -> t
-(** Pointwise sum (for aggregating over relocation forks); [dep_edges],
-    [orphan_count] and path counts take the max instead (they describe the
-    query, not the fork). *)
+(** Aggregate across the relocation-graph variants of one query. The
+    aggregation differs per field, on purpose:
+
+    - {e query-shaped} fields take the [max] — they re-measure the same
+      query in every variant, so summing would double-count: [dep_edges],
+      [orig_paths], [paths_after_reloc], [orphan_count],
+      [hisyn_combos_possible];
+    - {e work-shaped} fields take the sum — each variant's effort really
+      happened: [reloc_graphs], [combos_total], [combos_after_gprune],
+      [combos_after_sprune], [combos_merged], [hisyn_combos_enumerated],
+      [dgg_nodes], [dgg_edges]. *)
 
 val pp : Format.formatter -> t -> unit
 val gprune_removed : t -> int

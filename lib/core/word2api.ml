@@ -22,57 +22,58 @@ let score_word_against_entry ?(desc_only = false) lemma (e : Apidoc.entry) =
   let s = Float.max name_s desc_s in
   if s > 0.0 then s -. name_len_penalty e.Apidoc.api else 0.0
 
-let build ?(top_k = 4) ?(threshold = Similarity.min_score) doc (g : Depgraph.t) =
+let build ?(top_k = 4) ?(threshold = Similarity.min_score) ?lookup doc
+    (g : Depgraph.t) =
   let lit_apis = Apidoc.literal_apis doc in
   let num_apis = Apidoc.number_apis doc in
-  let by_node =
-    List.map
-      (fun (n : Depgraph.node) ->
-        match n.pos with
-        | Pos.LIT | Pos.CD ->
-            (* literal tokens map to the literal-bearing APIs; numerals
-               prefer number APIs when the document distinguishes them *)
-            let pool =
-              match n.pos with
-              | Pos.CD when num_apis <> [] -> num_apis
-              | _ -> lit_apis
-            in
-            let cands =
-              List.map (fun api -> { api; score = 1.0 -. name_len_penalty api }) pool
-            in
-            (n.id, cands)
-        | _ ->
-            let admissible (e : Apidoc.entry) =
-              match e.Apidoc.pos_pref with
-              | Apidoc.Any -> true
-              | Apidoc.Verbish -> not (Pos.is_noun n.pos)
-              | Apidoc.Nounish -> not (Pos.is_verb n.pos)
-            in
-            let scored =
-              List.filter_map
-                (fun (e : Apidoc.entry) ->
-                  if not (admissible e) then None
-                  else
-                    (* a quantifying determiner matching a fragment of a
-                       camelCase name ("all" in isCatchAll) is coincidence;
-                       determiners carry meaning only through descriptions *)
-                    let desc_only = n.pos = Pos.DT in
-                    let s = score_word_against_entry ~desc_only n.lemma e in
-                    if s >= threshold then Some { api = e.Apidoc.api; score = s }
-                    else None)
-                (Apidoc.entries doc)
-            in
-            let sorted =
-              List.sort
-                (fun a b ->
-                  match compare b.score a.score with
-                  | 0 -> compare a.api b.api
-                  | c -> c)
-                scored
-            in
-            (n.id, Dggt_util.Listutil.take top_k sorted))
-      g.Depgraph.nodes
+  let compute (n : Depgraph.node) =
+    match n.pos with
+    | Pos.LIT | Pos.CD ->
+        (* literal tokens map to the literal-bearing APIs; numerals
+           prefer number APIs when the document distinguishes them *)
+        let pool =
+          match n.pos with
+          | Pos.CD when num_apis <> [] -> num_apis
+          | _ -> lit_apis
+        in
+        List.map (fun api -> { api; score = 1.0 -. name_len_penalty api }) pool
+    | _ ->
+        let admissible (e : Apidoc.entry) =
+          match e.Apidoc.pos_pref with
+          | Apidoc.Any -> true
+          | Apidoc.Verbish -> not (Pos.is_noun n.pos)
+          | Apidoc.Nounish -> not (Pos.is_verb n.pos)
+        in
+        let scored =
+          List.filter_map
+            (fun (e : Apidoc.entry) ->
+              if not (admissible e) then None
+              else
+                (* a quantifying determiner matching a fragment of a
+                   camelCase name ("all" in isCatchAll) is coincidence;
+                   determiners carry meaning only through descriptions *)
+                let desc_only = n.pos = Pos.DT in
+                let s = score_word_against_entry ~desc_only n.lemma e in
+                if s >= threshold then Some { api = e.Apidoc.api; score = s }
+                else None)
+            (Apidoc.entries doc)
+        in
+        let sorted =
+          List.sort
+            (fun a b ->
+              match compare b.score a.score with
+              | 0 -> compare a.api b.api
+              | c -> c)
+            scored
+        in
+        Dggt_util.Listutil.take top_k sorted
   in
+  let cands_of (n : Depgraph.node) =
+    match lookup with
+    | None -> compute n
+    | Some f -> f ~lemma:n.Depgraph.lemma ~pos:n.Depgraph.pos (fun () -> compute n)
+  in
+  let by_node = List.map (fun (n : Depgraph.node) -> (n.Depgraph.id, cands_of n)) g.Depgraph.nodes in
   { by_node }
 
 let candidates t id =

@@ -18,10 +18,28 @@ type t
 (** The WordToAPI map for one query. *)
 
 val build :
-  ?top_k:int -> ?threshold:float -> Apidoc.t -> Dggt_nlu.Depgraph.t -> t
+  ?top_k:int ->
+  ?threshold:float ->
+  ?lookup:
+    (lemma:string ->
+    pos:Dggt_nlu.Pos.t ->
+    (unit -> candidate list) ->
+    candidate list) ->
+  Apidoc.t ->
+  Dggt_nlu.Depgraph.t ->
+  t
 (** Defaults: [top_k = 4], [threshold = Dggt_nlu.Similarity.min_score].
     Candidates are ordered by descending score (ties by API name for
-    determinism). *)
+    determinism).
+
+    [lookup] is a memoization hook: when given, each word's candidate list
+    is obtained as [lookup ~lemma ~pos compute] instead of calling [compute]
+    directly. A caller (the serving layer) can satisfy the lookup from a
+    cache keyed on [(lemma, pos)] — word scoring depends only on the lemma,
+    the POS tag and the document, so results are reusable across queries.
+    The cache key must also distinguish anything that changes scoring:
+    the document, [top_k] and [threshold] (the server keys per domain and
+    uses one fixed configuration per domain). *)
 
 val candidates : t -> int -> candidate list
 (** Candidates of a dependency-graph node id ([] if none). *)

@@ -11,6 +11,8 @@ type t = {
   children : int list array;
   parents : int list array;
   root : int;
+  dist_mu : Mutex.t;
+  dists : (int, int array) Hashtbl.t;
 }
 
 type builder = {
@@ -109,6 +111,8 @@ let build (cfg : Cfg.t) =
     children;
     parents;
     root = Hashtbl.find b.nt_tbl cfg.Cfg.start;
+    dist_mu = Mutex.create ();
+    dists = Hashtbl.create 64;
   }
 
 let node_name t id =
@@ -139,19 +143,18 @@ let node_count t = Array.length t.nodes
 let edge_count t = Array.length t.edges
 
 (* shortest-path distances, memoized per source (BFS). Doubles as the
-   reachability oracle. *)
-let dist_cache : (int, int array) Hashtbl.t = Hashtbl.create 64
-let dist_cache_owner : t option ref = ref None
-
+   reachability oracle. The memo lives in the graph value, guarded by a
+   mutex, so one graph can be shared by concurrent workers (the server's
+   worker pool); the BFS itself runs outside the lock — a racing pair of
+   first lookups may both compute, and the loser's array is discarded. *)
 let dist_from t a =
-  (match !dist_cache_owner with
-  | Some g when g == t -> ()
-  | _ ->
-      Hashtbl.reset dist_cache;
-      dist_cache_owner := Some t);
-  match Hashtbl.find_opt dist_cache a with
-  | Some d -> d
+  Mutex.lock t.dist_mu;
+  match Hashtbl.find_opt t.dists a with
+  | Some d ->
+      Mutex.unlock t.dist_mu;
+      d
   | None ->
+      Mutex.unlock t.dist_mu;
       let d = Array.make (Array.length t.nodes) max_int in
       d.(a) <- 0;
       let queue = Queue.create () in
@@ -167,7 +170,15 @@ let dist_from t a =
             end)
           t.children.(id)
       done;
-      Hashtbl.add dist_cache a d;
+      Mutex.lock t.dist_mu;
+      let d =
+        match Hashtbl.find_opt t.dists a with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.add t.dists a d;
+            d
+      in
+      Mutex.unlock t.dist_mu;
       d
 
 let distance t a b = (dist_from t a).(b)

@@ -44,6 +44,10 @@ type t = private {
   children : int list array; (** node id -> outgoing edge ids, by (prod, pos) *)
   parents : int list array;  (** node id -> incoming edge ids *)
   root : int;               (** node of the start nonterminal *)
+  dist_mu : Mutex.t;        (** guards [dists] *)
+  dists : (int, int array) Hashtbl.t;
+      (** per-source shortest-path memo ({!distance}); mutex-guarded so a
+          graph can be shared by concurrent synthesis workers *)
 }
 
 val build : Cfg.t -> t

@@ -1,0 +1,383 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | c when c >= 200 && c < 300 -> "OK"
+  | c when c >= 400 && c < 500 -> "Client Error"
+  | _ -> "Server Error"
+
+let response ?(content_type = "application/json") ?(headers = []) status body =
+  { status; headers = ("content-type", content_type) :: headers; body }
+
+let header (req : request) name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* ------------------------------------------------------------------ *)
+(* url decoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex s.[i + 1], hex s.[i + 2]) with
+          | Some h, Some l ->
+              Buffer.add_char buf (Char.chr ((h * 16) + l));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | Some i ->
+                 Some
+                   ( percent_decode (String.sub kv 0 i),
+                     percent_decode
+                       (String.sub kv (i + 1) (String.length kv - i - 1)) )
+             | None -> Some (percent_decode kv, ""))
+
+(* ------------------------------------------------------------------ *)
+(* server                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  listener : Unix.file_descr;
+  bound_port : int;
+  handler : request -> response;
+  max_header : int;
+  max_body : int;
+  idle_timeout : float;
+  stopped : bool Atomic.t;
+  mu : Mutex.t;
+  conns_done : Condition.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  mutable active : int;
+  mutable accept_thread : Thread.t option;
+}
+
+exception Http_error of int * string
+
+let read_more fd buf chunk =
+  let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+  if n = 0 then false
+  else begin
+    Buffer.add_subbytes buf chunk 0 n;
+    true
+  end
+
+(* index of "\r\n\r\n" in the buffer, or None *)
+let find_header_end buf =
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_head head =
+  match String.split_on_char '\n' head |> List.map (fun l -> String.trim l) with
+  | [] | [ "" ] -> raise (Http_error (400, "empty request"))
+  | reqline :: header_lines ->
+      let meth, target, version =
+        match String.split_on_char ' ' reqline with
+        | [ m; t; v ] -> (String.uppercase_ascii m, t, v)
+        | _ -> raise (Http_error (400, "malformed request line"))
+      in
+      if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        raise (Http_error (501, "unsupported HTTP version"));
+      let headers =
+        List.filter_map
+          (fun l ->
+            if l = "" then None
+            else
+              match String.index_opt l ':' with
+              | None -> raise (Http_error (400, "malformed header"))
+              | Some i ->
+                  Some
+                    ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+                      String.trim
+                        (String.sub l (i + 1) (String.length l - i - 1)) ))
+          header_lines
+      in
+      let path, query =
+        match String.index_opt target '?' with
+        | Some i ->
+            ( String.sub target 0 i,
+              parse_query (String.sub target (i + 1) (String.length target - i - 1))
+            )
+        | None -> (target, [])
+      in
+      (meth, percent_decode path, query, headers, version)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let write_response fd ~keep_alive (r : response) =
+  let buf = Buffer.create (String.length r.body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason_phrase r.status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    r.headers;
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n" (String.length r.body));
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n" else "connection: close\r\n");
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.body;
+  write_all fd (Buffer.contents buf)
+
+(* One request: returns (request, keep_alive) or raises. [pending] holds
+   bytes already read past the previous request's end. *)
+let read_request t fd pending =
+  let chunk = Bytes.create 8192 in
+  let rec fill () =
+    match find_header_end pending with
+    | Some i -> i
+    | None ->
+        if Buffer.length pending > t.max_header then
+          raise (Http_error (431, "headers too large"));
+        if not (read_more fd pending chunk) then raise Exit (* peer closed *);
+        fill ()
+  in
+  let hdr_end = fill () in
+  let all = Buffer.contents pending in
+  let head = String.sub all 0 hdr_end in
+  let rest = String.sub all (hdr_end + 4) (String.length all - hdr_end - 4) in
+  let meth, path, query, headers, version = parse_head head in
+  if List.assoc_opt "transfer-encoding" headers <> None then
+    raise (Http_error (501, "chunked bodies not supported"));
+  let clen =
+    match List.assoc_opt "content-length" headers with
+    | None -> 0
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> n
+        | _ -> raise (Http_error (400, "bad content-length")))
+  in
+  if clen > t.max_body then raise (Http_error (413, "body too large"));
+  Buffer.clear pending;
+  Buffer.add_string pending rest;
+  while Buffer.length pending < clen do
+    if not (read_more fd pending chunk) then
+      raise (Http_error (400, "truncated body"))
+  done;
+  let all = Buffer.contents pending in
+  let body = String.sub all 0 clen in
+  Buffer.clear pending;
+  Buffer.add_string pending (String.sub all clen (String.length all - clen));
+  let keep_alive =
+    match (version, List.assoc_opt "connection" headers) with
+    | _, Some c when String.lowercase_ascii c = "close" -> false
+    | "HTTP/1.0", Some c -> String.lowercase_ascii c = "keep-alive"
+    | "HTTP/1.0", None -> false
+    | _ -> true
+  in
+  ({ meth; path; query; headers; body }, keep_alive)
+
+let conn_loop t fd =
+  let pending = Buffer.create 1024 in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.idle_timeout
+   with Unix.Unix_error _ -> ());
+  let rec loop () =
+    if not (Atomic.get t.stopped) then begin
+      match read_request t fd pending with
+      | req, keep_alive ->
+          let resp =
+            try t.handler req
+            with _ ->
+              response 500 {|{"error":"internal server error"}|}
+          in
+          write_response fd ~keep_alive resp;
+          if keep_alive then loop ()
+      | exception Http_error (status, msg) ->
+          (* parse errors: best-effort report, then drop the connection *)
+          (try
+             write_response fd ~keep_alive:false
+               (response status
+                  (Printf.sprintf {|{"error":%S}|} msg))
+           with _ -> ())
+      | exception Exit -> () (* peer closed between requests *)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          () (* idle timeout *)
+    end
+  in
+  (try loop () with _ -> ());
+  Mutex.lock t.mu;
+  Hashtbl.remove t.conns fd;
+  t.active <- t.active - 1;
+  if t.active = 0 then Condition.broadcast t.conns_done;
+  Mutex.unlock t.mu;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stopped) then begin
+      match Unix.accept t.listener with
+      | fd, _ ->
+          Mutex.lock t.mu;
+          if Atomic.get t.stopped then begin
+            Mutex.unlock t.mu;
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            Hashtbl.replace t.conns fd ();
+            t.active <- t.active + 1;
+            Mutex.unlock t.mu;
+            ignore (Thread.create (fun () -> conn_loop t fd) ())
+          end;
+          loop ()
+      | exception Unix.Unix_error (ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((EBADF | EINVAL), _, _) ->
+          () (* listener closed by stop () *)
+      | exception _ -> if not (Atomic.get t.stopped) then loop ()
+    end
+  in
+  loop ()
+
+let create ?(addr = "127.0.0.1") ?(backlog = 128) ?(max_header_bytes = 16384)
+    ?(max_body_bytes = 1 lsl 20) ?(idle_timeout_s = 30.0) ~port handler =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  (try Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listener backlog;
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      listener;
+      bound_port;
+      handler;
+      max_header = max_header_bytes;
+      max_body = max_body_bytes;
+      idle_timeout = idle_timeout_s;
+      stopped = Atomic.make false;
+      mu = Mutex.create ();
+      conns_done = Condition.create ();
+      conns = Hashtbl.create 16;
+      active = 0;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (* shutdown, not close: on Linux a blocked accept() is not woken by
+       close() from another thread, but shutdown(SHUT_RD) makes it return
+       EINVAL. The fd itself is closed in [wait] once the accept thread
+       has been joined, so its number cannot be recycled under accept(). *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_RECEIVE
+     with Unix.Unix_error _ -> ());
+    (* wake connections blocked waiting for the next request; they finish
+       the response they are writing, see EOF, and exit *)
+    Mutex.lock t.mu;
+    let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) t.conns [] in
+    Mutex.unlock t.mu;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      fds
+  end
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Mutex.lock t.mu;
+  while t.active > 0 do
+    Condition.wait t.conns_done t.mu
+  done;
+  Mutex.unlock t.mu
+
+let handle_signals t =
+  (* OCaml signal handlers only run at poll points of domain 0, and once
+     [wait] is reached every domain-0 thread sits in a blocking section
+     (Thread.join, accept(2), read(2)) — a handler that called [stop]
+     directly would never execute. So the handler just sets a flag, and a
+     watcher thread whose Thread.delay wake-ups provide the poll points
+     notices it and performs the actual stop. *)
+  let requested = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set requested true) in
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  ignore
+    (Thread.create
+       (fun () ->
+         while not (Atomic.get requested || Atomic.get t.stopped) do
+           Thread.delay 0.1
+         done;
+         if Atomic.get requested then stop t)
+       ())

@@ -1,0 +1,64 @@
+(** Minimal HTTP/1.1 server over stdlib [Unix] sockets.
+
+    Exactly what the service needs and nothing more: request-line + header
+    parsing with size caps, [Content-Length] bodies, keep-alive, one
+    systhread per connection, and clean shutdown. The handler runs on the
+    connection's thread; blocking there (e.g. waiting for a worker-pool
+    result) is fine and does not stall other connections.
+
+    Not implemented (requests using them get a [400]/[501]): chunked
+    transfer encoding, pipelining beyond read-one-write-one, TLS. *)
+
+type request = {
+  meth : string;                     (** uppercased: "GET", "POST", … *)
+  path : string;                     (** request-target without the query string *)
+  query : (string * string) list;    (** decoded query parameters *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+val response :
+  ?content_type:string -> ?headers:(string * string) list -> int -> string ->
+  response
+(** [content_type] defaults to ["application/json"]. [Content-Length] and
+    [Connection] are added at write time; don't set them. *)
+
+val reason_phrase : int -> string
+val header : request -> string -> string option
+
+type t
+
+val create :
+  ?addr:string ->
+  ?backlog:int ->
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  ?idle_timeout_s:float ->
+  port:int ->
+  (request -> response) ->
+  t
+(** Binds, listens and starts the accept thread immediately. [port 0]
+    binds an ephemeral port — read it back with {!port}. [addr] defaults to
+    "127.0.0.1". Oversized headers/bodies get [431]/[413]; a connection
+    idle longer than [idle_timeout_s] (default 30 s) is closed. [SIGPIPE]
+    is ignored process-wide so writes to dead peers fail as exceptions. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Clean shutdown: close the listener, let every connection finish the
+    request it is serving, then close. Idempotent, signal-safe enough to be
+    called from a signal handler. *)
+
+val wait : t -> unit
+(** Block until the accept loop has exited and every connection thread is
+    done. ({!stop} from another thread — or a signal — unblocks it.) *)
+
+val handle_signals : t -> unit
+(** Install SIGINT/SIGTERM handlers that {!stop} this server. *)

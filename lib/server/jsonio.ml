@@ -1,0 +1,273 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* finite floats only; the Num printer nulls NaN/Inf before calling this
+   (JSON has no NaN/Inf literals) *)
+let number_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    (* shortest representation that round-trips a double *)
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v ->
+        if Float.is_nan v || Float.abs v = Float.infinity then
+          Buffer.add_string buf "null"
+        else Buffer.add_string buf (number_to_string v)
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"'
+    | Arr l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          l;
+        Buffer.add_char buf ']'
+    | Obj l ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape_into buf k;
+            Buffer.add_string buf "\":";
+            go x)
+          l;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Error of int * string
+
+let max_depth = 100
+
+let of_string s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Error (!i, msg)) in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let advance () = incr i in
+  let skip_ws () =
+    while
+      !i < n && match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !i + l <= n && String.sub s !i l = word then begin
+      i := !i + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !i + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !i 4) in
+    i := !i + 4;
+    v
+  in
+  let utf8_add buf cp =
+    (* encode one Unicode scalar value as UTF-8 *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string";
+      let c = s.[!i] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !i >= n then fail "unterminated escape";
+          let e = s.[!i] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              let cp = hex4 () in
+              let cp =
+                (* high surrogate: a low surrogate must follow *)
+                if cp >= 0xD800 && cp <= 0xDBFF then
+                  if
+                    !i + 1 < n && s.[!i] = '\\' && s.[!i + 1] = 'u'
+                  then begin
+                    i := !i + 2;
+                    let lo = hex4 () in
+                    if lo < 0xDC00 || lo > 0xDFFF then fail "invalid surrogate pair"
+                    else 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                  end
+                  else fail "lone high surrogate"
+                else if cp >= 0xDC00 && cp <= 0xDFFF then fail "lone low surrogate"
+                else cp
+              in
+              utf8_add buf cp;
+              go ()
+          | _ -> fail "bad escape")
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !i in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do advance () done;
+      if !i = d0 then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin advance (); digits () end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some v -> Num v
+    | None -> fail "bad number"
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else
+          let rec items acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !i < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Error (pos, msg) ->
+      Result.Error (Printf.sprintf "JSON error at byte %d: %s" pos msg)
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj l -> List.assoc_opt k l | _ -> None
+let str = function Str s -> Some s | _ -> None
+let num = function Num v -> Some v | _ -> None
+
+let int = function
+  | Num v when Float.is_integer v && Float.abs v <= 1e15 -> Some (int_of_float v)
+  | _ -> None
+
+let bool = function Bool b -> Some b | _ -> None
+let str_field k v = Option.bind (member k v) str
+let num_field k v = Option.bind (member k v) num
+let int_field k v = Option.bind (member k v) int
+let bool_field k v = Option.bind (member k v) bool
+let opt inj = function None -> Null | Some v -> inj v

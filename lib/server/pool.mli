@@ -1,0 +1,38 @@
+(** Fixed worker pool over a bounded request queue.
+
+    Workers are OCaml 5 domains ({!Stdlib.Domain}), so synthesis jobs run
+    in parallel on multicore hardware while the connection threads (plain
+    systhreads) only do I/O. The queue is bounded: {!submit} refuses new
+    work when it is full — the server turns that into a [503] with
+    [Retry-After] instead of letting latency pile up. Each job may carry an
+    absolute deadline; a job whose deadline passed while it sat in the
+    queue is {e dropped} (its [expired] callback runs instead of [run]), so
+    a request the client has already given up on never reaches the
+    engine. *)
+
+type t
+
+val create : ?workers:int -> ?capacity:int -> unit -> t
+(** Spawns the worker domains immediately. [workers] defaults to
+    {!Stdlib.Domain.recommended_domain_count} (clamped to [1, 64]);
+    [capacity] is the bound on {e queued} (not yet running) jobs, default
+    64. *)
+
+val workers : t -> int
+val capacity : t -> int
+
+val submit :
+  t -> ?deadline:float -> run:(unit -> unit) -> expired:(unit -> unit) ->
+  unit -> [ `Accepted | `Rejected ]
+(** [`Rejected] when the queue is full or the pool is shutting down.
+    [deadline] is an absolute {!Unix.gettimeofday} instant; exactly one of
+    [run]/[expired] is called, from a worker domain. Exceptions escaping
+    either callback are swallowed (the worker survives); callbacks should
+    do their own error reporting. *)
+
+val depth : t -> int
+(** Jobs currently waiting in the queue (the metrics gauge). *)
+
+val shutdown : t -> unit
+(** Stop accepting work, let the workers drain the queue, join them.
+    Idempotent. *)

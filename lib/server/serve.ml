@@ -1,0 +1,451 @@
+open Dggt_core
+module J = Jsonio
+
+type params = {
+  addr : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  cache_size : int;
+  default_timeout_s : float;
+}
+
+let default_params =
+  {
+    addr = "127.0.0.1";
+    port = 8080;
+    workers = 0;
+    queue_capacity = 64;
+    cache_size = 512;
+    default_timeout_s = 10.0;
+  }
+
+let known_domains =
+  [ Dggt_domains.Text_editing.domain; Dggt_domains.Astmatcher.domain ]
+
+let find_domain = function
+  | "textediting" | "te" -> Some Dggt_domains.Text_editing.domain
+  | "astmatcher" | "am" -> Some Dggt_domains.Astmatcher.domain
+  | _ -> None
+
+(* per-domain state, everything forced/configured up front so worker
+   domains share read-only structures *)
+type dstate = {
+  dom : Dggt_domains.Domain.t;
+  graph : Dggt_grammar.Ggraph.t;
+  doc : Apidoc.t;
+  cfg_dggt : Engine.config;
+  cfg_hisyn : Engine.config;
+}
+
+type t = {
+  params : params;
+  pool : Pool.t;
+  metrics : Smetrics.t;
+  (* whole-query outcome, plus the ranked alternatives computed with it *)
+  q_cache : (string * string * string * int, Engine.outcome * string list) Cache.t;
+  rank_cache : (string * string * int, string list) Cache.t;
+  word_cache : (string * string * string, Word2api.candidate list) Cache.t;
+  path_cache : (string * string * string, Dggt_grammar.Gpath.t list) Cache.t;
+  dstates : (string * dstate) list;
+  mutable http : Httpd.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* one-shot result cells (connection thread waits, worker fills)      *)
+(* ------------------------------------------------------------------ *)
+
+type 'a ivar = {
+  imu : Mutex.t;
+  icond : Condition.t;
+  mutable cell : 'a option;
+}
+
+let ivar () = { imu = Mutex.create (); icond = Condition.create (); cell = None }
+
+let ivar_fill iv v =
+  Mutex.lock iv.imu;
+  if iv.cell = None then begin
+    iv.cell <- Some v;
+    Condition.broadcast iv.icond
+  end;
+  Mutex.unlock iv.imu
+
+let ivar_read iv =
+  Mutex.lock iv.imu;
+  while iv.cell = None do
+    Condition.wait iv.icond iv.imu
+  done;
+  let v = Option.get iv.cell in
+  Mutex.unlock iv.imu;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* json renderings                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json (s : Stats.t) =
+  let i n = J.Num (float_of_int n) in
+  J.Obj
+    [
+      ("dep_edges", i s.Stats.dep_edges);
+      ("orig_paths", i s.Stats.orig_paths);
+      ("paths_after_reloc", i s.Stats.paths_after_reloc);
+      ("orphan_count", i s.Stats.orphan_count);
+      ("reloc_graphs", i s.Stats.reloc_graphs);
+      ("combos_total", i s.Stats.combos_total);
+      ("combos_after_gprune", i s.Stats.combos_after_gprune);
+      ("combos_after_sprune", i s.Stats.combos_after_sprune);
+      ("combos_merged", i s.Stats.combos_merged);
+      ("hisyn_combos_enumerated", i s.Stats.hisyn_combos_enumerated);
+      ("hisyn_combos_possible", i s.Stats.hisyn_combos_possible);
+      ("dgg_nodes", i s.Stats.dgg_nodes);
+      ("dgg_edges", i s.Stats.dgg_edges);
+    ]
+
+let outcome_json ~domain ~engine ~query ~cached ~alternatives
+    (o : Engine.outcome) =
+  J.Obj
+    [
+      ("ok", J.Bool (o.Engine.code <> None));
+      ("domain", J.Str domain);
+      ("engine", J.Str engine);
+      ("query", J.Str query);
+      ("code", J.opt (fun s -> J.Str s) o.Engine.code);
+      ("cgt_size", J.opt (fun n -> J.Num (float_of_int n)) o.Engine.cgt_size);
+      ("alternatives", J.Arr (List.map (fun c -> J.Str c) alternatives));
+      ("time_s", J.Num o.Engine.time_s);
+      ("timed_out", J.Bool o.Engine.timed_out);
+      ("failure", J.opt (fun s -> J.Str s) o.Engine.failure);
+      ("cached", J.Bool cached);
+      ("stats", stats_json o.Engine.stats);
+    ]
+
+let error_json msg = J.to_string (J.Obj [ ("error", J.Str msg) ])
+let respond_json ?headers status v = Httpd.response ?headers status (J.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* request parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type parsed = {
+  query : string;
+  ds : dstate;
+  engine : Engine.algorithm;
+  engine_name : string;
+  timeout_s : float;
+  k : int;
+}
+
+let parse_request t (req : Httpd.request) =
+  match J.of_string req.Httpd.body with
+  | Error e -> Error e
+  | Ok body -> (
+      match J.str_field "query" body with
+      | None | Some "" -> Error "missing required string field \"query\""
+      | Some query -> (
+          let dname =
+            Option.value (J.str_field "domain" body) ~default:"textediting"
+          in
+          match
+            List.assoc_opt
+              (match find_domain dname with
+              | Some d -> d.Dggt_domains.Domain.name
+              | None -> dname)
+              t.dstates
+          with
+          | None ->
+              Error
+                (Printf.sprintf "unknown domain %S (textediting|astmatcher)"
+                   dname)
+          | Some ds -> (
+              match
+                Option.value (J.str_field "engine" body) ~default:"dggt"
+              with
+              | ("dggt" | "hisyn") as engine_name ->
+                  let engine =
+                    if engine_name = "dggt" then Engine.Dggt_alg
+                    else Engine.Hisyn_alg
+                  in
+                  let timeout_s =
+                    match J.num_field "timeout" body with
+                    | Some v when v > 0.0 -> Float.min v 60.0
+                    | _ -> t.params.default_timeout_s
+                  in
+                  let k =
+                    match J.int_field "k" body with
+                    | Some v -> max 1 (min v 20)
+                    | None -> 1
+                  in
+                  Ok { query; ds; engine; engine_name; timeout_s; k }
+              | e -> Error (Printf.sprintf "unknown engine %S (dggt|hisyn)" e))))
+
+(* ------------------------------------------------------------------ *)
+(* endpoint handlers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let observe t ~domain ~outcome t0 =
+  Smetrics.observe t.metrics ~domain ~outcome (Unix.gettimeofday () -. t0)
+
+(* run [work] on the pool with backpressure + deadline; the connection
+   thread blocks here until a worker delivers the response *)
+let via_pool t ~domain ~deadline ~t0 work =
+  let iv = ivar () in
+  let run () =
+    Smetrics.incr_inflight t.metrics;
+    let r = try work () with e -> `Error (Printexc.to_string e) in
+    Smetrics.decr_inflight t.metrics;
+    ivar_fill iv r
+  in
+  let expired () = ivar_fill iv `Expired in
+  match Pool.submit t.pool ~deadline ~run ~expired () with
+  | `Rejected ->
+      observe t ~domain ~outcome:"rejected" t0;
+      respond_json ~headers:[ ("retry-after", "1") ] 503
+        (J.Obj
+           [
+             ("error", J.Str "queue full");
+             ("queue_capacity", J.Num (float_of_int (Pool.capacity t.pool)));
+           ])
+  | `Accepted -> (
+      match ivar_read iv with
+      | `Expired ->
+          observe t ~domain ~outcome:"expired" t0;
+          Httpd.response 504
+            (error_json "request deadline expired while queued")
+      | `Error msg ->
+          observe t ~domain ~outcome:"failed" t0;
+          Httpd.response 500 (error_json msg)
+      | `Ok resp -> resp)
+
+let synthesize_handler t (req : Httpd.request) =
+  let t0 = Unix.gettimeofday () in
+  match parse_request t req with
+  | Error msg ->
+      observe t ~domain:"-" ~outcome:"bad_request" t0;
+      Httpd.response 400 (error_json msg)
+  | Ok p -> (
+      let domain = p.ds.dom.Dggt_domains.Domain.name in
+      let key = (domain, p.engine_name, p.query, p.k) in
+      let render ~cached (o, alternatives) =
+        respond_json 200
+          (outcome_json ~domain ~engine:p.engine_name ~query:p.query ~cached
+             ~alternatives o)
+      in
+      match Cache.find t.q_cache key with
+      | Some v ->
+          observe t ~domain ~outcome:"cached" t0;
+          render ~cached:true v
+      | None ->
+          let deadline = t0 +. p.timeout_s in
+          via_pool t ~domain ~deadline ~t0 (fun () ->
+              let base =
+                if p.engine = Engine.Dggt_alg then p.ds.cfg_dggt
+                else p.ds.cfg_hisyn
+              in
+              let cfg = { base with Engine.timeout_s = Some p.timeout_s } in
+              let o = Engine.synthesize cfg p.ds.graph p.ds.doc p.query in
+              let alternatives =
+                if p.k > 1 && not o.Engine.timed_out then
+                  Engine.synthesize_ranked ~k:p.k p.ds.cfg_dggt p.ds.graph
+                    p.ds.doc p.query
+                  |> List.map snd
+                else []
+              in
+              let outcome =
+                if o.Engine.timed_out then "timeout"
+                else if o.Engine.code = None then "failed"
+                else "ok"
+              in
+              (* never cache timeouts: a repeat under a larger budget
+                 deserves a fresh run *)
+              if not o.Engine.timed_out then
+                Cache.add t.q_cache key (o, alternatives);
+              observe t ~domain ~outcome t0;
+              `Ok (render ~cached:false (o, alternatives))))
+
+let rank_handler t (req : Httpd.request) =
+  let t0 = Unix.gettimeofday () in
+  match parse_request t req with
+  | Error msg ->
+      observe t ~domain:"-" ~outcome:"bad_request" t0;
+      Httpd.response 400 (error_json msg)
+  | Ok p -> (
+      let domain = p.ds.dom.Dggt_domains.Domain.name in
+      let k = if p.k = 1 then 5 else p.k in
+      let key = (domain, p.query, k) in
+      let render ~cached candidates =
+        respond_json 200
+          (J.Obj
+             [
+               ("ok", J.Bool (candidates <> []));
+               ("domain", J.Str domain);
+               ("query", J.Str p.query);
+               ("k", J.Num (float_of_int k));
+               ("candidates", J.Arr (List.map (fun c -> J.Str c) candidates));
+               ("cached", J.Bool cached);
+             ])
+      in
+      match Cache.find t.rank_cache key with
+      | Some cs ->
+          observe t ~domain ~outcome:"cached" t0;
+          render ~cached:true cs
+      | None ->
+          let deadline = t0 +. p.timeout_s in
+          via_pool t ~domain ~deadline ~t0 (fun () ->
+              let cfg =
+                { p.ds.cfg_dggt with Engine.timeout_s = Some p.timeout_s }
+              in
+              let cs =
+                Engine.synthesize_ranked ~k cfg p.ds.graph p.ds.doc p.query
+                |> List.map snd
+              in
+              (* [] can mean budget exhausted — don't pin it in the cache *)
+              if cs <> [] then Cache.add t.rank_cache key cs;
+              observe t ~domain ~outcome:(if cs = [] then "failed" else "ok") t0;
+              `Ok (render ~cached:false cs)))
+
+let domains_handler t =
+  respond_json 200
+    (J.Obj
+       [
+         ( "domains",
+           J.Arr
+             (List.map
+                (fun (_, ds) ->
+                  let d = ds.dom in
+                  J.Obj
+                    [
+                      ("name", J.Str d.Dggt_domains.Domain.name);
+                      ("description", J.Str d.Dggt_domains.Domain.description);
+                      ( "apis",
+                        J.Num
+                          (float_of_int (Dggt_domains.Domain.api_count d)) );
+                      ( "queries",
+                        J.Num
+                          (float_of_int (Dggt_domains.Domain.query_count d)) );
+                    ])
+                t.dstates) );
+       ])
+
+let healthz_handler t =
+  respond_json 200
+    (J.Obj
+       [
+         ("status", J.Str "ok");
+         ("workers", J.Num (float_of_int (Pool.workers t.pool)));
+         ("queue_depth", J.Num (float_of_int (Pool.depth t.pool)));
+         ("inflight", J.Num (float_of_int (Smetrics.inflight t.metrics)));
+       ])
+
+let handler t (req : Httpd.request) =
+  match (req.Httpd.meth, req.Httpd.path) with
+  | "GET", "/healthz" -> healthz_handler t
+  | "GET", "/metrics" ->
+      Httpd.response ~content_type:"text/plain; version=0.0.4" 200
+        (Smetrics.render t.metrics)
+  | "GET", "/domains" -> domains_handler t
+  | "POST", "/synthesize" -> synthesize_handler t req
+  | "POST", "/rank" -> rank_handler t req
+  | _, ("/healthz" | "/metrics" | "/domains" | "/synthesize" | "/rank") ->
+      Httpd.response 405 (error_json "method not allowed")
+  | _ -> Httpd.response 404 (error_json "not found")
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_dstate ~word_cache ~path_cache (d : Dggt_domains.Domain.t) =
+  let name = d.Dggt_domains.Domain.name in
+  let lookups =
+    {
+      Engine.word2api =
+        Some
+          (fun ~lemma ~pos compute ->
+            fst
+              (Cache.find_or_compute word_cache
+                 (name, lemma, Dggt_nlu.Pos.to_string pos)
+                 compute));
+      Engine.edge2path =
+        Some
+          (fun ~src ~dst compute ->
+            fst (Cache.find_or_compute path_cache (name, src, dst) compute));
+    }
+  in
+  let cfg alg =
+    let c = Dggt_domains.Domain.configure d (Engine.default alg) in
+    { c with Engine.lookups = lookups }
+  in
+  {
+    dom = d;
+    graph = Lazy.force d.Dggt_domains.Domain.graph;
+    doc = Lazy.force d.Dggt_domains.Domain.doc;
+    cfg_dggt = cfg Engine.Dggt_alg;
+    cfg_hisyn = cfg Engine.Hisyn_alg;
+  }
+
+let create params =
+  let metrics = Smetrics.create () in
+  let pool =
+    Pool.create
+      ?workers:(if params.workers > 0 then Some params.workers else None)
+      ~capacity:params.queue_capacity ()
+  in
+  let stage_cap = max 0 params.cache_size * 4 in
+  let word_cache = Cache.create ~capacity:stage_cap in
+  let path_cache = Cache.create ~capacity:stage_cap in
+  let t =
+    {
+      params;
+      pool;
+      metrics;
+      q_cache = Cache.create ~capacity:params.cache_size;
+      rank_cache = Cache.create ~capacity:params.cache_size;
+      word_cache;
+      path_cache;
+      dstates =
+        List.map
+          (fun d ->
+            ( d.Dggt_domains.Domain.name,
+              make_dstate ~word_cache ~path_cache d ))
+          known_domains;
+      http = None;
+    }
+  in
+  Smetrics.set_queue_probe metrics (fun () -> Pool.depth pool);
+  Smetrics.register_cache metrics "query" (fun () -> Cache.counters t.q_cache);
+  Smetrics.register_cache metrics "rank" (fun () -> Cache.counters t.rank_cache);
+  Smetrics.register_cache metrics "word2api" (fun () ->
+      Cache.counters t.word_cache);
+  Smetrics.register_cache metrics "edge2path" (fun () ->
+      Cache.counters t.path_cache);
+  let http =
+    Httpd.create ~addr:params.addr ~port:params.port (fun req -> handler t req)
+  in
+  t.http <- Some http;
+  t
+
+let port t = match t.http with Some h -> Httpd.port h | None -> t.params.port
+let metrics t = t.metrics
+
+let stop t =
+  (match t.http with
+  | Some h ->
+      Httpd.stop h;
+      Httpd.wait h
+  | None -> ());
+  Pool.shutdown t.pool
+
+let wait t =
+  (match t.http with Some h -> Httpd.wait h | None -> ());
+  Pool.shutdown t.pool
+
+let run params =
+  let t = create params in
+  (match t.http with Some h -> Httpd.handle_signals h | None -> ());
+  Printf.printf
+    "dggt serve: listening on http://%s:%d (%d workers, queue %d, cache %d)\n%!"
+    params.addr (port t) (Pool.workers t.pool) (Pool.capacity t.pool)
+    params.cache_size;
+  wait t;
+  Printf.printf "dggt serve: shut down cleanly\n%!"

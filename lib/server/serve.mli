@@ -1,0 +1,67 @@
+(** The serving layer: engine + domains behind an HTTP API.
+
+    Wires together {!Httpd} (connection handling), {!Pool} (bounded queue,
+    worker domains), {!Cache} (whole-query and per-stage LRUs) and
+    {!Smetrics} (observability). Endpoints:
+
+    - [POST /synthesize] — body
+      [{"query": s, "domain": s?, "engine": "dggt"|"hisyn"?, "timeout": f?,
+        "k": n?}]; responds with the codelet, timing, per-stage statistics
+      and (for [k > 1]) up to [k] ranked alternatives. Repeat queries are
+      served from the whole-query cache without touching the pool.
+    - [POST /rank] — [{"query": s, "domain": s?, "timeout": f?, "k": n?}];
+      ranked candidate codelets (paper §VII-B.4).
+    - [GET /domains] — the available domains with API/query counts.
+    - [GET /metrics] — Prometheus text format ({!Smetrics.render}).
+    - [GET /healthz] — liveness plus worker/queue numbers.
+
+    Backpressure: when the bounded queue is full, [POST] requests get [503]
+    with [Retry-After] instead of queueing unboundedly; a job whose
+    deadline (arrival + timeout) passes while queued is dropped with [504]
+    before it ever reaches the engine.
+
+    Caching policy: timed-out outcomes and empty rank lists are {e not}
+    cached, so a repeat under a larger budget gets a fresh run. The
+    per-stage caches (WordToAPI candidates, EdgeToPath path sets) are
+    installed as {!Dggt_core.Engine.lookups} hooks and shared across all
+    requests of a domain. *)
+
+type params = {
+  addr : string;
+  port : int;                (** 0 = ephemeral, read back with {!port} *)
+  workers : int;             (** <= 0 = one per recommended domain count *)
+  queue_capacity : int;
+  cache_size : int;          (** whole-query LRU entries; per-stage caches
+                                 get 4x this; <= 0 disables caching *)
+  default_timeout_s : float; (** per-request engine budget when the request
+                                 doesn't carry one *)
+}
+
+val default_params : params
+(** 127.0.0.1:8080, auto workers, queue 64, cache 512, timeout 10 s. *)
+
+type t
+
+val create : params -> t
+(** Forces both domains' grammars/documents (so worker domains never race
+    a [Lazy.force]), spawns the pool and starts listening. *)
+
+val port : t -> int
+val metrics : t -> Smetrics.t
+
+val stop : t -> unit
+(** Orderly shutdown: stop accepting, let in-flight connections finish,
+    drain the queue, join the workers. Blocks; idempotent. *)
+
+val wait : t -> unit
+(** Block until the server has been stopped (by {!stop} or a signal wired
+    via {!Httpd.handle_signals}), then drain and join the pool. *)
+
+val run : params -> unit
+(** CLI entry point: {!create}, install SIGINT/SIGTERM handlers, print the
+    listening address, serve until a signal arrives, shut down cleanly. *)
+
+val find_domain : string -> Dggt_domains.Domain.t option
+(** "textediting"/"te" and "astmatcher"/"am". *)
+
+val known_domains : Dggt_domains.Domain.t list

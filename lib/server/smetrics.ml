@@ -1,0 +1,180 @@
+module Hist = struct
+  type t = {
+    bounds : float array; (* ascending upper bounds; overflow bucket implicit *)
+    counts : int array;   (* length = Array.length bounds + 1 *)
+    mutable total : int;
+    mutable sum : float;
+    mutable max_v : float;
+  }
+
+  let default_bounds =
+    [|
+      0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0;
+      2.5; 5.0; 10.0; 30.0;
+    |]
+
+  let create ?(bounds = default_bounds) () =
+    {
+      bounds;
+      counts = Array.make (Array.length bounds + 1) 0;
+      total = 0;
+      sum = 0.0;
+      max_v = 0.0;
+    }
+
+  let bucket_of t v =
+    let n = Array.length t.bounds in
+    let rec go i = if i >= n then n else if v <= t.bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe t v =
+    let i = bucket_of t v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.total
+  let sum t = t.sum
+  let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+  let max_value t = t.max_v
+
+  let quantile t q =
+    if t.total = 0 then 0.0
+    else begin
+      let rank = q *. float_of_int t.total in
+      let n = Array.length t.bounds in
+      let rec go i cum =
+        if i > n then t.max_v
+        else
+          let cum' = cum + t.counts.(i) in
+          if float_of_int cum' >= rank then
+            if i = n then t.max_v
+            else
+              (* interpolate within [lower, upper] assuming uniform spread *)
+              let lower = if i = 0 then 0.0 else t.bounds.(i - 1) in
+              let upper = t.bounds.(i) in
+              let in_bucket = t.counts.(i) in
+              if in_bucket = 0 then upper
+              else
+                let frac = (rank -. float_of_int cum) /. float_of_int in_bucket in
+                Float.min t.max_v (lower +. (frac *. (upper -. lower)))
+          else go (i + 1) cum'
+      in
+      go 0 0
+    end
+
+  let buckets t =
+    let n = Array.length t.bounds in
+    let cum = ref 0 in
+    let out = ref [] in
+    for i = 0 to n do
+      cum := !cum + t.counts.(i);
+      let le = if i = n then Float.infinity else t.bounds.(i) in
+      out := (le, !cum) :: !out
+    done;
+    List.rev !out
+end
+
+type t = {
+  mu : Mutex.t;
+  latency : Hist.t;
+  requests : (string * string, int ref) Hashtbl.t; (* (domain, outcome) *)
+  mutable inflight : int;
+  mutable queue_probe : unit -> int;
+  mutable caches : (string * (unit -> Cache.counters)) list;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    latency = Hist.create ();
+    requests = Hashtbl.create 16;
+    inflight = 0;
+    queue_probe = (fun () -> 0);
+    caches = [];
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let observe t ~domain ~outcome latency_s =
+  locked t (fun () ->
+      Hist.observe t.latency latency_s;
+      let key = (domain, outcome) in
+      match Hashtbl.find_opt t.requests key with
+      | Some r -> incr r
+      | None -> Hashtbl.replace t.requests key (ref 1))
+
+let incr_inflight t = locked t (fun () -> t.inflight <- t.inflight + 1)
+let decr_inflight t = locked t (fun () -> t.inflight <- t.inflight - 1)
+let inflight t = locked t (fun () -> t.inflight)
+let set_queue_probe t probe = locked t (fun () -> t.queue_probe <- probe)
+
+let register_cache t name probe =
+  locked t (fun () -> t.caches <- t.caches @ [ (name, probe) ])
+
+let quantile t q = locked t (fun () -> Hist.quantile t.latency q)
+
+let fmt_float v =
+  if Float.abs v = Float.infinity then "+Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render t =
+  locked t (fun () ->
+      let b = Buffer.create 2048 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+      line "# HELP dggt_requests_total Finished requests by domain and outcome.";
+      line "# TYPE dggt_requests_total counter";
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.requests []
+      |> List.sort compare
+      |> List.iter (fun ((domain, outcome), count) ->
+             line "dggt_requests_total{domain=%S,outcome=%S} %d" domain outcome
+               count);
+      line "# HELP dggt_request_latency_seconds Request service latency.";
+      line "# TYPE dggt_request_latency_seconds histogram";
+      List.iter
+        (fun (le, cum) ->
+          line "dggt_request_latency_seconds_bucket{le=%S} %d" (fmt_float le) cum)
+        (Hist.buckets t.latency);
+      line "dggt_request_latency_seconds_sum %s" (fmt_float (Hist.sum t.latency));
+      line "dggt_request_latency_seconds_count %d" (Hist.count t.latency);
+      List.iter
+        (fun (name, q) ->
+          line "# TYPE dggt_request_latency_%s gauge" name;
+          line "dggt_request_latency_%s %s" name
+            (fmt_float (Hist.quantile t.latency q)))
+        [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ];
+      line "# HELP dggt_queue_depth Requests waiting in the worker queue.";
+      line "# TYPE dggt_queue_depth gauge";
+      line "dggt_queue_depth %d" (try t.queue_probe () with _ -> 0);
+      line "# HELP dggt_inflight_requests Requests currently being served.";
+      line "# TYPE dggt_inflight_requests gauge";
+      line "dggt_inflight_requests %d" t.inflight;
+      if t.caches <> [] then begin
+        line "# HELP dggt_cache_hits_total Cache hits by cache.";
+        line "# TYPE dggt_cache_hits_total counter";
+        line "# TYPE dggt_cache_misses_total counter";
+        line "# TYPE dggt_cache_evictions_total counter";
+        line "# TYPE dggt_cache_entries gauge";
+        List.iter
+          (fun (name, probe) ->
+            match probe () with
+            | c ->
+                line "dggt_cache_hits_total{cache=%S} %d" name c.Cache.hits;
+                line "dggt_cache_misses_total{cache=%S} %d" name c.Cache.misses;
+                line "dggt_cache_evictions_total{cache=%S} %d" name
+                  c.Cache.evictions;
+                line "dggt_cache_entries{cache=%S} %d" name c.Cache.size
+            | exception _ -> ())
+          t.caches
+      end;
+      Buffer.contents b)

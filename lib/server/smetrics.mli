@@ -1,0 +1,62 @@
+(** Serving observability: latency histograms, request counters, gauges,
+    cache statistics — rendered in Prometheus text exposition format at
+    [GET /metrics].
+
+    All mutation goes through an internal mutex, so any worker or
+    connection thread may record observations. *)
+
+(** Fixed-bucket latency histograms (seconds). Not synchronized by itself —
+    {!t} guards its histograms with its own mutex; other users (the load
+    generator) bring their own locking. *)
+module Hist : sig
+  type t
+
+  val create : ?bounds:float array -> unit -> t
+  (** [bounds] are the inclusive bucket upper bounds, ascending; an
+      implicit +Inf overflow bucket is appended. The default spans 0.5 ms
+      to 30 s logarithmically — the range between an interactive cache hit
+      and the paper's 20 s synthesis timeout. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t 0.99]: linear interpolation inside the target bucket;
+      the overflow bucket reports the maximum observed value. 0 when
+      empty. *)
+
+  val max_value : t -> float
+
+  val buckets : t -> (float * int) list
+  (** (upper bound, cumulative count) pairs, ending with (+Inf, total). *)
+end
+
+type t
+
+val create : unit -> t
+
+val observe : t -> domain:string -> outcome:string -> float -> unit
+(** Record one finished request: bumps the per-[(domain, outcome)] counter
+    and feeds the latency histogram. Outcomes used by the server: [ok],
+    [failed], [timeout], [cached], [rejected], [expired], [bad_request]. *)
+
+val incr_inflight : t -> unit
+val decr_inflight : t -> unit
+val inflight : t -> int
+
+val set_queue_probe : t -> (unit -> int) -> unit
+(** The queue-depth gauge is sampled (from the pool) at render time. *)
+
+val register_cache : t -> string -> (unit -> Cache.counters) -> unit
+(** Expose a cache's hit/miss/eviction counters under the given label. *)
+
+val quantile : t -> float -> float
+(** Latency quantile over all recorded requests. *)
+
+val render : t -> string
+(** Prometheus text format: [dggt_requests_total{domain,outcome}],
+    [dggt_request_latency_seconds] histogram (+ p50/p90/p99 convenience
+    gauges), [dggt_queue_depth], [dggt_inflight_requests], and per-cache
+    [dggt_cache_{hits,misses,evictions}_total] / [dggt_cache_entries]. *)

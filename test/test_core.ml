@@ -648,6 +648,57 @@ let test_ranked_hints_garbage () =
   check_i "garbage yields no hints" 0
     (List.length (Engine.synthesize_ranked ~k:3 cfg g doc "zyzzyx frobnicate"))
 
+(* Stats.add mixes two aggregation rules on purpose (see stats.ml): max for
+   query-shaped fields, sum for work-shaped ones. This pins the split so a
+   refactor cannot silently turn a max into a +. *)
+let test_stats_add_semantics () =
+  let a = Stats.create () and b = Stats.create () in
+  a.Stats.dep_edges <- 4;
+  b.Stats.dep_edges <- 3;
+  a.Stats.orig_paths <- 10;
+  b.Stats.orig_paths <- 12;
+  a.Stats.paths_after_reloc <- 8;
+  b.Stats.paths_after_reloc <- 6;
+  a.Stats.orphan_count <- 1;
+  b.Stats.orphan_count <- 2;
+  a.Stats.hisyn_combos_possible <- 100;
+  b.Stats.hisyn_combos_possible <- 90;
+  a.Stats.reloc_graphs <- 1;
+  b.Stats.reloc_graphs <- 2;
+  a.Stats.combos_total <- 20;
+  b.Stats.combos_total <- 30;
+  a.Stats.combos_after_gprune <- 15;
+  b.Stats.combos_after_gprune <- 25;
+  a.Stats.combos_after_sprune <- 10;
+  b.Stats.combos_after_sprune <- 20;
+  a.Stats.combos_merged <- 5;
+  b.Stats.combos_merged <- 7;
+  a.Stats.hisyn_combos_enumerated <- 50;
+  b.Stats.hisyn_combos_enumerated <- 60;
+  a.Stats.dgg_nodes <- 9;
+  b.Stats.dgg_nodes <- 11;
+  a.Stats.dgg_edges <- 13;
+  b.Stats.dgg_edges <- 17;
+  let s = Stats.add a b in
+  (* query-shaped fields take the max over variants *)
+  check_i "dep_edges is max" 4 s.Stats.dep_edges;
+  check_i "orig_paths is max" 12 s.Stats.orig_paths;
+  check_i "paths_after_reloc is max" 8 s.Stats.paths_after_reloc;
+  check_i "orphan_count is max" 2 s.Stats.orphan_count;
+  check_i "hisyn_combos_possible is max" 100 s.Stats.hisyn_combos_possible;
+  (* work-shaped fields sum — every variant's effort happened *)
+  check_i "reloc_graphs sums" 3 s.Stats.reloc_graphs;
+  check_i "combos_total sums" 50 s.Stats.combos_total;
+  check_i "combos_after_gprune sums" 40 s.Stats.combos_after_gprune;
+  check_i "combos_after_sprune sums" 30 s.Stats.combos_after_sprune;
+  check_i "combos_merged sums" 12 s.Stats.combos_merged;
+  check_i "hisyn_combos_enumerated sums" 110 s.Stats.hisyn_combos_enumerated;
+  check_i "dgg_nodes sums" 20 s.Stats.dgg_nodes;
+  check_i "dgg_edges sums" 30 s.Stats.dgg_edges;
+  (* adding a fresh zero record is the identity *)
+  let z = Stats.add s (Stats.create ()) in
+  check_b "zero is identity" true (z = s)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_engines_equivalent ]
 
 let suite =
@@ -686,6 +737,7 @@ let suite =
     Alcotest.test_case "engine garbage input" `Quick test_engine_garbage;
     Alcotest.test_case "engine ablation flags" `Quick test_engine_ablation_flags;
     Alcotest.test_case "engine stats" `Quick test_engine_stats_populated;
+    Alcotest.test_case "stats add semantics" `Quick test_stats_add_semantics;
     Alcotest.test_case "ranked hints" `Quick test_ranked_hints;
     Alcotest.test_case "ranked hints bounds" `Quick test_ranked_hints_multiple;
     Alcotest.test_case "ranked hints garbage" `Quick test_ranked_hints_garbage;

@@ -9,6 +9,7 @@ let () =
       ("core", Test_core.suite);
       ("domains", Test_domains.suite);
       ("eval", Test_eval.suite);
+      ("server", Test_server.suite);
       ("properties", Test_props.suite);
       ("stress", Test_stress.suite);
     ]

@@ -1,0 +1,341 @@
+(* Tests for dggt_server: JSON round-trips, the LRU cache, the bounded
+   worker pool, and an end-to-end loopback-socket exercise of the HTTP
+   service against Engine.synthesize ground truth. *)
+
+open Dggt_server
+module J = Jsonio
+module Engine = Dggt_core.Engine
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* jsonio                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  match J.of_string (J.to_string v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_json_roundtrip () =
+  List.iter
+    (fun v -> check_b (J.to_string v) true (roundtrip v))
+    [
+      J.Null;
+      J.Bool true;
+      J.Bool false;
+      J.Num 0.;
+      J.Num 42.;
+      J.Num (-17.5);
+      J.Num 1e300;
+      J.Str "";
+      J.Str "hello";
+      J.Str "quotes \" and \\ backslash";
+      J.Str "control \t\n\r chars";
+      J.Str "caf\xc3\xa9"; (* UTF-8 passes through *)
+      J.Arr [];
+      J.Arr [ J.Num 1.; J.Str "two"; J.Null ];
+      J.Obj [];
+      J.Obj [ ("a", J.Num 1.); ("nested", J.Obj [ ("b", J.Arr [ J.Bool false ]) ]) ];
+    ];
+  (* integral floats print without a decimal point *)
+  check_s "int rendering" "42" (J.to_string (J.Num 42.));
+  check_s "neg int rendering" "-3" (J.to_string (J.Num (-3.)));
+  (* NaN / infinity have no JSON form; they degrade to null *)
+  check_s "nan is null" "null" (J.to_string (J.Num Float.nan))
+
+let test_json_parse () =
+  let ok s = Result.get_ok (J.of_string s) in
+  check_b "ws tolerated" true (ok "  [ 1 , 2 ]  " = J.Arr [ J.Num 1.; J.Num 2. ]);
+  check_b "escapes" true (ok {|"a\tbA"|} = J.Str "a\tbA");
+  (* surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8 *)
+  check_b "surrogate pair" true
+    (ok {|"😀"|} = J.Str "\xf0\x9f\x98\x80");
+  check_b "trailing garbage rejected" true
+    (Result.is_error (J.of_string "true false"));
+  check_b "unterminated rejected" true (Result.is_error (J.of_string "[1, 2"));
+  check_b "bare word rejected" true (Result.is_error (J.of_string "nope"));
+  (* depth cap: 200 nested arrays must not blow the stack *)
+  let deep = String.make 200 '[' ^ String.make 200 ']' in
+  check_b "depth capped" true (Result.is_error (J.of_string deep))
+
+let test_json_accessors () =
+  let v = Result.get_ok (J.of_string {|{"s":"x","n":3,"b":true,"z":null}|}) in
+  check_b "str_field" true (J.str_field "s" v = Some "x");
+  check_b "int_field" true (J.int_field "n" v = Some 3);
+  check_b "bool_field" true (J.bool_field "b" v = Some true);
+  check_b "missing" true (J.str_field "missing" v = None);
+  check_b "wrong shape" true (J.str_field "n" v = None);
+  check_b "member null" true (J.member "z" v = Some J.Null)
+
+(* ------------------------------------------------------------------ *)
+(* cache                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_lru_order () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  check_b "mru order" true (Cache.keys_mru c = [ "c"; "b"; "a" ]);
+  (* touching "a" makes it MRU *)
+  check_b "hit a" true (Cache.find c "a" = Some 1);
+  check_b "order after touch" true (Cache.keys_mru c = [ "a"; "c"; "b" ]);
+  (* inserting a 4th evicts the LRU, which is now "b" *)
+  Cache.add c "d" 4;
+  check_b "b evicted" true (Cache.find c "b" = None);
+  check_b "order after evict" true (Cache.keys_mru c = [ "d"; "a"; "c" ]);
+  check_i "length" 3 (Cache.length c)
+
+let test_cache_counters () =
+  let c = Cache.create ~capacity:2 in
+  ignore (Cache.find c "x"); (* miss *)
+  Cache.add c "x" 0;
+  ignore (Cache.find c "x"); (* hit *)
+  Cache.add c "y" 1;
+  Cache.add c "z" 2; (* evicts x *)
+  let k = Cache.counters c in
+  check_i "hits" 1 k.Cache.hits;
+  check_i "misses" 1 k.Cache.misses;
+  check_i "evictions" 1 k.Cache.evictions;
+  check_i "size" 2 k.Cache.size;
+  check_b "hit rate" true (abs_float (Cache.hit_rate k -. 0.5) < 1e-9)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  check_b "disabled never stores" true (Cache.find c "a" = None);
+  check_i "disabled length" 0 (Cache.length c)
+
+let test_cache_find_or_compute () =
+  let c = Cache.create ~capacity:4 in
+  let calls = ref 0 in
+  let compute () = incr calls; 7 in
+  let v1, hit1 = Cache.find_or_compute c "k" compute in
+  let v2, hit2 = Cache.find_or_compute c "k" compute in
+  check_i "value" 7 v1;
+  check_i "value cached" 7 v2;
+  check_b "first is miss" false hit1;
+  check_b "second is hit" true hit2;
+  check_i "computed once" 1 !calls
+
+(* ------------------------------------------------------------------ *)
+(* pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* a gate the test can hold closed to keep the single worker busy *)
+type gate = { mu : Mutex.t; cv : Condition.t; mutable opened : bool;
+              mutable entered : bool }
+
+let gate () =
+  { mu = Mutex.create (); cv = Condition.create (); opened = false;
+    entered = false }
+
+let gate_block g =
+  Mutex.lock g.mu;
+  g.entered <- true;
+  Condition.broadcast g.cv;
+  while not g.opened do Condition.wait g.cv g.mu done;
+  Mutex.unlock g.mu
+
+let gate_await_entered g =
+  Mutex.lock g.mu;
+  while not g.entered do Condition.wait g.cv g.mu done;
+  Mutex.unlock g.mu
+
+let gate_open g =
+  Mutex.lock g.mu;
+  g.opened <- true;
+  Condition.broadcast g.cv;
+  Mutex.unlock g.mu
+
+let test_pool_bounded_queue () =
+  let p = Pool.create ~workers:1 ~capacity:2 () in
+  let g = gate () in
+  let ran = Atomic.make 0 in
+  let nop = (fun () -> Atomic.incr ran) in
+  let never = (fun () -> Alcotest.fail "unexpected expiry") in
+  (* occupy the single worker, then wait until it has left the queue *)
+  check_b "blocker accepted" true
+    (Pool.submit p ~run:(fun () -> gate_block g) ~expired:never () = `Accepted);
+  gate_await_entered g;
+  (* the queue holds exactly [capacity] waiting jobs *)
+  check_b "1st queued" true (Pool.submit p ~run:nop ~expired:never () = `Accepted);
+  check_b "2nd queued" true (Pool.submit p ~run:nop ~expired:never () = `Accepted);
+  check_i "depth" 2 (Pool.depth p);
+  check_b "3rd rejected" true (Pool.submit p ~run:nop ~expired:never () = `Rejected);
+  gate_open g;
+  Pool.shutdown p;
+  check_i "queued jobs ran" 2 (Atomic.get ran);
+  (* after shutdown everything is rejected *)
+  check_b "post-shutdown rejected" true
+    (Pool.submit p ~run:nop ~expired:never () = `Rejected)
+
+let test_pool_deadline () =
+  let p = Pool.create ~workers:1 ~capacity:8 () in
+  let g = gate () in
+  let ran = Atomic.make false and expired = Atomic.make false in
+  ignore (Pool.submit p ~run:(fun () -> gate_block g)
+            ~expired:(fun () -> ()) ());
+  gate_await_entered g;
+  (* this job's deadline passes while it waits behind the blocker *)
+  check_b "accepted" true
+    (Pool.submit p ~deadline:(Unix.gettimeofday () -. 1.0)
+       ~run:(fun () -> Atomic.set ran true)
+       ~expired:(fun () -> Atomic.set expired true) ()
+     = `Accepted);
+  gate_open g;
+  Pool.shutdown p;
+  check_b "expired callback ran" true (Atomic.get expired);
+  check_b "job never ran" false (Atomic.get ran)
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end over a loopback socket                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* one-shot HTTP client: Connection: close, read to EOF *)
+let http ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\
+           content-length: %d\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let rec write_all s off =
+        if off < String.length s then
+          let n = Unix.write_substring fd s off (String.length s - off) in
+          write_all s (off + n)
+      in
+      write_all req 0;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 4096 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        Scanf.sscanf raw "HTTP/1.1 %d" (fun s -> s)
+      in
+      let body =
+        let n = String.length raw in
+        let rec hdr_end i =
+          if i + 4 > n then None
+          else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+          else hdr_end (i + 1)
+        in
+        match hdr_end 0 with
+        | Some i -> String.sub raw i (n - i)
+        | None -> ""
+      in
+      (status, body))
+
+let with_server f =
+  let params =
+    { Serve.default_params with
+      Serve.port = 0; workers = 1; queue_capacity = 8; cache_size = 32 }
+  in
+  let srv = Serve.create params in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) (fun () -> f srv)
+
+let test_e2e_synthesize () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      (* liveness *)
+      let st, body = http ~port ~meth:"GET" ~path:"/healthz" () in
+      check_i "healthz status" 200 st;
+      let j = Result.get_ok (J.of_string body) in
+      check_b "healthz ok" true (J.str_field "status" j = Some "ok");
+      (* ground truth straight from the engine, same config as the server *)
+      let te = Option.get (Serve.find_domain "te") in
+      let qtext = "insert \"> \" at the start of each line" in
+      let cfg =
+        let c =
+          Dggt_domains.Domain.configure te (Engine.default Engine.Dggt_alg)
+        in
+        { c with Engine.timeout_s = Some Serve.default_params.Serve.default_timeout_s }
+      in
+      let expected =
+        Engine.synthesize cfg
+          (Lazy.force te.Dggt_domains.Domain.graph)
+          (Lazy.force te.Dggt_domains.Domain.doc)
+          qtext
+      in
+      let expected_code = Option.get expected.Engine.code in
+      (* first request computes *)
+      let reqbody =
+        J.to_string (J.Obj [ ("query", J.Str qtext); ("domain", J.Str "te") ])
+      in
+      let st, body = http ~port ~meth:"POST" ~path:"/synthesize" ~body:reqbody () in
+      check_i "synthesize status" 200 st;
+      let j = Result.get_ok (J.of_string body) in
+      check_b "synthesize ok" true (J.bool_field "ok" j = Some true);
+      check_s "code matches engine" expected_code
+        (Option.get (J.str_field "code" j));
+      check_b "first not cached" true (J.bool_field "cached" j = Some false);
+      (* repeat is a whole-query cache hit with the same answer *)
+      let st, body = http ~port ~meth:"POST" ~path:"/synthesize" ~body:reqbody () in
+      check_i "repeat status" 200 st;
+      let j = Result.get_ok (J.of_string body) in
+      check_b "repeat cached" true (J.bool_field "cached" j = Some true);
+      check_s "cached code matches" expected_code
+        (Option.get (J.str_field "code" j));
+      (* rank returns candidates headed by the synthesize answer *)
+      let st, body = http ~port ~meth:"POST" ~path:"/rank" ~body:reqbody () in
+      check_i "rank status" 200 st;
+      let j = Result.get_ok (J.of_string body) in
+      (match J.member "candidates" j with
+      | Some (J.Arr (J.Str head :: _)) -> check_s "rank head" expected_code head
+      | _ -> Alcotest.fail "rank candidates missing");
+      (* domains listing *)
+      let st, body = http ~port ~meth:"GET" ~path:"/domains" () in
+      check_i "domains status" 200 st;
+      check_b "lists TextEditing" true
+        (Dggt_util.Strutil.contains_sub ~sub:"TextEditing" body);
+      (* metrics exposition reflects the traffic above *)
+      let st, body = http ~port ~meth:"GET" ~path:"/metrics" () in
+      check_i "metrics status" 200 st;
+      let has sub = Dggt_util.Strutil.contains_sub ~sub body in
+      check_b "requests counter" true
+        (has "dggt_requests_total{domain=\"TextEditing\",outcome=\"ok\"}");
+      check_b "cached counter" true
+        (has "dggt_requests_total{domain=\"TextEditing\",outcome=\"cached\"}");
+      check_b "latency histogram" true (has "dggt_request_latency_seconds");
+      check_b "cache metrics" true (has "dggt_cache_hits_total");
+      (* error paths *)
+      let st, _ = http ~port ~meth:"GET" ~path:"/nope" () in
+      check_i "404" 404 st;
+      let st, _ = http ~port ~meth:"GET" ~path:"/synthesize" () in
+      check_i "405" 405 st;
+      let st, _ = http ~port ~meth:"POST" ~path:"/synthesize" ~body:"{oops" () in
+      check_i "400 bad json" 400 st;
+      let st, _ =
+        http ~port ~meth:"POST" ~path:"/synthesize"
+          ~body:{|{"query":"x","domain":"unknown"}|} ()
+      in
+      check_i "400 bad domain" 400 st)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "cache lru order" `Quick test_cache_lru_order;
+    Alcotest.test_case "cache counters" `Quick test_cache_counters;
+    Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+    Alcotest.test_case "cache find_or_compute" `Quick test_cache_find_or_compute;
+    Alcotest.test_case "pool bounded queue" `Quick test_pool_bounded_queue;
+    Alcotest.test_case "pool deadline drop" `Quick test_pool_deadline;
+    Alcotest.test_case "e2e loopback service" `Quick test_e2e_synthesize;
+  ]

@@ -157,16 +157,11 @@ let build_mix () =
   List.map
     (fun (name, d, text) ->
       let alg = if !engine = "hisyn" then Engine.Hisyn_alg else Engine.Dggt_alg in
-      let cfg =
+      let cfg, tgt =
         Dggt_domains.Domain.configure d
           { (Engine.default alg) with Engine.timeout_s = Some !timeout_s }
       in
-      let o =
-        Engine.synthesize cfg
-          (Lazy.force d.Dggt_domains.Domain.graph)
-          (Lazy.force d.Dggt_domains.Domain.doc)
-          text
-      in
+      let o = Engine.synthesize cfg tgt text in
       { domain = name; text; expected_code = o.Engine.code })
     raw
 
@@ -283,6 +278,7 @@ let () =
             queue_capacity = !queue;
             cache_size = !cache_size;
             default_timeout_s = !timeout_s;
+            trace_buffer = Serve.default_params.Serve.trace_buffer;
           }
       in
       port := Serve.port s;

@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- table2           # one artifact
      dune exec bench/main.exe -- --timeout 2 all  # faster protocol
      dune exec bench/main.exe -- micro            # Bechamel stage benches
+     dune exec bench/main.exe -- stages           # per-stage latency table
+     dune exec bench/main.exe -- --timeout 2 smoke  # reduced CI sweep
 
    The 20 s timeout is the paper's protocol; because this substrate is much
    faster than the authors' testbed, --timeout 2 produces the same shape in
@@ -74,19 +76,34 @@ let run_ablation ~timeout_s () =
   Format.fprintf fmt "@.";
   Report.ablation fmt ~timeout_s Astmatcher.domain
 
+let run_stages ~timeout_s () =
+  hr ();
+  Report.stage_table fmt ~timeout_s Text_editing.domain;
+  Format.fprintf fmt "@.";
+  Report.stage_table fmt ~timeout_s Astmatcher.domain
+
+(* A reduced sweep for CI: domain stats plus a per-stage latency probe on a
+   short query prefix — exercises tracing end to end in a few seconds. *)
+let run_smoke ~timeout_s () =
+  hr ();
+  Report.table1 fmt;
+  hr ();
+  let timeout_s = Float.min timeout_s 5.0 in
+  Report.stage_table fmt ~timeout_s ~limit:8 Text_editing.domain;
+  Format.fprintf fmt "@.";
+  Report.stage_table fmt ~timeout_s ~limit:8 Astmatcher.domain
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
 
 let synth_once (dom : Domain.t) alg text =
-  let g = Lazy.force dom.Domain.graph in
-  let doc = Lazy.force dom.Domain.doc in
-  let cfg =
+  let cfg, tgt =
     Domain.configure dom
       { (Engine.default alg) with Engine.timeout_s = Some 20.0 }
   in
-  fun () -> ignore (Engine.synthesize cfg g doc text)
+  fun () -> ignore (Engine.synthesize cfg tgt text)
 
 let micro_tests () =
   let te = Text_editing.domain and am = Astmatcher.domain in
@@ -164,6 +181,8 @@ let () =
     | "fig7" -> run_fig7 ~timeout_s ()
     | "fig8" -> run_fig8 ~timeout_s ()
     | "ablation" -> run_ablation ~timeout_s ()
+    | "stages" -> run_stages ~timeout_s ()
+    | "smoke" -> run_smoke ~timeout_s ()
     | "micro" -> run_micro ()
     | "all" ->
         run_table1 ();
@@ -172,6 +191,7 @@ let () =
         run_fig7 ~timeout_s ();
         run_fig8 ~timeout_s ();
         run_ablation ~timeout_s ();
+        run_stages ~timeout_s ();
         run_micro ()
     | other -> Format.eprintf "unknown target %S@." other
   in

@@ -65,10 +65,8 @@ let config dom alg timeout =
 let synth_cmd =
   let run dom alg timeout words =
     let query = String.concat " " words in
-    let o =
-      Engine.synthesize (config dom alg timeout)
-        (Lazy.force dom.Domain.graph) (Lazy.force dom.Domain.doc) query
-    in
+    let cfg, tgt = config dom alg timeout in
+    let o = Engine.synthesize cfg tgt query in
     match o.Engine.code with
     | Some code ->
         Format.printf "%s@." code;
@@ -87,34 +85,22 @@ let synth_cmd =
 (* --- explain ------------------------------------------------------- *)
 
 let explain_cmd =
-  let run dom timeout words =
+  let run dom alg timeout words =
     let query = String.concat " " words in
-    let graph = Lazy.force dom.Domain.graph in
-    let doc = Lazy.force dom.Domain.doc in
-    Format.printf "query: %s@.@." query;
-    let dg = Nlu.Depparser.parse query in
-    Format.printf "dependency parse:@.  %s@.@." (Nlu.Depgraph.to_string dg);
-    let pruned = Queryprune.prune dg in
-    Format.printf "pruned graph:@.  %s@.@." (Nlu.Depgraph.to_string pruned);
-    let w2a = Word2api.build ~top_k:max_int doc pruned in
-    let pruned', w2a = Engine.absorb_modifiers doc pruned w2a in
-    let w2a = Word2api.cap w2a 6 in
-    Format.printf "WordToAPI (after modifier absorption):@.  %a@.@." Word2api.pp w2a;
-    let e2p = Edge2path.build graph pruned' w2a in
-    Format.printf "EdgeToPath: %d candidate paths, %d orphan(s)@.@."
-      (Edge2path.total_path_count e2p)
-      (List.length (Edge2path.orphans e2p));
     let o =
-      Engine.synthesize (config dom Engine.Dggt_alg timeout) graph doc query
+      Dggt_eval.Explain.run Format.std_formatter ~timeout_s:timeout
+        ~algorithm:alg dom query
     in
-    Format.printf "statistics: %a@.@." Stats.pp o.Engine.stats;
-    Format.printf "codelet: %s@."
-      (Option.value o.Engine.code ~default:"<none>");
-    `Ok ()
+    if o.Engine.code <> None then `Ok ()
+    else `Error (false, "synthesis failed")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show every pipeline stage for a query.")
-    Term.(ret (const run $ domain_arg $ timeout_arg $ query_arg))
+    (Cmd.info "explain"
+       ~doc:
+         "Trace one query through the six-step pipeline and narrate every \
+          stage's decisions (candidate APIs, path counts, pruning, \
+          relocation, DGG updates).")
+    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg $ query_arg))
 
 (* --- eval ---------------------------------------------------------- *)
 
@@ -180,7 +166,15 @@ let serve_cmd =
       & info [ "t"; "timeout" ] ~docv:"SECONDS"
           ~doc:"Default per-request engine budget.")
   in
-  let run port addr workers queue cache_size timeout =
+  let trace_buffer_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "trace-buffer" ] ~docv:"N"
+          ~doc:
+            "Recent request traces retained for GET /debug/trace (0 \
+             disables retention).")
+  in
+  let run port addr workers queue cache_size timeout trace_buffer =
     Serve.run
       {
         Serve.addr;
@@ -189,6 +183,7 @@ let serve_cmd =
         queue_capacity = queue;
         cache_size;
         default_timeout_s = timeout;
+        trace_buffer;
       };
     `Ok ()
   in
@@ -196,11 +191,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the concurrent HTTP synthesis service (POST /synthesize, POST \
-          /rank, GET /domains, GET /metrics, GET /healthz).")
+          /rank, GET /domains, GET /metrics, GET /healthz, GET \
+          /debug/trace).")
     Term.(
       ret
         (const run $ port_arg $ addr_arg $ workers_arg $ queue_arg $ cache_arg
-       $ serve_timeout_arg))
+       $ serve_timeout_arg $ trace_buffer_arg))
 
 let () =
   let info =

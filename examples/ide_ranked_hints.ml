@@ -23,11 +23,11 @@ let engine dom alg =
 let () =
   List.iter
     (fun ((dom : Domain.t), q) ->
-      let graph = Lazy.force dom.Domain.graph in
-      let doc = Lazy.force dom.Domain.doc in
       Format.printf "@.[%s] %s@." dom.Domain.name q;
-      let d = Engine.synthesize (engine dom Engine.Dggt_alg) graph doc q in
-      let h = Engine.synthesize (engine dom Engine.Hisyn_alg) graph doc q in
+      let dcfg, tgt = engine dom Engine.Dggt_alg in
+      let hcfg, _ = engine dom Engine.Hisyn_alg in
+      let d = Engine.synthesize dcfg tgt q in
+      let h = Engine.synthesize hcfg tgt q in
       Format.printf "  hint: %s@." (Option.value d.Engine.code ~default:"<none>");
       Format.printf "  DGGT : %8.1f ms%s@." (d.Engine.time_s *. 1000.)
         (if d.Engine.timed_out then " TIMEOUT" else "");
@@ -45,9 +45,7 @@ let () =
         (h.Engine.time_s /. Float.max d.Engine.time_s 1e-6);
       (* the ranked-hints mode of paper SVII-B.4: alternative codelets for
          the hint panel, read off the dynamic grammar graph's root nodes *)
-      let hints =
-        Engine.synthesize_ranked ~k:3 (engine dom Engine.Dggt_alg) graph doc q
-      in
+      let hints = Engine.synthesize_ranked ~k:3 dcfg tgt q in
       List.iteri
         (fun i (_, code) -> Format.printf "  hint %d: %s@." (i + 1) code)
         hints)

@@ -42,6 +42,7 @@ let () =
   in
   let graph = Dggt_grammar.Ggraph.build cfg in
   let engine = Engine.default Engine.Dggt_alg in
+  let tgt = Engine.target graph doc in
   (* 3. Queries. *)
   [
     "play \"Blue in Green\" in the kitchen";
@@ -49,7 +50,7 @@ let () =
     "stop the music everywhere";
   ]
   |> List.iter (fun query ->
-         let o = Engine.synthesize engine graph doc query in
+         let o = Engine.synthesize engine tgt query in
          Format.printf "%-48s =>  %s  (%.1f ms)@." query
            (Option.value o.Engine.code ~default:"<no codelet>")
            (o.Engine.time_s *. 1000.))

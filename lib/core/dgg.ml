@@ -79,7 +79,8 @@ let update_min n ~size ~cgt ~assignment ~score =
     n.min_cgt <- cgt;
     n.assignment <- assignment;
     n.score <- score
-  end
+  end;
+  better
 
 let set n = set_ n
 

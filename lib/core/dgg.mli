@@ -45,10 +45,11 @@ val add_edge : t -> src:node -> dst:node -> epath:int option -> unit
 
 val update_min :
   node -> size:int -> cgt:Cgt.t -> assignment:(int * string) list ->
-  score:float -> unit
+  score:float -> bool
 (** Keep the better of the current and proposed partial CGTs: more words
     covered, then fewer APIs, then higher WordToAPI score, then CGT
-    structure. *)
+    structure. Returns [true] when the proposal replaced the memo — the
+    tracing layer records exactly these [min_size] improvements. *)
 
 val set : node -> bool
 (** Has [min_size] been set? *)

@@ -1,6 +1,7 @@
 open Dggt_util
 open Dggt_nlu
 open Dggt_grammar
+module Trace = Dggt_obs.Trace
 
 (* The paper's Algorithm 1: a bottom-up traversal of the pruned dependency
    graph builds the dynamic grammar graph, memoizing the optimal partial
@@ -18,10 +19,15 @@ let singleton_cgt g api =
            { Gpath.nodes = [| nid |]; edges = [||]; apis = [| api |] })
   | None -> None
 
-let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
-    (dg : Depgraph.t) w2a e2p =
+let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
+    ?(trace : Trace.span option) g (dg : Depgraph.t) w2a e2p =
   let dyng = Dgg.create () in
   let start = Dgg.start dyng in
+  let lemma_of id =
+    match Depgraph.node_opt dg id with
+    | Some n -> n.Depgraph.lemma
+    | None -> string_of_int id
+  in
 
   (* Seed an API node for a (dep, api) pair as a leaf interpretation. *)
   let seed_leaf dep api =
@@ -31,8 +37,9 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
         let n = Dgg.add_api dyng ~dep ~api in
         if not (Dgg.set n) then begin
           Dgg.add_edge dyng ~src:start ~dst:n ~epath:None;
-          Dgg.update_min n ~size:1 ~cgt ~assignment:[ (dep, api) ]
-            ~score:(Word2api.score w2a dep api)
+          ignore
+            (Dgg.update_min n ~size:1 ~cgt ~assignment:[ (dep, api) ]
+               ~score:(Word2api.score w2a dep api))
         end
   in
 
@@ -136,10 +143,11 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
             let survivors, total =
               Gprune.combos ~budget conflict_tbl ~enabled:(gprune && case_ii) groups
             in
+            let after_gprune = List.length survivors in
             if case_ii then begin
               stats.Stats.combos_total <- stats.Stats.combos_total + total;
               stats.Stats.combos_after_gprune <-
-                stats.Stats.combos_after_gprune + List.length survivors
+                stats.Stats.combos_after_gprune + after_gprune
             end;
             let survivors =
               if case_ii then Sprune.prune ~enabled:sprune ~extra:child_extra survivors
@@ -148,6 +156,11 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
             if case_ii then
               stats.Stats.combos_after_sprune <-
                 stats.Stats.combos_after_sprune + List.length survivors;
+            if case_ii && Trace.on trace then
+              Trace.str trace
+                (Printf.sprintf "combos %s:%s" (lemma_of id) a)
+                (Printf.sprintf "%d total, %d after gprune, %d after sprune"
+                   total after_gprune (List.length survivors));
             let api_node = ref None in
             let get_api_node () =
               match !api_node with
@@ -192,7 +205,8 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
                   let target = get_api_node () in
                   if case_ii then begin
                     let pcgt = Dgg.add_pcgt dyng ~dep:id ~api:a ~idx in
-                    Dgg.update_min pcgt ~size ~cgt:merged ~assignment ~score;
+                    ignore
+                      (Dgg.update_min pcgt ~size ~cgt:merged ~assignment ~score);
                     List.iter
                       (fun (p : Edge2path.epath) ->
                         match
@@ -221,7 +235,13 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
                         | None -> ())
                     | _ -> ()
                   end;
-                  Dgg.update_min target ~size ~cgt:merged ~assignment ~score
+                  let improved =
+                    Dgg.update_min target ~size ~cgt:merged ~assignment ~score
+                  in
+                  if improved && Trace.on trace then
+                    Trace.int trace
+                      (Printf.sprintf "min_size %s:%s" (lemma_of id) a)
+                      size
                 end
             in
             List.iteri try_combo survivors;
@@ -242,6 +262,18 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
 
   stats.Stats.dgg_nodes <- Dgg.node_count dyng;
   stats.Stats.dgg_edges <- Dgg.edge_count dyng;
+  if Trace.on trace then begin
+    (* level sizes: how many API interpretations survived per word,
+       bottom-up — the width of the dynamic programming table *)
+    List.iter
+      (fun (n : Depgraph.node) ->
+        Trace.int trace
+          (Printf.sprintf "dgg level %s" n.Depgraph.lemma)
+          (List.length (Dgg.api_nodes_of_dep dyng n.Depgraph.id)))
+      order;
+    Trace.int trace "dgg_nodes" (Dgg.node_count dyng);
+    Trace.int trace "dgg_edges" (Dgg.edge_count dyng)
+  end;
 
   (* the optimal CGT backtrack: the root word's best API node *)
   let best =
@@ -275,12 +307,14 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true) g
   in
   (res, dyng)
 
-let synthesize ~budget ~stats ?gprune ?sprune g dg w2a e2p =
-  fst (synthesize_with_graph ~budget ~stats ?gprune ?sprune g dg w2a e2p)
+let synthesize ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p =
+  fst (synthesize_with_graph ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p)
 
-let synthesize_ranked ~budget ~stats ?gprune ?sprune ~k g (dg : Depgraph.t) w2a
-    e2p =
-  let _, dyng = synthesize_with_graph ~budget ~stats ?gprune ?sprune g dg w2a e2p in
+let synthesize_ranked ~budget ~stats ?gprune ?sprune ?trace ~k g
+    (dg : Depgraph.t) w2a e2p =
+  let _, dyng =
+    synthesize_with_graph ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p
+  in
   Dgg.api_nodes_of_dep dyng dg.Depgraph.root
   |> List.filter Dgg.set
   |> List.sort (fun (a : Dgg.node) b ->

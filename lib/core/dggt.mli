@@ -21,6 +21,7 @@ val synthesize :
   stats:Stats.t ->
   ?gprune:bool ->
   ?sprune:bool ->
+  ?trace:Dggt_obs.Trace.span ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->
@@ -28,13 +29,18 @@ val synthesize :
   Synres.t option
 (** Both pruning optimizations default to enabled. Raises
     {!Dggt_util.Budget.Exhausted} on budget exhaustion. Returns the graph
-    structure statistics through [stats]. *)
+    structure statistics through [stats]. When [trace] is given (the
+    engine's open PathMerge span), decision-level notes are recorded on it:
+    per-governor combination counts before/after each pruning pass,
+    [min_size] improvements per (word, API) memo, and the final DGG level
+    sizes. *)
 
 val synthesize_ranked :
   budget:Dggt_util.Budget.t ->
   stats:Stats.t ->
   ?gprune:bool ->
   ?sprune:bool ->
+  ?trace:Dggt_obs.Trace.span ->
   k:int ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
@@ -52,6 +58,7 @@ val synthesize_with_graph :
   stats:Stats.t ->
   ?gprune:bool ->
   ?sprune:bool ->
+  ?trace:Dggt_obs.Trace.span ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->

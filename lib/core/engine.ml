@@ -1,5 +1,6 @@
 open Dggt_util
 open Dggt_nlu
+module Trace = Dggt_obs.Trace
 
 type algorithm = Hisyn_alg | Dggt_alg
 
@@ -20,6 +21,14 @@ type lookups = {
 
 let no_lookups = { word2api = None; edge2path = None }
 
+type target = {
+  graph : Dggt_grammar.Ggraph.t;
+  doc : Apidoc.t;
+  caches : lookups;
+}
+
+let target ?(caches = no_lookups) graph doc = { graph; doc; caches }
+
 type config = {
   algorithm : algorithm;
   timeout_s : float option;
@@ -34,7 +43,7 @@ type config = {
   defaults : (string * string) list;
   unit_filter : (string -> bool) option;
   stop_verbs : string list;
-  lookups : lookups;
+  trace : Trace.sink option;
 }
 
 let default algorithm =
@@ -52,7 +61,7 @@ let default algorithm =
     defaults = [];
     unit_filter = None;
     stop_verbs = [];
-    lookups = no_lookups;
+    trace = None;
   }
 
 type outcome = {
@@ -64,6 +73,12 @@ type outcome = {
   failure : string option;
   stats : Stats.t;
 }
+
+let stage_names =
+  [
+    "DependencyParse"; "QueryPrune"; "WordToAPI"; "EdgeToPath"; "PathMerge";
+    "TreeToExpr";
+  ]
 
 (* An adjectival or compound modifier that shares candidate APIs with its
    head noun refines the head rather than naming a second entity:
@@ -132,6 +147,122 @@ let make_budget cfg =
   | None, Some n -> Budget.of_steps n
   | None, None -> Budget.unlimited ()
 
+(* ------------------------------------------------------------------ *)
+(* trace note helpers (all guarded: no work when tracing is off)      *)
+(* ------------------------------------------------------------------ *)
+
+let lemma_of (dg : Depgraph.t) id =
+  match Depgraph.node_opt dg id with
+  | Some n -> n.Depgraph.lemma
+  | None -> string_of_int id
+
+let trace_word_candidates sp (dg : Depgraph.t) w2a =
+  if Trace.on sp then
+    List.iter
+      (fun (n : Depgraph.node) ->
+        let rendered =
+          match Word2api.candidates w2a n.Depgraph.id with
+          | [] -> "(none)"
+          | cs ->
+              String.concat " "
+                (List.map
+                   (fun (c : Word2api.candidate) ->
+                     Printf.sprintf "%s:%.2f" c.Word2api.api c.Word2api.score)
+                   cs)
+        in
+        Trace.str sp
+          (Printf.sprintf "word[%d] %s" n.Depgraph.id n.Depgraph.lemma)
+          rendered)
+      dg.Depgraph.nodes
+
+let trace_edge_paths sp (dg : Depgraph.t) e2p =
+  if Trace.on sp then
+    List.iter
+      (fun (e : Depgraph.edge) ->
+        Trace.int sp
+          (Printf.sprintf "edge %s->%s(%s)" (lemma_of dg e.Depgraph.gov)
+             (lemma_of dg e.Depgraph.dep)
+             (Dggt_nlu.Dep.to_string e.Depgraph.label))
+          (List.length (Edge2path.paths_of_edge e2p e)))
+      dg.Depgraph.edges
+
+let trace_dropped sp key (before : Depgraph.t) (after : Depgraph.t) =
+  if Trace.on sp then
+    match
+      List.filter
+        (fun (n : Depgraph.node) -> not (Depgraph.mem after n.Depgraph.id))
+        before.Depgraph.nodes
+    with
+    | [] -> ()
+    | dropped ->
+        Trace.str sp key
+          (String.concat " "
+             (List.map (fun (n : Depgraph.node) -> n.Depgraph.lemma) dropped))
+
+(* ------------------------------------------------------------------ *)
+(* pipeline stages                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Step 2: POS-based pruning plus the domain's stop-verb drop. *)
+let prune_query cfg (dg : Depgraph.t) =
+  Trace.span cfg.trace "QueryPrune" (fun sp ->
+      let pruned = Queryprune.prune dg in
+      (* command verbs without API meaning ("find", "list" in code-search
+         domains) would otherwise soak up spurious keyword matches *)
+      let pruned =
+        match Depgraph.node_opt pruned pruned.Depgraph.root with
+        | Some rn
+          when Pos.is_verb rn.Depgraph.pos
+               && List.mem rn.Depgraph.lemma cfg.stop_verbs ->
+            Trace.str sp "stop_verb" rn.Depgraph.lemma;
+            Queryprune.drop_nodes pruned [ pruned.Depgraph.root ]
+        | _ -> pruned
+      in
+      Trace.int sp "nodes_before" (List.length dg.Depgraph.nodes);
+      Trace.int sp "nodes_after" (List.length pruned.Depgraph.nodes);
+      trace_dropped sp "dropped" dg pruned;
+      pruned)
+
+(* Steps 3 and 4, shared by both engines and the ranked mode. *)
+let front cfg tgt stats (pruned : Depgraph.t) =
+  let tr = cfg.trace in
+  let pruned, w2a =
+    Trace.span tr "WordToAPI" (fun sp ->
+        let w2a =
+          Word2api.build ~top_k:max_int ~threshold:cfg.threshold
+            ?lookup:tgt.caches.word2api tgt.doc pruned
+        in
+        let absorbed, w2a = absorb_modifiers tgt.doc pruned w2a in
+        trace_dropped sp "absorbed_modifiers" pruned absorbed;
+        let w2a = apply_unit_filter cfg absorbed w2a in
+        let w2a = Word2api.cap w2a cfg.top_k in
+        let covered = Queryprune.drop_nodes absorbed (Word2api.uncovered w2a) in
+        trace_dropped sp "uncovered_words" absorbed covered;
+        trace_word_candidates sp covered w2a;
+        (covered, w2a))
+  in
+  stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
+  let e2p =
+    Trace.span tr "EdgeToPath" (fun sp ->
+        let e2p =
+          Edge2path.build ~limits:cfg.path_limits
+            ?pair_lookup:tgt.caches.edge2path tgt.graph pruned w2a
+        in
+        trace_edge_paths sp pruned e2p;
+        Trace.int sp "total_paths" (Edge2path.total_path_count e2p);
+        (if Trace.on sp then
+           match Edge2path.orphans e2p with
+           | [] -> ()
+           | orphans ->
+               Trace.str sp "orphans"
+                 (String.concat " " (List.map (lemma_of pruned) orphans)));
+        e2p)
+  in
+  stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
+  let orphans = Edge2path.orphans e2p in
+  stats.Stats.orphan_count <- List.length orphans;
+  (pruned, w2a, e2p, orphans)
+
 (* literal bindings: (api, literal) pairs in token order, for the nodes the
    winning assignment actually interpreted *)
 let literal_bindings (dg : Depgraph.t) (assignment : (int * string) list) =
@@ -141,233 +272,270 @@ let literal_bindings (dg : Depgraph.t) (assignment : (int * string) list) =
          | Some v, Some api -> Some (api, v)
          | _ -> None)
 
-let finish cfg g dg (res : Synres.t option) ~time_s ~timed_out ~stats =
-  match res with
-  | None ->
-      {
-        expr = None;
-        code = None;
-        cgt_size = None;
-        time_s;
-        timed_out;
-        failure = Some (if timed_out then "timeout" else "no well-formed CGT found");
-        stats;
-      }
-  | Some r -> (
-      let lits = literal_bindings dg r.Synres.assignment in
-      match
-        Result.map Tree2expr.normalize
-          (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults g r.Synres.cgt)
-      with
-      | Ok expr ->
-          {
-            expr = Some expr;
-            code = Some (Tree2expr.to_string expr);
-            cgt_size = Some r.Synres.size;
-            time_s;
-            timed_out;
-            failure = None;
-            stats;
-          }
-      | Error e ->
+(* Step 6. *)
+let finish cfg tgt dg (res : Synres.t option) ~time_s ~timed_out ~stats =
+  Trace.span cfg.trace "TreeToExpr" (fun sp ->
+      match res with
+      | None ->
+          Trace.str sp "skipped"
+            (if timed_out then "budget exhausted" else "no CGT to linearize");
           {
             expr = None;
             code = None;
-            cgt_size = Some r.Synres.size;
+            cgt_size = None;
             time_s;
             timed_out;
-            failure = Some (Format.asprintf "linearization: %a" Tree2expr.pp_error e);
+            failure =
+              Some (if timed_out then "timeout" else "no well-formed CGT found");
             stats;
-          })
+          }
+      | Some r -> (
+          let lits = literal_bindings dg r.Synres.assignment in
+          Trace.int sp "cgt_size" r.Synres.size;
+          Trace.int sp "words_covered" (List.length r.Synres.assignment);
+          match
+            Result.map Tree2expr.normalize
+              (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph
+                 r.Synres.cgt)
+          with
+          | Ok expr ->
+              let code = Tree2expr.to_string expr in
+              Trace.str sp "code" code;
+              {
+                expr = Some expr;
+                code = Some code;
+                cgt_size = Some r.Synres.size;
+                time_s;
+                timed_out;
+                failure = None;
+                stats;
+              }
+          | Error e ->
+              let msg = Format.asprintf "linearization: %a" Tree2expr.pp_error e in
+              Trace.str sp "failure" msg;
+              {
+                expr = None;
+                code = None;
+                cgt_size = Some r.Synres.size;
+                time_s;
+                timed_out;
+                failure = Some msg;
+                stats;
+              }))
 
-let run_dggt cfg g doc budget stats (pruned : Depgraph.t) =
-  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold
-      ?lookup:cfg.lookups.word2api doc pruned in
-  let pruned, w2a = absorb_modifiers doc pruned w2a in
-  let w2a = apply_unit_filter cfg pruned w2a in
-  let w2a = Word2api.cap w2a cfg.top_k in
-  let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
-  stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
-  let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g
-      pruned w2a in
-  stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
-  let orphans = Edge2path.orphans e2p in
-  stats.Stats.orphan_count <- List.length orphans;
-  if orphans = [] || not cfg.orphan_reloc then begin
-    let dg, e2p =
-      if orphans = [] then (pruned, e2p)
-      else
-        (* ablation: fall back to the baseline's root anchoring *)
-        Edge2path.anchor_orphans ~limits:cfg.path_limits g pruned w2a e2p
-    in
-    stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
-    stats.Stats.reloc_graphs <- 1;
-    let res =
-      Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune g dg
-        w2a e2p
-    in
-    (dg, res)
-  end
-  else begin
-    let variants =
-      Orphan.relocate ~max_graphs:cfg.max_reloc_graphs g pruned w2a ~orphans
-    in
-    stats.Stats.reloc_graphs <- List.length variants;
-    let best =
-      List.fold_left
-        (fun acc dg ->
-          let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g dg
-            w2a in
-          stats.Stats.paths_after_reloc <-
-            max stats.Stats.paths_after_reloc (Edge2path.total_path_count e2p);
-          let res =
-            Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune
-              g dg w2a e2p
-          in
-          match (acc, res) with
-          | None, Some r -> Some (dg, r)
-          | Some (_, b), Some r
-          (* the paper's minimality is among CGTs covering the query's
-             semantics: a variant interpreting more of the words beats a
-             smaller CGT that dropped a subtree *)
-            when let cov x = List.length x.Synres.assignment in
-                 cov r > cov b || (cov r = cov b && r.Synres.size < b.Synres.size)
-            ->
-              Some (dg, r)
-          | _ -> acc)
-        None variants
-    in
-    match best with
-    | Some (dg, r) -> (dg, Some r)
-    | None -> (pruned, None)
-  end
-
-let run_hisyn cfg g doc budget stats (pruned : Depgraph.t) =
-  let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold
-      ?lookup:cfg.lookups.word2api doc pruned in
-  let pruned, w2a = absorb_modifiers doc pruned w2a in
-  let w2a = apply_unit_filter cfg pruned w2a in
-  let w2a = Word2api.cap w2a cfg.top_k in
-  let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
-  stats.Stats.dep_edges <- List.length pruned.Depgraph.edges;
-  let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g
-      pruned w2a in
-  stats.Stats.orig_paths <- Edge2path.total_path_count e2p;
-  let orphans = Edge2path.orphans e2p in
-  stats.Stats.orphan_count <- List.length orphans;
-  let dg, e2p =
-    if orphans = [] then (pruned, e2p)
-    else Edge2path.anchor_orphans ~limits:cfg.path_limits g pruned w2a e2p
-  in
-  stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
-  stats.Stats.reloc_graphs <- 1;
-  let res =
-    match Hisyn.synthesize ~budget ~stats g dg w2a e2p with
-    | Some r -> Some r
-    | None when dg.Depgraph.edges = [] || List.for_all
-        (fun e -> Edge2path.paths_of_edge e2p e = []) dg.Depgraph.edges -> (
-        (* single-word query (or nothing connected): the best lone API *)
-        match Word2api.candidates w2a dg.Depgraph.root with
-        | { Word2api.api; _ } :: _ -> (
-            match Dggt_grammar.Ggraph.api_node g api with
-            | Some nid ->
-                let cgt =
-                  Cgt.merge_path Cgt.empty
-                    {
-                      Dggt_grammar.Gpath.nodes = [| nid |];
-                      edges = [||];
-                      apis = [| api |];
-                    }
+(* Step 5, DGGT: orphan relocation + dynamic-grammar-graph merging. *)
+let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
+  let pruned, w2a, e2p, orphans = front cfg tgt stats pruned in
+  Trace.span cfg.trace "PathMerge" (fun sp ->
+      Trace.str sp "engine" "dggt";
+      if orphans = [] || not cfg.orphan_reloc then begin
+        let dg, e2p =
+          if orphans = [] then (pruned, e2p)
+          else
+            (* ablation: fall back to the baseline's root anchoring *)
+            Trace.span cfg.trace "OrphanAnchor" (fun asp ->
+                let dg, e2p =
+                  Edge2path.anchor_orphans ~limits:cfg.path_limits tgt.graph
+                    pruned w2a e2p
                 in
-                Some { Synres.cgt; size = 1; assignment = [ (dg.Depgraph.root, api) ] }
-            | None -> None)
-        | [] -> None)
-    | None -> None
-  in
-  (dg, res)
+                Trace.int asp "paths_after_anchor"
+                  (Edge2path.total_path_count e2p);
+                (dg, e2p))
+        in
+        stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
+        stats.Stats.reloc_graphs <- 1;
+        let res =
+          Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune
+            ?trace:sp tgt.graph dg w2a e2p
+        in
+        (dg, res)
+      end
+      else begin
+        let variants =
+          Trace.span cfg.trace "OrphanRelocation" (fun osp ->
+              let variants =
+                Orphan.relocate ~max_graphs:cfg.max_reloc_graphs tgt.graph
+                  pruned w2a ~orphans
+              in
+              Trace.int osp "orphan_count" (List.length orphans);
+              Trace.int osp "variants" (List.length variants);
+              if Trace.on osp then
+                List.iteri
+                  (fun i v ->
+                    Trace.str osp
+                      (Printf.sprintf "variant[%d]" i)
+                      (String.concat " "
+                         (List.map
+                            (fun o ->
+                              match Depgraph.parent v o with
+                              | Some e ->
+                                  Printf.sprintf "%s under %s" (lemma_of v o)
+                                    (lemma_of v e.Depgraph.gov)
+                              | None ->
+                                  Printf.sprintf "%s unattached" (lemma_of v o))
+                            orphans)))
+                  variants;
+              variants)
+        in
+        stats.Stats.reloc_graphs <- List.length variants;
+        let best =
+          List.fold_left
+            (fun (i, acc) dg ->
+              let e2p =
+                Edge2path.build ~limits:cfg.path_limits
+                  ?pair_lookup:tgt.caches.edge2path tgt.graph dg w2a
+              in
+              if Trace.on sp then
+                Trace.int sp
+                  (Printf.sprintf "variant[%d] paths" i)
+                  (Edge2path.total_path_count e2p);
+              stats.Stats.paths_after_reloc <-
+                max stats.Stats.paths_after_reloc
+                  (Edge2path.total_path_count e2p);
+              let res =
+                Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune
+                  ~sprune:cfg.sprune ?trace:sp tgt.graph dg w2a e2p
+              in
+              let acc =
+                match (acc, res) with
+                | None, Some r -> Some (dg, r)
+                | Some (_, b), Some r
+                (* the paper's minimality is among CGTs covering the query's
+                   semantics: a variant interpreting more of the words beats
+                   a smaller CGT that dropped a subtree *)
+                  when let cov x = List.length x.Synres.assignment in
+                       cov r > cov b
+                       || (cov r = cov b && r.Synres.size < b.Synres.size) ->
+                    Some (dg, r)
+                | _ -> acc
+              in
+              (i + 1, acc))
+            (0, None) variants
+          |> snd
+        in
+        match best with
+        | Some (dg, r) -> (dg, Some r)
+        | None -> (pruned, None)
+      end)
 
-let synthesize_graph cfg g doc (dg : Depgraph.t) =
+(* Step 5, HISyn baseline: root anchoring + exhaustive enumeration. *)
+let run_hisyn cfg tgt budget stats (pruned : Depgraph.t) =
+  let pruned, w2a, e2p, orphans = front cfg tgt stats pruned in
+  Trace.span cfg.trace "PathMerge" (fun sp ->
+      Trace.str sp "engine" "hisyn";
+      let dg, e2p =
+        if orphans = [] then (pruned, e2p)
+        else
+          Trace.span cfg.trace "OrphanAnchor" (fun asp ->
+              let dg, e2p =
+                Edge2path.anchor_orphans ~limits:cfg.path_limits tgt.graph
+                  pruned w2a e2p
+              in
+              Trace.int asp "paths_after_anchor" (Edge2path.total_path_count e2p);
+              (dg, e2p))
+      in
+      stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
+      stats.Stats.reloc_graphs <- 1;
+      let res =
+        match Hisyn.synthesize ~budget ~stats ?trace:sp tgt.graph dg w2a e2p with
+        | Some r -> Some r
+        | None
+          when dg.Depgraph.edges = []
+               || List.for_all
+                    (fun e -> Edge2path.paths_of_edge e2p e = [])
+                    dg.Depgraph.edges -> (
+            (* single-word query (or nothing connected): the best lone API *)
+            match Word2api.candidates w2a dg.Depgraph.root with
+            | { Word2api.api; _ } :: _ -> (
+                match Dggt_grammar.Ggraph.api_node tgt.graph api with
+                | Some nid ->
+                    let cgt =
+                      Cgt.merge_path Cgt.empty
+                        {
+                          Dggt_grammar.Gpath.nodes = [| nid |];
+                          edges = [||];
+                          apis = [| api |];
+                        }
+                    in
+                    Trace.str sp "fallback" ("single word -> " ^ api);
+                    Some
+                      {
+                        Synres.cgt;
+                        size = 1;
+                        assignment = [ (dg.Depgraph.root, api) ];
+                      }
+                | None -> None)
+            | [] -> None)
+        | None -> None
+      in
+      (dg, res))
+
+let synthesize_graph cfg tgt (dg : Depgraph.t) =
   let stats = Stats.create () in
   let budget = make_budget cfg in
   let t0 = Unix.gettimeofday () in
   let run () =
-    let pruned = Queryprune.prune dg in
-    (* command verbs without API meaning ("find", "list" in code-search
-       domains) would otherwise soak up spurious keyword matches *)
-    let pruned =
-      let rn = Depgraph.node_opt pruned pruned.Depgraph.root in
-      match rn with
-      | Some rn
-        when Pos.is_verb rn.Depgraph.pos && List.mem rn.Depgraph.lemma cfg.stop_verbs
-        ->
-          Queryprune.drop_nodes pruned [ pruned.Depgraph.root ]
-      | _ -> pruned
-    in
+    let pruned = prune_query cfg dg in
     match cfg.algorithm with
-    | Dggt_alg -> run_dggt cfg g doc budget stats pruned
-    | Hisyn_alg -> run_hisyn cfg g doc budget stats pruned
+    | Dggt_alg -> run_dggt cfg tgt budget stats pruned
+    | Hisyn_alg -> run_hisyn cfg tgt budget stats pruned
   in
   match run () with
   | dg', res ->
       let time_s = Unix.gettimeofday () -. t0 in
-      finish cfg g dg' res ~time_s ~timed_out:false ~stats
+      finish cfg tgt dg' res ~time_s ~timed_out:false ~stats
   | exception Budget.Exhausted ->
       let time_s =
         match cfg.timeout_s with
         | Some limit -> limit
         | None -> Unix.gettimeofday () -. t0
       in
-      finish cfg g dg None ~time_s ~timed_out:true ~stats
+      finish cfg tgt dg None ~time_s ~timed_out:true ~stats
 
-let synthesize cfg g doc query =
-  synthesize_graph cfg g doc (Depparser.parse query)
+let parse_query cfg query =
+  Trace.span cfg.trace "DependencyParse" (fun sp ->
+      let dg = Depparser.parse query in
+      Trace.int sp "nodes" (List.length dg.Depgraph.nodes);
+      Trace.int sp "edges" (List.length dg.Depgraph.edges);
+      if Trace.on sp then Trace.str sp "parse" (Depgraph.to_string dg);
+      dg)
 
-let synthesize_ranked ?(k = 5) cfg g doc query =
+let synthesize cfg tgt query = synthesize_graph cfg tgt (parse_query cfg query)
+
+let synthesize_ranked ?(k = 5) cfg tgt query =
   let budget = make_budget cfg in
   let stats = Stats.create () in
   try
-    let pruned = Queryprune.prune (Depparser.parse query) in
-    let pruned =
-      match Depgraph.node_opt pruned pruned.Depgraph.root with
-      | Some rn
-        when Pos.is_verb rn.Depgraph.pos && List.mem rn.Depgraph.lemma cfg.stop_verbs
-        ->
-          Queryprune.drop_nodes pruned [ pruned.Depgraph.root ]
-      | _ -> pruned
-    in
-    let w2a = Word2api.build ~top_k:max_int ~threshold:cfg.threshold
-      ?lookup:cfg.lookups.word2api doc pruned in
-    let pruned, w2a = absorb_modifiers doc pruned w2a in
-    let w2a = apply_unit_filter cfg pruned w2a in
-    let w2a = Word2api.cap w2a cfg.top_k in
-    let pruned = Queryprune.drop_nodes pruned (Word2api.uncovered w2a) in
-    let e2p = Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g
-      pruned w2a in
-    let orphans = Edge2path.orphans e2p in
-    let dg, e2p =
-      if orphans = [] then (pruned, e2p)
-      else
-        (* ranked mode keeps a single dependency graph: relocate orphans to
-           their first plausible governor so every hint shares one parse *)
-        let variants =
-          Orphan.relocate ~max_graphs:1 g pruned w2a ~orphans
+    let pruned = prune_query cfg (parse_query cfg query) in
+    let pruned, w2a, e2p, orphans = front cfg tgt stats pruned in
+    Trace.span cfg.trace "PathMerge" (fun sp ->
+        Trace.str sp "engine" "dggt";
+        Trace.int sp "k" k;
+        let dg, e2p =
+          if orphans = [] then (pruned, e2p)
+          else
+            (* ranked mode keeps a single dependency graph: relocate orphans
+               to their first plausible governor so every hint shares one
+               parse *)
+            let variants = Orphan.relocate ~max_graphs:1 tgt.graph pruned w2a ~orphans in
+            let dg = match variants with v :: _ -> v | [] -> pruned in
+            ( dg,
+              Edge2path.build ~limits:cfg.path_limits
+                ?pair_lookup:tgt.caches.edge2path tgt.graph dg w2a )
         in
-        let dg = match variants with v :: _ -> v | [] -> pruned in
-        (dg, Edge2path.build ~limits:cfg.path_limits ?pair_lookup:cfg.lookups.edge2path g dg
-            w2a)
-    in
-    let ranked =
-      Dggt.synthesize_ranked ~budget ~stats ~gprune:cfg.gprune
-        ~sprune:cfg.sprune ~k g dg w2a e2p
-    in
-    List.filter_map
-      (fun (r : Synres.t) ->
-        let lits = literal_bindings dg r.Synres.assignment in
-        match
-          Result.map Tree2expr.normalize
-            (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults g r.Synres.cgt)
-        with
-        | Ok expr -> Some (expr, Tree2expr.to_string expr)
-        | Error _ -> None)
-      ranked
+        let ranked =
+          Dggt.synthesize_ranked ~budget ~stats ~gprune:cfg.gprune
+            ~sprune:cfg.sprune ?trace:sp ~k tgt.graph dg w2a e2p
+        in
+        List.filter_map
+          (fun (r : Synres.t) ->
+            let lits = literal_bindings dg r.Synres.assignment in
+            match
+              Result.map Tree2expr.normalize
+                (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph
+                   r.Synres.cgt)
+            with
+            | Ok expr -> Some (expr, Tree2expr.to_string expr)
+            | Error _ -> None)
+          ranked)
   with Budget.Exhausted -> []

@@ -11,6 +11,15 @@
       root-anchored (HISyn) or relocated ({!Orphan}, DGGT);
     + TreeToExpression ({!Tree2expr}) with query-literal binding.
 
+    The {e what} to synthesize against is a {!target} — the domain's
+    grammar graph and API document plus optional per-stage caches — built
+    once per domain; the {e how} is a {!config}. Every stage emits a
+    {!Dggt_obs.Trace} span when [config.trace] is set, recording its
+    decisions (word→API candidates with scores, per-edge path counts,
+    relocation choices, DGG [min_size] updates); with [trace = None] the
+    instrumentation is a single pattern match per stage and the pipeline
+    behaves exactly as before.
+
     Timeouts follow the paper's protocol: a wall-clock budget (default
     20 s) checked inside the enumeration loops; an exhausted budget makes
     the query a timeout (counted as an error, time capped at the limit). *)
@@ -41,6 +50,21 @@ type lookups = {
 
 val no_lookups : lookups
 
+type target = {
+  graph : Dggt_grammar.Ggraph.t;
+  doc : Apidoc.t;
+  caches : lookups;
+      (** per-stage memoization; {!no_lookups} = compute everything. Part
+          of the target, not the config: installing caches means building
+          a different target, never mutating how the engine runs. *)
+}
+(** What to synthesize against. Build one per domain (grammar and document
+    are immutable and shared freely across threads) and reuse it for every
+    query — {!Dggt_domains.Domain.configure} returns a ready pair. *)
+
+val target : ?caches:lookups -> Dggt_grammar.Ggraph.t -> Apidoc.t -> target
+(** [caches] defaults to {!no_lookups}. *)
+
 type config = {
   algorithm : algorithm;
   timeout_s : float option;   (** None = no wall-clock limit *)
@@ -62,12 +86,14 @@ type config = {
   stop_verbs : string list;
       (** imperative root verbs with no API meaning in the domain ("find",
           "list" for code search): dropped before WordToAPI *)
-  lookups : lookups;
-      (** per-stage memoization hooks; {!no_lookups} = compute everything *)
+  trace : Dggt_obs.Trace.sink option;
+      (** stage-level tracing sink; [None] (the default) is the zero-cost
+          off switch. Sinks are single-request: build one per call. *)
 }
 
 val default : algorithm -> config
-(** 20 s timeout, top_k 4, default path limits, all optimizations on. *)
+(** 20 s timeout, top_k 4, default path limits, all optimizations on,
+    tracing off. *)
 
 type outcome = {
   expr : Tree2expr.expr option;  (** the synthesized codelet *)
@@ -80,8 +106,7 @@ type outcome = {
   stats : Stats.t;
 }
 
-val synthesize :
-  config -> Dggt_grammar.Ggraph.t -> Apidoc.t -> string -> outcome
+val synthesize : config -> target -> string -> outcome
 (** Never raises. *)
 
 val absorb_modifiers :
@@ -92,21 +117,18 @@ val absorb_modifiers :
     disappears as a separate word. *)
 
 val synthesize_ranked :
-  ?k:int ->
-  config ->
-  Dggt_grammar.Ggraph.t ->
-  Apidoc.t ->
-  string ->
-  (Tree2expr.expr * string) list
+  ?k:int -> config -> target -> string -> (Tree2expr.expr * string) list
 (** Ranked-hints mode (paper §VII-B.4): up to [k] candidate codelets for
     the query, best first (default [k = 5]). Always uses the DGGT engine;
     the head of the list is {!synthesize}'s codelet. Timeouts yield []. *)
 
-val synthesize_graph :
-  config ->
-  Dggt_grammar.Ggraph.t ->
-  Apidoc.t ->
-  Dggt_nlu.Depgraph.t ->
-  outcome
+val synthesize_graph : config -> target -> Dggt_nlu.Depgraph.t -> outcome
 (** Skip parsing: synthesize from a pre-built dependency graph (used by
-    tests to pin parses, and by the property suite to fuzz graph shapes). *)
+    tests to pin parses, and by the property suite to fuzz graph shapes).
+    No DependencyParse span is emitted when tracing. *)
+
+val stage_names : string list
+(** The span names of the six pipeline stages, in pipeline order:
+    DependencyParse, QueryPrune, WordToAPI, EdgeToPath, PathMerge,
+    TreeToExpr. Sub-spans (OrphanRelocation, OrphanAnchor) nest under
+    PathMerge and are not listed. *)

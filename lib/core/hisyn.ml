@@ -23,7 +23,10 @@ let consistent_assignment combo =
     let assignment = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
     if Synres.injective assignment then Some assignment else None
 
-let synthesize ~budget ~stats g (dg : Dggt_nlu.Depgraph.t) w2a e2p =
+module Trace = Dggt_obs.Trace
+
+let synthesize ~budget ~stats ?(trace : Trace.span option) g
+    (dg : Dggt_nlu.Depgraph.t) w2a e2p =
   let groups =
     List.filter_map
       (fun e ->
@@ -33,6 +36,7 @@ let synthesize ~budget ~stats g (dg : Dggt_nlu.Depgraph.t) w2a e2p =
   if groups = [] then None
   else begin
     stats.Stats.hisyn_combos_possible <- Listutil.cartesian_count groups;
+    Trace.int trace "combos_possible" stats.Stats.hisyn_combos_possible;
     let best = ref None in
     let consider cgt assignment =
       let size = Cgt.api_size g cgt in
@@ -63,5 +67,12 @@ let synthesize ~budget ~stats g (dg : Dggt_nlu.Depgraph.t) w2a e2p =
             in
             if Cgt.well_formed g cgt then consider cgt assignment)
       groups;
+    Trace.int trace "combos_enumerated" stats.Stats.hisyn_combos_enumerated;
+    (if Trace.on trace then
+       match !best with
+       | Some (size, score, _, _) ->
+           Trace.int trace "best_size" size;
+           Trace.float trace "best_score" score
+       | None -> Trace.str trace "best" "(no well-formed combination)");
     Option.map (fun (size, _, cgt, assignment) -> { Synres.cgt; size; assignment }) !best
   end

@@ -13,6 +13,7 @@
 val synthesize :
   budget:Dggt_util.Budget.t ->
   stats:Stats.t ->
+  ?trace:Dggt_obs.Trace.span ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->

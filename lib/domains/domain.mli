@@ -26,9 +26,15 @@ type t = {
   top_k : int option; (** WordToAPI fan-out override *)
 }
 
-val configure : t -> Dggt_core.Engine.config -> Dggt_core.Engine.config
+val configure :
+  ?caches:Dggt_core.Engine.lookups ->
+  t ->
+  Dggt_core.Engine.config ->
+  Dggt_core.Engine.config * Dggt_core.Engine.target
 (** Apply the domain's defaults/unit_filter/path_limits to an engine
-    configuration. *)
+    configuration, and build the synthesis target (forcing the domain's
+    grammar and document; [caches] installs per-stage memoization). The
+    pair feeds {!Dggt_core.Engine.synthesize} directly. *)
 
 val api_count : t -> int
 val query_count : t -> int

@@ -1,0 +1,32 @@
+open Dggt_core
+open Dggt_domains
+module Trace = Dggt_obs.Trace
+
+let run fmt ?(timeout_s = 20.0) ?(algorithm = Engine.Dggt_alg) (dom : Domain.t)
+    query =
+  let sink = Trace.create () in
+  let cfg, tgt =
+    Domain.configure dom
+      {
+        (Engine.default algorithm) with
+        Engine.timeout_s = Some timeout_s;
+        trace = Some sink;
+      }
+  in
+  let o = Engine.synthesize cfg tgt query in
+  let trace = Trace.result sink in
+  Format.fprintf fmt "domain: %s (%s engine)@." dom.Domain.name
+    (match algorithm with Engine.Dggt_alg -> "dggt" | Engine.Hisyn_alg -> "hisyn");
+  Format.fprintf fmt "query:  %s@.@." query;
+  Trace.pp fmt trace;
+  Format.fprintf fmt "@.%a@." Stats.pp o.Engine.stats;
+  (match o.Engine.code with
+  | Some code ->
+      Format.fprintf fmt "@.codelet (%d APIs, %.3f ms):@.  %s@."
+        (Option.value o.Engine.cgt_size ~default:0)
+        (o.Engine.time_s *. 1e3) code
+  | None ->
+      Format.fprintf fmt "@.no codelet (%s, %.3f ms)@."
+        (Option.value o.Engine.failure ~default:"unknown failure")
+        (o.Engine.time_s *. 1e3));
+  o

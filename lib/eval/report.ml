@@ -87,20 +87,16 @@ let table2 fmt comparisons =
 (* ------------------------------------------------------------------ *)
 
 let run_one (dom : Domain.t) algorithm ~timeout_s (q : Domain.query) =
-  let g = Lazy.force dom.Domain.graph in
-  let doc = Lazy.force dom.Domain.doc in
-  let cfg =
+  let cfg, tgt =
     Domain.configure dom
       { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s }
   in
-  Engine.synthesize cfg g doc q.Domain.text
+  Engine.synthesize cfg tgt q.Domain.text
 
 (* Hard-case selection: the combination product the baseline faces, probed
    with a tiny step budget (the product is recorded before enumeration). *)
 let combos_possible dom (q : Domain.query) =
-  let g = Lazy.force dom.Domain.graph in
-  let doc = Lazy.force dom.Domain.doc in
-  let cfg =
+  let cfg, tgt =
     Domain.configure dom
       {
         (Engine.default Engine.Hisyn_alg) with
@@ -108,7 +104,7 @@ let combos_possible dom (q : Domain.query) =
         max_steps = Some 2_000;
       }
   in
-  let o = Engine.synthesize cfg g doc q.Domain.text in
+  let o = Engine.synthesize cfg tgt q.Domain.text in
   o.Engine.stats.Stats.hisyn_combos_possible
 
 let table3 fmt ?ids (dom : Domain.t) =
@@ -186,6 +182,45 @@ let fig8 fmt c =
     if idx >= 0 then
       Format.fprintf fmt "  %8d %14.2f %14.4f@." (idx + 1) acc_h.(idx) acc_d.(idx)
   done
+
+(* ------------------------------------------------------------------ *)
+(* Per-stage latency                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stage_table fmt ?(timeout_s = 20.0) ?limit (dom : Domain.t) =
+  let dom =
+    match limit with
+    | None -> dom
+    | Some n -> { dom with Domain.queries = Dggt_util.Listutil.take n dom.Domain.queries }
+  in
+  let r = Runner.run_domain ~timeout_s ~stage_timing:true dom Engine.Dggt_alg in
+  let means = Runner.stage_means r in
+  let total = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 means in
+  let maxima =
+    List.map
+      (fun (stage, _) ->
+        ( stage,
+          List.fold_left
+            (fun acc (q : Runner.qresult) ->
+              match List.assoc_opt stage q.Runner.stage_s with
+              | Some d -> Float.max acc d
+              | None -> acc)
+            0.0 r.Runner.results ))
+      means
+  in
+  Format.fprintf fmt
+    "Per-stage latency: DGGT engine, %s (%d queries, %.0f s timeout)@.@."
+    dom.Domain.name
+    (List.length r.Runner.results)
+    timeout_s;
+  Format.fprintf fmt "  %-16s %12s %12s %7s@." "stage" "mean (ms)" "max (ms)"
+    "share";
+  List.iter
+    (fun (stage, mean) ->
+      Format.fprintf fmt "  %-16s %12.3f %12.3f %6.1f%%@." stage (mean *. 1e3)
+        (1e3 *. Option.value (List.assoc_opt stage maxima) ~default:0.0)
+        (100.0 *. mean /. Float.max total 1e-12))
+    means
 
 (* ------------------------------------------------------------------ *)
 (* Ablation                                                           *)

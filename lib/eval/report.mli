@@ -42,3 +42,9 @@ val fig8 : Format.formatter -> comparison -> unit
 
 val ablation : Format.formatter -> ?timeout_s:float -> Dggt_domains.Domain.t -> unit
 (** §V synergy claim: DGGT with each optimization disabled in turn. *)
+
+val stage_table :
+  Format.formatter -> ?timeout_s:float -> ?limit:int -> Dggt_domains.Domain.t -> unit
+(** Per-stage latency breakdown (mean, max, share of pipeline time) for the
+    DGGT engine over the domain's queries, measured with stage tracing on.
+    [limit] caps the query count — the CI bench smoke uses a small prefix. *)

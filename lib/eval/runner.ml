@@ -5,6 +5,7 @@ type qresult = {
   query : Domain.query;
   outcome : Engine.outcome;
   correct : bool;
+  stage_s : (string * float) list;
 }
 
 type run = {
@@ -15,21 +16,34 @@ type run = {
 }
 
 let run_domain ?(timeout_s = 20.0) ?(tweak = Fun.id) ?(progress = fun _ _ -> ())
-    (dom : Domain.t) algorithm =
-  let g = Lazy.force dom.Domain.graph in
-  let doc = Lazy.force dom.Domain.doc in
-  let cfg =
-    tweak
-      (Domain.configure dom
-         { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s })
+    ?(stage_timing = false) (dom : Domain.t) algorithm =
+  let cfg, tgt =
+    Domain.configure dom
+      { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s }
   in
+  let cfg = tweak cfg in
   let n = List.length dom.Domain.queries in
   let results =
     List.mapi
       (fun i (q : Domain.query) ->
-        let outcome = Engine.synthesize cfg g doc q.Domain.text in
+        let sink =
+          if stage_timing then Some (Dggt_obs.Trace.create ()) else None
+        in
+        let outcome =
+          Engine.synthesize { cfg with Engine.trace = sink } tgt q.Domain.text
+        in
+        let stage_s =
+          match sink with
+          | None -> []
+          | Some s -> Dggt_obs.Trace.durations (Dggt_obs.Trace.result s)
+        in
         progress (i + 1) n;
-        { query = q; outcome; correct = Domain.check dom outcome.Engine.expr q })
+        {
+          query = q;
+          outcome;
+          correct = Domain.check dom outcome.Engine.expr q;
+          stage_s;
+        })
       dom.Domain.queries
   in
   { domain_name = dom.Domain.name; algorithm; timeout_s; results }
@@ -43,3 +57,23 @@ let timeouts r =
 
 let times r = List.map (fun q -> q.outcome.Engine.time_s) r.results
 let total_time r = List.fold_left ( +. ) 0.0 (times r)
+
+let stage_means r =
+  (* mean per-stage wall-clock across the run's queries, pipeline order *)
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun (stage, d) ->
+          let s, c =
+            Option.value (Hashtbl.find_opt sums stage) ~default:(0.0, 0)
+          in
+          Hashtbl.replace sums stage (s +. d, c + 1))
+        q.stage_s)
+    r.results;
+  List.filter_map
+    (fun stage ->
+      match Hashtbl.find_opt sums stage with
+      | Some (s, c) -> Some (stage, s /. float_of_int (max 1 c))
+      | None -> None)
+    Engine.stage_names

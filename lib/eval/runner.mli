@@ -6,6 +6,9 @@ type qresult = {
   query : Dggt_domains.Domain.query;
   outcome : Dggt_core.Engine.outcome;
   correct : bool;
+  stage_s : (string * float) list;
+      (** per-stage wall-clock seconds ({!Dggt_obs.Trace.durations} of the
+          query's trace); [] unless the run enabled [stage_timing] *)
 }
 
 type run = {
@@ -19,16 +22,23 @@ val run_domain :
   ?timeout_s:float ->
   ?tweak:(Dggt_core.Engine.config -> Dggt_core.Engine.config) ->
   ?progress:(int -> int -> unit) ->
+  ?stage_timing:bool ->
   Dggt_domains.Domain.t ->
   Dggt_core.Engine.algorithm ->
   run
 (** Default timeout 20 s — the paper's interactive-use cutoff. [tweak]
     post-processes the domain-configured engine config (used by the
     ablation bench to toggle optimizations). [progress i n] is called
-    after each query. *)
+    after each query. [stage_timing] (default off) attaches a fresh trace
+    sink per query and records the per-stage durations in [stage_s];
+    leave it off when measuring end-to-end latency for the tables. *)
 
 val accuracy : run -> float
 val timeouts : run -> int
 val total_time : run -> float
 val times : run -> float list
 (** Per-query times in query order. *)
+
+val stage_means : run -> (string * float) list
+(** Mean seconds per pipeline stage across the run's queries, in pipeline
+    order; [] when the run was made without [stage_timing]. *)

@@ -1,0 +1,44 @@
+type 'a t = {
+  mu : Mutex.t;
+  slots : 'a option array; (* [||] when capacity <= 0 *)
+  mutable count : int;     (* values ever added *)
+}
+
+let create ~capacity =
+  { mu = Mutex.create (); slots = Array.make (max 0 capacity) None; count = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let capacity t = Array.length t.slots
+let total t = locked t (fun () -> t.count)
+let length t = locked t (fun () -> min t.count (Array.length t.slots))
+
+let add t v =
+  let n = Array.length t.slots in
+  if n > 0 then
+    locked t (fun () ->
+        t.slots.(t.count mod n) <- Some v;
+        t.count <- t.count + 1)
+
+let snapshot t =
+  locked t (fun () ->
+      let n = Array.length t.slots in
+      let kept = min t.count n in
+      List.init kept (fun i ->
+          (* i = 0 is the newest: walk backwards from the write cursor *)
+          match t.slots.((t.count - 1 - i + (n * (kept + 1))) mod n) with
+          | Some v -> v
+          | None -> assert false))
+
+let clear t =
+  locked t (fun () ->
+      Array.fill t.slots 0 (Array.length t.slots) None;
+      t.count <- 0)

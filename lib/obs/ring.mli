@@ -1,0 +1,25 @@
+(** A mutex-guarded ring buffer of the most recent values.
+
+    The server keeps one of these holding the last N completed request
+    traces behind [GET /debug/trace]: workers {!add} concurrently, the
+    endpoint {!snapshot}s. Old entries are overwritten, never freed one by
+    one — memory is bounded by [capacity] regardless of traffic. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] makes an always-empty ring ({!add} is a no-op), the
+    same convention as the cache's disabled mode. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val total : 'a t -> int
+(** Values ever added, including the evicted ones. *)
+
+val add : 'a t -> 'a -> unit
+(** Record a value, evicting the oldest when full. Thread-safe. *)
+
+val snapshot : 'a t -> 'a list
+(** The retained values, newest first. Thread-safe. *)
+
+val clear : 'a t -> unit

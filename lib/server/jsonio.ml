@@ -271,3 +271,4 @@ let num_field k v = Option.bind (member k v) num
 let int_field k v = Option.bind (member k v) int
 let bool_field k v = Option.bind (member k v) bool
 let opt inj = function None -> Null | Some v -> inj v
+let list inj xs = Arr (List.map inj xs)

@@ -42,3 +42,6 @@ val bool_field : string -> t -> bool option
 
 val opt : ('a -> t) -> 'a option -> t
 (** [opt inj v] is [Null] for [None]. *)
+
+val list : ('a -> t) -> 'a list -> t
+(** [list inj xs] is [Arr (List.map inj xs)]. *)

@@ -1,5 +1,7 @@
 open Dggt_core
 module J = Jsonio
+module Trace = Dggt_obs.Trace
+module Ring = Dggt_obs.Ring
 
 type params = {
   addr : string;
@@ -8,6 +10,7 @@ type params = {
   queue_capacity : int;
   cache_size : int;
   default_timeout_s : float;
+  trace_buffer : int;
 }
 
 let default_params =
@@ -18,6 +21,7 @@ let default_params =
     queue_capacity = 64;
     cache_size = 512;
     default_timeout_s = 10.0;
+    trace_buffer = 32;
   }
 
 let known_domains =
@@ -29,13 +33,23 @@ let find_domain = function
   | _ -> None
 
 (* per-domain state, everything forced/configured up front so worker
-   domains share read-only structures *)
+   domains share read-only structures; the target carries the per-stage
+   caches, the configs stay cache-free *)
 type dstate = {
   dom : Dggt_domains.Domain.t;
-  graph : Dggt_grammar.Ggraph.t;
-  doc : Apidoc.t;
+  target : Engine.target;
   cfg_dggt : Engine.config;
   cfg_hisyn : Engine.config;
+}
+
+(* one completed request's trace, as kept in the debug ring *)
+type trecord = {
+  tdomain : string;
+  tengine : string;
+  tquery : string;
+  ttime_s : float;
+  tok : bool;
+  ttrace : Trace.t;
 }
 
 type t = {
@@ -47,6 +61,7 @@ type t = {
   rank_cache : (string * string * int, string list) Cache.t;
   word_cache : (string * string * string, Word2api.candidate list) Cache.t;
   path_cache : (string * string * string, Dggt_grammar.Gpath.t list) Cache.t;
+  traces : trecord Ring.t;
   dstates : (string * dstate) list;
   mutable http : Httpd.t option;
 }
@@ -121,6 +136,39 @@ let outcome_json ~domain ~engine ~query ~cached ~alternatives
       ("stats", stats_json o.Engine.stats);
     ]
 
+let value_json = function
+  | Trace.Bool b -> J.Bool b
+  | Trace.Int n -> J.Num (float_of_int n)
+  | Trace.Float f -> J.Num f
+  | Trace.Str s -> J.Str s
+
+let event_json (e : Trace.event) =
+  J.Obj
+    [
+      ("id", J.Num (float_of_int e.Trace.id));
+      ("parent", J.opt (fun p -> J.Num (float_of_int p)) e.Trace.parent);
+      ("stage", J.Str e.Trace.stage);
+      ("start_s", J.Num e.Trace.start_s);
+      ("dur_s", J.Num e.Trace.dur_s);
+      (* note keys repeat (one per decision) — an array of pairs, not an
+         object *)
+      ( "notes",
+        J.list
+          (fun (k, v) -> J.Obj [ ("key", J.Str k); ("value", value_json v) ])
+          e.Trace.notes );
+    ]
+
+let trecord_json r =
+  J.Obj
+    [
+      ("domain", J.Str r.tdomain);
+      ("engine", J.Str r.tengine);
+      ("query", J.Str r.tquery);
+      ("time_s", J.Num r.ttime_s);
+      ("ok", J.Bool r.tok);
+      ("events", J.list event_json r.ttrace.Trace.events);
+    ]
+
 let error_json msg = J.to_string (J.Obj [ ("error", J.Str msg) ])
 let respond_json ?headers status v = Httpd.response ?headers status (J.to_string v)
 
@@ -187,6 +235,23 @@ let parse_request t (req : Httpd.request) =
 let observe t ~domain ~outcome t0 =
   Smetrics.observe t.metrics ~domain ~outcome (Unix.gettimeofday () -. t0)
 
+(* a worker finished a traced synthesis: feed the per-stage latency
+   histograms and remember the trace for [GET /debug/trace] *)
+let record_trace t ~domain ~engine ~query ~time_s ~ok sink =
+  let trace = Trace.result sink in
+  List.iter
+    (fun (stage, d) -> Smetrics.observe_stage t.metrics ~stage d)
+    (Trace.durations trace);
+  Ring.add t.traces
+    {
+      tdomain = domain;
+      tengine = engine;
+      tquery = query;
+      ttime_s = time_s;
+      tok = ok;
+      ttrace = trace;
+    }
+
 (* run [work] on the pool with backpressure + deadline; the connection
    thread blocks here until a worker delivers the response *)
 let via_pool t ~domain ~deadline ~t0 work =
@@ -243,12 +308,23 @@ let synthesize_handler t (req : Httpd.request) =
                 if p.engine = Engine.Dggt_alg then p.ds.cfg_dggt
                 else p.ds.cfg_hisyn
               in
-              let cfg = { base with Engine.timeout_s = Some p.timeout_s } in
-              let o = Engine.synthesize cfg p.ds.graph p.ds.doc p.query in
+              let sink = Trace.create () in
+              let cfg =
+                {
+                  base with
+                  Engine.timeout_s = Some p.timeout_s;
+                  trace = Some sink;
+                }
+              in
+              let o = Engine.synthesize cfg p.ds.target p.query in
+              record_trace t ~domain ~engine:p.engine_name ~query:p.query
+                ~time_s:o.Engine.time_s
+                ~ok:(o.Engine.code <> None)
+                sink;
               let alternatives =
                 if p.k > 1 && not o.Engine.timed_out then
-                  Engine.synthesize_ranked ~k:p.k p.ds.cfg_dggt p.ds.graph
-                    p.ds.doc p.query
+                  Engine.synthesize_ranked ~k:p.k p.ds.cfg_dggt p.ds.target
+                    p.query
                   |> List.map snd
                 else []
               in
@@ -293,13 +369,21 @@ let rank_handler t (req : Httpd.request) =
       | None ->
           let deadline = t0 +. p.timeout_s in
           via_pool t ~domain ~deadline ~t0 (fun () ->
+              let sink = Trace.create () in
               let cfg =
-                { p.ds.cfg_dggt with Engine.timeout_s = Some p.timeout_s }
+                {
+                  p.ds.cfg_dggt with
+                  Engine.timeout_s = Some p.timeout_s;
+                  trace = Some sink;
+                }
               in
               let cs =
-                Engine.synthesize_ranked ~k cfg p.ds.graph p.ds.doc p.query
+                Engine.synthesize_ranked ~k cfg p.ds.target p.query
                 |> List.map snd
               in
+              record_trace t ~domain ~engine:"dggt" ~query:p.query
+                ~time_s:(Unix.gettimeofday () -. t0)
+                ~ok:(cs <> []) sink;
               (* [] can mean budget exhausted — don't pin it in the cache *)
               if cs <> [] then Cache.add t.rank_cache key cs;
               observe t ~domain ~outcome:(if cs = [] then "failed" else "ok") t0;
@@ -338,6 +422,15 @@ let healthz_handler t =
          ("inflight", J.Num (float_of_int (Smetrics.inflight t.metrics)));
        ])
 
+let debug_trace_handler t =
+  respond_json 200
+    (J.Obj
+       [
+         ("capacity", J.Num (float_of_int (Ring.capacity t.traces)));
+         ("recorded", J.Num (float_of_int (Ring.total t.traces)));
+         ("traces", J.list trecord_json (Ring.snapshot t.traces));
+       ])
+
 let handler t (req : Httpd.request) =
   match (req.Httpd.meth, req.Httpd.path) with
   | "GET", "/healthz" -> healthz_handler t
@@ -345,9 +438,12 @@ let handler t (req : Httpd.request) =
       Httpd.response ~content_type:"text/plain; version=0.0.4" 200
         (Smetrics.render t.metrics)
   | "GET", "/domains" -> domains_handler t
+  | "GET", "/debug/trace" -> debug_trace_handler t
   | "POST", "/synthesize" -> synthesize_handler t req
   | "POST", "/rank" -> rank_handler t req
-  | _, ("/healthz" | "/metrics" | "/domains" | "/synthesize" | "/rank") ->
+  | ( _,
+      ( "/healthz" | "/metrics" | "/domains" | "/debug/trace" | "/synthesize"
+      | "/rank" ) ) ->
       Httpd.response 405 (error_json "method not allowed")
   | _ -> Httpd.response 404 (error_json "not found")
 
@@ -372,17 +468,14 @@ let make_dstate ~word_cache ~path_cache (d : Dggt_domains.Domain.t) =
             fst (Cache.find_or_compute path_cache (name, src, dst) compute));
     }
   in
-  let cfg alg =
-    let c = Dggt_domains.Domain.configure d (Engine.default alg) in
-    { c with Engine.lookups = lookups }
+  let cfg_dggt, target =
+    Dggt_domains.Domain.configure ~caches:lookups d
+      (Engine.default Engine.Dggt_alg)
   in
-  {
-    dom = d;
-    graph = Lazy.force d.Dggt_domains.Domain.graph;
-    doc = Lazy.force d.Dggt_domains.Domain.doc;
-    cfg_dggt = cfg Engine.Dggt_alg;
-    cfg_hisyn = cfg Engine.Hisyn_alg;
-  }
+  let cfg_hisyn, _ =
+    Dggt_domains.Domain.configure d (Engine.default Engine.Hisyn_alg)
+  in
+  { dom = d; target; cfg_dggt; cfg_hisyn }
 
 let create params =
   let metrics = Smetrics.create () in
@@ -403,6 +496,7 @@ let create params =
       rank_cache = Cache.create ~capacity:params.cache_size;
       word_cache;
       path_cache;
+      traces = Ring.create ~capacity:params.trace_buffer;
       dstates =
         List.map
           (fun d ->

@@ -12,8 +12,14 @@
     - [POST /rank] — [{"query": s, "domain": s?, "timeout": f?, "k": n?}];
       ranked candidate codelets (paper §VII-B.4).
     - [GET /domains] — the available domains with API/query counts.
-    - [GET /metrics] — Prometheus text format ({!Smetrics.render}).
+    - [GET /metrics] — Prometheus text format ({!Smetrics.render}),
+      including per-pipeline-stage latency histograms with p50/p90/p99.
     - [GET /healthz] — liveness plus worker/queue numbers.
+    - [GET /debug/trace] — the stage-level traces of the most recent
+      requests that reached the engine (a {!Dggt_obs.Ring} of
+      [params.trace_buffer] entries, newest first), as JSON: one record per
+      request with its span events and decision notes. Cache hits don't
+      re-run the pipeline, so they don't add traces.
 
     Backpressure: when the bounded queue is full, [POST] requests get [503]
     with [Retry-After] instead of queueing unboundedly; a job whose
@@ -23,8 +29,9 @@
     Caching policy: timed-out outcomes and empty rank lists are {e not}
     cached, so a repeat under a larger budget gets a fresh run. The
     per-stage caches (WordToAPI candidates, EdgeToPath path sets) are
-    installed as {!Dggt_core.Engine.lookups} hooks and shared across all
-    requests of a domain. *)
+    installed as the [caches] field of each domain's
+    {!Dggt_core.Engine.target} and shared across all requests of that
+    domain. *)
 
 type params = {
   addr : string;
@@ -35,10 +42,14 @@ type params = {
                                  get 4x this; <= 0 disables caching *)
   default_timeout_s : float; (** per-request engine budget when the request
                                  doesn't carry one *)
+  trace_buffer : int;        (** retained traces for [GET /debug/trace];
+                                 <= 0 disables trace retention (stage
+                                 metrics still accumulate) *)
 }
 
 val default_params : params
-(** 127.0.0.1:8080, auto workers, queue 64, cache 512, timeout 10 s. *)
+(** 127.0.0.1:8080, auto workers, queue 64, cache 512, timeout 10 s,
+    trace buffer 32. *)
 
 type t
 

@@ -79,6 +79,7 @@ end
 type t = {
   mu : Mutex.t;
   latency : Hist.t;
+  stages : (string, Hist.t) Hashtbl.t; (* per-pipeline-stage latency *)
   requests : (string * string, int ref) Hashtbl.t; (* (domain, outcome) *)
   mutable inflight : int;
   mutable queue_probe : unit -> int;
@@ -89,6 +90,7 @@ let create () =
   {
     mu = Mutex.create ();
     latency = Hist.create ();
+    stages = Hashtbl.create 8;
     requests = Hashtbl.create 16;
     inflight = 0;
     queue_probe = (fun () -> 0);
@@ -112,6 +114,22 @@ let observe t ~domain ~outcome latency_s =
       match Hashtbl.find_opt t.requests key with
       | Some r -> incr r
       | None -> Hashtbl.replace t.requests key (ref 1))
+
+let observe_stage t ~stage latency_s =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.stages stage with
+        | Some h -> h
+        | None ->
+            let h = Hist.create () in
+            Hashtbl.replace t.stages stage h;
+            h
+      in
+      Hist.observe h latency_s)
+
+let stage_quantile t ~stage q =
+  locked t (fun () ->
+      Option.map (fun h -> Hist.quantile h q) (Hashtbl.find_opt t.stages stage))
 
 let incr_inflight t = locked t (fun () -> t.inflight <- t.inflight + 1)
 let decr_inflight t = locked t (fun () -> t.inflight <- t.inflight - 1)
@@ -153,6 +171,35 @@ let render t =
           line "dggt_request_latency_%s %s" name
             (fmt_float (Hist.quantile t.latency q)))
         [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ];
+      let stage_hists =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stages []
+        |> List.sort compare
+      in
+      if stage_hists <> [] then begin
+        line "# HELP dggt_stage_latency_seconds Pipeline stage latency.";
+        line "# TYPE dggt_stage_latency_seconds histogram";
+        List.iter
+          (fun (stage, h) ->
+            List.iter
+              (fun (le, cum) ->
+                line "dggt_stage_latency_seconds_bucket{stage=%S,le=%S} %d"
+                  stage (fmt_float le) cum)
+              (Hist.buckets h);
+            line "dggt_stage_latency_seconds_sum{stage=%S} %s" stage
+              (fmt_float (Hist.sum h));
+            line "dggt_stage_latency_seconds_count{stage=%S} %d" stage
+              (Hist.count h))
+          stage_hists;
+        List.iter
+          (fun (name, q) ->
+            line "# TYPE dggt_stage_latency_%s gauge" name;
+            List.iter
+              (fun (stage, h) ->
+                line "dggt_stage_latency_%s{stage=%S} %s" name stage
+                  (fmt_float (Hist.quantile h q)))
+              stage_hists)
+          [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+      end;
       line "# HELP dggt_queue_depth Requests waiting in the worker queue.";
       line "# TYPE dggt_queue_depth gauge";
       line "dggt_queue_depth %d" (try t.queue_probe () with _ -> 0);

@@ -42,6 +42,14 @@ val observe : t -> domain:string -> outcome:string -> float -> unit
     and feeds the latency histogram. Outcomes used by the server: [ok],
     [failed], [timeout], [cached], [rejected], [expired], [bad_request]. *)
 
+val observe_stage : t -> stage:string -> float -> unit
+(** Record one pipeline stage's latency for a traced request. Histograms
+    are created lazily per stage name, so only stages that actually ran
+    appear in the exposition. *)
+
+val stage_quantile : t -> stage:string -> float -> float option
+(** Latency quantile for one stage; [None] before any observation. *)
+
 val incr_inflight : t -> unit
 val decr_inflight : t -> unit
 val inflight : t -> int
@@ -58,5 +66,7 @@ val quantile : t -> float -> float
 val render : t -> string
 (** Prometheus text format: [dggt_requests_total{domain,outcome}],
     [dggt_request_latency_seconds] histogram (+ p50/p90/p99 convenience
-    gauges), [dggt_queue_depth], [dggt_inflight_requests], and per-cache
+    gauges), [dggt_stage_latency_seconds{stage}] per-pipeline-stage
+    histograms (+ per-stage p50/p90/p99 gauges, sorted by stage name),
+    [dggt_queue_depth], [dggt_inflight_requests], and per-cache
     [dggt_cache_{hits,misses,evictions}_total] / [dggt_cache_entries]. *)

@@ -49,8 +49,11 @@ let fig4_doc =
 
 let engine_cfg alg = { (Engine.default alg) with Engine.timeout_s = Some 5.0 }
 
+let fig4_target =
+  lazy (Engine.target (Lazy.force fig4_graph) (Lazy.force fig4_doc))
+
 let synth alg q =
-  Engine.synthesize (engine_cfg alg) (Lazy.force fig4_graph) (Lazy.force fig4_doc) q
+  Engine.synthesize (engine_cfg alg) (Lazy.force fig4_target) q
 
 (* ------------------------------------------------------------------ *)
 (* Apidoc                                                             *)
@@ -532,7 +535,7 @@ let test_engine_timeout () =
     { (Engine.default Engine.Hisyn_alg) with Engine.timeout_s = None; max_steps = Some 3 }
   in
   let o =
-    Engine.synthesize cfg (Lazy.force fig4_graph) (Lazy.force fig4_doc)
+    Engine.synthesize cfg (Lazy.force fig4_target)
       "insert a string at the start of each line"
   in
   check_b "timed out" true o.Engine.timed_out;
@@ -558,7 +561,7 @@ let test_engine_ablation_flags () =
   let off =
     Engine.synthesize
       { (engine_cfg Engine.Dggt_alg) with Engine.gprune = false; sprune = false }
-      (Lazy.force fig4_graph) (Lazy.force fig4_doc) q
+      (Lazy.force fig4_target) q
   in
   check_b "same result without pruning" true (base.Engine.code = off.Engine.code);
   check_b "pruning saves merges" true
@@ -615,14 +618,14 @@ let prop_engines_equivalent =
 
 let test_ranked_hints () =
   let cfg = engine_cfg Engine.Dggt_alg in
-  let g = Lazy.force fig4_graph and doc = Lazy.force fig4_doc in
+  let tgt = Lazy.force fig4_target in
   let q = "insert \"-\" at the start of each line" in
-  let hints = Engine.synthesize_ranked ~k:5 cfg g doc q in
+  let hints = Engine.synthesize_ranked ~k:5 cfg tgt q in
   check_b "at least one hint" true (hints <> []);
   check_b "k bound respected" true (List.length hints <= 5);
   (* the top hint is the single-result answer *)
   let top = snd (List.hd hints) in
-  let single = Engine.synthesize cfg g doc q in
+  let single = Engine.synthesize cfg tgt q in
   check_s "head of ranking = best codelet" (Option.value single.Engine.code ~default:"?") top;
   (* hints are distinct codelets *)
   let codes = List.map snd hints in
@@ -636,17 +639,17 @@ let test_ranked_hints_multiple () =
      "insert" has one API, so ranking still yields one root — assert the
      mechanics rather than a fixed count. *)
   let cfg = engine_cfg Engine.Dggt_alg in
-  let g = Lazy.force fig4_graph and doc = Lazy.force fig4_doc in
-  let hints = Engine.synthesize_ranked ~k:3 cfg g doc "insert a string" in
+  let tgt = Lazy.force fig4_target in
+  let hints = Engine.synthesize_ranked ~k:3 cfg tgt "insert a string" in
   check_b "ranked succeeds on simple query" true (List.length hints >= 1);
-  let hints0 = Engine.synthesize_ranked ~k:0 cfg g doc "insert a string" in
+  let hints0 = Engine.synthesize_ranked ~k:0 cfg tgt "insert a string" in
   check_i "k=0 yields nothing" 0 (List.length hints0)
 
 let test_ranked_hints_garbage () =
   let cfg = engine_cfg Engine.Dggt_alg in
-  let g = Lazy.force fig4_graph and doc = Lazy.force fig4_doc in
+  let tgt = Lazy.force fig4_target in
   check_i "garbage yields no hints" 0
-    (List.length (Engine.synthesize_ranked ~k:3 cfg g doc "zyzzyx frobnicate"))
+    (List.length (Engine.synthesize_ranked ~k:3 cfg tgt "zyzzyx frobnicate"))
 
 (* Stats.add mixes two aggregation rules on purpose (see stats.ml): max for
    query-shaped fields, sum for work-shaped ones. This pins the split so a

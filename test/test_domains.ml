@@ -14,13 +14,11 @@ let te = Text_editing.domain
 let am = Astmatcher.domain
 
 let synth dom alg q =
-  let g = Lazy.force dom.Domain.graph in
-  let doc = Lazy.force dom.Domain.doc in
-  let cfg =
+  let cfg, tgt =
     Domain.configure dom
       { (Engine.default alg) with Engine.timeout_s = Some 10.0 }
   in
-  Engine.synthesize cfg g doc q
+  Engine.synthesize cfg tgt q
 
 (* ------------------------------------------------------------------ *)
 (* Structural well-formedness                                         *)

@@ -6,6 +6,7 @@ let () =
       ("util", Test_util.suite);
       ("nlu", Test_nlu.suite);
       ("grammar", Test_grammar.suite);
+      ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("domains", Test_domains.suite);
       ("eval", Test_eval.suite);

@@ -260,18 +260,13 @@ let test_e2e_synthesize () =
       (* ground truth straight from the engine, same config as the server *)
       let te = Option.get (Serve.find_domain "te") in
       let qtext = "insert \"> \" at the start of each line" in
+      let cfg, tgt =
+        Dggt_domains.Domain.configure te (Engine.default Engine.Dggt_alg)
+      in
       let cfg =
-        let c =
-          Dggt_domains.Domain.configure te (Engine.default Engine.Dggt_alg)
-        in
-        { c with Engine.timeout_s = Some Serve.default_params.Serve.default_timeout_s }
+        { cfg with Engine.timeout_s = Some Serve.default_params.Serve.default_timeout_s }
       in
-      let expected =
-        Engine.synthesize cfg
-          (Lazy.force te.Dggt_domains.Domain.graph)
-          (Lazy.force te.Dggt_domains.Domain.doc)
-          qtext
-      in
+      let expected = Engine.synthesize cfg tgt qtext in
       let expected_code = Option.get expected.Engine.code in
       (* first request computes *)
       let reqbody =
@@ -313,6 +308,53 @@ let test_e2e_synthesize () =
         (has "dggt_requests_total{domain=\"TextEditing\",outcome=\"cached\"}");
       check_b "latency histogram" true (has "dggt_request_latency_seconds");
       check_b "cache metrics" true (has "dggt_cache_hits_total");
+      (* per-stage latency histograms cover all six pipeline stages *)
+      check_b "stage histogram" true (has "dggt_stage_latency_seconds_bucket");
+      List.iter
+        (fun stage ->
+          check_b ("stage metric " ^ stage) true
+            (has (Printf.sprintf "dggt_stage_latency_seconds_count{stage=%S}" stage)))
+        Engine.stage_names;
+      check_b "stage p99 gauge" true (has "dggt_stage_latency_p99");
+      (* recent traces are exposed for inspection *)
+      let st, body = http ~port ~meth:"GET" ~path:"/debug/trace" () in
+      check_i "debug trace status" 200 st;
+      let j = Result.get_ok (J.of_string body) in
+      check_b "trace capacity" true
+        (J.int_field "capacity" j = Some Serve.default_params.Serve.trace_buffer);
+      (* two engine runs happened (synthesize compute + rank); the cache hit
+         did not reach the engine, so it is not recorded *)
+      check_b "trace recorded" true (J.int_field "recorded" j = Some 2);
+      (match J.member "traces" j with
+      | Some (J.Arr (first :: _ as traces)) ->
+          check_i "trace count" 2 (List.length traces);
+          (* newest first: the rank request *)
+          check_b "trace engine" true (J.str_field "engine" first = Some "dggt");
+          check_b "trace query" true (J.str_field "query" first = Some qtext);
+          (* the full six-stage pipeline shows in the synthesize trace
+             (ranked mode stops after PathMerge, so look at the oldest) *)
+          let full = List.nth traces (List.length traces - 1) in
+          (match J.member "events" full with
+          | Some (J.Arr events) ->
+              let stages =
+                List.filter_map (fun e -> J.str_field "stage" e) events
+              in
+              List.iter
+                (fun s ->
+                  check_b ("trace has stage " ^ s) true (List.mem s stages))
+                Engine.stage_names;
+              (* notes are {key,value} objects *)
+              check_b "notes shape" true
+                (List.exists
+                   (fun e ->
+                     match J.member "notes" e with
+                     | Some (J.Arr (J.Obj fields :: _)) ->
+                         List.mem_assoc "key" fields
+                         && List.mem_assoc "value" fields
+                     | _ -> false)
+                   events)
+          | _ -> Alcotest.fail "trace events missing")
+      | _ -> Alcotest.fail "traces array missing");
       (* error paths *)
       let st, _ = http ~port ~meth:"GET" ~path:"/nope" () in
       check_i "404" 404 st;

@@ -129,10 +129,10 @@ let test_budget_exhaustion_ladder () =
   (* with step budgets from tiny to generous, the engine must either time
      out cleanly or produce the same answer as the unlimited run — never
      crash, never return garbage *)
-  let g = Lazy.force graph and d = Lazy.force doc in
+  let tgt = Engine.target (Lazy.force graph) (Lazy.force doc) in
   let q = "insert \"-\" at the start of each line" in
   let reference =
-    Engine.synthesize { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = None } g d q
+    Engine.synthesize { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = None } tgt q
   in
   List.iter
     (fun steps ->
@@ -143,7 +143,7 @@ let test_budget_exhaustion_ladder () =
           max_steps = Some steps;
         }
       in
-      let o = Engine.synthesize cfg g d q in
+      let o = Engine.synthesize cfg tgt q in
       if not o.Engine.timed_out then
         Alcotest.(check (option string))
           (Printf.sprintf "steps=%d agrees with unlimited" steps)
@@ -151,7 +151,7 @@ let test_budget_exhaustion_ladder () =
     [ 1; 2; 5; 10; 50; 100; 1000; 100_000 ]
 
 let test_hisyn_budget_ladder () =
-  let g = Lazy.force graph and d = Lazy.force doc in
+  let tgt = Engine.target (Lazy.force graph) (Lazy.force doc) in
   let q = "insert \"-\" at the start" in
   List.iter
     (fun steps ->
@@ -162,7 +162,7 @@ let test_hisyn_budget_ladder () =
           max_steps = Some steps;
         }
       in
-      let o = Engine.synthesize cfg g d q in
+      let o = Engine.synthesize cfg tgt q in
       check_b "timeout or code" true (o.Engine.timed_out || o.Engine.code <> None))
     [ 1; 3; 7; 19; 1_000_000 ]
 
@@ -174,7 +174,10 @@ let test_single_rule_grammar () =
   let cfg = Result.get_ok (Cfg.of_text ~start:"s" "s ::= ONLY ;") in
   let g = Ggraph.build cfg in
   let d = Apidoc.make [ ("ONLY", "the only thing there is") ] in
-  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "the only thing" in
+  let o =
+    Engine.synthesize (Engine.default Engine.Dggt_alg) (Engine.target g d)
+      "the only thing"
+  in
   Alcotest.(check (option string)) "trivial grammar synthesizes" (Some "ONLY()")
     o.Engine.code
 
@@ -186,15 +189,18 @@ let test_self_recursive_grammar () =
   let d =
     Apidoc.make [ ("WRAP", "wrap the inner expression"); ("LIT", "a literal leaf value") ]
   in
-  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "wrap a literal" in
+  let o =
+    Engine.synthesize (Engine.default Engine.Dggt_alg) (Engine.target g d)
+      "wrap a literal"
+  in
   Alcotest.(check (option string)) "recursive grammar" (Some "WRAP(LIT())") o.Engine.code
 
 let test_absurd_inputs_total () =
-  let g = Lazy.force graph and d = Lazy.force doc in
+  let tgt = Engine.target (Lazy.force graph) (Lazy.force doc) in
   let cfg = { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 3.0 } in
   List.iter
     (fun q ->
-      let o = Engine.synthesize cfg g d q in
+      let o = Engine.synthesize cfg tgt q in
       (* outcome is well-formed either way *)
       check_b "code xor failure" true
         ((o.Engine.code <> None) <> (o.Engine.failure <> None)))
@@ -211,14 +217,20 @@ let test_absurd_inputs_total () =
 let test_empty_document () =
   let g = Lazy.force graph in
   let d = Apidoc.make [] in
-  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "insert a string" in
+  let o =
+    Engine.synthesize (Engine.default Engine.Dggt_alg) (Engine.target g d)
+      "insert a string"
+  in
   check_b "no candidates -> clean failure" true (o.Engine.code = None)
 
 let test_doc_grammar_mismatch () =
   (* a document mentioning APIs the grammar lacks must not crash *)
   let g = Lazy.force graph in
   let d = Apidoc.make [ ("GHOST", "a phantom api that the grammar does not know") ] in
-  let o = Engine.synthesize (Engine.default Engine.Dggt_alg) g d "a phantom api" in
+  let o =
+    Engine.synthesize (Engine.default Engine.Dggt_alg) (Engine.target g d)
+      "a phantom api"
+  in
   check_b "unknown APIs ignored" true (o.Engine.code = None)
 
 let suite =

@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --timeout 2 all  # faster protocol
      dune exec bench/main.exe -- micro            # Bechamel stage benches
      dune exec bench/main.exe -- stages           # per-stage latency table
-     dune exec bench/main.exe -- --timeout 2 smoke  # reduced CI sweep
+     dune exec bench/main.exe -- parallel         # Dggt_par domain-count sweep
+     dune exec bench/main.exe -- --timeout 2 --domains 2 smoke  # reduced CI sweep
 
    The 20 s timeout is the paper's protocol; because this substrate is much
    faster than the authors' testbed, --timeout 2 produces the same shape in
@@ -82,16 +83,206 @@ let run_stages ~timeout_s () =
   Format.fprintf fmt "@.";
   Report.stage_table fmt ~timeout_s Astmatcher.domain
 
+(* spin up the EdgeToPath fan-out pool for [f]'s lifetime (1 = sequential,
+   no pool) *)
+let with_pool domains f =
+  if domains > 1 then
+    let pool = Dggt_par.Pool.create ~workers:domains () in
+    Fun.protect
+      ~finally:(fun () -> Dggt_par.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  else f None
+
 (* A reduced sweep for CI: domain stats plus a per-stage latency probe on a
-   short query prefix — exercises tracing end to end in a few seconds. *)
-let run_smoke ~timeout_s () =
+   short query prefix — exercises tracing end to end in a few seconds.
+   With --domains N it also exercises the parallel EdgeToPath path. *)
+let run_smoke ~timeout_s ~domains () =
   hr ();
   Report.table1 fmt;
   hr ();
   let timeout_s = Float.min timeout_s 5.0 in
-  Report.stage_table fmt ~timeout_s ~limit:8 Text_editing.domain;
-  Format.fprintf fmt "@.";
-  Report.stage_table fmt ~timeout_s ~limit:8 Astmatcher.domain
+  with_pool domains (fun par ->
+      let tweak c = { c with Engine.par } in
+      if domains > 1 then
+        Format.fprintf fmt "(EdgeToPath fan-out: %d search domains)@.@."
+          domains;
+      Report.stage_table fmt ~timeout_s ~tweak ~limit:8 Text_editing.domain;
+      Format.fprintf fmt "@.";
+      Report.stage_table fmt ~timeout_s ~tweak ~limit:8 Astmatcher.domain)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel EdgeToPath sweep: wall-clock vs domain count, plus the    *)
+(* byte-identity check the determinism claim rests on.                *)
+(* ------------------------------------------------------------------ *)
+
+type psweep = {
+  p_domains : int;
+  p_total_s : float;          (* whole query set *)
+  p_dominated_s : float;      (* EdgeToPath-dominated subset *)
+  p_edge2path_s : float;      (* summed EdgeToPath stage time *)
+  p_identical : bool;         (* codelets byte-identical to 1-domain run *)
+}
+
+let edge2path_share (q : Runner.qresult) =
+  let total = List.fold_left (fun a (_, d) -> a +. d) 0.0 q.Runner.stage_s in
+  match List.assoc_opt "EdgeToPath" q.Runner.stage_s with
+  | Some d when total > 0.0 -> d /. total
+  | _ -> 0.0
+
+let run_parallel_domain ~timeout_s ~counts (dom : Domain.t) =
+  Format.eprintf "  sweeping %s...@." dom.Domain.name;
+  (* every run keeps stage timing on, so instrumentation overhead is
+     uniform across domain counts and the speedups stay comparable *)
+  let run_at d =
+    with_pool d (fun par ->
+        Runner.run_domain ~timeout_s
+          ~tweak:(fun c -> { c with Engine.par })
+          ~progress:(fun i n -> progress (Printf.sprintf "%s x%d" dom.Domain.name d) i n)
+          ~stage_timing:true dom Engine.Dggt_alg)
+  in
+  let baseline = run_at (List.hd counts) in
+  let codes r =
+    List.map (fun (q : Runner.qresult) -> q.Runner.outcome.Engine.code) r.Runner.results
+  in
+  let base_codes = codes baseline in
+  (* which queries does EdgeToPath dominate? decided once, on the
+     sequential run, and reused for every domain count. When no query
+     crosses the 50% bar (on a fast substrate the indexed search is a
+     small slice of the pipeline) fall back to the ten highest-share
+     queries so the subset column still measures the fanned-out stage. *)
+  let shares = List.map edge2path_share baseline.Runner.results in
+  let dominated, dominated_rule =
+    if List.exists (fun s -> s >= 0.5) shares then
+      (List.map (fun s -> s >= 0.5) shares, "share>=0.5")
+    else
+      let ranked =
+        List.mapi (fun i s -> (s, i)) shares
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+      in
+      let top =
+        List.filteri (fun rank _ -> rank < 10) ranked
+        |> List.map snd |> List.sort_uniq compare
+      in
+      (List.mapi (fun i _ -> List.mem i top) shares, "top10-share")
+  in
+  let measure r =
+    let sum sel =
+      List.fold_left2
+        (fun acc keep (q : Runner.qresult) ->
+          if sel keep then acc +. q.Runner.outcome.Engine.time_s else acc)
+        0.0 dominated r.Runner.results
+    in
+    let e2p =
+      List.fold_left
+        (fun acc (q : Runner.qresult) ->
+          acc +. Option.value (List.assoc_opt "EdgeToPath" q.Runner.stage_s) ~default:0.0)
+        0.0 r.Runner.results
+    in
+    (sum (fun _ -> true), sum Fun.id, e2p)
+  in
+  let sweep =
+    List.map
+      (fun d ->
+        let r = if d = List.hd counts then baseline else run_at d in
+        let total_s, dominated_s, edge2path_s = measure r in
+        {
+          p_domains = d;
+          p_total_s = total_s;
+          p_dominated_s = dominated_s;
+          p_edge2path_s = edge2path_s;
+          p_identical = codes r = base_codes;
+        })
+      counts
+  in
+  let ndom = List.length (List.filter Fun.id dominated) in
+  (dom, List.length baseline.Runner.results, ndom, dominated_rule, sweep)
+
+let parallel_json ~timeout_s results =
+  let module J = Dggt_server.Jsonio in
+  let f v = J.Num v and i n = J.Num (float_of_int n) in
+  let base sweep = (List.hd sweep).p_dominated_s in
+  J.Obj
+    [
+      ("bench", J.Str "parallel");
+      ("timeout_s", f timeout_s);
+      (* speedups only mean anything relative to the cores actually
+         available where the sweep ran *)
+      ("host_cores", i (Stdlib.Domain.recommended_domain_count ()));
+      ( "domains",
+        J.list
+          (fun ((dom : Domain.t), nq, ndom, dominated_rule, sweep) ->
+            J.Obj
+              [
+                ("name", J.Str dom.Domain.name);
+                ("queries", i nq);
+                ("edge2path_dominated", i ndom);
+                ("dominated_rule", J.Str dominated_rule);
+                ( "sweep",
+                  J.list
+                    (fun p ->
+                      J.Obj
+                        [
+                          ("search_domains", i p.p_domains);
+                          ("total_s", f p.p_total_s);
+                          ("dominated_s", f p.p_dominated_s);
+                          ("edge2path_stage_s", f p.p_edge2path_s);
+                          ( "dominated_speedup",
+                            f (base sweep /. Float.max p.p_dominated_s 1e-9) );
+                          ("codelets_identical", J.Bool p.p_identical);
+                        ])
+                    sweep );
+              ])
+          results );
+    ]
+
+let run_parallel ~timeout_s () =
+  hr ();
+  let counts = [ 1; 2; 4; 8 ] in
+  Format.fprintf fmt
+    "Parallel EdgeToPath: DGGT engine, per-pair path searches fanned out on \
+     a Dggt_par domain pool@.(domain counts %s; host has %d core(s); stage \
+     tracing on in every run; 'identical' = codelets byte-equal to the \
+     sequential run)@.@."
+    (String.concat "/" (List.map string_of_int counts))
+    (Stdlib.Domain.recommended_domain_count ());
+  let results =
+    List.map
+      (run_parallel_domain ~timeout_s ~counts)
+      [ Astmatcher.domain; Text_editing.domain ]
+  in
+  List.iter
+    (fun ((dom : Domain.t), nq, ndom, dominated_rule, sweep) ->
+      let base_total = (List.hd sweep).p_total_s in
+      let base_dom = (List.hd sweep).p_dominated_s in
+      Format.fprintf fmt
+        "%s: %d queries, %d in the EdgeToPath-heavy subset (rule: %s, \
+         decided on the 1-domain run)@.@."
+        dom.Domain.name nq ndom dominated_rule;
+      Format.fprintf fmt "  %8s %11s %8s %14s %8s %15s %10s@." "domains"
+        "total (s)" "speedup" "dominated (s)" "speedup" "EdgeToPath (s)"
+        "identical";
+      List.iter
+        (fun p ->
+          Format.fprintf fmt
+            "  %8d %11.3f %7.2fx %14.3f %7.2fx %15.3f %10s@." p.p_domains
+            p.p_total_s
+            (base_total /. Float.max p.p_total_s 1e-9)
+            p.p_dominated_s
+            (base_dom /. Float.max p.p_dominated_s 1e-9)
+            p.p_edge2path_s
+            (if p.p_identical then "yes" else "NO");
+          if not p.p_identical then
+            Format.fprintf fmt "  ^^^ DETERMINISM VIOLATION at %d domains@."
+              p.p_domains)
+        sweep;
+      Format.fprintf fmt "@.")
+    results;
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  output_string oc (Dggt_server.Jsonio.to_string (parallel_json ~timeout_s results));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
@@ -165,15 +356,20 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let timeout_s = ref 20.0 in
+  let domains = ref 1 in
   let rec parse acc = function
     | "--timeout" :: v :: rest ->
         timeout_s := float_of_string v;
+        parse acc rest
+    | "--domains" :: v :: rest ->
+        domains := int_of_string v;
         parse acc rest
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
   in
   let targets = match parse [] args with [] -> [ "all" ] | ts -> ts in
   let timeout_s = !timeout_s in
+  let domains = !domains in
   let dispatch = function
     | "table1" -> run_table1 ()
     | "table2" -> run_table2 ~timeout_s ()
@@ -182,7 +378,8 @@ let () =
     | "fig8" -> run_fig8 ~timeout_s ()
     | "ablation" -> run_ablation ~timeout_s ()
     | "stages" -> run_stages ~timeout_s ()
-    | "smoke" -> run_smoke ~timeout_s ()
+    | "parallel" -> run_parallel ~timeout_s ()
+    | "smoke" -> run_smoke ~timeout_s ~domains ()
     | "micro" -> run_micro ()
     | "all" ->
         run_table1 ();

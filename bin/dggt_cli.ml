@@ -3,8 +3,8 @@
      dggt synth  -d textediting "delete all numbers"
      dggt synth  -d astmatcher --engine hisyn "find all virtual methods"
      dggt explain -d textediting "insert \"-\" at the start of each line"
-     dggt eval   -d astmatcher --timeout 5
-     dggt serve  --port 8080 --workers 4 --queue 64 --cache-size 512
+     dggt eval   -d astmatcher --timeout 5 --domains 4
+     dggt serve  --port 8080 --workers 4 --domains 4 --queue 64 --cache-size 512
 
    `synth` prints the codelet; `explain` dumps every pipeline stage
    (dependency parse, pruned graph, WordToAPI map, orphans, statistics);
@@ -56,31 +56,53 @@ let timeout_arg =
 let query_arg =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"The query words.")
 
-let config dom alg timeout =
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Parallel EdgeToPath search domains (1 = sequential). The \
+           synthesized codelet is byte-identical at every setting.")
+
+(* spin up the EdgeToPath fan-out pool for the command's lifetime; 1 =
+   sequential, no pool *)
+let with_pool domains f =
+  if domains > 1 then
+    let pool = Dggt_par.Pool.create ~workers:domains () in
+    Fun.protect
+      ~finally:(fun () -> Dggt_par.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  else f None
+
+let config ?(par = None) dom alg timeout =
   Domain.configure dom
-    { (Engine.default alg) with Engine.timeout_s = Some timeout }
+    { (Engine.default alg) with Engine.timeout_s = Some timeout; par }
 
 (* --- synth --------------------------------------------------------- *)
 
 let synth_cmd =
-  let run dom alg timeout words =
+  let run dom alg timeout domains words =
     let query = String.concat " " words in
-    let cfg, tgt = config dom alg timeout in
-    let o = Engine.synthesize cfg tgt query in
-    match o.Engine.code with
-    | Some code ->
-        Format.printf "%s@." code;
-        Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
-          (Option.value o.Engine.cgt_size ~default:0);
-        `Ok ()
-    | None ->
-        Format.eprintf "no codelet: %s@."
-          (Option.value o.Engine.failure ~default:"unknown failure");
-        `Error (false, "synthesis failed")
+    with_pool domains (fun par ->
+        let cfg, tgt = config ~par dom alg timeout in
+        let o = Engine.synthesize cfg tgt query in
+        match o.Engine.code with
+        | Some code ->
+            Format.printf "%s@." code;
+            Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
+              (Option.value o.Engine.cgt_size ~default:0);
+            `Ok ()
+        | None ->
+            Format.eprintf "no codelet: %s@."
+              (Option.value o.Engine.failure ~default:"unknown failure");
+            `Error (false, "synthesis failed"))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a codelet from a natural-language query.")
-    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg $ query_arg))
+    Term.(
+      ret
+        (const run $ domain_arg $ engine_arg $ timeout_arg $ domains_arg
+       $ query_arg))
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -105,24 +127,28 @@ let explain_cmd =
 (* --- eval ---------------------------------------------------------- *)
 
 let eval_cmd =
-  let run dom alg timeout =
-    let r =
-      Dggt_eval.Runner.run_domain ~timeout_s:timeout
-        ~progress:(fun i n ->
-          if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
-        dom alg
-    in
-    Format.printf "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
-      r.Dggt_eval.Runner.domain_name
-      (match alg with Engine.Dggt_alg -> "DGGT" | Engine.Hisyn_alg -> "HISyn")
-      (Dggt_eval.Runner.accuracy r)
-      (Dggt_eval.Runner.timeouts r)
-      (Dggt_eval.Runner.total_time r);
-    `Ok ()
+  let run dom alg timeout domains =
+    with_pool domains (fun par ->
+        let r =
+          Dggt_eval.Runner.run_domain ~timeout_s:timeout
+            ~tweak:(fun c -> { c with Engine.par })
+            ~progress:(fun i n ->
+              if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
+            dom alg
+        in
+        Format.printf "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
+          r.Dggt_eval.Runner.domain_name
+          (match alg with
+          | Engine.Dggt_alg -> "DGGT"
+          | Engine.Hisyn_alg -> "HISyn")
+          (Dggt_eval.Runner.accuracy r)
+          (Dggt_eval.Runner.timeouts r)
+          (Dggt_eval.Runner.total_time r);
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run a benchmark domain's full query set.")
-    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg))
+    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg $ domains_arg))
 
 (* --- serve --------------------------------------------------------- *)
 
@@ -174,12 +200,13 @@ let serve_cmd =
             "Recent request traces retained for GET /debug/trace (0 \
              disables retention).")
   in
-  let run port addr workers queue cache_size timeout trace_buffer =
+  let run port addr workers domains queue cache_size timeout trace_buffer =
     Serve.run
       {
         Serve.addr;
         port;
         workers;
+        domains;
         queue_capacity = queue;
         cache_size;
         default_timeout_s = timeout;
@@ -195,8 +222,8 @@ let serve_cmd =
           /debug/trace).")
     Term.(
       ret
-        (const run $ port_arg $ addr_arg $ workers_arg $ queue_arg $ cache_arg
-       $ serve_timeout_arg $ trace_buffer_arg))
+        (const run $ port_arg $ addr_arg $ workers_arg $ domains_arg
+       $ queue_arg $ cache_arg $ serve_timeout_arg $ trace_buffer_arg))
 
 let () =
   let info =

@@ -45,30 +45,37 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
 
   (* Which APIs can a node take? The union of dep_api over its incoming
      edge's paths; for the root, the union of gov_api over its outgoing
-     edges' paths. *)
+     edges' paths. Precomputed in one pass over the edges (the per-node
+     closure used to rescan every dependency edge per node — quadratic in
+     the query size); accumulation is per-node in edge order, so the
+     resulting lists match the old per-node scans element for element. *)
+  let node_api_index =
+    let tbl = Hashtbl.create 16 in
+    (* id -> (incoming rev, outgoing rev) *)
+    let get id = Option.value (Hashtbl.find_opt tbl id) ~default:([], []) in
+    List.iter
+      (fun (e : Depgraph.edge) ->
+        List.iter
+          (fun (p : Edge2path.epath) ->
+            let inc, out = get e.Depgraph.dep in
+            Hashtbl.replace tbl e.Depgraph.dep
+              (p.Edge2path.dep_api :: inc, out);
+            match p.Edge2path.gov_api with
+            | Some a ->
+                let inc, out = get e.Depgraph.gov in
+                Hashtbl.replace tbl e.Depgraph.gov (inc, a :: out)
+            | None -> ())
+          (Edge2path.paths_of_edge e2p e))
+      dg.Depgraph.edges;
+    tbl
+  in
   let node_apis (n : Depgraph.node) =
-    let id = n.Depgraph.id in
-    let incoming =
-      List.concat_map
-        (fun (e : Depgraph.edge) ->
-          if e.Depgraph.dep = id then
-            List.map
-              (fun (p : Edge2path.epath) -> p.Edge2path.dep_api)
-              (Edge2path.paths_of_edge e2p e)
-          else [])
-        dg.Depgraph.edges
+    let incoming, outgoing =
+      Option.value
+        (Hashtbl.find_opt node_api_index n.Depgraph.id)
+        ~default:([], [])
     in
-    let outgoing =
-      List.concat_map
-        (fun (e : Depgraph.edge) ->
-          if e.Depgraph.gov = id then
-            List.filter_map
-              (fun (p : Edge2path.epath) -> p.Edge2path.gov_api)
-              (Edge2path.paths_of_edge e2p e)
-          else [])
-        dg.Depgraph.edges
-    in
-    Listutil.uniq (incoming @ outgoing)
+    Listutil.uniq (List.rev_append incoming (List.rev outgoing))
   in
 
   (* Bottom-up: deepest dependency nodes first. *)

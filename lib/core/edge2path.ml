@@ -10,39 +10,93 @@ type epath = {
   path : Gpath.t;
 }
 
+(* Entries stay an edge-ordered array (pp and [all] need edge order);
+   per-edge and per-id lookups go through hash tables built once at
+   construction, and the aggregates the tracer asks for on every request
+   ([all], [total_path_count]) are cached up front. All fields are
+   read-only after [make]: one map is shared freely across domains. *)
 type t = {
-  by_edge : ((int * int) * epath list) list; (* (gov, dep) keyed, edge order *)
+  entries : ((int * int) * epath list) array; (* (gov, dep) keyed, edge order *)
+  by_key : (int * int, epath list) Hashtbl.t;
+  by_id : (int, epath) Hashtbl.t;
+  all_paths : epath list; (* concatenation of [entries], edge order *)
+  total : int;
   orphan_ids : int list;
   next_id : int;
 }
 
 let edge_key (e : Depgraph.edge) = (e.Depgraph.gov, e.Depgraph.dep)
 
-let search_pairs ?limits ?pair_lookup g govs deps =
-  (* all paths for each (gov_api, dep_api) pair, deduplicated *)
-  let search a b =
+let make entries ~orphan_ids ~next_id =
+  let by_key = Hashtbl.create (max 8 (Array.length entries)) in
+  let by_id = Hashtbl.create 64 in
+  Array.iter
+    (fun (key, eps) ->
+      (* first entry wins, matching the old assoc-list lookup when two
+         dependency edges share a (gov, dep) pair *)
+      if not (Hashtbl.mem by_key key) then Hashtbl.add by_key key eps;
+      List.iter (fun p -> Hashtbl.replace by_id p.id p) eps)
+    entries;
+  let all_paths = List.concat_map snd (Array.to_list entries) in
+  {
+    entries;
+    by_key;
+    by_id;
+    all_paths;
+    total = List.length all_paths;
+    orphan_ids;
+    next_id;
+  }
+
+(* Run the independent per-pair searches, optionally fanned across a
+   domain pool. Results come back in task order either way (the pool's
+   map preserves input order), so everything downstream — path ordinals,
+   epath ids, labels — is byte-identical to the sequential build. *)
+let run_searches ?pool f tasks =
+  match pool with
+  | None -> List.map f tasks
+  | Some p -> Dggt_par.Pool.map_ordered p f tasks
+
+(* all candidate (gov_api, dep_api) pairs, gov-major, self-pairs skipped —
+   the order the sequential build searched them in, which the parallel
+   reassembly must reproduce *)
+let candidate_pairs govs deps =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a = b then None else Some (a, b)) deps)
+    govs
+
+let build ?limits ?pair_lookup ?pool g (dg : Depgraph.t) w2a =
+  let search (a, b) =
     let compute () = Gpath.search_between_apis ?limits g ~src_api:a ~dst_api:b in
     match pair_lookup with
     | None -> compute ()
     | Some f -> f ~src:a ~dst:b compute
   in
-  List.concat_map
-    (fun a ->
-      List.concat_map
-        (fun b ->
-          if a = b then []
-          else search a b |> List.map (fun p -> (Some a, b, p)))
-        deps)
-    govs
-
-let build ?limits ?pair_lookup g (dg : Depgraph.t) w2a =
-  let next_id = ref 0 in
-  let by_edge =
-    List.mapi
-      (fun edge_idx (e : Depgraph.edge) ->
+  let edge_pairs =
+    List.map
+      (fun (e : Depgraph.edge) ->
         let govs = Word2api.apis w2a e.Depgraph.gov in
         let deps = Word2api.apis w2a e.Depgraph.dep in
-        let found = search_pairs ?limits ?pair_lookup g govs deps in
+        (e, candidate_pairs govs deps))
+      dg.Depgraph.edges
+  in
+  let results =
+    run_searches ?pool search (List.concat_map snd edge_pairs)
+    |> Array.of_list
+  in
+  let cursor = ref 0 in
+  let next_id = ref 0 in
+  let entries =
+    List.mapi
+      (fun edge_idx (e, pairs) ->
+        let found =
+          List.concat_map
+            (fun (a, b) ->
+              let paths = results.(!cursor) in
+              incr cursor;
+              List.map (fun p -> (Some a, b, p)) paths)
+            pairs
+        in
         let eps =
           List.mapi
             (fun k (gov_api, dep_api, path) ->
@@ -59,25 +113,25 @@ let build ?limits ?pair_lookup g (dg : Depgraph.t) w2a =
             found
         in
         (edge_key e, eps))
-      dg.Depgraph.edges
+      edge_pairs
   in
   let orphan_ids =
     List.filter_map
       (fun ((_, dep), eps) -> if eps = [] then Some dep else None)
-      by_edge
+      entries
     |> List.sort_uniq compare
   in
-  { by_edge; orphan_ids; next_id = !next_id }
+  make (Array.of_list entries) ~orphan_ids ~next_id:!next_id
 
 let paths_of_edge t e =
-  match List.assoc_opt (edge_key e) t.by_edge with Some l -> l | None -> []
+  match Hashtbl.find_opt t.by_key (edge_key e) with Some l -> l | None -> []
 
-let all t = List.concat_map snd t.by_edge
+let all t = t.all_paths
 let orphans t = t.orphan_ids
-let total_path_count t = List.length (all t)
-let find t id = List.find_opt (fun p -> p.id = id) (all t)
+let total_path_count t = t.total
+let find t id = Hashtbl.find_opt t.by_id id
 
-let anchor_orphans ?limits g (dg : Depgraph.t) w2a t =
+let anchor_orphans ?limits ?pool g (dg : Depgraph.t) w2a t =
   (* Rewrite each orphan's edge to hang off the dependency root, and search
      paths from the grammar root down to the orphan's candidate APIs. *)
   let orphan_set = t.orphan_ids in
@@ -93,48 +147,72 @@ let anchor_orphans ?limits g (dg : Depgraph.t) w2a t =
           dg.Depgraph.edges;
     }
   in
-  let next_id = ref t.next_id in
-  let by_edge =
-    List.mapi
-      (fun edge_idx (e : Depgraph.edge) ->
-        if List.mem e.Depgraph.dep orphan_set then begin
-          let deps = Word2api.apis w2a e.Depgraph.dep in
-          let found =
-            List.concat_map
-              (fun b ->
-                match Ggraph.api_node g b with
-                | None -> []
-                | Some dst ->
-                    Gpath.search_from_root ?limits g ~dst
-                    |> List.map (fun p -> (None, b, p)))
-              deps
-          in
-          let eps =
-            List.mapi
-              (fun k (gov_api, dep_api, path) ->
-                let id = !next_id in
-                incr next_id;
-                {
-                  id;
-                  label = Printf.sprintf "%d.%d*" (edge_idx + 1) (k + 1);
-                  edge = e;
-                  gov_api;
-                  dep_api;
-                  path;
-                })
-              found
-          in
-          (edge_key e, eps)
-        end
-        else
-          (* carry over the existing paths, updating nothing *)
-          (edge_key e, paths_of_edge t e))
+  (* per orphan edge, the candidate APIs (with their resolved grammar
+     nodes) whose root-anchored searches fan out across the pool *)
+  let edge_deps =
+    List.map
+      (fun (e : Depgraph.edge) ->
+        if List.mem e.Depgraph.dep orphan_set then
+          (e, `Orphan (Word2api.apis w2a e.Depgraph.dep))
+        else (e, `Kept))
       dg'.Depgraph.edges
   in
-  (dg', { by_edge; orphan_ids = []; next_id = !next_id })
+  let tasks =
+    List.concat_map
+      (function
+        | _, `Orphan deps -> List.map (fun b -> (b, Ggraph.api_node g b)) deps
+        | _, `Kept -> [])
+      edge_deps
+  in
+  let results =
+    run_searches ?pool
+      (fun (_, dst) ->
+        match dst with
+        | None -> []
+        | Some dst -> Gpath.search_from_root ?limits g ~dst)
+      tasks
+    |> Array.of_list
+  in
+  let cursor = ref 0 in
+  let next_id = ref t.next_id in
+  let entries =
+    List.mapi
+      (fun edge_idx (e, kind) ->
+        match kind with
+        | `Orphan deps ->
+            let found =
+              List.concat_map
+                (fun b ->
+                  let paths = results.(!cursor) in
+                  incr cursor;
+                  List.map (fun p -> (None, b, p)) paths)
+                deps
+            in
+            let eps =
+              List.mapi
+                (fun k (gov_api, dep_api, path) ->
+                  let id = !next_id in
+                  incr next_id;
+                  {
+                    id;
+                    label = Printf.sprintf "%d.%d*" (edge_idx + 1) (k + 1);
+                    edge = e;
+                    gov_api;
+                    dep_api;
+                    path;
+                  })
+                found
+            in
+            (edge_key e, eps)
+        | `Kept ->
+            (* carry over the existing paths, updating nothing *)
+            (edge_key e, paths_of_edge t e))
+      edge_deps
+  in
+  (dg', make (Array.of_list entries) ~orphan_ids:[] ~next_id:!next_id)
 
 let pp g fmt t =
-  List.iter
+  Array.iter
     (fun (_, eps) ->
       List.iter
         (fun p ->
@@ -142,4 +220,4 @@ let pp g fmt t =
             (Option.value p.gov_api ~default:"<root>")
             p.dep_api (Gpath.pp g) p.path)
         eps)
-    t.by_edge
+    t.entries

@@ -26,6 +26,7 @@ val build :
     dst:string ->
     (unit -> Dggt_grammar.Gpath.t list) ->
     Dggt_grammar.Gpath.t list) ->
+  ?pool:Dggt_par.Pool.t ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->
@@ -40,7 +41,14 @@ val build :
     [pair_lookup ~src ~dst compute] instead of a direct search. The search
     depends only on the grammar graph, the API pair and [limits] — both
     query-independent — so a serving layer can back the hook with a cache
-    keyed [(domain, src, dst)] and reuse results across requests. *)
+    keyed [(domain, src, dst)] and reuse results across requests.
+
+    [pool] fans the independent per-pair searches across a domain pool
+    ({!Dggt_par.Pool.map_ordered}); results are reassembled in edge/pair
+    order, so ids, labels and path lists are byte-identical to the
+    sequential build. When [pair_lookup] is also given it must be
+    domain-safe (the server's mutex-guarded LRU is). Default: in-process
+    sequential search. *)
 
 val paths_of_edge : t -> Dggt_nlu.Depgraph.edge -> epath list
 val all : t -> epath list
@@ -48,10 +56,15 @@ val orphans : t -> int list
 (** Dependent node ids whose edge has no candidate path, token order. *)
 
 val total_path_count : t -> int
+(** Cached at construction — O(1), safe to poll per request (the tracer
+    does). *)
+
 val find : t -> int -> epath option
+(** Hash lookup by path id — O(1). *)
 
 val anchor_orphans :
   ?limits:Dggt_grammar.Gpath.limits ->
+  ?pool:Dggt_par.Pool.t ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->

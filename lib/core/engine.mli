@@ -89,11 +89,19 @@ type config = {
   trace : Dggt_obs.Trace.sink option;
       (** stage-level tracing sink; [None] (the default) is the zero-cost
           off switch. Sinks are single-request: build one per call. *)
+  par : Dggt_par.Pool.t option;
+      (** domain pool for the EdgeToPath stage's per-pair searches
+          ({!Edge2path.build} / {!Edge2path.anchor_orphans}); results are
+          order-preserving, so the synthesized codelet, epath ids/labels
+          and statistics are byte-identical to a sequential run. [None]
+          (the default) computes in-process sequentially. The pool is
+          shared, long-lived state like the target's caches — create one
+          per process ([dggt serve --domains N]), not per query. *)
 }
 
 val default : algorithm -> config
 (** 20 s timeout, top_k 4, default path limits, all optimizations on,
-    tracing off. *)
+    tracing off, sequential ([par = None]). *)
 
 type outcome = {
   expr : Tree2expr.expr option;  (** the synthesized codelet *)

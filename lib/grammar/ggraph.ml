@@ -10,6 +10,8 @@ type t = {
   edges : edge array;
   children : int list array;
   parents : int list array;
+  api_index : (string, int) Hashtbl.t;
+  nt_index : (string, int) Hashtbl.t;
   root : int;
   dist_mu : Mutex.t;
   dists : (int, int array) Hashtbl.t;
@@ -110,6 +112,10 @@ let build (cfg : Cfg.t) =
     edges;
     children;
     parents;
+    (* the builder's name tables double as the graph's permanent node
+       indexes: read-only after build, so domain-safe without a lock *)
+    api_index = b.api_tbl;
+    nt_index = b.nt_tbl;
     root = Hashtbl.find b.nt_tbl cfg.Cfg.start;
     dist_mu = Mutex.create ();
     dists = Hashtbl.create 64;
@@ -121,15 +127,8 @@ let node_name t id =
   | Api s -> s
   | Deriv p -> Printf.sprintf "%s#%d" t.cfg.Cfg.productions.(p).Cfg.lhs p
 
-let find_node t pred =
-  let n = Array.length t.nodes in
-  let rec go i =
-    if i >= n then None else if pred t.nodes.(i) then Some i else go (i + 1)
-  in
-  go 0
-
-let api_node t name = find_node t (fun n -> n.kind = Api name)
-let nt_node t name = find_node t (fun n -> n.kind = Nt name)
+let api_node t name = Hashtbl.find_opt t.api_index name
+let nt_node t name = Hashtbl.find_opt t.nt_index name
 let is_api t id = match t.nodes.(id).kind with Api _ -> true | _ -> false
 
 let api_nodes t =

@@ -43,6 +43,10 @@ type t = private {
   edges : edge array;       (** indexed by edge id *)
   children : int list array; (** node id -> outgoing edge ids, by (prod, pos) *)
   parents : int list array;  (** node id -> incoming edge ids *)
+  api_index : (string, int) Hashtbl.t;
+      (** API name -> node id; built once in {!build}, read-only after *)
+  nt_index : (string, int) Hashtbl.t;
+      (** nonterminal name -> node id; built once in {!build} *)
   root : int;               (** node of the start nonterminal *)
   dist_mu : Mutex.t;        (** guards [dists] *)
   dists : (int, int array) Hashtbl.t;
@@ -56,6 +60,8 @@ val node_name : t -> int -> string
 (** Nonterminal/API name; derivation nodes render as "lhs#k". *)
 
 val api_node : t -> string -> int option
+(** Hash lookup in [api_index] — O(1), safe from any domain. *)
+
 val nt_node : t -> string -> int option
 val is_api : t -> int -> bool
 val api_nodes : t -> (string * int) list
@@ -75,5 +81,13 @@ val distance : t -> int -> int -> int
 (** Length (in edges) of the shortest directed path from [a] to [b];
     [max_int] when unreachable. Memoized per source — the all-path search
     uses it to cut branches that cannot complete within the length cap. *)
+
+val dist_from : t -> int -> int array
+(** The whole distance row for source [a]: [(dist_from g a).(b) =
+    distance g a b]. One memo lookup (one mutex acquisition) for the
+    entire row — hot loops that probe many targets against one source
+    (the all-path DFS) should hoist this instead of calling {!distance}
+    per probe. The returned array is shared with the memo: treat it as
+    read-only. *)
 
 val pp_stats : Format.formatter -> t -> unit

@@ -42,8 +42,21 @@ let search ?(limits = default_limits) g ~src ~dst =
        hundreds of parents on shared nodes) exhaustive simple-path search
        is intractable, and the step budget truncates the long tail. A
        branch is entered only when the shortest src ~> branch distance
-       still fits the round's remaining length budget. *)
+       still fits the round's remaining length budget.
+
+       Two per-step structures are hoisted out of the DFS: the src
+       distance row (one memo/mutex acquisition per search, not one per
+       step — under domain-parallel EdgeToPath the per-step lock would
+       serialize every worker on the shared memo) and an on-path bit per
+       node replacing the O(length) List.mem membership scan. [on_path]
+       marks the current node and every chain ancestor plus [dst], which
+       is exactly the set the old [e.src <> node && e.src <> dst &&
+       not (List.mem e.src chain_nodes)] test excluded; [src] is never
+       marked (recursion stops there), so re-entering it to emit a path
+       stays possible. *)
     let exception Done in
+    let dist_src = Ggraph.dist_from g src in
+    let on_path = Array.make (Ggraph.node_count g) false in
     let rec go node chain_nodes chain_edges depth ~lo ~cap =
       incr steps;
       if !steps > limits.max_steps || !count >= limits.max_paths then raise Done;
@@ -54,21 +67,23 @@ let search ?(limits = default_limits) g ~src ~dst =
             incr count
           end
         end
-        else
+        else begin
+          on_path.(node) <- true;
           List.iter
-            (fun (e : Ggraph.edge) ->
-              if
-                e.src <> node && e.src <> dst
-                && Ggraph.distance g src e.src <= cap - depth - 1
-                && not (List.mem e.src chain_nodes)
+            (fun eid ->
+              let e = g.Ggraph.edges.(eid) in
+              if (not on_path.(e.Ggraph.src))
+                 && dist_src.(e.Ggraph.src) <= cap - depth - 1
               then
-                go e.src (node :: chain_nodes) (e.id :: chain_edges) (depth + 1)
-                  ~lo ~cap)
-            (Ggraph.in_edges g node)
+                go e.Ggraph.src (node :: chain_nodes) (e.Ggraph.id :: chain_edges)
+                  (depth + 1) ~lo ~cap)
+            g.Ggraph.parents.(node);
+          on_path.(node) <- false
+        end
       end
     in
     (try
-       if Ggraph.reachable g src dst then begin
+       if dist_src.(dst) < max_int then begin
          let lo = ref 0 in
          let cap = ref (min 4 limits.max_nodes) in
          let continue = ref true in

@@ -1,0 +1,177 @@
+(* A fixed pool of OCaml 5 domains over a mutex/condvar work queue.
+
+   Two usage modes share the workers:
+
+   - [submit]: fire-and-forget jobs behind a bounded queue (the serving
+     layer's backpressure primitive — lib/server/pool.ml is a thin
+     wrapper adding deadlines);
+   - [map_ordered]: fork/join fan-out that blocks the caller until every
+     element is mapped, returning results in input order.
+
+   map_ordered is claim-based: each task index is claimed exactly once
+   (under the pool mutex) by whichever participant gets there first, and
+   the *calling* thread participates too. That makes it deadlock-free
+   under nesting — a pool worker whose job itself calls map_ordered on
+   the same pool drains its own batch instead of waiting for a free
+   worker — and means the combinator still completes (sequentially) on a
+   stopped pool or a pool of one busy worker. *)
+
+type job = { bounded : bool; run : unit -> unit }
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  cap : int; (* bound on queued [submit] jobs; internal jobs are exempt *)
+  nworkers : int;
+  mutable bounded_depth : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.queue then
+      (* stopping, queue drained *)
+      Mutex.unlock t.mu
+    else begin
+      let j = Queue.pop t.queue in
+      if j.bounded then t.bounded_depth <- t.bounded_depth - 1;
+      Mutex.unlock t.mu;
+      (try j.run () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?workers ?(capacity = 64) () =
+  let nworkers =
+    match workers with
+    | Some n when n > 0 -> min n 64
+    | _ -> max 1 (min 64 (Domain.recommended_domain_count ()))
+  in
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      cap = max 1 capacity;
+      nworkers;
+      bounded_depth = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let workers t = t.nworkers
+let capacity t = t.cap
+
+let submit t run =
+  Mutex.lock t.mu;
+  if t.stopping || t.bounded_depth >= t.cap then begin
+    Mutex.unlock t.mu;
+    `Rejected
+  end
+  else begin
+    Queue.push { bounded = true; run } t.queue;
+    t.bounded_depth <- t.bounded_depth + 1;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    `Accepted
+  end
+
+(* Internal jobs bypass the capacity bound: map_ordered's correctness
+   does not depend on them running (the caller claims whatever the
+   workers don't), so rejecting them would only serialize the map. *)
+let enqueue t run =
+  Mutex.lock t.mu;
+  if not t.stopping then begin
+    Queue.push { bounded = false; run } t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mu
+
+let depth t =
+  Mutex.lock t.mu;
+  let n = t.bounded_depth in
+  Mutex.unlock t.mu;
+  n
+
+let map_ordered t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let bmu = Mutex.create () in
+    let all_done = Condition.create () in
+    let next = ref 0 in
+    let completed = ref 0 in
+    let claim () =
+      Mutex.lock bmu;
+      let i = !next in
+      if i < n then incr next;
+      Mutex.unlock bmu;
+      if i < n then Some i else None
+    in
+    let step i =
+      let r = try Ok (f arr.(i)) with e -> Error e in
+      results.(i) <- Some r;
+      Mutex.lock bmu;
+      incr completed;
+      if !completed = n then Condition.broadcast all_done;
+      Mutex.unlock bmu
+    in
+    (* one queue entry per task keeps enqueueing O(1) per task while
+       letting however many workers are idle join in; entries finding the
+       batch already fully claimed are no-ops *)
+    for _ = 1 to min n (t.nworkers) do
+      enqueue t (fun () ->
+          let rec drain () =
+            match claim () with
+            | Some i ->
+                step i;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+    done;
+    (* the caller helps: claims remaining tasks itself, then waits for
+       the stragglers other participants claimed *)
+    let rec help () =
+      match claim () with
+      | Some i ->
+          step i;
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock bmu;
+    while !completed < n do
+      Condition.wait all_done bmu
+    done;
+    Mutex.unlock bmu;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false (* completed = n implies all filled *))
+         results)
+  end
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let ds = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mu;
+  if not already then List.iter Domain.join ds

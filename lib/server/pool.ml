@@ -1,90 +1,29 @@
-type job = {
-  deadline : float option;
-  run : unit -> unit;
-  expired : unit -> unit;
-}
+(* A thin deadline-aware facade over the shared parallelism primitive
+   (Dggt_par.Pool): the domain spawning, work queue, capacity bound and
+   graceful shutdown all live there, this module only adds the serving
+   layer's deadline semantics. Dggt_par stays stdlib-only, so the
+   wall-clock (Unix.gettimeofday) comparison happens here, when a worker
+   dequeues the job — a request whose client has already given up is
+   dropped without reaching the engine. *)
 
-type t = {
-  mu : Mutex.t;
-  nonempty : Condition.t;
-  queue : job Queue.t;
-  cap : int;
-  nworkers : int;
-  mutable stopping : bool;
-  mutable domains : unit Domain.t list;
-}
-
-let worker_loop t =
-  let rec loop () =
-    Mutex.lock t.mu;
-    while Queue.is_empty t.queue && not t.stopping do
-      Condition.wait t.nonempty t.mu
-    done;
-    if Queue.is_empty t.queue then begin
-      (* stopping, queue drained *)
-      Mutex.unlock t.mu
-    end
-    else begin
-      let j = Queue.pop t.queue in
-      Mutex.unlock t.mu;
-      (try
-         match j.deadline with
-         | Some d when Unix.gettimeofday () > d -> j.expired ()
-         | _ -> j.run ()
-       with _ -> ());
-      loop ()
-    end
-  in
-  loop ()
+type t = Dggt_par.Pool.t
 
 let create ?workers ?(capacity = 64) () =
-  let nworkers =
-    match workers with
-    | Some n when n > 0 -> min n 64
-    | _ -> max 1 (min 64 (Domain.recommended_domain_count ()))
+  let workers =
+    match workers with Some n when n > 0 -> Some (min n 64) | _ -> None
   in
-  let t =
-    {
-      mu = Mutex.create ();
-      nonempty = Condition.create ();
-      queue = Queue.create ();
-      cap = max 1 capacity;
-      nworkers;
-      stopping = false;
-      domains = [];
-    }
-  in
-  t.domains <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  Dggt_par.Pool.create ?workers ~capacity ()
 
-let workers t = t.nworkers
-let capacity t = t.cap
+let workers = Dggt_par.Pool.workers
+let capacity = Dggt_par.Pool.capacity
 
 let submit t ?deadline ~run ~expired () =
-  Mutex.lock t.mu;
-  if t.stopping || Queue.length t.queue >= t.cap then begin
-    Mutex.unlock t.mu;
-    `Rejected
-  end
-  else begin
-    Queue.push { deadline; run; expired } t.queue;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.mu;
-    `Accepted
-  end
+  let job () =
+    match deadline with
+    | Some d when Unix.gettimeofday () > d -> expired ()
+    | _ -> run ()
+  in
+  Dggt_par.Pool.submit t job
 
-let depth t =
-  Mutex.lock t.mu;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mu;
-  n
-
-let shutdown t =
-  Mutex.lock t.mu;
-  let already = t.stopping in
-  t.stopping <- true;
-  Condition.broadcast t.nonempty;
-  let ds = t.domains in
-  t.domains <- [];
-  Mutex.unlock t.mu;
-  if not already then List.iter Domain.join ds
+let depth = Dggt_par.Pool.depth
+let shutdown = Dggt_par.Pool.shutdown

@@ -1,16 +1,17 @@
 (** Fixed worker pool over a bounded request queue.
 
-    Workers are OCaml 5 domains ({!Stdlib.Domain}), so synthesis jobs run
-    in parallel on multicore hardware while the connection threads (plain
-    systhreads) only do I/O. The queue is bounded: {!submit} refuses new
-    work when it is full — the server turns that into a [503] with
-    [Retry-After] instead of letting latency pile up. Each job may carry an
-    absolute deadline; a job whose deadline passed while it sat in the
-    queue is {e dropped} (its [expired] callback runs instead of [run]), so
-    a request the client has already given up on never reaches the
+    Workers are OCaml 5 domains — a facade over the repo-wide pool
+    primitive {!Dggt_par.Pool} — so synthesis jobs run in parallel on
+    multicore hardware while the connection threads (plain systhreads)
+    only do I/O. The queue is bounded: {!submit} refuses new work when it
+    is full — the server turns that into a [503] with [Retry-After]
+    instead of letting latency pile up. Each job may carry an absolute
+    deadline; a job whose deadline passed while it sat in the queue is
+    {e dropped} (its [expired] callback runs instead of [run]), so a
+    request the client has already given up on never reaches the
     engine. *)
 
-type t
+type t = Dggt_par.Pool.t
 
 val create : ?workers:int -> ?capacity:int -> unit -> t
 (** Spawns the worker domains immediately. [workers] defaults to

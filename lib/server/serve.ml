@@ -7,6 +7,7 @@ type params = {
   addr : string;
   port : int;
   workers : int;
+  domains : int;
   queue_capacity : int;
   cache_size : int;
   default_timeout_s : float;
@@ -18,6 +19,7 @@ let default_params =
     addr = "127.0.0.1";
     port = 8080;
     workers = 0;
+    domains = 1;
     queue_capacity = 64;
     cache_size = 512;
     default_timeout_s = 10.0;
@@ -55,6 +57,8 @@ type trecord = {
 type t = {
   params : params;
   pool : Pool.t;
+  par : Dggt_par.Pool.t option;
+      (* EdgeToPath fan-out pool, shared by every request worker *)
   metrics : Smetrics.t;
   (* whole-query outcome, plus the ranked alternatives computed with it *)
   q_cache : (string * string * string * int, Engine.outcome * string list) Cache.t;
@@ -451,7 +455,7 @@ let handler t (req : Httpd.request) =
 (* lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let make_dstate ~word_cache ~path_cache (d : Dggt_domains.Domain.t) =
+let make_dstate ~word_cache ~path_cache ~par (d : Dggt_domains.Domain.t) =
   let name = d.Dggt_domains.Domain.name in
   let lookups =
     {
@@ -470,10 +474,11 @@ let make_dstate ~word_cache ~path_cache (d : Dggt_domains.Domain.t) =
   in
   let cfg_dggt, target =
     Dggt_domains.Domain.configure ~caches:lookups d
-      (Engine.default Engine.Dggt_alg)
+      { (Engine.default Engine.Dggt_alg) with Engine.par }
   in
   let cfg_hisyn, _ =
-    Dggt_domains.Domain.configure d (Engine.default Engine.Hisyn_alg)
+    Dggt_domains.Domain.configure d
+      { (Engine.default Engine.Hisyn_alg) with Engine.par }
   in
   { dom = d; target; cfg_dggt; cfg_hisyn }
 
@@ -484,6 +489,14 @@ let create params =
       ?workers:(if params.workers > 0 then Some params.workers else None)
       ~capacity:params.queue_capacity ()
   in
+  (* one shared EdgeToPath fan-out pool for the whole process; request
+     workers calling into it always help drain their own batch, so this
+     never deadlocks even when every request worker maps at once *)
+  let par =
+    if params.domains > 1 then
+      Some (Dggt_par.Pool.create ~workers:params.domains ())
+    else None
+  in
   let stage_cap = max 0 params.cache_size * 4 in
   let word_cache = Cache.create ~capacity:stage_cap in
   let path_cache = Cache.create ~capacity:stage_cap in
@@ -491,6 +504,7 @@ let create params =
     {
       params;
       pool;
+      par;
       metrics;
       q_cache = Cache.create ~capacity:params.cache_size;
       rank_cache = Cache.create ~capacity:params.cache_size;
@@ -501,7 +515,7 @@ let create params =
         List.map
           (fun d ->
             ( d.Dggt_domains.Domain.name,
-              make_dstate ~word_cache ~path_cache d ))
+              make_dstate ~word_cache ~path_cache ~par d ))
           known_domains;
       http = None;
     }
@@ -528,18 +542,23 @@ let stop t =
       Httpd.stop h;
       Httpd.wait h
   | None -> ());
-  Pool.shutdown t.pool
+  Pool.shutdown t.pool;
+  Option.iter Dggt_par.Pool.shutdown t.par
 
 let wait t =
   (match t.http with Some h -> Httpd.wait h | None -> ());
-  Pool.shutdown t.pool
+  Pool.shutdown t.pool;
+  Option.iter Dggt_par.Pool.shutdown t.par
 
 let run params =
   let t = create params in
   (match t.http with Some h -> Httpd.handle_signals h | None -> ());
   Printf.printf
-    "dggt serve: listening on http://%s:%d (%d workers, queue %d, cache %d)\n%!"
-    params.addr (port t) (Pool.workers t.pool) (Pool.capacity t.pool)
-    params.cache_size;
+    "dggt serve: listening on http://%s:%d (%d workers, %d search domains, \
+     queue %d, cache %d)\n\
+     %!"
+    params.addr (port t) (Pool.workers t.pool)
+    (max 1 params.domains)
+    (Pool.capacity t.pool) params.cache_size;
   wait t;
   Printf.printf "dggt serve: shut down cleanly\n%!"

@@ -37,6 +37,11 @@ type params = {
   addr : string;
   port : int;                (** 0 = ephemeral, read back with {!port} *)
   workers : int;             (** <= 0 = one per recommended domain count *)
+  domains : int;             (** EdgeToPath search domains {e per process}
+                                 (one {!Dggt_par.Pool} shared by all request
+                                 workers); <= 1 = sequential search.
+                                 Synthesized codelets are byte-identical at
+                                 every setting *)
   queue_capacity : int;
   cache_size : int;          (** whole-query LRU entries; per-stage caches
                                  get 4x this; <= 0 disables caching *)
@@ -48,8 +53,8 @@ type params = {
 }
 
 val default_params : params
-(** 127.0.0.1:8080, auto workers, queue 64, cache 512, timeout 10 s,
-    trace buffer 32. *)
+(** 127.0.0.1:8080, auto workers, sequential search (domains 1), queue 64,
+    cache 512, timeout 10 s, trace buffer 32. *)
 
 type t
 

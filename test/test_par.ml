@@ -1,0 +1,342 @@
+(* Tests for dggt_par and the parallel EdgeToPath path: the pool's
+   ordering/exception/nesting contracts, shutdown and capacity semantics,
+   byte-for-byte sequential-vs-parallel equivalence of Edge2path and the
+   whole engine over both benchmark domains' query sets, and races on the
+   shared state the fan-out exposes (the grammar distance memo, the
+   server's LRU cache, the deadline pool). *)
+
+module Pool = Dggt_par.Pool
+module Engine = Dggt_core.Engine
+module Edge2path = Dggt_core.Edge2path
+module Queryprune = Dggt_core.Queryprune
+module Word2api = Dggt_core.Word2api
+module Domain = Dggt_domains.Domain
+module Ggraph = Dggt_grammar.Ggraph
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let with_pool ?(workers = 4) f =
+  let pool = Pool.create ~workers () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* map_ordered                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  with_pool (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "squares in input order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map_ordered pool (fun x -> x * x) xs))
+
+let test_map_empty () =
+  with_pool (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map_ordered pool Fun.id []))
+
+let test_map_exception () =
+  with_pool (fun pool ->
+      (* two inputs fail; the batch settles and the earliest input's
+         exception is the one re-raised *)
+      match
+        Pool.map_ordered pool
+          (fun x -> if x mod 10 = 3 then failwith (string_of_int x) else x)
+          (List.init 40 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "earliest failing input" "3" msg)
+
+let test_map_nested () =
+  (* a mapped task may itself map on the same pool: the claim-based
+     batches mean every caller helps drain its own work, so two workers
+     can't deadlock waiting on each other *)
+  with_pool ~workers:2 (fun pool ->
+      let inner x = Pool.map_ordered pool (fun y -> x + y) [ 1; 2; 3 ] in
+      Alcotest.(check (list (list int)))
+        "nested maps"
+        [ [ 1; 2; 3 ]; [ 11; 12; 13 ] ]
+        (Pool.map_ordered pool inner [ 0; 10 ]))
+
+let test_map_after_shutdown () =
+  (* the caller participates, so a map on a stopped pool still completes
+     (sequentially) instead of hanging *)
+  let pool = Pool.create ~workers:2 () in
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "map on stopped pool" [ 2; 4; 6 ]
+    (Pool.map_ordered pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_map_large () =
+  with_pool (fun pool ->
+      let n = 1000 in
+      let r = Pool.map_ordered pool (fun x -> x + 1) (List.init n Fun.id) in
+      check_i "count" n (List.length r);
+      check_i "sum" (n * (n + 1) / 2) (List.fold_left ( + ) 0 r))
+
+(* ------------------------------------------------------------------ *)
+(* submit / shutdown                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_submit_capacity () =
+  let pool = Pool.create ~workers:1 ~capacity:1 () in
+  let entered = Atomic.make false and release = Atomic.make false in
+  let block () =
+    Atomic.set entered true;
+    while not (Atomic.get release) do
+      Thread.yield ()
+    done
+  in
+  check_b "blocker accepted" true (Pool.submit pool block = `Accepted);
+  while not (Atomic.get entered) do
+    Thread.yield ()
+  done;
+  (* worker busy, queue holds exactly [capacity] bounded jobs *)
+  check_b "1st queued" true (Pool.submit pool ignore = `Accepted);
+  check_b "2nd rejected" true (Pool.submit pool ignore = `Rejected);
+  check_i "depth" 1 (Pool.depth pool);
+  Atomic.set release true;
+  Pool.shutdown pool;
+  check_b "post-shutdown rejected" true (Pool.submit pool ignore = `Rejected)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~workers:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  check_b "still rejects" true (Pool.submit pool ignore = `Rejected)
+
+let test_shutdown_under_load () =
+  (* shut the pool down while a thread is still feeding it: accepted jobs
+     all run (the queue drains before the workers exit), later submits
+     bounce, nothing crashes or hangs *)
+  let pool = Pool.create ~workers:4 ~capacity:1024 () in
+  let accepted = Atomic.make 0 and ran = Atomic.make 0 in
+  let feeder =
+    Thread.create
+      (fun () ->
+        for _ = 1 to 500 do
+          match Pool.submit pool (fun () -> Atomic.incr ran) with
+          | `Accepted -> Atomic.incr accepted
+          | `Rejected -> ()
+        done)
+      ()
+  in
+  Thread.yield ();
+  Pool.shutdown pool;
+  Thread.join feeder;
+  check_i "every accepted job ran" (Atomic.get accepted) (Atomic.get ran)
+
+(* ------------------------------------------------------------------ *)
+(* sequential-vs-parallel equivalence                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Dependency parsing is sequential and by far the most expensive stage on
+   the ASTMatcher queries; parse each domain's query set once and share
+   the graphs across the equivalence tests below. *)
+let parses (dom : Domain.t) =
+  List.map
+    (fun (q : Domain.query) -> (q, Dggt_nlu.Depparser.parse q.Domain.text))
+    dom.Domain.queries
+
+let te_parses = lazy (parses Dggt_domains.Text_editing.domain)
+let am_parses = lazy (parses Dggt_domains.Astmatcher.domain)
+
+let parsed (dom : Domain.t) =
+  if dom.Domain.name = Dggt_domains.Astmatcher.domain.Domain.name then
+    Lazy.force am_parses
+  else Lazy.force te_parses
+
+(* EdgeToPath in isolation: identical epaths (ids, labels, API pair, the
+   full node/edge/api arrays of every path), identical orphan sets,
+   identical counts — over every query of the domain. *)
+let e2p_equiv (dom : Domain.t) () =
+  let g = Lazy.force dom.Domain.graph in
+  let doc = Lazy.force dom.Domain.doc in
+  with_pool (fun pool ->
+      List.iter
+        (fun ((q : Domain.query), parse) ->
+          let dg = Queryprune.prune parse in
+          let w2a = Word2api.build doc dg in
+          let seq = Edge2path.build g dg w2a in
+          let par = Edge2path.build ~pool g dg w2a in
+          check_b (q.Domain.text ^ ": build identical") true
+            (Edge2path.all seq = Edge2path.all par);
+          check_b (q.Domain.text ^ ": orphans identical") true
+            (Edge2path.orphans seq = Edge2path.orphans par);
+          check_i (q.Domain.text ^ ": counts identical")
+            (Edge2path.total_path_count seq)
+            (Edge2path.total_path_count par);
+          let dg_s, anch_s = Edge2path.anchor_orphans g dg w2a seq in
+          let dg_p, anch_p = Edge2path.anchor_orphans ~pool g dg w2a par in
+          check_b (q.Domain.text ^ ": anchored graph identical") true
+            (dg_s = dg_p);
+          check_b (q.Domain.text ^ ": anchored paths identical") true
+            (Edge2path.all anch_s = Edge2path.all anch_p))
+        (parsed dom))
+
+(* Whole-engine determinism: a step budget instead of a wall clock (the
+   EdgeToPath stage never consumes the budget, and steps don't depend on
+   scheduling), then every observable outcome field must match. Parsing
+   is shared via [parsed] and skipped with {!Engine.synthesize_graph};
+   [stride] subsamples the query set where the engine itself is slow. *)
+let engine_equiv algorithm ?(max_steps = 100_000) ?(stride = 1)
+    (dom : Domain.t) () =
+  let base =
+    {
+      (Engine.default algorithm) with
+      Engine.timeout_s = None;
+      max_steps = Some max_steps;
+    }
+  in
+  let cfg_seq, tgt = Domain.configure dom base in
+  with_pool (fun pool ->
+      let cfg_par = { cfg_seq with Engine.par = Some pool } in
+      List.iteri
+        (fun i ((q : Domain.query), dg) ->
+          if i mod stride = 0 then begin
+            let s = Engine.synthesize_graph cfg_seq tgt dg in
+            let p = Engine.synthesize_graph cfg_par tgt dg in
+            Alcotest.(check (option string))
+              (q.Domain.text ^ ": code") s.Engine.code p.Engine.code;
+            Alcotest.(check (option int))
+              (q.Domain.text ^ ": cgt_size") s.Engine.cgt_size p.Engine.cgt_size;
+            check_b (q.Domain.text ^ ": timed_out") s.Engine.timed_out
+              p.Engine.timed_out;
+            Alcotest.(check (option string))
+              (q.Domain.text ^ ": failure") s.Engine.failure p.Engine.failure;
+            check_b (q.Domain.text ^ ": stats") true
+              (s.Engine.stats = p.Engine.stats)
+          end)
+        (parsed dom))
+
+(* ------------------------------------------------------------------ *)
+(* shared state under real parallelism                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_distance_memo_race () =
+  (* the per-source BFS rows are memoized under a mutex; hammer the memo
+     from every worker at once and compare against a sequentially-filled
+     twin graph *)
+  let build () =
+    match
+      Dggt_grammar.Cfg.of_text ~start:Dggt_domains.Te_grammar.start
+        Dggt_domains.Te_grammar.bnf
+    with
+    | Ok cfg -> Ggraph.build cfg
+    | Error _ -> Alcotest.fail "grammar build failed"
+  in
+  let g_par = build () and g_seq = build () in
+  let srcs = List.init (Ggraph.node_count g_par) Fun.id in
+  (* ask for each row several times so hits race the misses *)
+  let queries = srcs @ srcs @ srcs in
+  with_pool (fun pool ->
+      let rows =
+        Pool.map_ordered pool
+          (fun src -> Array.copy (Ggraph.dist_from g_par src))
+          queries
+      in
+      List.iter2
+        (fun src row ->
+          check_b
+            (Printf.sprintf "row %d identical" src)
+            true
+            (row = Ggraph.dist_from g_seq src))
+        queries rows)
+
+let test_cache_race () =
+  (* Cache.find_or_compute computes outside the lock: racing misses on the
+     same key may both compute, but every caller must still get the
+     deterministic value and the entry must land exactly once *)
+  let cache = Dggt_server.Cache.create ~capacity:64 in
+  with_pool (fun pool ->
+      let results =
+        Pool.map_ordered pool
+          (fun i ->
+            let k = i mod 20 in
+            fst
+              (Dggt_server.Cache.find_or_compute cache k (fun () ->
+                   Printf.sprintf "v%d" k)))
+          (List.init 200 Fun.id)
+      in
+      List.iteri
+        (fun i v ->
+          Alcotest.(check string)
+            (Printf.sprintf "key %d" (i mod 20))
+            (Printf.sprintf "v%d" (i mod 20))
+            v)
+        results);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "cached value" (Some (Printf.sprintf "v%d" k))
+        (Dggt_server.Cache.find cache k))
+    (List.init 20 Fun.id)
+
+let test_deadline_expiry_many_workers () =
+  (* all four workers blocked, a batch of already-expired jobs behind
+     them: every one must take the expired path, none may run *)
+  let pool = Dggt_server.Pool.create ~workers:4 ~capacity:32 () in
+  let entered = Atomic.make 0 and release = Atomic.make false in
+  let ran = Atomic.make 0 and expired = Atomic.make 0 in
+  let block () =
+    Atomic.incr entered;
+    while not (Atomic.get release) do
+      Thread.yield ()
+    done
+  in
+  for _ = 1 to 4 do
+    check_b "blocker accepted" true
+      (Dggt_server.Pool.submit pool ~run:block ~expired:ignore () = `Accepted)
+  done;
+  while Atomic.get entered < 4 do
+    Thread.yield ()
+  done;
+  let past = Unix.gettimeofday () -. 1.0 in
+  for _ = 1 to 8 do
+    check_b "expired job accepted" true
+      (Dggt_server.Pool.submit pool ~deadline:past
+         ~run:(fun () -> Atomic.incr ran)
+         ~expired:(fun () -> Atomic.incr expired)
+         ()
+      = `Accepted)
+  done;
+  Atomic.set release true;
+  Dggt_server.Pool.shutdown pool;
+  check_i "all expired" 8 (Atomic.get expired);
+  check_i "none ran" 0 (Atomic.get ran)
+
+let suite =
+  [
+    ("map_ordered: input order", `Quick, test_map_order);
+    ("map_ordered: empty input", `Quick, test_map_empty);
+    ("map_ordered: earliest exception wins", `Quick, test_map_exception);
+    ("map_ordered: nesting does not deadlock", `Quick, test_map_nested);
+    ("map_ordered: total on a stopped pool", `Quick, test_map_after_shutdown);
+    ("map_ordered: 1000 tasks", `Quick, test_map_large);
+    ("submit: capacity bound and rejection", `Quick, test_submit_capacity);
+    ("shutdown: idempotent", `Quick, test_shutdown_idempotent);
+    ("shutdown: under concurrent submits", `Quick, test_shutdown_under_load);
+    ( "edge2path: par = seq, textediting query set",
+      `Quick,
+      e2p_equiv Dggt_domains.Text_editing.domain );
+    ( "edge2path: par = seq, astmatcher query set",
+      `Quick,
+      e2p_equiv Dggt_domains.Astmatcher.domain );
+    ( "engine: par = seq, DGGT textediting",
+      `Quick,
+      engine_equiv Engine.Dggt_alg Dggt_domains.Text_editing.domain );
+    ( "engine: par = seq, DGGT astmatcher",
+      `Slow,
+      engine_equiv Engine.Dggt_alg Dggt_domains.Astmatcher.domain );
+    ( "engine: par = seq, HISyn textediting",
+      `Quick,
+      engine_equiv Engine.Hisyn_alg ~max_steps:10_000 ~stride:4
+        Dggt_domains.Text_editing.domain );
+    ("distance memo: races agree with sequential", `Quick, test_distance_memo_race);
+    ("cache: racing find_or_compute", `Quick, test_cache_race);
+    ( "server pool: deadline expiry with 4 workers",
+      `Quick,
+      test_deadline_expiry_many_workers );
+  ]

@@ -159,11 +159,12 @@ let build_mix () =
   List.map
     (fun (name, d, text) ->
       let alg = if !engine = "hisyn" then Engine.Hisyn_alg else Engine.Dggt_alg in
-      let cfg, tgt =
-        Dggt_domains.Domain.configure d
-          { (Engine.default alg) with Engine.timeout_s = Some !timeout_s }
+      let o =
+        Engine.run
+          (Dggt_domains.Domain.configure d
+             { (Engine.default alg) with Engine.timeout_s = Some !timeout_s })
+          text
       in
-      let o = Engine.synthesize cfg tgt text in
       { domain = name; text; expected_code = o.Engine.code })
     raw
 
@@ -282,6 +283,7 @@ let () =
             cache_size = !cache_size;
             default_timeout_s = !timeout_s;
             trace_buffer = Serve.default_params.Serve.trace_buffer;
+            packs_dir = None;
           }
       in
       port := Serve.port s;

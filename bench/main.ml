@@ -290,11 +290,11 @@ let run_parallel ~timeout_s () =
 (* ------------------------------------------------------------------ *)
 
 let synth_once (dom : Domain.t) alg text =
-  let cfg, tgt =
+  let ses =
     Domain.configure dom
       { (Engine.default alg) with Engine.timeout_s = Some 20.0 }
   in
-  fun () -> ignore (Engine.synthesize cfg tgt text)
+  fun () -> ignore (Engine.run ses text)
 
 let micro_tests () =
   let te = Text_editing.domain and am = Astmatcher.domain in

@@ -5,26 +5,24 @@
      dggt explain -d textediting "insert \"-\" at the start of each line"
      dggt eval   -d astmatcher --timeout 5 --domains 4
      dggt serve  --port 8080 --workers 4 --domains 4 --queue 64 --cache-size 512
+     dggt pack check examples/packs/textediting
+     dggt pack dump -d textediting /tmp/te-pack
 
    `synth` prints the codelet; `explain` dumps every pipeline stage
    (dependency parse, pruned graph, WordToAPI map, orphans, statistics);
    `eval` sweeps a benchmark domain and reports accuracy/timeouts; `serve`
-   runs the long-lived HTTP synthesis service (see lib/server/). *)
+   runs the long-lived HTTP synthesis service (see lib/server/); `pack`
+   validates and exports on-disk domain packs (see lib/pack/).
+
+   Every synthesis command accepts --packs DIR: its subdirectories are
+   loaded as domain packs next to the built-ins, and -d resolves against
+   the combined registry (names and aliases, case-insensitive). *)
 
 open Cmdliner
 open Dggt_core
 open Dggt_domains
 module Nlu = Dggt_nlu
-
-let domain_of_string = function
-  | "textediting" | "te" -> Ok Text_editing.domain
-  | "astmatcher" | "am" -> Ok Astmatcher.domain
-  | s -> Error (`Msg (Printf.sprintf "unknown domain %S (textediting|astmatcher)" s))
-
-let domain_conv =
-  Arg.conv
-    ( domain_of_string,
-      fun fmt (d : Domain.t) -> Format.pp_print_string fmt d.Domain.name )
+module Registry = Dggt_pack.Domain_registry
 
 let algorithm_conv =
   Arg.conv
@@ -38,9 +36,20 @@ let algorithm_conv =
 
 let domain_arg =
   Arg.(
+    value & opt string "textediting"
+    & info [ "d"; "domain" ] ~docv:"DOMAIN"
+        ~doc:
+          "Target domain, by name or alias (built-ins: textediting/te, \
+           astmatcher/am; more via --packs).")
+
+let packs_arg =
+  Arg.(
     value
-    & opt domain_conv Text_editing.domain
-    & info [ "d"; "domain" ] ~docv:"DOMAIN" ~doc:"Target domain (textediting|astmatcher).")
+    & opt (some dir) None
+    & info [ "packs" ] ~docv:"DIR"
+        ~doc:
+          "Load every subdirectory of $(docv) that contains a domain.pack \
+           as a domain pack, alongside the built-ins.")
 
 let engine_arg =
   Arg.(
@@ -64,6 +73,36 @@ let domains_arg =
           "Parallel EdgeToPath search domains (1 = sequential). The \
            synthesized codelet is byte-identical at every setting.")
 
+(* built-ins plus --packs, or the load error's file:line diagnostic *)
+let registry_of packs =
+  let reg = Registry.create () in
+  match packs with
+  | None -> Ok reg
+  | Some dir -> (
+      match Registry.load_dir reg dir with
+      | Ok _ -> Ok reg
+      | Error e -> Error (Dggt_pack.Err.to_string e))
+
+let resolve_domain reg name =
+  match Registry.find reg name with
+  | Some d -> Ok d
+  | None ->
+      Error
+        (Printf.sprintf "unknown domain %S (known: %s)" name
+           (String.concat ", "
+              (List.map
+                 (fun (d : Domain.t) -> d.Domain.name)
+                 (Registry.domains reg))))
+
+(* resolve -d through the registry and hand the Domain.t to [f] *)
+let with_domain packs name f =
+  match registry_of packs with
+  | Error msg -> `Error (false, msg)
+  | Ok reg -> (
+      match resolve_domain reg name with
+      | Error msg -> `Error (false, msg)
+      | Ok dom -> f dom)
+
 (* spin up the EdgeToPath fan-out pool for the command's lifetime; 1 =
    sequential, no pool *)
 let with_pool domains f =
@@ -81,40 +120,41 @@ let config ?(par = None) dom alg timeout =
 (* --- synth --------------------------------------------------------- *)
 
 let synth_cmd =
-  let run dom alg timeout domains words =
-    let query = String.concat " " words in
-    with_pool domains (fun par ->
-        let cfg, tgt = config ~par dom alg timeout in
-        let o = Engine.synthesize cfg tgt query in
-        match o.Engine.code with
-        | Some code ->
-            Format.printf "%s@." code;
-            Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
-              (Option.value o.Engine.cgt_size ~default:0);
-            `Ok ()
-        | None ->
-            Format.eprintf "no codelet: %s@."
-              (Option.value o.Engine.failure ~default:"unknown failure");
-            `Error (false, "synthesis failed"))
+  let run dname packs alg timeout domains words =
+    with_domain packs dname (fun dom ->
+        let query = String.concat " " words in
+        with_pool domains (fun par ->
+            let o = Engine.run (config ~par dom alg timeout) query in
+            match o.Engine.code with
+            | Some code ->
+                Format.printf "%s@." code;
+                Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
+                  (Option.value o.Engine.cgt_size ~default:0);
+                `Ok ()
+            | None ->
+                Format.eprintf "no codelet: %s@."
+                  (Option.value o.Engine.failure ~default:"unknown failure");
+                `Error (false, "synthesis failed")))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a codelet from a natural-language query.")
     Term.(
       ret
-        (const run $ domain_arg $ engine_arg $ timeout_arg $ domains_arg
-       $ query_arg))
+        (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
+       $ domains_arg $ query_arg))
 
 (* --- explain ------------------------------------------------------- *)
 
 let explain_cmd =
-  let run dom alg timeout words =
-    let query = String.concat " " words in
-    let o =
-      Dggt_eval.Explain.run Format.std_formatter ~timeout_s:timeout
-        ~algorithm:alg dom query
-    in
-    if o.Engine.code <> None then `Ok ()
-    else `Error (false, "synthesis failed")
+  let run dname packs alg timeout words =
+    with_domain packs dname (fun dom ->
+        let query = String.concat " " words in
+        let o =
+          Dggt_eval.Explain.run Format.std_formatter ~timeout_s:timeout
+            ~algorithm:alg dom query
+        in
+        if o.Engine.code <> None then `Ok ()
+        else `Error (false, "synthesis failed"))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -122,33 +162,40 @@ let explain_cmd =
          "Trace one query through the six-step pipeline and narrate every \
           stage's decisions (candidate APIs, path counts, pruning, \
           relocation, DGG updates).")
-    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg $ query_arg))
+    Term.(
+      ret
+        (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
+       $ query_arg))
 
 (* --- eval ---------------------------------------------------------- *)
 
 let eval_cmd =
-  let run dom alg timeout domains =
-    with_pool domains (fun par ->
-        let r =
-          Dggt_eval.Runner.run_domain ~timeout_s:timeout
-            ~tweak:(fun c -> { c with Engine.par })
-            ~progress:(fun i n ->
-              if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
-            dom alg
-        in
-        Format.printf "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
-          r.Dggt_eval.Runner.domain_name
-          (match alg with
-          | Engine.Dggt_alg -> "DGGT"
-          | Engine.Hisyn_alg -> "HISyn")
-          (Dggt_eval.Runner.accuracy r)
-          (Dggt_eval.Runner.timeouts r)
-          (Dggt_eval.Runner.total_time r);
-        `Ok ())
+  let run dname packs alg timeout domains =
+    with_domain packs dname (fun dom ->
+        with_pool domains (fun par ->
+            let r =
+              Dggt_eval.Runner.run_domain ~timeout_s:timeout
+                ~tweak:(fun c -> { c with Engine.par })
+                ~progress:(fun i n ->
+                  if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
+                dom alg
+            in
+            Format.printf "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
+              r.Dggt_eval.Runner.domain_name
+              (match alg with
+              | Engine.Dggt_alg -> "DGGT"
+              | Engine.Hisyn_alg -> "HISyn")
+              (Dggt_eval.Runner.accuracy r)
+              (Dggt_eval.Runner.timeouts r)
+              (Dggt_eval.Runner.total_time r);
+            `Ok ()))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run a benchmark domain's full query set.")
-    Term.(ret (const run $ domain_arg $ engine_arg $ timeout_arg $ domains_arg))
+    Term.(
+      ret
+        (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
+       $ domains_arg))
 
 (* --- serve --------------------------------------------------------- *)
 
@@ -200,7 +247,8 @@ let serve_cmd =
             "Recent request traces retained for GET /debug/trace (0 \
              disables retention).")
   in
-  let run port addr workers domains queue cache_size timeout trace_buffer =
+  let run port addr workers domains queue cache_size timeout trace_buffer packs
+      =
     Serve.run
       {
         Serve.addr;
@@ -211,6 +259,7 @@ let serve_cmd =
         cache_size;
         default_timeout_s = timeout;
         trace_buffer;
+        packs_dir = packs;
       };
     `Ok ()
   in
@@ -218,16 +267,99 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the concurrent HTTP synthesis service (POST /synthesize, POST \
-          /rank, GET /domains, GET /metrics, GET /healthz, GET \
-          /debug/trace).")
+          /rank, POST /reload, GET /domains, GET /version, GET /metrics, \
+          GET /healthz, GET /debug/trace).")
     Term.(
       ret
         (const run $ port_arg $ addr_arg $ workers_arg $ domains_arg
-       $ queue_arg $ cache_arg $ serve_timeout_arg $ trace_buffer_arg))
+       $ queue_arg $ cache_arg $ serve_timeout_arg $ trace_buffer_arg
+       $ packs_arg))
+
+(* --- pack ---------------------------------------------------------- *)
+
+let pack_check_cmd =
+  let dirs_arg =
+    Arg.(
+      non_empty & pos_all dir []
+      & info [] ~docv:"PACKDIR" ~doc:"Domain pack directories to validate.")
+  in
+  let run dirs =
+    let failed = ref false in
+    let problem fmt =
+      Printf.ksprintf
+        (fun msg ->
+          failed := true;
+          Printf.eprintf "%s\n" msg)
+        fmt
+    in
+    List.iter
+      (fun dir ->
+        match Dggt_pack.Loader.load dir with
+        | Error e -> problem "%s" (Dggt_pack.Err.to_string e)
+        | Ok loaded -> (
+            match Dggt_pack.Check.run loaded with
+            | [] ->
+                let d = loaded.Dggt_pack.Loader.domain in
+                Printf.printf "%s: ok — %s (%d APIs, %d queries)\n" dir
+                  d.Domain.name (Domain.api_count d) (Domain.query_count d)
+            | errs ->
+                List.iter
+                  (fun e -> problem "%s" (Dggt_pack.Err.to_string e))
+                  errs))
+      dirs;
+    if !failed then `Error (false, "pack check failed") else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate domain packs: load each directory, then check that every \
+          documented API is reachable in the grammar graph, every \
+          ground-truth codelet parses and uses documented APIs, and the \
+          search limits are sane. Prints file:line for every problem.")
+    Term.(ret (const run $ dirs_arg))
+
+let pack_dump_cmd =
+  let outdir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OUTDIR" ~doc:"Directory to write the pack into.")
+  in
+  let run dname packs outdir =
+    match registry_of packs with
+    | Error msg -> `Error (false, msg)
+    | Ok reg -> (
+        match Registry.find_entry reg dname with
+        | None -> (
+            match resolve_domain reg dname with
+            | Error msg -> `Error (false, msg)
+            | Ok _ -> assert false)
+        | Some e ->
+            Dggt_pack.Dump.dump ~dir:outdir ~aliases:e.Registry.aliases
+              e.Registry.domain;
+            Printf.printf "wrote %s (%s)\n" outdir
+              e.Registry.domain.Domain.name;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Export a domain as an on-disk pack (domain.pack, grammar.bnf, \
+          api.doc, queries.tsv). Loading the result back synthesizes \
+          byte-identically to the original.")
+    Term.(ret (const run $ domain_arg $ packs_arg $ outdir_arg))
+
+let pack_cmd =
+  Cmd.group
+    (Cmd.info "pack"
+       ~doc:"Validate (check) and export (dump) on-disk domain packs.")
+    [ pack_check_cmd; pack_dump_cmd ]
 
 let () =
   let info =
     Cmd.info "dggt" ~version:"1.0.0"
       ~doc:"Near real-time NLU-driven natural-language programming (DGGT)."
   in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; explain_cmd; eval_cmd; serve_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ synth_cmd; explain_cmd; eval_cmd; serve_cmd; pack_cmd ]))

@@ -22,7 +22,7 @@ let demo_queries =
 
 let () =
   let dom = Astmatcher.domain in
-  let engine, tgt = Domain.configure dom (Engine.default Engine.Dggt_alg) in
+  let ses = Domain.configure dom (Engine.default Engine.Dggt_alg) in
   let queries =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> [ String.concat " " args ]
@@ -32,7 +32,7 @@ let () =
     (Domain.api_count dom);
   List.iter
     (fun query ->
-      let o = Engine.synthesize engine tgt query in
+      let o = Engine.run ses query in
       Format.printf "> %s@." query;
       match o.Engine.code with
       | Some code -> Format.printf "  clang-query> match %s@.  (%.1f ms)@.@." code (o.Engine.time_s *. 1000.)

@@ -24,10 +24,9 @@ let () =
   List.iter
     (fun ((dom : Domain.t), q) ->
       Format.printf "@.[%s] %s@." dom.Domain.name q;
-      let dcfg, tgt = engine dom Engine.Dggt_alg in
-      let hcfg, _ = engine dom Engine.Hisyn_alg in
-      let d = Engine.synthesize dcfg tgt q in
-      let h = Engine.synthesize hcfg tgt q in
+      let dses = engine dom Engine.Dggt_alg in
+      let d = Engine.run dses q in
+      let h = Engine.run (engine dom Engine.Hisyn_alg) q in
       Format.printf "  hint: %s@." (Option.value d.Engine.code ~default:"<none>");
       Format.printf "  DGGT : %8.1f ms%s@." (d.Engine.time_s *. 1000.)
         (if d.Engine.timed_out then " TIMEOUT" else "");
@@ -45,7 +44,7 @@ let () =
         (h.Engine.time_s /. Float.max d.Engine.time_s 1e-6);
       (* the ranked-hints mode of paper SVII-B.4: alternative codelets for
          the hint panel, read off the dynamic grammar graph's root nodes *)
-      let hints = Engine.synthesize_ranked ~k:3 dcfg tgt q in
+      let hints = Engine.run_ranked ~k:3 dses q in
       List.iteri
         (fun i (_, code) -> Format.printf "  hint %d: %s@." (i + 1) code)
         hints)

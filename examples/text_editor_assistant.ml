@@ -24,7 +24,7 @@ let demo_commands =
 
 let () =
   let dom = Text_editing.domain in
-  let engine, tgt = Domain.configure dom (Engine.default Engine.Dggt_alg) in
+  let ses = Domain.configure dom (Engine.default Engine.Dggt_alg) in
   let commands =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> [ String.concat " " args ]
@@ -34,7 +34,7 @@ let () =
     (Domain.api_count dom);
   List.iter
     (fun command ->
-      let o = Engine.synthesize engine tgt command in
+      let o = Engine.run ses command in
       Format.printf "> %s@." command;
       (match (o.Engine.code, o.Engine.failure) with
       | Some code, _ ->

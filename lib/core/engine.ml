@@ -506,7 +506,13 @@ let parse_query cfg query =
 
 let synthesize cfg tgt query = synthesize_graph cfg tgt (parse_query cfg query)
 
-let synthesize_ranked ?(k = 5) cfg tgt query =
+type session = { cfg : config; target : target }
+
+let run s query = synthesize s.cfg s.target query
+let run_graph s dg = synthesize_graph s.cfg s.target dg
+let with_cfg f s = { s with cfg = f s.cfg }
+
+let synthesize_ranked_cfg ?(k = 5) cfg tgt query =
   let budget = make_budget cfg in
   let stats = Stats.create () in
   try
@@ -544,3 +550,6 @@ let synthesize_ranked ?(k = 5) cfg tgt query =
             | Error _ -> None)
           ranked)
   with Budget.Exhausted -> []
+
+let synthesize_ranked ?k cfg tgt query = synthesize_ranked_cfg ?k cfg tgt query
+let run_ranked ?k s query = synthesize_ranked_cfg ?k s.cfg s.target query

@@ -60,7 +60,7 @@ type target = {
 }
 (** What to synthesize against. Build one per domain (grammar and document
     are immutable and shared freely across threads) and reuse it for every
-    query — {!Dggt_domains.Domain.configure} returns a ready pair. *)
+    query — {!Dggt_domains.Domain.configure} returns a ready {!session}. *)
 
 val target : ?caches:lookups -> Dggt_grammar.Ggraph.t -> Apidoc.t -> target
 (** [caches] defaults to {!no_lookups}. *)
@@ -117,6 +117,19 @@ type outcome = {
 val synthesize : config -> target -> string -> outcome
 (** Never raises. *)
 
+type session = { cfg : config; target : target }
+(** A ready-to-run pairing of the {e how} ({!config}) with the {e what}
+    ({!target}). {!Dggt_domains.Domain.configure} returns one; callers that
+    need a variant configuration (a trace sink, a different timeout) update
+    [cfg] with {!with_cfg} — the target, holding the forced grammar and the
+    shared caches, is reused as is. *)
+
+val with_cfg : (config -> config) -> session -> session
+(** [with_cfg f s] is [{ s with cfg = f s.cfg }]. *)
+
+val run : session -> string -> outcome
+(** [run s q] is [synthesize s.cfg s.target q]. Never raises. *)
+
 val absorb_modifiers :
   Apidoc.t -> Dggt_nlu.Depgraph.t -> Word2api.t -> Dggt_nlu.Depgraph.t * Word2api.t
 (** The modifier-absorption step, exposed for tests and debugging tools:
@@ -130,10 +143,16 @@ val synthesize_ranked :
     the query, best first (default [k = 5]). Always uses the DGGT engine;
     the head of the list is {!synthesize}'s codelet. Timeouts yield []. *)
 
+val run_ranked : ?k:int -> session -> string -> (Tree2expr.expr * string) list
+(** {!synthesize_ranked} over a {!session}. *)
+
 val synthesize_graph : config -> target -> Dggt_nlu.Depgraph.t -> outcome
 (** Skip parsing: synthesize from a pre-built dependency graph (used by
     tests to pin parses, and by the property suite to fuzz graph shapes).
     No DependencyParse span is emitted when tracing. *)
+
+val run_graph : session -> Dggt_nlu.Depgraph.t -> outcome
+(** {!synthesize_graph} over a {!session}. *)
 
 val stage_names : string list
 (** The span names of the six pipeline stages, in pipeline order:

@@ -15,16 +15,19 @@ type t = {
 }
 
 let configure ?caches t (cfg : Dggt_core.Engine.config) =
-  ( {
-      cfg with
-      Dggt_core.Engine.defaults = t.defaults;
-      unit_filter = t.unit_filter;
-      path_limits =
-        Option.value t.path_limits ~default:cfg.Dggt_core.Engine.path_limits;
-      stop_verbs = t.stop_verbs;
-      top_k = Option.value t.top_k ~default:cfg.Dggt_core.Engine.top_k;
-    },
-    Dggt_core.Engine.target ?caches (Lazy.force t.graph) (Lazy.force t.doc) )
+  {
+    Dggt_core.Engine.cfg =
+      {
+        cfg with
+        Dggt_core.Engine.defaults = t.defaults;
+        unit_filter = t.unit_filter;
+        path_limits =
+          Option.value t.path_limits ~default:cfg.Dggt_core.Engine.path_limits;
+        stop_verbs = t.stop_verbs;
+        top_k = Option.value t.top_k ~default:cfg.Dggt_core.Engine.top_k;
+      };
+    target = Dggt_core.Engine.target ?caches (Lazy.force t.graph) (Lazy.force t.doc);
+  }
 
 let api_count t = Dggt_core.Apidoc.size (Lazy.force t.doc)
 let query_count t = List.length t.queries

@@ -30,11 +30,11 @@ val configure :
   ?caches:Dggt_core.Engine.lookups ->
   t ->
   Dggt_core.Engine.config ->
-  Dggt_core.Engine.config * Dggt_core.Engine.target
+  Dggt_core.Engine.session
 (** Apply the domain's defaults/unit_filter/path_limits to an engine
     configuration, and build the synthesis target (forcing the domain's
     grammar and document; [caches] installs per-stage memoization). The
-    pair feeds {!Dggt_core.Engine.synthesize} directly. *)
+    session feeds {!Dggt_core.Engine.run} directly. *)
 
 val api_count : t -> int
 val query_count : t -> int

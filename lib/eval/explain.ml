@@ -5,7 +5,7 @@ module Trace = Dggt_obs.Trace
 let run fmt ?(timeout_s = 20.0) ?(algorithm = Engine.Dggt_alg) (dom : Domain.t)
     query =
   let sink = Trace.create () in
-  let cfg, tgt =
+  let ses =
     Domain.configure dom
       {
         (Engine.default algorithm) with
@@ -13,7 +13,7 @@ let run fmt ?(timeout_s = 20.0) ?(algorithm = Engine.Dggt_alg) (dom : Domain.t)
         trace = Some sink;
       }
   in
-  let o = Engine.synthesize cfg tgt query in
+  let o = Engine.run ses query in
   let trace = Trace.result sink in
   Format.fprintf fmt "domain: %s (%s engine)@." dom.Domain.name
     (match algorithm with Engine.Dggt_alg -> "dggt" | Engine.Hisyn_alg -> "hisyn");

@@ -87,24 +87,24 @@ let table2 fmt comparisons =
 (* ------------------------------------------------------------------ *)
 
 let run_one (dom : Domain.t) algorithm ~timeout_s (q : Domain.query) =
-  let cfg, tgt =
-    Domain.configure dom
-      { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s }
-  in
-  Engine.synthesize cfg tgt q.Domain.text
+  Engine.run
+    (Domain.configure dom
+       { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s })
+    q.Domain.text
 
 (* Hard-case selection: the combination product the baseline faces, probed
    with a tiny step budget (the product is recorded before enumeration). *)
 let combos_possible dom (q : Domain.query) =
-  let cfg, tgt =
-    Domain.configure dom
-      {
-        (Engine.default Engine.Hisyn_alg) with
-        Engine.timeout_s = None;
-        max_steps = Some 2_000;
-      }
+  let o =
+    Engine.run
+      (Domain.configure dom
+         {
+           (Engine.default Engine.Hisyn_alg) with
+           Engine.timeout_s = None;
+           max_steps = Some 2_000;
+         })
+      q.Domain.text
   in
-  let o = Engine.synthesize cfg tgt q.Domain.text in
   o.Engine.stats.Stats.hisyn_combos_possible
 
 let table3 fmt ?ids (dom : Domain.t) =

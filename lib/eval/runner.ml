@@ -17,11 +17,11 @@ type run = {
 
 let run_domain ?(timeout_s = 20.0) ?(tweak = Fun.id) ?(progress = fun _ _ -> ())
     ?(stage_timing = false) (dom : Domain.t) algorithm =
-  let cfg, tgt =
+  let ses =
     Domain.configure dom
       { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s }
+    |> Engine.with_cfg tweak
   in
-  let cfg = tweak cfg in
   let n = List.length dom.Domain.queries in
   let results =
     List.mapi
@@ -30,7 +30,9 @@ let run_domain ?(timeout_s = 20.0) ?(tweak = Fun.id) ?(progress = fun _ _ -> ())
           if stage_timing then Some (Dggt_obs.Trace.create ()) else None
         in
         let outcome =
-          Engine.synthesize { cfg with Engine.trace = sink } tgt q.Domain.text
+          Engine.run
+            (Engine.with_cfg (fun c -> { c with Engine.trace = sink }) ses)
+            q.Domain.text
         in
         let stage_s =
           match sink with

@@ -1,0 +1,167 @@
+module Domain = Dggt_domains.Domain
+
+type origin = Builtin | Pack of { dir : string; digest : string }
+
+type entry = { domain : Domain.t; aliases : string list; origin : origin }
+
+(* base (built-in/registered) entries and pack entries are kept apart so
+   a pack can shadow a built-in for as long as it is loaded — and the
+   built-in resurfaces when a later load_dir drops the pack *)
+type t = {
+  mu : Mutex.t;
+  mutable base : entry list;
+  mutable packs : entry list;
+  mutable generation : int;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let norm = Dggt_util.Strutil.lowercase
+
+let names_of e = norm e.domain.Domain.name :: List.map norm e.aliases
+
+let default_builtins =
+  [
+    (Dggt_domains.Text_editing.domain, [ "te" ]);
+    (Dggt_domains.Astmatcher.domain, [ "am" ]);
+  ]
+
+(* the lookup view: packs shadow same-named base entries *)
+let visible_unlocked t =
+  let taken = Hashtbl.create 16 in
+  List.iter
+    (fun e -> List.iter (fun n -> Hashtbl.replace taken n ()) (names_of e))
+    t.packs;
+  List.filter
+    (fun e -> not (List.exists (Hashtbl.mem taken) (names_of e)))
+    t.base
+  @ t.packs
+
+(* duplicate names/aliases across [entries]; returns the first clash *)
+let clash entries =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          List.fold_left
+            (fun acc n ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if Hashtbl.mem seen n then Some (n, e)
+                  else begin
+                    Hashtbl.add seen n ();
+                    None
+                  end)
+            None (names_of e))
+    None entries
+
+let create ?(builtins = default_builtins) () =
+  let base =
+    List.map
+      (fun (domain, aliases) -> { domain; aliases; origin = Builtin })
+      builtins
+  in
+  (match clash base with
+  | Some (n, _) -> invalid_arg ("Domain_registry.create: duplicate name " ^ n)
+  | None -> ());
+  { mu = Mutex.create (); base; packs = []; generation = 0 }
+
+let entries t = locked t (fun () -> visible_unlocked t)
+let domains t = List.map (fun e -> e.domain) (entries t)
+let generation t = locked t (fun () -> t.generation)
+
+let find_entry t name =
+  let n = norm name in
+  locked t (fun () ->
+      List.find_opt (fun e -> List.mem n (names_of e)) (visible_unlocked t))
+
+let find t name = Option.map (fun e -> e.domain) (find_entry t name)
+
+let register t ?(aliases = []) ?(origin = Builtin) domain =
+  let e = { domain; aliases; origin } in
+  locked t (fun () ->
+      match clash (visible_unlocked t @ [ e ]) with
+      | Some (n, _) ->
+          Error (Printf.sprintf "domain name %S is already registered" n)
+      | None ->
+          t.base <- t.base @ [ e ];
+          t.generation <- t.generation + 1;
+          Ok ())
+
+let pack_dirs dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun sub ->
+         let p = Filename.concat dir sub in
+         if
+           Sys.is_directory p
+           && Sys.file_exists (Filename.concat p Loader.manifest_name)
+         then Some p
+         else None)
+
+let ( let* ) = Result.bind
+
+let load_dir t dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Err.v dir "no such pack directory")
+  else
+    let* loaded =
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* l = Loader.load d in
+          Ok (l :: acc))
+        (Ok []) (pack_dirs dir)
+      |> Result.map List.rev
+    in
+    let fresh =
+      List.map
+        (fun (l : Loader.loaded) ->
+          {
+            domain = l.Loader.domain;
+            aliases = l.Loader.aliases;
+            origin = Pack { dir = l.Loader.dir; digest = l.Loader.digest };
+          })
+        loaded
+    in
+    (* a pack may shadow a base entry (checked via visibility, not here),
+       but two packs claiming one name is always an error *)
+    match clash fresh with
+    | Some (n, bad) ->
+        let l =
+          List.find
+            (fun (l : Loader.loaded) -> l.Loader.domain == bad.domain)
+            loaded
+        in
+        Error
+          (Err.vf ~line:l.Loader.name_line
+             (Filename.concat l.Loader.dir Loader.manifest_name)
+             "duplicate domain name %S" n)
+    | None ->
+        locked t (fun () ->
+            (* the swap: the new pack set replaces the old in one step;
+               entries already handed out keep working (immutable) *)
+            t.packs <- fresh;
+            t.generation <- t.generation + 1;
+            Ok fresh)
+
+let pack_digest t =
+  let packs =
+    List.filter_map
+      (fun e ->
+        match e.origin with
+        | Pack { digest; _ } -> Some (e.domain.Domain.name, digest)
+        | Builtin -> None)
+      (entries t)
+  in
+  match packs with
+  | [] -> "none"
+  | packs ->
+      List.sort compare packs
+      |> List.map (fun (n, d) -> n ^ ":" ^ d)
+      |> String.concat "\n"
+      |> Digest.string |> Digest.to_hex

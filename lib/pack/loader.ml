@@ -1,0 +1,194 @@
+module Domain = Dggt_domains.Domain
+
+type loaded = {
+  domain : Domain.t;
+  dir : string;
+  aliases : string list;
+  digest : string;
+  name_line : int;
+  doc_entries : Docfile.entry list;
+  query_entries : Queryfile.entry list;
+  manifest : Manifest.t;
+}
+
+let manifest_name = "domain.pack"
+let grammar_name = "grammar.bnf"
+let doc_name = "api.doc"
+let queries_name = "queries.tsv"
+
+let known_keys =
+  [
+    "name"; "description"; "source"; "start"; "alias"; "default";
+    "stop-verbs"; "unit-apis"; "max-nodes"; "max-paths"; "max-steps"; "top-k";
+  ]
+
+let ( let* ) = Result.bind
+
+let require_file path =
+  if Sys.file_exists path && not (Sys.is_directory path) then Ok ()
+  else Error (Err.v path "no such file")
+
+(* positive integer manifest field *)
+let pos_int m key =
+  let* v = Manifest.int_value m key in
+  match v with
+  | Some n when n <= 0 ->
+      let b = Option.get (Manifest.find m key) in
+      Error
+        (Err.vf ~line:b.Manifest.line m.Manifest.file "%s must be positive"
+           key)
+  | v -> Ok v
+
+let parse_defaults m =
+  List.fold_left
+    (fun acc (b : Manifest.binding) ->
+      let* acc = acc in
+      match Dggt_util.Strutil.split_ws b.Manifest.value with
+      | nt :: (_ :: _ as rest) ->
+          Ok ((nt, String.concat " " rest) :: acc)
+      | _ ->
+          Error
+            (Err.v ~line:b.Manifest.line m.Manifest.file
+               "default takes a nonterminal and a codelet, e.g. `default = \
+                pos END()`"))
+    (Ok [])
+    (Manifest.find_all m "default")
+  |> Result.map List.rev
+
+let parse_limits m =
+  let* max_nodes = pos_int m "max-nodes" in
+  let* max_paths = pos_int m "max-paths" in
+  let* max_steps = pos_int m "max-steps" in
+  match (max_nodes, max_paths, max_steps) with
+  | None, None, None -> Ok None
+  | _ ->
+      let d = Dggt_grammar.Gpath.default_limits in
+      Ok
+        (Some
+           {
+             Dggt_grammar.Gpath.max_nodes =
+               Option.value max_nodes
+                 ~default:d.Dggt_grammar.Gpath.max_nodes;
+             max_paths =
+               Option.value max_paths ~default:d.Dggt_grammar.Gpath.max_paths;
+             max_steps =
+               Option.value max_steps ~default:d.Dggt_grammar.Gpath.max_steps;
+           })
+
+let words m key =
+  match Manifest.value m key with
+  | None -> []
+  | Some v -> Dggt_util.Strutil.split_ws v
+
+let digest_files paths =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun p ->
+      match Manifest.read_file p with
+      | Ok text ->
+          Buffer.add_string buf (Filename.basename p);
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf text
+      | Error _ -> ())
+    paths;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let load dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Err.v dir "no such pack directory")
+  else
+    let mpath = Filename.concat dir manifest_name in
+    let gpath = Filename.concat dir grammar_name in
+    let dpath = Filename.concat dir doc_name in
+    let qpath = Filename.concat dir queries_name in
+    let* () = require_file mpath in
+    let* m = Manifest.load mpath in
+    (* typos in keys must not silently drop a setting *)
+    let* () =
+      List.fold_left
+        (fun acc (b : Manifest.binding) ->
+          let* () = acc in
+          if List.mem b.Manifest.key known_keys then Ok ()
+          else
+            Error
+              (Err.vf ~line:b.Manifest.line mpath "unknown key %S (one of: %s)"
+                 b.Manifest.key
+                 (String.concat ", " known_keys)))
+        (Ok ()) m.Manifest.bindings
+    in
+    let* name_b =
+      match Manifest.find m "name" with
+      | Some b when b.Manifest.value <> "" -> Ok b
+      | _ -> Error (Err.v mpath "missing required key `name`")
+    in
+    let* start_b =
+      match Manifest.find m "start" with
+      | Some b when b.Manifest.value <> "" -> Ok b
+      | _ ->
+          Error (Err.v mpath "missing required key `start` (grammar root)")
+    in
+    let* () = require_file gpath in
+    let* gtext = Manifest.read_file gpath in
+    let* cfg =
+      match Dggt_grammar.Cfg.of_text ~start:start_b.Manifest.value gtext with
+      | Ok cfg -> Ok cfg
+      | Error (Dggt_grammar.Cfg.Parse_error e) ->
+          Error (Err.v ~line:e.Dggt_grammar.Bnf.line gpath e.Dggt_grammar.Bnf.message)
+      | Error (Dggt_grammar.Cfg.Undefined_start s) ->
+          Error
+            (Err.vf ~line:start_b.Manifest.line mpath
+               "start symbol %s has no rule in %s" s grammar_name)
+      | Error Dggt_grammar.Cfg.Empty_grammar ->
+          Error (Err.v gpath "grammar has no rules")
+    in
+    let graph = Dggt_grammar.Ggraph.build cfg in
+    let* () = require_file dpath in
+    let* doc_entries = Docfile.load dpath in
+    let doc = Docfile.to_doc doc_entries in
+    let* query_entries =
+      if Sys.file_exists qpath then Queryfile.load qpath else Ok []
+    in
+    let* defaults = parse_defaults m in
+    let* path_limits = parse_limits m in
+    let* top_k = pos_int m "top-k" in
+    let unit_filter =
+      match words m "unit-apis" with
+      | [] -> None
+      | apis ->
+          let set = Hashtbl.create (List.length apis) in
+          List.iter (fun a -> Hashtbl.replace set a ()) apis;
+          Some (fun api -> Hashtbl.mem set api)
+    in
+    let domain =
+      {
+        Domain.name = name_b.Manifest.value;
+        description = Option.value (Manifest.value m "description") ~default:"";
+        source =
+          Option.value (Manifest.value m "source")
+            ~default:(Printf.sprintf "domain pack %s" dir);
+        graph = Lazy.from_val graph;
+        doc = Lazy.from_val doc;
+        queries = List.map (fun (e : Queryfile.entry) -> e.query) query_entries;
+        defaults;
+        unit_filter;
+        path_limits;
+        stop_verbs = words m "stop-verbs";
+        top_k;
+      }
+    in
+    Ok
+      {
+        domain;
+        dir;
+        aliases =
+          List.map (fun (b : Manifest.binding) -> b.Manifest.value)
+            (Manifest.find_all m "alias");
+        digest =
+          digest_files
+            (mpath :: gpath :: dpath
+            :: (if Sys.file_exists qpath then [ qpath ] else []));
+        name_line = name_b.Manifest.line;
+        doc_entries;
+        query_entries;
+        manifest = m;
+      }

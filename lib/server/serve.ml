@@ -2,6 +2,10 @@ open Dggt_core
 module J = Jsonio
 module Trace = Dggt_obs.Trace
 module Ring = Dggt_obs.Ring
+module Registry = Dggt_pack.Domain_registry
+
+(* JSON API version; bump on incompatible response-shape changes *)
+let api_version = 1
 
 type params = {
   addr : string;
@@ -12,6 +16,7 @@ type params = {
   cache_size : int;
   default_timeout_s : float;
   trace_buffer : int;
+  packs_dir : string option;
 }
 
 let default_params =
@@ -24,6 +29,7 @@ let default_params =
     cache_size = 512;
     default_timeout_s = 10.0;
     trace_buffer = 32;
+    packs_dir = None;
   }
 
 let known_domains =
@@ -36,9 +42,15 @@ let find_domain = function
 
 (* per-domain state, everything forced/configured up front so worker
    domains share read-only structures; the target carries the per-stage
-   caches, the configs stay cache-free *)
+   caches, the configs stay cache-free. [gen] is the registry generation
+   the state was built under — it keys every cache entry, so a late write
+   from a request that outlived a reload can never be read back against
+   the reloaded domain of the same name *)
 type dstate = {
   dom : Dggt_domains.Domain.t;
+  aliases : string list;
+  origin : Registry.origin;
+  gen : int;
   target : Engine.target;
   cfg_dggt : Engine.config;
   cfg_hisyn : Engine.config;
@@ -56,19 +68,37 @@ type trecord = {
 
 type t = {
   params : params;
-  pool : Pool.t;
+  pool : Deadline_pool.t;
   par : Dggt_par.Pool.t option;
       (* EdgeToPath fan-out pool, shared by every request worker *)
   metrics : Smetrics.t;
+  registry : Registry.t;
+  build : string; (* git describe at startup, or "unknown" *)
   (* whole-query outcome, plus the ranked alternatives computed with it *)
-  q_cache : (string * string * string * int, Engine.outcome * string list) Cache.t;
-  rank_cache : (string * string * int, string list) Cache.t;
-  word_cache : (string * string * string, Word2api.candidate list) Cache.t;
-  path_cache : (string * string * string, Dggt_grammar.Gpath.t list) Cache.t;
+  q_cache :
+    (int * string * string * string * int, Engine.outcome * string list) Cache.t;
+  rank_cache : (int * string * string * int, string list) Cache.t;
+  word_cache : (int * string * string * string, Word2api.candidate list) Cache.t;
+  path_cache : (int * string * string * string, Dggt_grammar.Gpath.t list) Cache.t;
   traces : trecord Ring.t;
-  dstates : (string * dstate) list;
+  dmu : Mutex.t; (* guards [dstates]; snapshot, never hold across work *)
+  mutable dstates : dstate list;
   mutable http : Httpd.t option;
 }
+
+let dstates t =
+  Mutex.lock t.dmu;
+  let ds = t.dstates in
+  Mutex.unlock t.dmu;
+  ds
+
+let find_dstate t name =
+  let n = Dggt_util.Strutil.lowercase name in
+  List.find_opt
+    (fun ds ->
+      Dggt_util.Strutil.lowercase ds.dom.Dggt_domains.Domain.name = n
+      || List.exists (fun a -> Dggt_util.Strutil.lowercase a = n) ds.aliases)
+    (dstates t)
 
 (* ------------------------------------------------------------------ *)
 (* one-shot result cells (connection thread waits, worker fills)      *)
@@ -126,6 +156,7 @@ let outcome_json ~domain ~engine ~query ~cached ~alternatives
     (o : Engine.outcome) =
   J.Obj
     [
+      ("v", J.Num (float_of_int api_version));
       ("ok", J.Bool (o.Engine.code <> None));
       ("domain", J.Str domain);
       ("engine", J.Str engine);
@@ -199,17 +230,10 @@ let parse_request t (req : Httpd.request) =
           let dname =
             Option.value (J.str_field "domain" body) ~default:"textediting"
           in
-          match
-            List.assoc_opt
-              (match find_domain dname with
-              | Some d -> d.Dggt_domains.Domain.name
-              | None -> dname)
-              t.dstates
-          with
+          match find_dstate t dname with
           | None ->
               Error
-                (Printf.sprintf "unknown domain %S (textediting|astmatcher)"
-                   dname)
+                (Printf.sprintf "unknown domain %S (see GET /domains)" dname)
           | Some ds -> (
               match
                 Option.value (J.str_field "engine" body) ~default:"dggt"
@@ -267,14 +291,15 @@ let via_pool t ~domain ~deadline ~t0 work =
     ivar_fill iv r
   in
   let expired () = ivar_fill iv `Expired in
-  match Pool.submit t.pool ~deadline ~run ~expired () with
+  match Deadline_pool.submit t.pool ~deadline ~run ~expired () with
   | `Rejected ->
       observe t ~domain ~outcome:"rejected" t0;
       respond_json ~headers:[ ("retry-after", "1") ] 503
         (J.Obj
            [
              ("error", J.Str "queue full");
-             ("queue_capacity", J.Num (float_of_int (Pool.capacity t.pool)));
+             ( "queue_capacity",
+               J.Num (float_of_int (Deadline_pool.capacity t.pool)) );
            ])
   | `Accepted -> (
       match ivar_read iv with
@@ -295,7 +320,7 @@ let synthesize_handler t (req : Httpd.request) =
       Httpd.response 400 (error_json msg)
   | Ok p -> (
       let domain = p.ds.dom.Dggt_domains.Domain.name in
-      let key = (domain, p.engine_name, p.query, p.k) in
+      let key = (p.ds.gen, domain, p.engine_name, p.query, p.k) in
       let render ~cached (o, alternatives) =
         respond_json 200
           (outcome_json ~domain ~engine:p.engine_name ~query:p.query ~cached
@@ -353,11 +378,12 @@ let rank_handler t (req : Httpd.request) =
   | Ok p -> (
       let domain = p.ds.dom.Dggt_domains.Domain.name in
       let k = if p.k = 1 then 5 else p.k in
-      let key = (domain, p.query, k) in
+      let key = (p.ds.gen, domain, p.query, k) in
       let render ~cached candidates =
         respond_json 200
           (J.Obj
              [
+               ("v", J.Num (float_of_int api_version));
                ("ok", J.Bool (candidates <> []));
                ("domain", J.Str domain);
                ("query", J.Str p.query);
@@ -393,27 +419,51 @@ let rank_handler t (req : Httpd.request) =
               observe t ~domain ~outcome:(if cs = [] then "failed" else "ok") t0;
               `Ok (render ~cached:false cs)))
 
+let origin_fields = function
+  | Registry.Builtin -> [ ("origin", J.Str "builtin") ]
+  | Registry.Pack { dir; digest } ->
+      [
+        ("origin", J.Str "pack");
+        ("pack_dir", J.Str dir);
+        ("pack_digest", J.Str digest);
+      ]
+
 let domains_handler t =
   respond_json 200
     (J.Obj
        [
+         ("v", J.Num (float_of_int api_version));
          ( "domains",
            J.Arr
              (List.map
-                (fun (_, ds) ->
+                (fun ds ->
                   let d = ds.dom in
                   J.Obj
-                    [
-                      ("name", J.Str d.Dggt_domains.Domain.name);
-                      ("description", J.Str d.Dggt_domains.Domain.description);
-                      ( "apis",
-                        J.Num
-                          (float_of_int (Dggt_domains.Domain.api_count d)) );
-                      ( "queries",
-                        J.Num
-                          (float_of_int (Dggt_domains.Domain.query_count d)) );
-                    ])
-                t.dstates) );
+                    ([
+                       ("name", J.Str d.Dggt_domains.Domain.name);
+                       ( "aliases",
+                         J.Arr (List.map (fun a -> J.Str a) ds.aliases) );
+                       ("description", J.Str d.Dggt_domains.Domain.description);
+                       ( "apis",
+                         J.Num
+                           (float_of_int (Dggt_domains.Domain.api_count d)) );
+                       ( "queries",
+                         J.Num
+                           (float_of_int (Dggt_domains.Domain.query_count d))
+                       );
+                     ]
+                    @ origin_fields ds.origin))
+                (dstates t)) );
+       ])
+
+let version_handler t =
+  respond_json 200
+    (J.Obj
+       [
+         ("v", J.Num (float_of_int api_version));
+         ("build", J.Str t.build);
+         ("generation", J.Num (float_of_int (Registry.generation t.registry)));
+         ("pack_digest", J.Str (Registry.pack_digest t.registry));
        ])
 
 let healthz_handler t =
@@ -421,8 +471,8 @@ let healthz_handler t =
     (J.Obj
        [
          ("status", J.Str "ok");
-         ("workers", J.Num (float_of_int (Pool.workers t.pool)));
-         ("queue_depth", J.Num (float_of_int (Pool.depth t.pool)));
+         ("workers", J.Num (float_of_int (Deadline_pool.workers t.pool)));
+         ("queue_depth", J.Num (float_of_int (Deadline_pool.depth t.pool)));
          ("inflight", J.Num (float_of_int (Smetrics.inflight t.metrics)));
        ])
 
@@ -435,27 +485,12 @@ let debug_trace_handler t =
          ("traces", J.list trecord_json (Ring.snapshot t.traces));
        ])
 
-let handler t (req : Httpd.request) =
-  match (req.Httpd.meth, req.Httpd.path) with
-  | "GET", "/healthz" -> healthz_handler t
-  | "GET", "/metrics" ->
-      Httpd.response ~content_type:"text/plain; version=0.0.4" 200
-        (Smetrics.render t.metrics)
-  | "GET", "/domains" -> domains_handler t
-  | "GET", "/debug/trace" -> debug_trace_handler t
-  | "POST", "/synthesize" -> synthesize_handler t req
-  | "POST", "/rank" -> rank_handler t req
-  | ( _,
-      ( "/healthz" | "/metrics" | "/domains" | "/debug/trace" | "/synthesize"
-      | "/rank" ) ) ->
-      Httpd.response 405 (error_json "method not allowed")
-  | _ -> Httpd.response 404 (error_json "not found")
-
 (* ------------------------------------------------------------------ *)
 (* lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let make_dstate ~word_cache ~path_cache ~par (d : Dggt_domains.Domain.t) =
+let make_dstate ~word_cache ~path_cache ~par ~gen (e : Registry.entry) =
+  let d = e.Registry.domain in
   let name = d.Dggt_domains.Domain.name in
   let lookups =
     {
@@ -464,28 +499,124 @@ let make_dstate ~word_cache ~path_cache ~par (d : Dggt_domains.Domain.t) =
           (fun ~lemma ~pos compute ->
             fst
               (Cache.find_or_compute word_cache
-                 (name, lemma, Dggt_nlu.Pos.to_string pos)
+                 (gen, name, lemma, Dggt_nlu.Pos.to_string pos)
                  compute));
       Engine.edge2path =
         Some
           (fun ~src ~dst compute ->
-            fst (Cache.find_or_compute path_cache (name, src, dst) compute));
+            fst (Cache.find_or_compute path_cache (gen, name, src, dst) compute));
     }
   in
-  let cfg_dggt, target =
+  let s_dggt =
     Dggt_domains.Domain.configure ~caches:lookups d
       { (Engine.default Engine.Dggt_alg) with Engine.par }
   in
-  let cfg_hisyn, _ =
+  let s_hisyn =
     Dggt_domains.Domain.configure d
       { (Engine.default Engine.Hisyn_alg) with Engine.par }
   in
-  { dom = d; target; cfg_dggt; cfg_hisyn }
+  {
+    dom = d;
+    aliases = e.Registry.aliases;
+    origin = e.Registry.origin;
+    gen;
+    target = s_dggt.Engine.target;
+    cfg_dggt = s_dggt.Engine.cfg;
+    cfg_hisyn = s_hisyn.Engine.cfg;
+  }
+
+let build_dstates t =
+  let gen = Registry.generation t.registry in
+  List.map
+    (make_dstate ~word_cache:t.word_cache ~path_cache:t.path_cache
+       ~par:t.par ~gen)
+    (Registry.entries t.registry)
+
+(* POST /reload: re-scan the pack directory, atomically swap the registry
+   and the per-domain states, and drop every cache. In-flight requests
+   keep the dstate they already resolved (immutable), and their late cache
+   writes land under the old generation — harmless to post-reload
+   lookups. A failed load leaves everything exactly as it was. *)
+let reload_handler t =
+  match t.params.packs_dir with
+  | None ->
+      respond_json 400
+        (J.Obj
+           [
+             ( "error",
+               J.Str "server was started without --packs; nothing to reload" );
+           ])
+  | Some dir -> (
+      match Registry.load_dir t.registry dir with
+      | Error e ->
+          respond_json 500
+            (J.Obj
+               [
+                 ("error", J.Str "pack reload failed; registry unchanged");
+                 ("detail", J.Str (Dggt_pack.Err.to_string e));
+               ])
+      | Ok packs ->
+          let fresh = build_dstates t in
+          Mutex.lock t.dmu;
+          t.dstates <- fresh;
+          Mutex.unlock t.dmu;
+          Cache.clear t.q_cache;
+          Cache.clear t.rank_cache;
+          Cache.clear t.word_cache;
+          Cache.clear t.path_cache;
+          respond_json 200
+            (J.Obj
+               [
+                 ("v", J.Num (float_of_int api_version));
+                 ("ok", J.Bool true);
+                 ("packs_loaded", J.Num (float_of_int (List.length packs)));
+                 ( "generation",
+                   J.Num (float_of_int (Registry.generation t.registry)) );
+                 ("pack_digest", J.Str (Registry.pack_digest t.registry));
+                 ( "domains",
+                   J.Arr
+                     (List.map
+                        (fun ds ->
+                          J.Str ds.dom.Dggt_domains.Domain.name)
+                        (dstates t)) );
+               ]))
+
+let handler t (req : Httpd.request) =
+  match (req.Httpd.meth, req.Httpd.path) with
+  | "GET", "/healthz" -> healthz_handler t
+  | "GET", "/metrics" ->
+      Httpd.response ~content_type:"text/plain; version=0.0.4" 200
+        (Smetrics.render t.metrics)
+  | "GET", "/domains" -> domains_handler t
+  | "GET", "/version" -> version_handler t
+  | "GET", "/debug/trace" -> debug_trace_handler t
+  | "POST", "/synthesize" -> synthesize_handler t req
+  | "POST", "/rank" -> rank_handler t req
+  | "POST", "/reload" -> reload_handler t
+  | ( _,
+      ( "/healthz" | "/metrics" | "/domains" | "/version" | "/debug/trace"
+      | "/synthesize" | "/rank" | "/reload" ) ) ->
+      Httpd.response 405 (error_json "method not allowed")
+  | _ -> Httpd.response 404 (error_json "not found")
+
+(* the binary's build identity, asked of git once at startup; servers
+   deployed outside a checkout report "unknown" *)
+let git_describe () =
+  match
+    Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+  with
+  | exception _ -> None
+  | ic -> (
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> (match line with Some "" | None -> None | s -> s)
+      | _ -> None
+      | exception _ -> None)
 
 let create params =
   let metrics = Smetrics.create () in
   let pool =
-    Pool.create
+    Deadline_pool.create
       ?workers:(if params.workers > 0 then Some params.workers else None)
       ~capacity:params.queue_capacity ()
   in
@@ -497,6 +628,13 @@ let create params =
       Some (Dggt_par.Pool.create ~workers:params.domains ())
     else None
   in
+  let registry = Registry.create () in
+  (match params.packs_dir with
+  | None -> ()
+  | Some dir -> (
+      match Registry.load_dir registry dir with
+      | Ok _ -> ()
+      | Error e -> failwith ("dggt serve: " ^ Dggt_pack.Err.to_string e)));
   let stage_cap = max 0 params.cache_size * 4 in
   let word_cache = Cache.create ~capacity:stage_cap in
   let path_cache = Cache.create ~capacity:stage_cap in
@@ -506,21 +644,20 @@ let create params =
       pool;
       par;
       metrics;
+      registry;
+      build = Option.value (git_describe ()) ~default:"unknown";
       q_cache = Cache.create ~capacity:params.cache_size;
       rank_cache = Cache.create ~capacity:params.cache_size;
       word_cache;
       path_cache;
       traces = Ring.create ~capacity:params.trace_buffer;
-      dstates =
-        List.map
-          (fun d ->
-            ( d.Dggt_domains.Domain.name,
-              make_dstate ~word_cache ~path_cache ~par d ))
-          known_domains;
+      dmu = Mutex.create ();
+      dstates = [];
       http = None;
     }
   in
-  Smetrics.set_queue_probe metrics (fun () -> Pool.depth pool);
+  t.dstates <- build_dstates t;
+  Smetrics.set_queue_probe metrics (fun () -> Deadline_pool.depth pool);
   Smetrics.register_cache metrics "query" (fun () -> Cache.counters t.q_cache);
   Smetrics.register_cache metrics "rank" (fun () -> Cache.counters t.rank_cache);
   Smetrics.register_cache metrics "word2api" (fun () ->
@@ -535,6 +672,7 @@ let create params =
 
 let port t = match t.http with Some h -> Httpd.port h | None -> t.params.port
 let metrics t = t.metrics
+let registry t = t.registry
 
 let stop t =
   (match t.http with
@@ -542,12 +680,12 @@ let stop t =
       Httpd.stop h;
       Httpd.wait h
   | None -> ());
-  Pool.shutdown t.pool;
+  Deadline_pool.shutdown t.pool;
   Option.iter Dggt_par.Pool.shutdown t.par
 
 let wait t =
   (match t.http with Some h -> Httpd.wait h | None -> ());
-  Pool.shutdown t.pool;
+  Deadline_pool.shutdown t.pool;
   Option.iter Dggt_par.Pool.shutdown t.par
 
 let run params =
@@ -555,10 +693,20 @@ let run params =
   (match t.http with Some h -> Httpd.handle_signals h | None -> ());
   Printf.printf
     "dggt serve: listening on http://%s:%d (%d workers, %d search domains, \
-     queue %d, cache %d)\n\
+     queue %d, cache %d%s)\n\
      %!"
-    params.addr (port t) (Pool.workers t.pool)
+    params.addr (port t)
+    (Deadline_pool.workers t.pool)
     (max 1 params.domains)
-    (Pool.capacity t.pool) params.cache_size;
+    (Deadline_pool.capacity t.pool)
+    params.cache_size
+    (match params.packs_dir with
+    | Some d ->
+        Printf.sprintf ", packs %s [%d loaded]" d
+          (List.length
+             (List.filter
+                (fun ds -> ds.origin <> Registry.Builtin)
+                (dstates t)))
+    | None -> "");
   wait t;
   Printf.printf "dggt serve: shut down cleanly\n%!"

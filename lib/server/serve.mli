@@ -1,8 +1,10 @@
 (** The serving layer: engine + domains behind an HTTP API.
 
-    Wires together {!Httpd} (connection handling), {!Pool} (bounded queue,
-    worker domains), {!Cache} (whole-query and per-stage LRUs) and
-    {!Smetrics} (observability). Endpoints:
+    Wires together {!Httpd} (connection handling), {!Deadline_pool}
+    (bounded queue, worker domains), {!Cache} (whole-query and per-stage
+    LRUs) and {!Smetrics} (observability). Every JSON response carries
+    [{"v": 1}], the API version; it is bumped on incompatible shape
+    changes. Endpoints:
 
     - [POST /synthesize] — body
       [{"query": s, "domain": s?, "engine": "dggt"|"hisyn"?, "timeout": f?,
@@ -11,7 +13,22 @@
       served from the whole-query cache without touching the pool.
     - [POST /rank] — [{"query": s, "domain": s?, "timeout": f?, "k": n?}];
       ranked candidate codelets (paper §VII-B.4).
-    - [GET /domains] — the available domains with API/query counts.
+    - [GET /domains] — the available domains with aliases, API/query
+      counts and origin ([builtin], or [pack] with its directory and
+      digest).
+    - [GET /version] — the binary's build ([git describe] at startup, or
+      ["unknown"]), the registry generation and the aggregate pack digest;
+      clients poll it to observe hot reloads.
+    - [POST /reload] — re-scan [params.packs_dir] and atomically swap the
+      pack-backed domains ({!Dggt_pack.Domain_registry.load_dir}), then
+      drop every cache. All-or-nothing: a broken pack leaves the registry,
+      the domain states and the caches untouched ([500] with the
+      file:line diagnostic). In-flight requests finish against the domain
+      snapshot they already resolved — the swap only changes what later
+      requests see — and their late cache writes are keyed under the old
+      registry generation, so they can never be served against a reloaded
+      domain of the same name. [400] when the server was started without
+      [--packs].
     - [GET /metrics] — Prometheus text format ({!Smetrics.render}),
       including per-pipeline-stage latency histograms with p50/p90/p99.
     - [GET /healthz] — liveness plus worker/queue numbers.
@@ -31,7 +48,8 @@
     per-stage caches (WordToAPI candidates, EdgeToPath path sets) are
     installed as the [caches] field of each domain's
     {!Dggt_core.Engine.target} and shared across all requests of that
-    domain. *)
+    domain; every cache key includes the registry generation, so a reload
+    invalidates them wholesale. *)
 
 type params = {
   addr : string;
@@ -50,20 +68,32 @@ type params = {
   trace_buffer : int;        (** retained traces for [GET /debug/trace];
                                  <= 0 disables trace retention (stage
                                  metrics still accumulate) *)
+  packs_dir : string option; (** domain-pack directory served alongside the
+                                 built-ins and re-scanned by
+                                 [POST /reload]; [None] = built-ins only *)
 }
 
 val default_params : params
 (** 127.0.0.1:8080, auto workers, sequential search (domains 1), queue 64,
-    cache 512, timeout 10 s, trace buffer 32. *)
+    cache 512, timeout 10 s, trace buffer 32, no packs. *)
+
+val api_version : int
+(** The [v] field of every JSON response; currently [1]. *)
 
 type t
 
 val create : params -> t
-(** Forces both domains' grammars/documents (so worker domains never race
-    a [Lazy.force]), spawns the pool and starts listening. *)
+(** Forces every domain's grammar/document (so worker domains never race
+    a [Lazy.force]), loads [packs_dir] if given (raising [Failure] with
+    the file:line diagnostic when a pack is broken — at startup, unlike
+    [POST /reload], a bad pack is fatal), spawns the pool and starts
+    listening. *)
 
 val port : t -> int
 val metrics : t -> Smetrics.t
+
+val registry : t -> Dggt_pack.Domain_registry.t
+(** The live domain registry (built-ins plus loaded packs). *)
 
 val stop : t -> unit
 (** Orderly shutdown: stop accepting, let in-flight connections finish,
@@ -78,6 +108,8 @@ val run : params -> unit
     listening address, serve until a signal arrives, shut down cleanly. *)
 
 val find_domain : string -> Dggt_domains.Domain.t option
-(** "textediting"/"te" and "astmatcher"/"am". *)
+(** "textediting"/"te" and "astmatcher"/"am" — the compiled-in domains
+    only; pack-aware resolution goes through
+    {!Dggt_pack.Domain_registry.find}. *)
 
 val known_domains : Dggt_domains.Domain.t list

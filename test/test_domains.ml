@@ -14,11 +14,10 @@ let te = Text_editing.domain
 let am = Astmatcher.domain
 
 let synth dom alg q =
-  let cfg, tgt =
-    Domain.configure dom
-      { (Engine.default alg) with Engine.timeout_s = Some 10.0 }
-  in
-  Engine.synthesize cfg tgt q
+  Engine.run
+    (Domain.configure dom
+       { (Engine.default alg) with Engine.timeout_s = Some 10.0 })
+    q
 
 (* ------------------------------------------------------------------ *)
 (* Structural well-formedness                                         *)

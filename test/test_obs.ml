@@ -139,15 +139,17 @@ let test_ring_disabled () =
 let test_traced_equals_untraced () =
   (* tracing observes; it must not change what the engine produces *)
   let dom = Dggt_domains.Text_editing.domain in
-  let cfg, tgt =
+  let ses =
     Dggt_domains.Domain.configure dom
       { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 10.0 }
   in
   let q = "insert \"-\" at the start of each line" in
-  let plain = Engine.synthesize cfg tgt q in
+  let plain = Engine.run ses q in
   let sink = Trace.create () in
   let traced =
-    Engine.synthesize { cfg with Engine.trace = Some sink } tgt q
+    Engine.run
+      (Engine.with_cfg (fun c -> { c with Engine.trace = Some sink }) ses)
+      q
   in
   check_b "same code" true (plain.Engine.code = traced.Engine.code);
   check_b "same cgt size" true (plain.Engine.cgt_size = traced.Engine.cgt_size);

@@ -190,14 +190,16 @@ let engine_equiv algorithm ?(max_steps = 100_000) ?(stride = 1)
       max_steps = Some max_steps;
     }
   in
-  let cfg_seq, tgt = Domain.configure dom base in
+  let ses_seq = Domain.configure dom base in
   with_pool (fun pool ->
-      let cfg_par = { cfg_seq with Engine.par = Some pool } in
+      let ses_par =
+        Engine.with_cfg (fun c -> { c with Engine.par = Some pool }) ses_seq
+      in
       List.iteri
         (fun i ((q : Domain.query), dg) ->
           if i mod stride = 0 then begin
-            let s = Engine.synthesize_graph cfg_seq tgt dg in
-            let p = Engine.synthesize_graph cfg_par tgt dg in
+            let s = Engine.run_graph ses_seq dg in
+            let p = Engine.run_graph ses_par dg in
             Alcotest.(check (option string))
               (q.Domain.text ^ ": code") s.Engine.code p.Engine.code;
             Alcotest.(check (option int))
@@ -277,7 +279,7 @@ let test_cache_race () =
 let test_deadline_expiry_many_workers () =
   (* all four workers blocked, a batch of already-expired jobs behind
      them: every one must take the expired path, none may run *)
-  let pool = Dggt_server.Pool.create ~workers:4 ~capacity:32 () in
+  let pool = Dggt_server.Deadline_pool.create ~workers:4 ~capacity:32 () in
   let entered = Atomic.make 0 and release = Atomic.make false in
   let ran = Atomic.make 0 and expired = Atomic.make 0 in
   let block () =
@@ -288,7 +290,7 @@ let test_deadline_expiry_many_workers () =
   in
   for _ = 1 to 4 do
     check_b "blocker accepted" true
-      (Dggt_server.Pool.submit pool ~run:block ~expired:ignore () = `Accepted)
+      (Dggt_server.Deadline_pool.submit pool ~run:block ~expired:ignore () = `Accepted)
   done;
   while Atomic.get entered < 4 do
     Thread.yield ()
@@ -296,14 +298,14 @@ let test_deadline_expiry_many_workers () =
   let past = Unix.gettimeofday () -. 1.0 in
   for _ = 1 to 8 do
     check_b "expired job accepted" true
-      (Dggt_server.Pool.submit pool ~deadline:past
+      (Dggt_server.Deadline_pool.submit pool ~deadline:past
          ~run:(fun () -> Atomic.incr ran)
          ~expired:(fun () -> Atomic.incr expired)
          ()
       = `Accepted)
   done;
   Atomic.set release true;
-  Dggt_server.Pool.shutdown pool;
+  Dggt_server.Deadline_pool.shutdown pool;
   check_i "all expired" 8 (Atomic.get expired);
   check_i "none ran" 0 (Atomic.get ran)
 

@@ -194,12 +194,12 @@ let prop_engine_deterministic =
   QCheck.Test.make ~name:"engine is deterministic" ~count:40
     (QCheck.make te_query_gen ~print:Fun.id) (fun q ->
       let dom = Dggt_domains.Text_editing.domain in
-      let cfg, tgt =
+      let ses =
         Dggt_domains.Domain.configure dom
           { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 5.0 }
       in
-      let a = Engine.synthesize cfg tgt q in
-      let b = Engine.synthesize cfg tgt q in
+      let a = Engine.run ses q in
+      let b = Engine.run ses q in
       a.Engine.code = b.Engine.code)
 
 (* Tree2expr parses whatever it prints (beyond the unit cases). *)

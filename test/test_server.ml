@@ -152,42 +152,42 @@ let gate_open g =
   Mutex.unlock g.mu
 
 let test_pool_bounded_queue () =
-  let p = Pool.create ~workers:1 ~capacity:2 () in
+  let p = Deadline_pool.create ~workers:1 ~capacity:2 () in
   let g = gate () in
   let ran = Atomic.make 0 in
   let nop = (fun () -> Atomic.incr ran) in
   let never = (fun () -> Alcotest.fail "unexpected expiry") in
   (* occupy the single worker, then wait until it has left the queue *)
   check_b "blocker accepted" true
-    (Pool.submit p ~run:(fun () -> gate_block g) ~expired:never () = `Accepted);
+    (Deadline_pool.submit p ~run:(fun () -> gate_block g) ~expired:never () = `Accepted);
   gate_await_entered g;
   (* the queue holds exactly [capacity] waiting jobs *)
-  check_b "1st queued" true (Pool.submit p ~run:nop ~expired:never () = `Accepted);
-  check_b "2nd queued" true (Pool.submit p ~run:nop ~expired:never () = `Accepted);
-  check_i "depth" 2 (Pool.depth p);
-  check_b "3rd rejected" true (Pool.submit p ~run:nop ~expired:never () = `Rejected);
+  check_b "1st queued" true (Deadline_pool.submit p ~run:nop ~expired:never () = `Accepted);
+  check_b "2nd queued" true (Deadline_pool.submit p ~run:nop ~expired:never () = `Accepted);
+  check_i "depth" 2 (Deadline_pool.depth p);
+  check_b "3rd rejected" true (Deadline_pool.submit p ~run:nop ~expired:never () = `Rejected);
   gate_open g;
-  Pool.shutdown p;
+  Deadline_pool.shutdown p;
   check_i "queued jobs ran" 2 (Atomic.get ran);
   (* after shutdown everything is rejected *)
   check_b "post-shutdown rejected" true
-    (Pool.submit p ~run:nop ~expired:never () = `Rejected)
+    (Deadline_pool.submit p ~run:nop ~expired:never () = `Rejected)
 
 let test_pool_deadline () =
-  let p = Pool.create ~workers:1 ~capacity:8 () in
+  let p = Deadline_pool.create ~workers:1 ~capacity:8 () in
   let g = gate () in
   let ran = Atomic.make false and expired = Atomic.make false in
-  ignore (Pool.submit p ~run:(fun () -> gate_block g)
+  ignore (Deadline_pool.submit p ~run:(fun () -> gate_block g)
             ~expired:(fun () -> ()) ());
   gate_await_entered g;
   (* this job's deadline passes while it waits behind the blocker *)
   check_b "accepted" true
-    (Pool.submit p ~deadline:(Unix.gettimeofday () -. 1.0)
+    (Deadline_pool.submit p ~deadline:(Unix.gettimeofday () -. 1.0)
        ~run:(fun () -> Atomic.set ran true)
        ~expired:(fun () -> Atomic.set expired true) ()
      = `Accepted);
   gate_open g;
-  Pool.shutdown p;
+  Deadline_pool.shutdown p;
   check_b "expired callback ran" true (Atomic.get expired);
   check_b "job never ran" false (Atomic.get ran)
 
@@ -260,13 +260,12 @@ let test_e2e_synthesize () =
       (* ground truth straight from the engine, same config as the server *)
       let te = Option.get (Serve.find_domain "te") in
       let qtext = "insert \"> \" at the start of each line" in
-      let cfg, tgt =
+      let ses =
         Dggt_domains.Domain.configure te (Engine.default Engine.Dggt_alg)
+        |> Engine.with_cfg (fun c ->
+               { c with Engine.timeout_s = Some Serve.default_params.Serve.default_timeout_s })
       in
-      let cfg =
-        { cfg with Engine.timeout_s = Some Serve.default_params.Serve.default_timeout_s }
-      in
-      let expected = Engine.synthesize cfg tgt qtext in
+      let expected = Engine.run ses qtext in
       let expected_code = Option.get expected.Engine.code in
       (* first request computes *)
       let reqbody =

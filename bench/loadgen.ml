@@ -36,6 +36,7 @@ let host = ref "127.0.0.1"
 let distinct = ref 12
 let engine = ref "dggt"
 let print_metrics = ref false
+let sessions = ref 0
 
 let spec =
   [
@@ -51,6 +52,10 @@ let spec =
     ("--distinct", Arg.Set_int distinct, "distinct queries in the mix (12)");
     ("--engine", Arg.Set_string engine, "dggt|hisyn (dggt)");
     ("--print-metrics", Arg.Set print_metrics, "dump GET /metrics at the end");
+    ( "--sessions",
+      Arg.Set_int sessions,
+      "N session clients replaying edit sequences against POST /session \
+       (replaces the /synthesize workload)" );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -168,6 +173,81 @@ let build_mix () =
       { domain = name; text; expected_code = o.Engine.code })
     raw
 
+(* --- session-mode workload: edit sequences with per-revision baselines *)
+
+(* split on spaces without breaking quoted literals (same rule as `bench
+   incremental`) *)
+let edit_chunks q =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let in_quote = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          Buffer.add_char buf c;
+          in_quote := not !in_quote
+      | (' ' | '\t') when not !in_quote -> flush ()
+      | c -> Buffer.add_char buf c)
+    q;
+  flush ();
+  List.rev !out
+
+type sitem = {
+  s_domain : string;
+  (* (revision text, locally synthesized expected code) in typing order *)
+  s_revisions : (string * string option) list;
+}
+
+let build_session_mix () =
+  let pick (d : Dggt_domains.Domain.t) n =
+    d.Dggt_domains.Domain.queries
+    |> List.filter (fun (q : Dggt_domains.Domain.query) -> not q.hard)
+    |> Dggt_util.Listutil.take n
+    |> List.map (fun (q : Dggt_domains.Domain.query) ->
+           (d, q.Dggt_domains.Domain.text))
+  in
+  let te = Dggt_domains.Text_editing.domain in
+  let am = Dggt_domains.Astmatcher.domain in
+  let n_am = max 1 (!distinct / 3) in
+  let n_te = max 1 (!distinct - n_am) in
+  let raw = pick te n_te @ pick am n_am in
+  Printf.printf "computing per-revision baselines for %d edit sequences...\n%!"
+    (List.length raw);
+  List.map
+    (fun ((d : Dggt_domains.Domain.t), text) ->
+      let alg =
+        if !engine = "hisyn" then Engine.Hisyn_alg else Engine.Dggt_alg
+      in
+      let ses =
+        Dggt_domains.Domain.configure d
+          { (Engine.default alg) with Engine.timeout_s = Some !timeout_s }
+      in
+      let chunks = edit_chunks text in
+      let n = List.length chunks in
+      let prefix k =
+        String.concat " " (List.filteri (fun i _ -> i < k) chunks)
+      in
+      let rec range a b = if a > b then [] else a :: range (a + 1) b in
+      let revisions =
+        List.map (fun k -> prefix k) (range (max 1 (n - 3)) n)
+        @ [ prefix n ^ " ." ]
+      in
+      {
+        s_domain = d.Dggt_domains.Domain.name;
+        s_revisions =
+          List.map
+            (fun r -> (r, (Engine.run ses r).Engine.code))
+            revisions;
+      })
+    raw
+
 (* ------------------------------------------------------------------ *)
 (* shared result tallies                                              *)
 (* ------------------------------------------------------------------ *)
@@ -183,6 +263,8 @@ type tally = {
   mutable errors : int;
   mutable wrong : int;
   mutable indeterminate : int;
+  mutable splices : int;  (* session mode: revisions answered by a splice *)
+  mutable gone : int;     (* session mode: 410s (expired/reload-stranded) *)
 }
 
 let tally () =
@@ -197,6 +279,8 @@ let tally () =
     errors = 0;
     wrong = 0;
     indeterminate = 0;
+    splices = 0;
+    gone = 0;
   }
 
 let record t f =
@@ -261,6 +345,93 @@ let client_loop tally items id =
   done;
   try Unix.close !fd with Unix.Unix_error _ -> ()
 
+(* one session client: per iteration, open a session, replay one edit
+   sequence revision by revision (checking each answer against the local
+   baseline), then delete the session *)
+let session_client_loop tally items id =
+  let n_items = Array.length items in
+  let fd = ref (connect ()) in
+  let reconnect () =
+    (try Unix.close !fd with Unix.Unix_error _ -> ());
+    fd := connect ()
+  in
+  let post_retry path body =
+    try post !fd path body
+    with _ ->
+      reconnect ();
+      post !fd path body
+  in
+  let delete path =
+    write_all !fd
+      (Printf.sprintf "DELETE %s HTTP/1.1\r\nhost: %s\r\n\r\n" path !host);
+    read_response !fd
+  in
+  for i = 0 to !requests - 1 do
+    let item = items.((id + i) mod n_items) in
+    match
+      post_retry "/session"
+        (J.to_string
+           (J.Obj
+              [ ("domain", J.Str item.s_domain); ("engine", J.Str !engine) ]))
+    with
+    | exception _ -> record tally (fun t -> t.errors <- t.errors + 1)
+    | 201, create_body -> (
+        match
+          Result.bind (J.of_string create_body) (fun j ->
+              Option.to_result ~none:"no session id" (J.str_field "session" j))
+        with
+        | Error _ -> record tally (fun t -> t.errors <- t.errors + 1)
+        | Ok sid ->
+            let qpath = Printf.sprintf "/session/%s/query" sid in
+            List.iter
+              (fun (text, expected_code) ->
+                let t0 = Unix.gettimeofday () in
+                match
+                  post_retry qpath
+                    (J.to_string (J.Obj [ ("query", J.Str text) ]))
+                with
+                | exception _ ->
+                    record tally (fun t -> t.errors <- t.errors + 1)
+                | status, resp_body ->
+                    let dt = Unix.gettimeofday () -. t0 in
+                    record tally (fun t ->
+                        Hist.observe t.hist dt;
+                        match status with
+                        | 200 -> (
+                            match J.of_string resp_body with
+                            | Error _ -> t.errors <- t.errors + 1
+                            | Ok j ->
+                                let code = J.str_field "code" j in
+                                let timed_out =
+                                  Option.value (J.bool_field "timed_out" j)
+                                    ~default:false
+                                in
+                                let splice =
+                                  match J.member "reuse" j with
+                                  | Some r ->
+                                      Option.value (J.bool_field "splice" r)
+                                        ~default:false
+                                  | None -> false
+                                in
+                                if splice then t.splices <- t.splices + 1;
+                                if code <> None then t.ok <- t.ok + 1
+                                else t.failed <- t.failed + 1;
+                                if timed_out then
+                                  t.indeterminate <- t.indeterminate + 1
+                                else if code <> expected_code then
+                                  t.wrong <- t.wrong + 1)
+                        | 410 -> t.gone <- t.gone + 1
+                        | 503 -> t.rejected <- t.rejected + 1
+                        | 504 -> t.expired <- t.expired + 1
+                        | _ -> t.errors <- t.errors + 1))
+              item.s_revisions;
+            (match delete ("/session/" ^ sid) with
+            | exception _ -> reconnect ()
+            | _ -> ()))
+    | _, _ -> record tally (fun t -> t.errors <- t.errors + 1)
+  done;
+  try Unix.close !fd with Unix.Unix_error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* main                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -269,7 +440,11 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "loadgen [options]";
-  let items = Array.of_list (build_mix ()) in
+  let session_mode = !sessions > 0 in
+  let sitems =
+    if session_mode then Array.of_list (build_session_mix ()) else [||]
+  in
+  let items = if session_mode then [||] else Array.of_list (build_mix ()) in
   let server =
     if !port = 0 then begin
       let s =
@@ -284,6 +459,8 @@ let () =
             default_timeout_s = !timeout_s;
             trace_buffer = Serve.default_params.Serve.trace_buffer;
             packs_dir = None;
+            session_ttl_s = Serve.default_params.Serve.session_ttl_s;
+            session_cap = Serve.default_params.Serve.session_cap;
           }
       in
       port := Serve.port s;
@@ -295,15 +472,28 @@ let () =
   let t = tally () in
   let wall0 = Unix.gettimeofday () in
   let threads =
-    List.init !clients (fun id ->
-        Thread.create (fun () -> client_loop t items id) ())
+    if session_mode then
+      List.init !sessions (fun id ->
+          Thread.create (fun () -> session_client_loop t sitems id) ())
+    else
+      List.init !clients (fun id ->
+          Thread.create (fun () -> client_loop t items id) ())
   in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. wall0 in
-  let total = !clients * !requests in
   let answered = t.ok + t.cached + t.failed in
-  Printf.printf "\n%d requests (%d clients x %d), %.2f s wall\n" total !clients
-    !requests wall;
+  let total =
+    if session_mode then answered + t.rejected + t.expired + t.gone + t.errors
+    else !clients * !requests
+  in
+  if session_mode then
+    Printf.printf
+      "\n%d session revisions (%d session clients x %d sequences), %.2f s \
+       wall\n"
+      total !sessions !requests wall
+  else
+    Printf.printf "\n%d requests (%d clients x %d), %.2f s wall\n" total
+      !clients !requests wall;
   Printf.printf "throughput: %.1f req/s\n" (float_of_int total /. wall);
   Printf.printf "latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, max %.1f ms\n"
     (1000. *. Hist.quantile t.hist 0.5)
@@ -314,7 +504,10 @@ let () =
     "outcomes: %d ok, %d cached, %d failed, %d rejected (503), %d expired \
      (504), %d transport errors\n"
     t.ok t.cached t.failed t.rejected t.expired t.errors;
-  if answered > 0 then
+  if session_mode then
+    Printf.printf "sessions: %d spliced revisions, %d gone (410)\n" t.splices
+      t.gone
+  else if answered > 0 then
     Printf.printf "whole-query cache hit rate: %.1f%% of answered requests\n"
       (100. *. float_of_int t.cached /. float_of_int answered);
   Printf.printf "correctness: %d wrong answers, %d indeterminate (timeout)\n"

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- micro            # Bechamel stage benches
      dune exec bench/main.exe -- stages           # per-stage latency table
      dune exec bench/main.exe -- parallel         # Dggt_par domain-count sweep
+     dune exec bench/main.exe -- incremental      # as-you-type session replay
      dune exec bench/main.exe -- --timeout 2 --domains 2 smoke  # reduced CI sweep
 
    The 20 s timeout is the paper's protocol; because this substrate is much
@@ -285,6 +286,259 @@ let run_parallel ~timeout_s () =
   Format.fprintf fmt "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Incremental sessions: replay each query as an as-you-type edit     *)
+(* sequence, full-vs-incremental per revision, with the equivalence   *)
+(* assertion the subsystem's guarantee rests on.                      *)
+(* ------------------------------------------------------------------ *)
+
+(* split a query into typeable chunks, never breaking a quoted literal
+   ("append \":\" at ..." must keep the ':' inside its quotes) *)
+let edit_chunks q =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let in_quote = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          Buffer.add_char buf c;
+          in_quote := not !in_quote
+      | (' ' | '\t') when not !in_quote -> flush ()
+      | c -> Buffer.add_char buf c)
+    q;
+  flush ();
+  List.rev !out
+
+(* the edit script for one query: the last [depth] word-append revisions
+   (the as-you-type tail), then a whitespace/punctuation-only revision that
+   should splice *)
+let edit_script ~depth q =
+  let chunks = edit_chunks q in
+  let n = List.length chunks in
+  let prefix k = String.concat " " (List.filteri (fun i _ -> i < k) chunks) in
+  let first = max 1 (n - depth) in
+  let rec range a b = if a > b then [] else a :: range (a + 1) b in
+  let prefixes = List.map (fun k -> (prefix k, k > first)) (range first n) in
+  (* (revision text, is-append-one-word revision) *)
+  prefixes @ [ (prefix n ^ " .", false) ]
+
+type irow = {
+  i_domain : string;
+  i_queries : int;
+  i_revisions : int;
+  i_appends : int;           (* append-one-word revisions *)
+  i_splices : int;
+  i_full_s : float;          (* summed from-scratch wall time *)
+  i_inc_s : float;           (* summed incremental wall time *)
+  i_full_searches : int;     (* EdgeToPath searches, from-scratch *)
+  i_inc_searches : int;      (* EdgeToPath compute thunks, incremental *)
+  i_app_full_searches : int; (* same, append-one-word revisions only *)
+  i_app_inc_searches : int;
+  i_mismatches : (string * string) list; (* (revision text, what diverged) *)
+  i_timeout_skips : int;
+}
+
+(* byte-equivalence of a from-scratch and an incremental outcome; timing
+   is the one field allowed to differ *)
+let outcome_divergence (a : Engine.outcome) (b : Engine.outcome) =
+  if a.Engine.code <> b.Engine.code then Some "code"
+  else if a.Engine.cgt_size <> b.Engine.cgt_size then Some "cgt_size"
+  else if a.Engine.failure <> b.Engine.failure then Some "failure"
+  else if a.Engine.timed_out <> b.Engine.timed_out then Some "timed_out"
+  else if not (Stats.equal a.Engine.stats b.Engine.stats) then Some "stats"
+  else None
+
+let run_incremental_domain ~timeout_s ~limit ~depth (dom : Domain.t) =
+  Format.eprintf "  replaying %s edit sequences...@." dom.Domain.name;
+  let base =
+    Domain.configure dom
+      { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some timeout_s }
+  in
+  (* from-scratch runs count their EdgeToPath searches through a transparent
+     hook: increment, then compute — the result bytes can't change *)
+  let scratch_searches = ref 0 in
+  let scratch_target =
+    {
+      base.Engine.target with
+      Engine.caches =
+        {
+          Engine.word2api = None;
+          edge2path =
+            Some
+              (fun ~src:_ ~dst:_ compute ->
+                incr scratch_searches;
+                compute ());
+        };
+    }
+  in
+  let queries =
+    List.filteri (fun i _ -> i < limit) dom.Domain.queries
+    |> List.map (fun (q : Domain.query) -> q.Domain.text)
+  in
+  let acc =
+    ref
+      {
+        i_domain = dom.Domain.name;
+        i_queries = List.length queries;
+        i_revisions = 0;
+        i_appends = 0;
+        i_splices = 0;
+        i_full_s = 0.0;
+        i_inc_s = 0.0;
+        i_full_searches = 0;
+        i_inc_searches = 0;
+        i_app_full_searches = 0;
+        i_app_inc_searches = 0;
+        i_mismatches = [];
+        i_timeout_skips = 0;
+      }
+  in
+  List.iter
+    (fun q ->
+      let inc = Dggt_inc.Session.create base in
+      List.iter
+        (fun (text, is_append) ->
+          let t0 = Unix.gettimeofday () in
+          let o_inc, reuse = Dggt_inc.Session.query inc text in
+          let inc_s = Unix.gettimeofday () -. t0 in
+          scratch_searches := 0;
+          let t1 = Unix.gettimeofday () in
+          let o_full = Engine.synthesize base.Engine.cfg scratch_target text in
+          let full_s = Unix.gettimeofday () -. t1 in
+          let full_n = !scratch_searches in
+          let inc_n = reuse.Dggt_inc.Reuse.pairs.Dggt_inc.Reuse.computed in
+          let a = !acc in
+          let timeout_skip =
+            o_inc.Engine.timed_out || o_full.Engine.timed_out
+          in
+          let mismatches =
+            if timeout_skip then a.i_mismatches
+            else
+              match outcome_divergence o_full o_inc with
+              | None -> a.i_mismatches
+              | Some what -> (text, what) :: a.i_mismatches
+          in
+          acc :=
+            {
+              a with
+              i_revisions = a.i_revisions + 1;
+              i_appends = (a.i_appends + if is_append then 1 else 0);
+              i_splices =
+                (a.i_splices + if reuse.Dggt_inc.Reuse.splice then 1 else 0);
+              i_full_s = a.i_full_s +. full_s;
+              i_inc_s = a.i_inc_s +. inc_s;
+              i_full_searches = a.i_full_searches + full_n;
+              i_inc_searches = a.i_inc_searches + inc_n;
+              i_app_full_searches =
+                (a.i_app_full_searches + if is_append then full_n else 0);
+              i_app_inc_searches =
+                (a.i_app_inc_searches + if is_append then inc_n else 0);
+              i_mismatches = mismatches;
+              i_timeout_skips =
+                (a.i_timeout_skips + if timeout_skip then 1 else 0);
+            })
+        (edit_script ~depth q))
+    queries;
+  !acc
+
+let incremental_json ~timeout_s rows =
+  let module J = Dggt_server.Jsonio in
+  let f v = J.Num v and i n = J.Num (float_of_int n) in
+  J.Obj
+    [
+      ("bench", J.Str "incremental");
+      ("timeout_s", f timeout_s);
+      ( "domains",
+        J.list
+          (fun r ->
+            J.Obj
+              [
+                ("name", J.Str r.i_domain);
+                ("queries", i r.i_queries);
+                ("revisions", i r.i_revisions);
+                ("append_revisions", i r.i_appends);
+                ("splices", i r.i_splices);
+                ("full_s", f r.i_full_s);
+                ("incremental_s", f r.i_inc_s);
+                ("speedup", f (r.i_full_s /. Float.max r.i_inc_s 1e-9));
+                ("full_searches", i r.i_full_searches);
+                ("incremental_searches", i r.i_inc_searches);
+                ("append_full_searches", i r.i_app_full_searches);
+                ("append_incremental_searches", i r.i_app_inc_searches);
+                ("timeout_skips", i r.i_timeout_skips);
+                ("equivalent", J.Bool (r.i_mismatches = []));
+                ( "mismatches",
+                  J.list
+                    (fun (text, what) ->
+                      J.Obj [ ("query", J.Str text); ("diverged", J.Str what) ])
+                    r.i_mismatches );
+              ])
+          rows );
+    ]
+
+let run_incremental ~timeout_s ~limit () =
+  hr ();
+  let depth = 4 in
+  Format.fprintf fmt
+    "Incremental sessions: each query replayed as an as-you-type edit \
+     sequence@.(last %d word-appends plus a punctuation-only revision; \
+     every revision checked byte-equivalent to a from-scratch run; %d \
+     queries per domain)@.@."
+    depth limit;
+  let rows =
+    List.map
+      (run_incremental_domain ~timeout_s ~limit ~depth)
+      [ Text_editing.domain; Astmatcher.domain ]
+  in
+  Format.fprintf fmt "  %12s %5s %5s %8s %9s %8s %8s %10s %10s %5s@." "domain"
+    "revs" "spl" "full(s)" "inc(s)" "speedup" "equal" "srch-full" "srch-inc"
+    "skip";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %12s %5d %5d %8.3f %9.3f %7.2fx %8s %10d %10d %5d@."
+        r.i_domain r.i_revisions r.i_splices r.i_full_s r.i_inc_s
+        (r.i_full_s /. Float.max r.i_inc_s 1e-9)
+        (if r.i_mismatches = [] then "yes" else "NO")
+        r.i_full_searches r.i_inc_searches r.i_timeout_skips)
+    rows;
+  Format.fprintf fmt "@.";
+  let path = "BENCH_incremental.json" in
+  let oc = open_out path in
+  output_string oc
+    (Dggt_server.Jsonio.to_string (incremental_json ~timeout_s rows));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path;
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (text, what) ->
+          failed := true;
+          Format.eprintf
+            "EQUIVALENCE VIOLATION (%s): %s diverged on %S@." r.i_domain what
+            text)
+        r.i_mismatches;
+      (* the whole point of the session: appending a word must search less
+         than starting over *)
+      if r.i_appends > 0 && r.i_app_inc_searches >= r.i_app_full_searches
+      then begin
+        failed := true;
+        Format.eprintf
+          "REUSE REGRESSION (%s): %d incremental vs %d full searches over \
+           %d append-one-word revisions@."
+          r.i_domain r.i_app_inc_searches r.i_app_full_searches r.i_appends
+      end)
+    rows;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
@@ -357,6 +611,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let timeout_s = ref 20.0 in
   let domains = ref 1 in
+  let limit = ref 8 in
   let rec parse acc = function
     | "--timeout" :: v :: rest ->
         timeout_s := float_of_string v;
@@ -364,12 +619,16 @@ let () =
     | "--domains" :: v :: rest ->
         domains := int_of_string v;
         parse acc rest
+    | "--limit" :: v :: rest ->
+        limit := int_of_string v;
+        parse acc rest
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
   in
   let targets = match parse [] args with [] -> [ "all" ] | ts -> ts in
   let timeout_s = !timeout_s in
   let domains = !domains in
+  let limit = !limit in
   let dispatch = function
     | "table1" -> run_table1 ()
     | "table2" -> run_table2 ~timeout_s ()
@@ -379,6 +638,7 @@ let () =
     | "ablation" -> run_ablation ~timeout_s ()
     | "stages" -> run_stages ~timeout_s ()
     | "parallel" -> run_parallel ~timeout_s ()
+    | "incremental" -> run_incremental ~timeout_s ~limit ()
     | "smoke" -> run_smoke ~timeout_s ~domains ()
     | "micro" -> run_micro ()
     | "all" ->

@@ -167,6 +167,29 @@ let explain_cmd =
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
        $ query_arg))
 
+(* --- repl ---------------------------------------------------------- *)
+
+let repl_cmd =
+  let run dname packs alg timeout domains =
+    with_domain packs dname (fun dom ->
+        with_pool domains (fun par ->
+            Dggt_inc.Repl.run
+              ~prompt:(dom.Domain.name ^ "> ")
+              (config ~par dom alg timeout);
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Interactive incremental synthesis: each line is a revision of the \
+          query, answered with the codelet and a reuse summary (words/paths \
+          kept from the previous revision, or a whole-pipeline splice). \
+          Commands: :help, :reset, :trace, :stats, :quit.")
+    Term.(
+      ret
+        (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
+       $ domains_arg))
+
 (* --- eval ---------------------------------------------------------- *)
 
 let eval_cmd =
@@ -247,8 +270,24 @@ let serve_cmd =
             "Recent request traces retained for GET /debug/trace (0 \
              disables retention).")
   in
+  let session_ttl_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "session-ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "Idle lifetime of an incremental session (POST /session); \
+             accesses slide the window.")
+  in
+  let session_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "session-cap" ] ~docv:"N"
+          ~doc:
+            "Max live incremental sessions (least-recently-used beyond; 0 \
+             disables session storage).")
+  in
   let run port addr workers domains queue cache_size timeout trace_buffer packs
-      =
+      session_ttl session_cap =
     Serve.run
       {
         Serve.addr;
@@ -260,6 +299,8 @@ let serve_cmd =
         default_timeout_s = timeout;
         trace_buffer;
         packs_dir = packs;
+        session_ttl_s = session_ttl;
+        session_cap;
       };
     `Ok ()
   in
@@ -267,13 +308,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the concurrent HTTP synthesis service (POST /synthesize, POST \
-          /rank, POST /reload, GET /domains, GET /version, GET /metrics, \
+          /rank, POST /reload, POST /session, POST /session/ID/query, \
+          DELETE /session/ID, GET /domains, GET /version, GET /metrics, \
           GET /healthz, GET /debug/trace).")
     Term.(
       ret
         (const run $ port_arg $ addr_arg $ workers_arg $ domains_arg
        $ queue_arg $ cache_arg $ serve_timeout_arg $ trace_buffer_arg
-       $ packs_arg))
+       $ packs_arg $ session_ttl_arg $ session_cap_arg))
 
 (* --- pack ---------------------------------------------------------- *)
 
@@ -362,4 +404,4 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ synth_cmd; explain_cmd; eval_cmd; serve_cmd; pack_cmd ]))
+       (Cmd.group info [ synth_cmd; explain_cmd; repl_cmd; eval_cmd; serve_cmd; pack_cmd ]))

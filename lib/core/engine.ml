@@ -474,12 +474,15 @@ let run_hisyn cfg tgt budget stats (pruned : Depgraph.t) =
       in
       (dg, res))
 
-let synthesize_graph cfg tgt (dg : Depgraph.t) =
+(* Stages 3-6 over an already-pruned graph. Exposed (as [synthesize_pruned])
+   so the incremental layer can parse and prune first, decide from the
+   pruned graph whether the previous revision's result still applies, and
+   only then pay for the expensive suffix of the pipeline. *)
+let synthesize_pruned cfg tgt (pruned : Depgraph.t) =
   let stats = Stats.create () in
   let budget = make_budget cfg in
   let t0 = Unix.gettimeofday () in
   let run () =
-    let pruned = prune_query cfg dg in
     match cfg.algorithm with
     | Dggt_alg -> run_dggt cfg tgt budget stats pruned
     | Hisyn_alg -> run_hisyn cfg tgt budget stats pruned
@@ -494,7 +497,10 @@ let synthesize_graph cfg tgt (dg : Depgraph.t) =
         | Some limit -> limit
         | None -> Unix.gettimeofday () -. t0
       in
-      finish cfg tgt dg None ~time_s ~timed_out:true ~stats
+      finish cfg tgt pruned None ~time_s ~timed_out:true ~stats
+
+let synthesize_graph cfg tgt (dg : Depgraph.t) =
+  synthesize_pruned cfg tgt (prune_query cfg dg)
 
 let parse_query cfg query =
   Trace.span cfg.trace "DependencyParse" (fun sp ->
@@ -505,6 +511,8 @@ let parse_query cfg query =
       dg)
 
 let synthesize cfg tgt query = synthesize_graph cfg tgt (parse_query cfg query)
+let parse = parse_query
+let prune = prune_query
 
 type session = { cfg : config; target : target }
 

@@ -151,6 +151,29 @@ val synthesize_graph : config -> target -> Dggt_nlu.Depgraph.t -> outcome
     tests to pin parses, and by the property suite to fuzz graph shapes).
     No DependencyParse span is emitted when tracing. *)
 
+(** {2 Stage boundaries}
+
+    The incremental layer ({!Dggt_inc.Session}) needs to stop the pipeline
+    between stages: parse and prune first, compare the pruned graph against
+    the previous revision's, and only run the expensive stages 3-6 when the
+    comparison says it must. [synthesize q] is exactly
+    [synthesize_pruned (prune (parse q))]; splitting the call changes
+    nothing about the result or the emitted trace spans. *)
+
+val parse : config -> string -> Dggt_nlu.Depgraph.t
+(** Stage 1 alone (emits the DependencyParse span when tracing). *)
+
+val prune : config -> Dggt_nlu.Depgraph.t -> Dggt_nlu.Depgraph.t
+(** Stage 2 alone — POS pruning plus the domain's stop-verb drop (emits the
+    QueryPrune span when tracing). *)
+
+val synthesize_pruned : config -> target -> Dggt_nlu.Depgraph.t -> outcome
+(** Stages 3-6 over an already-pruned dependency graph. The pruned graph
+    (node lemmas/POS/literals in order, edge list in order, root position)
+    together with the target and the config determines the outcome's
+    codelet and statistics completely — the invariant the incremental
+    splice rests on. Never raises. *)
+
 val run_graph : session -> Dggt_nlu.Depgraph.t -> outcome
 (** {!synthesize_graph} over a {!session}. *)
 

@@ -31,6 +31,27 @@ let create () =
     dgg_edges = 0;
   }
 
+let copy s =
+  {
+    dep_edges = s.dep_edges;
+    orig_paths = s.orig_paths;
+    paths_after_reloc = s.paths_after_reloc;
+    orphan_count = s.orphan_count;
+    reloc_graphs = s.reloc_graphs;
+    combos_total = s.combos_total;
+    combos_after_gprune = s.combos_after_gprune;
+    combos_after_sprune = s.combos_after_sprune;
+    combos_merged = s.combos_merged;
+    hisyn_combos_enumerated = s.hisyn_combos_enumerated;
+    hisyn_combos_possible = s.hisyn_combos_possible;
+    dgg_nodes = s.dgg_nodes;
+    dgg_edges = s.dgg_edges;
+  }
+
+(* all fields are immediate ints, so structural equality is exactly
+   field-by-field equality *)
+let equal (a : t) (b : t) = a = b
+
 (* [add] aggregates counters across the relocation-graph variants explored
    for ONE query (Engine.run_dggt forks the dependency graph per orphan
    placement). Two aggregation rules apply, field by field:

@@ -20,6 +20,15 @@ type t = {
 
 val create : unit -> t
 
+val copy : t -> t
+(** A detached clone. The incremental session replays a previous
+    revision's counters into fresh outcomes; sharing the mutable record
+    would let a later stage scribble on history. *)
+
+val equal : t -> t -> bool
+(** Field-by-field equality — the equivalence checks of the incremental
+    property tests and [bench incremental] compare whole counter sets. *)
+
 val add : t -> t -> t
 (** Aggregate across the relocation-graph variants of one query. The
     aggregation differs per field, on purpose:

@@ -1,0 +1,95 @@
+open Dggt_nlu
+
+type token_diff = {
+  kept : int;
+  added : int;
+  removed : int;
+  pairs : (int * int) list;
+}
+
+(* content equality: a token keeps its identity across revisions when kind
+   and text match; the index is positional and shifts under edits *)
+let tok_eq (a : Token.t) (b : Token.t) = a.kind = b.kind && a.text = b.text
+
+let tokens ~prev ~next =
+  let a = Array.of_list prev and b = Array.of_list next in
+  let n = Array.length a and m = Array.length b in
+  (* lcs.(i).(j) = LCS length of a[i..] / b[j..] *)
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if tok_eq a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i >= n || j >= m then List.rev acc
+    else if tok_eq a.(i) b.(j) && lcs.(i).(j) = 1 + lcs.(i + 1).(j + 1) then
+      walk (i + 1) (j + 1) ((a.(i).Token.index, b.(j).Token.index) :: acc)
+    else if lcs.(i + 1).(j) >= lcs.(i).(j + 1) then walk (i + 1) j acc
+    else walk i (j + 1) acc
+  in
+  let pairs = walk 0 0 [] in
+  let k = List.length pairs in
+  { kept = k; added = m - k; removed = n - k; pairs }
+
+type edge_diff = { e_kept : int; e_added : int; e_removed : int }
+
+let edge_key (dg : Depgraph.t) (e : Depgraph.edge) =
+  let lem id =
+    match Depgraph.node_opt dg id with
+    | Some n -> n.Depgraph.lemma
+    | None -> "#" ^ string_of_int id
+  in
+  (lem e.gov, lem e.dep, e.label)
+
+let edges ~prev ~next =
+  let pk = List.map (edge_key prev) prev.Depgraph.edges in
+  let nk = List.map (edge_key next) next.Depgraph.edges in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace tbl k
+        (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    pk;
+  let kept =
+    List.fold_left
+      (fun acc k ->
+        match Hashtbl.find_opt tbl k with
+        | Some c when c > 0 ->
+            Hashtbl.replace tbl k (c - 1);
+            acc + 1
+        | _ -> acc)
+      0 nk
+  in
+  {
+    e_kept = kept;
+    e_added = List.length nk - kept;
+    e_removed = List.length pk - kept;
+  }
+
+let equivalent ~(prev : Depgraph.t) ~(next : Depgraph.t) =
+  List.length prev.nodes = List.length next.nodes
+  && List.length prev.edges = List.length next.edges
+  && List.for_all2
+       (fun (a : Depgraph.node) (b : Depgraph.node) ->
+         a.text = b.text && a.lemma = b.lemma && a.pos = b.pos && a.lit = b.lit)
+       prev.nodes next.nodes
+  &&
+  (* node ids may differ; map each id to its position in the (token-ordered)
+     node list and require edges and root to agree positionally *)
+  let positions (dg : Depgraph.t) =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i (n : Depgraph.node) -> Hashtbl.replace tbl n.id i) dg.nodes;
+    tbl
+  in
+  let pp = positions prev and np = positions next in
+  let posn tbl id = Hashtbl.find_opt tbl id in
+  List.for_all2
+    (fun (a : Depgraph.edge) (b : Depgraph.edge) ->
+      a.label = b.label
+      && posn pp a.gov = posn np b.gov
+      && posn pp a.dep = posn np b.dep)
+    prev.edges next.edges
+  && posn pp prev.root = posn np next.root

@@ -1,0 +1,43 @@
+(** Revision diffing for incremental synthesis.
+
+    A session compares each query revision against the previous one at two
+    granularities: the raw token stream (what did the user actually type?)
+    and the pruned dependency graph (what does the pipeline actually
+    consume?). The token/edge diffs drive the reuse statistics; the
+    pruned-graph {!equivalent} check gates the whole-suffix splice — see
+    {!Session} for why its strictness is what makes the splice sound. *)
+
+type token_diff = {
+  kept : int;     (** tokens present in both revisions (LCS length) *)
+  added : int;    (** tokens only in the new revision *)
+  removed : int;  (** tokens only in the previous revision *)
+  pairs : (int * int) list;
+      (** matched (previous index, next index) pairs, both ascending — the
+          stable-identity map between the two revisions' tokens *)
+}
+
+val tokens : prev:Dggt_nlu.Token.t list -> next:Dggt_nlu.Token.t list -> token_diff
+(** Longest common subsequence over (kind, text) equality; token indices do
+    not participate, so an insertion early in the query still matches every
+    later token. O(|prev|·|next|) — queries are tens of tokens. *)
+
+type edge_diff = { e_kept : int; e_added : int; e_removed : int }
+
+val edges : prev:Dggt_nlu.Depgraph.t -> next:Dggt_nlu.Depgraph.t -> edge_diff
+(** Multiset intersection of the two graphs' edges keyed by
+    (governor lemma, dependent lemma, label) — a measure of how much of the
+    dependency structure an edit disturbed, reported per revision. *)
+
+val equivalent : prev:Dggt_nlu.Depgraph.t -> next:Dggt_nlu.Depgraph.t -> bool
+(** Order-preserving isomorphism of two pruned graphs: same node count with
+    pairwise-equal (text, lemma, POS, literal), edge lists equal in order
+    under the positional node map, and roots at the same position. Node ids
+    (token indices) may differ — an edit to a word that pruning drops shifts
+    every later index without changing what stages 3-6 see.
+
+    When this holds, the entire pipeline suffix (WordToAPI through
+    TreeToExpression) is determined to be byte-identical to the previous
+    revision's: every stage consumes only lemma/POS/literal content,
+    relative order, and structure — never absolute token indices (the final
+    DGG tie-break compares node {e creation order}, which the positional map
+    preserves). *)

@@ -1,0 +1,103 @@
+module Engine = Dggt_core.Engine
+module Trace = Dggt_obs.Trace
+
+type totals = {
+  mutable queries : int;
+  mutable splices : int;
+  mutable w_reused : int;
+  mutable w_total : int;
+  mutable p_reused : int;
+  mutable p_total : int;
+  mutable rows_replayed : int;
+}
+
+let absorb totals (r : Reuse.t) =
+  totals.queries <- totals.queries + 1;
+  if r.Reuse.splice then totals.splices <- totals.splices + 1;
+  totals.w_reused <- totals.w_reused + r.Reuse.words.Reuse.reused;
+  totals.w_total <- totals.w_total + Reuse.total r.Reuse.words;
+  totals.p_reused <- totals.p_reused + r.Reuse.pairs.Reuse.reused;
+  totals.p_total <- totals.p_total + Reuse.total r.Reuse.pairs;
+  totals.rows_replayed <- totals.rows_replayed + r.Reuse.dgg_rows.Reuse.reused
+
+let print_outcome ppf (o : Engine.outcome) =
+  (match (o.Engine.code, o.Engine.failure) with
+  | Some code, _ -> Format.fprintf ppf "%s@." code
+  | None, Some why -> Format.fprintf ppf "no codelet: %s@." why
+  | None, None -> Format.fprintf ppf "no codelet@.");
+  if o.Engine.timed_out then Format.fprintf ppf "(timed out)@."
+
+let help ppf =
+  Format.fprintf ppf
+    ":help   show this text@\n\
+     :reset  drop the session history@\n\
+     :trace  toggle the stage-by-stage narrative@\n\
+     :stats  cumulative reuse totals@\n\
+     :quit   leave (also :q or end of input)@."
+
+let print_totals ppf t =
+  let pct reused total =
+    if total = 0 then 0. else 100. *. float_of_int reused /. float_of_int total
+  in
+  Format.fprintf ppf
+    "%d queries, %d spliced; words reused %d/%d (%.0f%%), pairs reused \
+     %d/%d (%.0f%%), %d dgg rows replayed@."
+    t.queries t.splices t.w_reused t.w_total
+    (pct t.w_reused t.w_total)
+    t.p_reused t.p_total
+    (pct t.p_reused t.p_total)
+    t.rows_replayed
+
+let run ?(input = stdin) ?(ppf = Format.std_formatter) ?(prompt = "dggt> ")
+    (base : Engine.session) =
+  let session = Session.create base in
+  let totals =
+    {
+      queries = 0;
+      splices = 0;
+      w_reused = 0;
+      w_total = 0;
+      p_reused = 0;
+      p_total = 0;
+      rows_replayed = 0;
+    }
+  in
+  let tracing = ref false in
+  Format.fprintf ppf "incremental session — :help for commands@.";
+  let rec loop () =
+    Format.fprintf ppf "%s@?" prompt;
+    match input_line input with
+    | exception End_of_file -> ()
+    | line -> (
+        match String.trim line with
+        | "" -> loop ()
+        | ":quit" | ":q" -> ()
+        | ":help" ->
+            help ppf;
+            loop ()
+        | ":reset" ->
+            Session.reset session;
+            Format.fprintf ppf "session reset@.";
+            loop ()
+        | ":trace" ->
+            tracing := not !tracing;
+            Format.fprintf ppf "trace %s@."
+              (if !tracing then "on" else "off");
+            loop ()
+        | ":stats" ->
+            print_totals ppf totals;
+            loop ()
+        | q ->
+            let sink = if !tracing then Some (Trace.create ()) else None in
+            let tweak cfg = { cfg with Engine.trace = sink } in
+            let outcome, reuse = Session.query ~tweak session q in
+            print_outcome ppf outcome;
+            Format.fprintf ppf "[%s · %.1f ms]@." (Reuse.summary reuse)
+              (outcome.Engine.time_s *. 1000.);
+            (match sink with
+            | Some s -> Format.fprintf ppf "%a@." Trace.pp (Trace.result s)
+            | None -> ());
+            absorb totals reuse;
+            loop ())
+  in
+  loop ()

@@ -1,0 +1,22 @@
+(** Interactive incremental synthesis loop ([dggt repl]).
+
+    Reads one query revision per line, answers with the synthesized codelet
+    (or the failure) and a one-line reuse summary from the underlying
+    {!Session}. Commands start with [:]
+
+    - [:help] — list commands
+    - [:reset] — drop the session history (next query computes from scratch)
+    - [:trace] — toggle the per-query stage narrative ([dggt explain] style)
+    - [:stats] — cumulative reuse totals for the session
+    - [:quit] / [:q] / EOF — leave
+
+    [input] and [ppf] exist for tests (feed a script, capture the output);
+    the CLI passes neither and talks to the terminal. *)
+
+val run :
+  ?input:in_channel ->
+  ?ppf:Format.formatter ->
+  ?prompt:string ->
+  Dggt_core.Engine.session ->
+  unit
+(** [prompt] defaults to ["dggt> "]. Returns when the input ends. *)

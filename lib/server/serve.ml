@@ -17,6 +17,8 @@ type params = {
   default_timeout_s : float;
   trace_buffer : int;
   packs_dir : string option;
+  session_ttl_s : float;
+  session_cap : int;
 }
 
 let default_params =
@@ -30,6 +32,8 @@ let default_params =
     default_timeout_s = 10.0;
     trace_buffer = 32;
     packs_dir = None;
+    session_ttl_s = 300.0;
+    session_cap = 64;
   }
 
 let known_domains =
@@ -56,6 +60,18 @@ type dstate = {
   cfg_hisyn : Engine.config;
 }
 
+(* one incremental session, as held in the TTL+LRU store. The embedded
+   Dggt_inc session is not reentrant, so [smu] serializes queries; [sgen]
+   pins the registry generation the session's target was built under — a
+   reload strands the session (410), it never sees the swapped domain *)
+type srecord = {
+  smu : Mutex.t;
+  sdomain : string;
+  sengine_name : string;
+  sgen : int;
+  inc : Dggt_inc.Session.t;
+}
+
 (* one completed request's trace, as kept in the debug ring *)
 type trecord = {
   tdomain : string;
@@ -80,6 +96,7 @@ type t = {
   rank_cache : (int * string * string * int, string list) Cache.t;
   word_cache : (int * string * string * string, Word2api.candidate list) Cache.t;
   path_cache : (int * string * string * string, Dggt_grammar.Gpath.t list) Cache.t;
+  sessions : srecord Sessions.t;
   traces : trecord Ring.t;
   dmu : Mutex.t; (* guards [dstates]; snapshot, never hold across work *)
   mutable dstates : dstate list;
@@ -419,6 +436,193 @@ let rank_handler t (req : Httpd.request) =
               observe t ~domain ~outcome:(if cs = [] then "failed" else "ok") t0;
               `Ok (render ~cached:false cs)))
 
+(* ------------------------------------------------------------------ *)
+(* incremental sessions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let reuse_json (r : Dggt_inc.Reuse.t) =
+  let open Dggt_inc.Reuse in
+  let i n = J.Num (float_of_int n) in
+  let stage (s : stage) =
+    J.Obj [ ("reused", i s.reused); ("computed", i s.computed) ]
+  in
+  J.Obj
+    [
+      ("revision", i r.revision);
+      ("splice", J.Bool r.splice);
+      ( "tokens",
+        J.Obj
+          [
+            ("kept", i r.tokens_kept);
+            ("added", i r.tokens_added);
+            ("removed", i r.tokens_removed);
+          ] );
+      ( "edges",
+        J.Obj
+          [
+            ("kept", i r.edges_kept);
+            ("added", i r.edges_added);
+            ("removed", i r.edges_removed);
+          ] );
+      ("words", stage r.words);
+      ("pairs", stage r.pairs);
+      ("dgg_rows", stage r.dgg_rows);
+      ("reuse_ratio", J.Num (overall_ratio r));
+    ]
+
+let session_create_handler t (req : Httpd.request) =
+  match J.of_string (if req.Httpd.body = "" then "{}" else req.Httpd.body) with
+  | Error e -> Httpd.response 400 (error_json e)
+  | Ok body -> (
+      let dname =
+        Option.value (J.str_field "domain" body) ~default:"textediting"
+      in
+      match find_dstate t dname with
+      | None ->
+          Httpd.response 400
+            (error_json
+               (Printf.sprintf "unknown domain %S (see GET /domains)" dname))
+      | Some ds -> (
+          match Option.value (J.str_field "engine" body) ~default:"dggt" with
+          | ("dggt" | "hisyn") as engine_name ->
+              let cfg =
+                if engine_name = "dggt" then ds.cfg_dggt else ds.cfg_hisyn
+              in
+              let cfg =
+                { cfg with Engine.timeout_s = Some t.params.default_timeout_s }
+              in
+              let inc =
+                Dggt_inc.Session.create
+                  { Engine.cfg; target = ds.target }
+              in
+              let domain = ds.dom.Dggt_domains.Domain.name in
+              let id =
+                Sessions.add t.sessions
+                  {
+                    smu = Mutex.create ();
+                    sdomain = domain;
+                    sengine_name = engine_name;
+                    sgen = ds.gen;
+                    inc;
+                  }
+              in
+              respond_json 201
+                (J.Obj
+                   [
+                     ("v", J.Num (float_of_int api_version));
+                     ("session", J.Str id);
+                     ("domain", J.Str domain);
+                     ("engine", J.Str engine_name);
+                     ("ttl_s", J.Num t.params.session_ttl_s);
+                   ])
+          | e -> Httpd.response 400 (Printf.sprintf "unknown engine %S (dggt|hisyn)" e |> error_json)))
+
+(* a session survives only as long as the domain it was built against: a
+   reload bumps the registry generation, so [sgen] no longer matches and
+   the session is Gone — the client must open a fresh one. Kept distinct
+   from 404 (unknown/evicted id) so typing clients know to re-create. *)
+let session_lookup t id =
+  match Sessions.find t.sessions id with
+  | `Missing -> Error (404, "unknown session (expired ids are evicted)")
+  | `Expired -> Error (410, "session expired (idle past the TTL)")
+  | `Found sr -> (
+      match find_dstate t sr.sdomain with
+      | Some ds when ds.gen = sr.sgen -> Ok sr
+      | _ ->
+          ignore (Sessions.remove t.sessions id);
+          Error (410, "session invalidated by domain reload"))
+
+let session_query_handler t (req : Httpd.request) id =
+  let t0 = Unix.gettimeofday () in
+  match session_lookup t id with
+  | Error (status, msg) ->
+      observe t ~domain:"-" ~outcome:"session_gone" t0;
+      Httpd.response status (error_json msg)
+  | Ok sr -> (
+      match J.of_string req.Httpd.body with
+      | Error e -> Httpd.response 400 (error_json e)
+      | Ok body -> (
+          match J.str_field "query" body with
+          | None | Some "" ->
+              observe t ~domain:sr.sdomain ~outcome:"bad_request" t0;
+              Httpd.response 400
+                (error_json "missing required string field \"query\"")
+          | Some query ->
+              let timeout_s =
+                match J.num_field "timeout" body with
+                | Some v when v > 0.0 -> Some (Float.min v 60.0)
+                | _ -> None (* keep the session default: splice stays armed *)
+              in
+              let deadline =
+                t0
+                +. Option.value timeout_s ~default:t.params.default_timeout_s
+              in
+              via_pool t ~domain:sr.sdomain ~deadline ~t0 (fun () ->
+                  let sink = Trace.create () in
+                  let tweak cfg =
+                    let cfg = { cfg with Engine.trace = Some sink } in
+                    match timeout_s with
+                    | Some s -> { cfg with Engine.timeout_s = Some s }
+                    | None -> cfg
+                  in
+                  Mutex.lock sr.smu;
+                  let outcome, reuse =
+                    match Dggt_inc.Session.query ~tweak sr.inc query with
+                    | v ->
+                        Mutex.unlock sr.smu;
+                        v
+                    | exception e ->
+                        Mutex.unlock sr.smu;
+                        raise e
+                  in
+                  record_trace t ~domain:sr.sdomain ~engine:sr.sengine_name
+                    ~query ~time_s:outcome.Engine.time_s
+                    ~ok:(outcome.Engine.code <> None)
+                    sink;
+                  let open Dggt_inc.Reuse in
+                  Smetrics.observe_reuse t.metrics
+                    ~reused:
+                      (reuse.words.reused + reuse.pairs.reused
+                     + reuse.dgg_rows.reused)
+                    ~computed:
+                      (reuse.words.computed + reuse.pairs.computed
+                     + reuse.dgg_rows.computed)
+                    ~splice:reuse.splice;
+                  let outcome_label =
+                    if outcome.Engine.timed_out then "timeout"
+                    else if outcome.Engine.code = None then "failed"
+                    else "ok"
+                  in
+                  observe t ~domain:sr.sdomain ~outcome:outcome_label t0;
+                  let fields =
+                    match
+                      outcome_json ~domain:sr.sdomain ~engine:sr.sengine_name
+                        ~query ~cached:false ~alternatives:[] outcome
+                    with
+                    | J.Obj f -> f
+                    | other -> [ ("outcome", other) ]
+                  in
+                  `Ok
+                    (respond_json 200
+                       (J.Obj
+                          (fields
+                          @ [
+                              ("session", J.Str id);
+                              ("reuse", reuse_json reuse);
+                            ]))))))
+
+let session_delete_handler t id =
+  if Sessions.remove t.sessions id then
+    respond_json 200 (J.Obj [ ("ok", J.Bool true); ("session", J.Str id) ])
+  else Httpd.response 404 (error_json "unknown session")
+
+(* "/session/<id>" or "/session/<id>/query" *)
+let session_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "session"; id ] when id <> "" -> Some (id, `Root)
+  | [ ""; "session"; id; "query" ] when id <> "" -> Some (id, `Query)
+  | _ -> None
+
 let origin_fields = function
   | Registry.Builtin -> [ ("origin", J.Str "builtin") ]
   | Registry.Pack { dir; digest } ->
@@ -536,7 +740,10 @@ let build_dstates t =
    and the per-domain states, and drop every cache. In-flight requests
    keep the dstate they already resolved (immutable), and their late cache
    writes land under the old generation — harmless to post-reload
-   lookups. A failed load leaves everything exactly as it was. *)
+   lookups. Incremental sessions are left in the store on purpose: their
+   [sgen] no longer matches, so the next access answers 410 Gone (clients
+   must re-create) instead of a confusable 404. A failed load leaves
+   everything exactly as it was. *)
 let reload_handler t =
   match t.params.packs_dir with
   | None ->
@@ -593,11 +800,17 @@ let handler t (req : Httpd.request) =
   | "POST", "/synthesize" -> synthesize_handler t req
   | "POST", "/rank" -> rank_handler t req
   | "POST", "/reload" -> reload_handler t
+  | "POST", "/session" -> session_create_handler t req
   | ( _,
       ( "/healthz" | "/metrics" | "/domains" | "/version" | "/debug/trace"
-      | "/synthesize" | "/rank" | "/reload" ) ) ->
+      | "/synthesize" | "/rank" | "/reload" | "/session" ) ) ->
       Httpd.response 405 (error_json "method not allowed")
-  | _ -> Httpd.response 404 (error_json "not found")
+  | meth, path -> (
+      match session_path path with
+      | Some (id, `Query) when meth = "POST" -> session_query_handler t req id
+      | Some (id, `Root) when meth = "DELETE" -> session_delete_handler t id
+      | Some _ -> Httpd.response 405 (error_json "method not allowed")
+      | None -> Httpd.response 404 (error_json "not found"))
 
 (* the binary's build identity, asked of git once at startup; servers
    deployed outside a checkout report "unknown" *)
@@ -650,6 +863,8 @@ let create params =
       rank_cache = Cache.create ~capacity:params.cache_size;
       word_cache;
       path_cache;
+      sessions =
+        Sessions.create ~ttl_s:params.session_ttl_s ~cap:params.session_cap ();
       traces = Ring.create ~capacity:params.trace_buffer;
       dmu = Mutex.create ();
       dstates = [];
@@ -664,6 +879,7 @@ let create params =
       Cache.counters t.word_cache);
   Smetrics.register_cache metrics "edge2path" (fun () ->
       Cache.counters t.path_cache);
+  Smetrics.set_sessions_probe metrics (fun () -> Sessions.counters t.sessions);
   let http =
     Httpd.create ~addr:params.addr ~port:params.port (fun req -> handler t req)
   in

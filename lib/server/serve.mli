@@ -29,8 +29,26 @@
       registry generation, so they can never be served against a reloaded
       domain of the same name. [400] when the server was started without
       [--packs].
+    - [POST /session] — body [{"domain": s?, "engine": "dggt"|"hisyn"?}];
+      opens an incremental synthesis session ({!Dggt_inc.Session}) against
+      the domain's current generation and answers [201] with its id.
+      Sessions live in a TTL + LRU store ({!Sessions}, sized by
+      [params.session_ttl_s] / [params.session_cap]).
+    - [POST /session/<id>/query] — [{"query": s, "timeout": f?}]; one
+      revision of the session's query. The response is the [/synthesize]
+      shape plus [session] and a [reuse] object (revision number, splice
+      flag, token/edge diff, reused-vs-computed counts per stage and the
+      overall [reuse_ratio]). Revisions of one session are serialized;
+      revisions run on the worker pool with the same backpressure and
+      deadline handling as [/synthesize]. [410 Gone] when the session
+      expired (idle past the TTL) {e or} was stranded by a [POST /reload]
+      (its domain generation no longer exists — re-create the session);
+      [404] for ids that were LRU-evicted, deleted or never existed.
+    - [DELETE /session/<id>] — drop the session; [404] if unknown.
     - [GET /metrics] — Prometheus text format ({!Smetrics.render}),
-      including per-pipeline-stage latency histograms with p50/p90/p99.
+      including per-pipeline-stage latency histograms with p50/p90/p99,
+      session-store gauges and incremental reuse counters
+      ([dggt_inc_reuse_ratio], [dggt_inc_splices_total]).
     - [GET /healthz] — liveness plus worker/queue numbers.
     - [GET /debug/trace] — the stage-level traces of the most recent
       requests that reached the engine (a {!Dggt_obs.Ring} of
@@ -71,11 +89,15 @@ type params = {
   packs_dir : string option; (** domain-pack directory served alongside the
                                  built-ins and re-scanned by
                                  [POST /reload]; [None] = built-ins only *)
+  session_ttl_s : float;     (** idle lifetime of an incremental session;
+                                 accesses slide the window *)
+  session_cap : int;         (** max live sessions (LRU beyond); <= 0
+                                 disables the session endpoints' storage *)
 }
 
 val default_params : params
 (** 127.0.0.1:8080, auto workers, sequential search (domains 1), queue 64,
-    cache 512, timeout 10 s, trace buffer 32, no packs. *)
+    cache 512, timeout 10 s, trace buffer 32, no packs, sessions 64 × 300 s. *)
 
 val api_version : int
 (** The [v] field of every JSON response; currently [1]. *)

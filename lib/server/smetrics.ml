@@ -84,6 +84,13 @@ type t = {
   mutable inflight : int;
   mutable queue_probe : unit -> int;
   mutable caches : (string * (unit -> Cache.counters)) list;
+  (* incremental sessions: reuse counters fed per revision, store counters
+     sampled at render time *)
+  mutable inc_queries : int;
+  mutable inc_splices : int;
+  mutable inc_reused : int;
+  mutable inc_computed : int;
+  mutable sessions_probe : (unit -> Sessions.counters) option;
 }
 
 let create () =
@@ -95,6 +102,11 @@ let create () =
     inflight = 0;
     queue_probe = (fun () -> 0);
     caches = [];
+    inc_queries = 0;
+    inc_splices = 0;
+    inc_reused = 0;
+    inc_computed = 0;
+    sessions_probe = None;
   }
 
 let locked t f =
@@ -138,6 +150,16 @@ let set_queue_probe t probe = locked t (fun () -> t.queue_probe <- probe)
 
 let register_cache t name probe =
   locked t (fun () -> t.caches <- t.caches @ [ (name, probe) ])
+
+let observe_reuse t ~reused ~computed ~splice =
+  locked t (fun () ->
+      t.inc_queries <- t.inc_queries + 1;
+      if splice then t.inc_splices <- t.inc_splices + 1;
+      t.inc_reused <- t.inc_reused + reused;
+      t.inc_computed <- t.inc_computed + computed)
+
+let set_sessions_probe t probe =
+  locked t (fun () -> t.sessions_probe <- Some probe)
 
 let quantile t q = locked t (fun () -> Hist.quantile t.latency q)
 
@@ -223,5 +245,36 @@ let render t =
                 line "dggt_cache_entries{cache=%S} %d" name c.Cache.size
             | exception _ -> ())
           t.caches
+      end;
+      (match t.sessions_probe with
+      | None -> ()
+      | Some probe -> (
+          match probe () with
+          | c ->
+              line "# HELP dggt_sessions Live incremental sessions.";
+              line "# TYPE dggt_sessions gauge";
+              line "dggt_sessions %d" c.Sessions.size;
+              line "# TYPE dggt_sessions_created_total counter";
+              line "dggt_sessions_created_total %d" c.Sessions.created;
+              line "# TYPE dggt_sessions_expired_total counter";
+              line "dggt_sessions_expired_total %d" c.Sessions.expired;
+              line "# TYPE dggt_sessions_evicted_total counter";
+              line "dggt_sessions_evicted_total %d" c.Sessions.evicted
+          | exception _ -> ()));
+      if t.inc_queries > 0 then begin
+        line "# HELP dggt_inc_queries_total Incremental session revisions served.";
+        line "# TYPE dggt_inc_queries_total counter";
+        line "dggt_inc_queries_total %d" t.inc_queries;
+        line "# TYPE dggt_inc_splices_total counter";
+        line "dggt_inc_splices_total %d" t.inc_splices;
+        line
+          "# HELP dggt_inc_reuse_ratio Fraction of stage lookups served from \
+           session memory.";
+        line "# TYPE dggt_inc_reuse_ratio gauge";
+        let total = t.inc_reused + t.inc_computed in
+        line "dggt_inc_reuse_ratio %s"
+          (fmt_float
+             (if total = 0 then 0.0
+              else float_of_int t.inc_reused /. float_of_int total))
       end;
       Buffer.contents b)

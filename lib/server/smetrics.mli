@@ -60,6 +60,14 @@ val set_queue_probe : t -> (unit -> int) -> unit
 val register_cache : t -> string -> (unit -> Cache.counters) -> unit
 (** Expose a cache's hit/miss/eviction counters under the given label. *)
 
+val observe_reuse : t -> reused:int -> computed:int -> splice:bool -> unit
+(** Record one incremental session revision: how many stage lookups (words +
+    pairs + DGG rows) were served from session memory versus computed, and
+    whether the whole pipeline suffix was spliced. *)
+
+val set_sessions_probe : t -> (unit -> Sessions.counters) -> unit
+(** The session-store gauges are sampled at render time. *)
+
 val quantile : t -> float -> float
 (** Latency quantile over all recorded requests. *)
 
@@ -68,5 +76,9 @@ val render : t -> string
     [dggt_request_latency_seconds] histogram (+ p50/p90/p99 convenience
     gauges), [dggt_stage_latency_seconds{stage}] per-pipeline-stage
     histograms (+ per-stage p50/p90/p99 gauges, sorted by stage name),
-    [dggt_queue_depth], [dggt_inflight_requests], and per-cache
-    [dggt_cache_{hits,misses,evictions}_total] / [dggt_cache_entries]. *)
+    [dggt_queue_depth], [dggt_inflight_requests], per-cache
+    [dggt_cache_{hits,misses,evictions}_total] / [dggt_cache_entries],
+    session-store gauges ([dggt_sessions],
+    [dggt_sessions_{created,expired,evicted}_total]) and incremental-reuse
+    counters ([dggt_inc_queries_total], [dggt_inc_splices_total],
+    [dggt_inc_reuse_ratio]). *)

@@ -11,6 +11,7 @@ let () =
       ("domains", Test_domains.suite);
       ("eval", Test_eval.suite);
       ("server", Test_server.suite);
+      ("inc", Test_inc.suite);
       ("pack", Test_pack.suite);
       ("par", Test_par.suite);
       ("properties", Test_props.suite);

@@ -122,6 +122,92 @@ let test_cache_find_or_compute () =
   check_i "computed once" 1 !calls
 
 (* ------------------------------------------------------------------ *)
+(* sessions store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sessions_ttl () =
+  let now = ref 1000.0 in
+  let s = Sessions.create ~clock:(fun () -> !now) ~ttl_s:30.0 ~cap:4 () in
+  let id = Sessions.add s "payload" in
+  check_b "fresh find" true (Sessions.find s id = `Found "payload");
+  (* an access slides the window: 20 s + 20 s idle never crosses 30 s *)
+  now := !now +. 20.0;
+  check_b "refreshed" true (Sessions.find s id = `Found "payload");
+  now := !now +. 20.0;
+  check_b "still live after slide" true (Sessions.find s id = `Found "payload");
+  (* idle past the TTL: the first access reports Expired and removes *)
+  now := !now +. 31.0;
+  check_b "expired" true (Sessions.find s id = `Expired);
+  check_b "expired ids are gone" true (Sessions.find s id = `Missing);
+  let k = Sessions.counters s in
+  check_i "expired count" 1 k.Sessions.expired;
+  check_i "evicted count" 0 k.Sessions.evicted;
+  check_i "size" 0 k.Sessions.size
+
+let test_sessions_lru () =
+  let s = Sessions.create ~clock:(fun () -> 0.0) ~ttl_s:60.0 ~cap:2 () in
+  let a = Sessions.add s "a" in
+  let b = Sessions.add s "b" in
+  (* touching [a] makes [b] the LRU entry *)
+  check_b "touch a" true (Sessions.find s a = `Found "a");
+  let c = Sessions.add s "c" in
+  check_b "b evicted" true (Sessions.find s b = `Missing);
+  check_b "a survives" true (Sessions.find s a = `Found "a");
+  check_b "c live" true (Sessions.find s c = `Found "c");
+  let k = Sessions.counters s in
+  check_i "created" 3 k.Sessions.created;
+  check_i "evicted" 1 k.Sessions.evicted;
+  check_i "size at cap" 2 k.Sessions.size;
+  check_i "capacity" 2 k.Sessions.capacity;
+  (* expired entries leave before live ones are evicted *)
+  let now = ref 0.0 in
+  let s = Sessions.create ~clock:(fun () -> !now) ~ttl_s:10.0 ~cap:2 () in
+  let old = Sessions.add s "old" in
+  now := 20.0;
+  let fresh = Sessions.add s "fresh" in
+  ignore (Sessions.add s "newer");
+  check_b "expired dropped first" true (Sessions.find s old = `Missing);
+  check_b "live entry kept" true (Sessions.find s fresh = `Found "fresh");
+  let k = Sessions.counters s in
+  check_i "expired not evicted" 1 k.Sessions.expired;
+  check_i "no live eviction needed" 0 k.Sessions.evicted;
+  (* remove *)
+  check_b "remove live" true (Sessions.remove s fresh);
+  check_b "remove again" false (Sessions.remove s fresh);
+  (* cap <= 0 disables storage *)
+  let s = Sessions.create ~ttl_s:60.0 ~cap:0 () in
+  let id = Sessions.add s "x" in
+  check_b "disabled store" true (Sessions.find s id = `Missing)
+
+let test_sessions_concurrent () =
+  let s = Sessions.create ~ttl_s:60.0 ~cap:8 () in
+  let errors = Atomic.make 0 in
+  let worker seed =
+    let ids = ref [] in
+    for i = 0 to 199 do
+      (try
+         match i mod 3 with
+         | 0 -> ids := Sessions.add s (seed * 1000 + i) :: !ids
+         | 1 -> (
+             match !ids with
+             | id :: _ -> ignore (Sessions.find s id)
+             | [] -> ())
+         | _ -> (
+             match !ids with
+             | id :: rest ->
+                 ignore (Sessions.remove s id);
+                 ids := rest
+             | [] -> ())
+       with _ -> Atomic.incr errors)
+    done
+  in
+  let ts = List.init 4 (fun k -> Thread.create worker k) in
+  List.iter Thread.join ts;
+  check_i "no exceptions under concurrency" 0 (Atomic.get errors);
+  let k = Sessions.counters s in
+  check_b "size bounded by cap" true (k.Sessions.size <= k.Sessions.capacity)
+
+(* ------------------------------------------------------------------ *)
 (* pool                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -366,6 +452,156 @@ let test_e2e_synthesize () =
           ~body:{|{"query":"x","domain":"unknown"}|} ()
       in
       check_i "400 bad domain" 400 st)
+
+(* ------------------------------------------------------------------ *)
+(* incremental session endpoints                                      *)
+(* ------------------------------------------------------------------ *)
+
+let get_json ~port ~meth ~path ?body () =
+  let st, raw = http ~port ~meth ~path ?body () in
+  (st, Result.get_ok (J.of_string raw))
+
+let test_e2e_sessions () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      (* open a session *)
+      let st, j =
+        get_json ~port ~meth:"POST" ~path:"/session"
+          ~body:{|{"domain":"te"}|} ()
+      in
+      check_i "session created" 201 st;
+      let sid = Option.get (J.str_field "session" j) in
+      check_b "session domain" true
+        (J.str_field "domain" j = Some "TextEditing");
+      check_b "session engine" true (J.str_field "engine" j = Some "dggt");
+      (* revision 1 computes *)
+      let q = "delete all numbers in every line" in
+      let qbody = J.to_string (J.Obj [ ("query", J.Str q) ]) in
+      let st, j =
+        get_json ~port ~meth:"POST"
+          ~path:("/session/" ^ sid ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "rev 1 status" 200 st;
+      check_b "rev 1 ok" true (J.bool_field "ok" j = Some true);
+      let code1 = Option.get (J.str_field "code" j) in
+      let reuse = Option.get (J.member "reuse" j) in
+      check_b "rev 1 number" true (J.int_field "revision" reuse = Some 1);
+      check_b "rev 1 no splice" true
+        (J.bool_field "splice" reuse = Some false);
+      (* revision 2: punctuation-only edit splices, same codelet *)
+      let qbody2 = J.to_string (J.Obj [ ("query", J.Str (q ^ " .")) ]) in
+      let st, j =
+        get_json ~port ~meth:"POST"
+          ~path:("/session/" ^ sid ^ "/query")
+          ~body:qbody2 ()
+      in
+      check_i "rev 2 status" 200 st;
+      let reuse = Option.get (J.member "reuse" j) in
+      check_b "rev 2 number" true (J.int_field "revision" reuse = Some 2);
+      check_b "rev 2 spliced" true (J.bool_field "splice" reuse = Some true);
+      check_s "rev 2 same code" code1 (Option.get (J.str_field "code" j));
+      check_b "reuse_ratio present" true
+        (J.num_field "reuse_ratio" reuse <> None);
+      (* bad request shapes *)
+      let st, _ =
+        http ~port ~meth:"POST" ~path:("/session/" ^ sid ^ "/query")
+          ~body:"{}" ()
+      in
+      check_i "missing query field" 400 st;
+      let st, _ =
+        http ~port ~meth:"POST" ~path:"/session"
+          ~body:{|{"domain":"nope"}|} ()
+      in
+      check_i "unknown domain" 400 st;
+      let st, _ =
+        http ~port ~meth:"POST" ~path:"/session"
+          ~body:{|{"engine":"nope"}|} ()
+      in
+      check_i "unknown engine" 400 st;
+      (* metrics reflect the session traffic *)
+      let st, body = http ~port ~meth:"GET" ~path:"/metrics" () in
+      check_i "metrics status" 200 st;
+      let has sub = Dggt_util.Strutil.contains_sub ~sub body in
+      check_b "sessions gauge" true (has "dggt_sessions ");
+      check_b "sessions created" true (has "dggt_sessions_created_total 1");
+      check_b "inc queries" true (has "dggt_inc_queries_total 2");
+      check_b "inc splices" true (has "dggt_inc_splices_total 1");
+      check_b "inc reuse ratio" true (has "dggt_inc_reuse_ratio");
+      (* delete: gone, and a later query is 404 (not 410) *)
+      let st, _ = http ~port ~meth:"DELETE" ~path:("/session/" ^ sid) () in
+      check_i "delete" 200 st;
+      let st, _ =
+        http ~port ~meth:"POST" ~path:("/session/" ^ sid ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "deleted session 404" 404 st;
+      let st, _ = http ~port ~meth:"DELETE" ~path:("/session/" ^ sid) () in
+      check_i "double delete 404" 404 st;
+      let st, _ =
+        http ~port ~meth:"POST" ~path:"/session/never-existed/query"
+          ~body:qbody ()
+      in
+      check_i "unknown session 404" 404 st;
+      (* method errors on session paths *)
+      let st, _ = http ~port ~meth:"GET" ~path:("/session/" ^ sid) () in
+      check_i "session method not allowed" 405 st)
+
+(* a reload strands every open session: its registry generation no longer
+   exists, so the next access answers 410 Gone (distinct from 404) *)
+let test_e2e_session_reload_410 () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dggt_inc_packs_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let params =
+    { Serve.default_params with
+      Serve.port = 0; workers = 1; queue_capacity = 8; cache_size = 32;
+      packs_dir = Some dir }
+  in
+  let srv = Serve.create params in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop srv)
+    (fun () ->
+      let port = Serve.port srv in
+      let st, j =
+        get_json ~port ~meth:"POST" ~path:"/session"
+          ~body:{|{"domain":"te"}|} ()
+      in
+      check_i "session created" 201 st;
+      let sid = Option.get (J.str_field "session" j) in
+      let qbody = J.to_string (J.Obj [ ("query", J.Str "delete all numbers") ]) in
+      let st, _ =
+        http ~port ~meth:"POST" ~path:("/session/" ^ sid ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "query before reload" 200 st;
+      let st, _ = http ~port ~meth:"POST" ~path:"/reload" () in
+      check_i "reload ok" 200 st;
+      let st, _ =
+        http ~port ~meth:"POST" ~path:("/session/" ^ sid ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "stranded session 410" 410 st;
+      (* the stranded entry was dropped: a retry is an ordinary 404 *)
+      let st, _ =
+        http ~port ~meth:"POST" ~path:("/session/" ^ sid ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "after 410 comes 404" 404 st;
+      (* a fresh session against the reloaded registry works *)
+      let st, j =
+        get_json ~port ~meth:"POST" ~path:"/session"
+          ~body:{|{"domain":"te"}|} ()
+      in
+      check_i "re-created session" 201 st;
+      let sid2 = Option.get (J.str_field "session" j) in
+      let st, _ =
+        http ~port ~meth:"POST" ~path:("/session/" ^ sid2 ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "fresh session queries" 200 st)
 
 let suite =
   [

@@ -27,7 +27,6 @@ module Hist = Dggt_server.Smetrics.Hist
 let clients = ref 4
 let requests = ref 30
 let workers = ref 0
-let search_domains = ref 1
 let queue = ref 64
 let cache_size = ref 512
 let timeout_s = ref 10.0
@@ -43,7 +42,6 @@ let spec =
     ("--clients", Arg.Set_int clients, "N concurrent client threads (4)");
     ("--requests", Arg.Set_int requests, "M requests per client (30)");
     ("--workers", Arg.Set_int workers, "server worker pool size, in-process mode (ncores)");
-    ("--domains", Arg.Set_int search_domains, "EdgeToPath search domains, in-process mode (1 = sequential)");
     ("--queue", Arg.Set_int queue, "server queue bound, in-process mode (64)");
     ("--cache-size", Arg.Set_int cache_size, "server whole-query LRU size, in-process mode (512)");
     ("--timeout", Arg.Set_float timeout_s, "per-request engine budget, seconds (10)");
@@ -453,7 +451,6 @@ let () =
             Serve.addr = !host;
             port = 0;
             workers = !workers;
-            domains = !search_domains;
             queue_capacity = !queue;
             cache_size = !cache_size;
             default_timeout_s = !timeout_s;

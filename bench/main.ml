@@ -7,9 +7,10 @@
      dune exec bench/main.exe -- --timeout 2 all  # faster protocol
      dune exec bench/main.exe -- micro            # Bechamel stage benches
      dune exec bench/main.exe -- stages           # per-stage latency table
-     dune exec bench/main.exe -- parallel         # Dggt_par domain-count sweep
+     dune exec bench/main.exe -- parallel         # batch queries/sec sweep
+     dune exec bench/main.exe -- automaton        # DFS vs compiled automaton
      dune exec bench/main.exe -- incremental      # as-you-type session replay
-     dune exec bench/main.exe -- --timeout 2 --domains 2 smoke  # reduced CI sweep
+     dune exec bench/main.exe -- --timeout 2 smoke  # reduced CI sweep
 
    The 20 s timeout is the paper's protocol; because this substrate is much
    faster than the authors' testbed, --timeout 2 produces the same shape in
@@ -84,44 +85,42 @@ let run_stages ~timeout_s () =
   Format.fprintf fmt "@.";
   Report.stage_table fmt ~timeout_s Astmatcher.domain
 
-(* spin up the EdgeToPath fan-out pool for [f]'s lifetime (1 = sequential,
+(* spin up a whole-query fan-out pool for [f]'s lifetime (1 = sequential,
    no pool) *)
-let with_pool domains f =
-  if domains > 1 then
-    let pool = Dggt_par.Pool.create ~workers:domains () in
+let with_pool workers f =
+  if workers > 1 then
+    let pool = Dggt_par.Pool.create ~workers () in
     Fun.protect
       ~finally:(fun () -> Dggt_par.Pool.shutdown pool)
       (fun () -> f (Some pool))
   else f None
 
 (* A reduced sweep for CI: domain stats plus a per-stage latency probe on a
-   short query prefix — exercises tracing end to end in a few seconds.
-   With --domains N it also exercises the parallel EdgeToPath path. *)
-let run_smoke ~timeout_s ~domains () =
+   short query prefix — exercises tracing end to end in a few seconds. *)
+let run_smoke ~timeout_s () =
   hr ();
   Report.table1 fmt;
   hr ();
   let timeout_s = Float.min timeout_s 5.0 in
-  with_pool domains (fun par ->
-      let tweak c = { c with Engine.par } in
-      if domains > 1 then
-        Format.fprintf fmt "(EdgeToPath fan-out: %d search domains)@.@."
-          domains;
-      Report.stage_table fmt ~timeout_s ~tweak ~limit:8 Text_editing.domain;
-      Format.fprintf fmt "@.";
-      Report.stage_table fmt ~timeout_s ~tweak ~limit:8 Astmatcher.domain)
+  Report.stage_table fmt ~timeout_s ~limit:8 Text_editing.domain;
+  Format.fprintf fmt "@.";
+  Report.stage_table fmt ~timeout_s ~limit:8 Astmatcher.domain
 
 (* ------------------------------------------------------------------ *)
-(* Parallel EdgeToPath sweep: wall-clock vs domain count, plus the    *)
-(* byte-identity check the determinism claim rests on.                *)
+(* Batch-parallel sweep: whole queries fanned out over a worker pool  *)
+(* (queries/sec vs worker count), plus the byte-identity check the    *)
+(* determinism claim rests on. Intra-query fan-out is gone — the      *)
+(* measured 0.6-0.9x "speedup" of per-pair searches killed it — so    *)
+(* this sweep measures the knob that actually scales: concurrency     *)
+(* across queries.                                                    *)
 (* ------------------------------------------------------------------ *)
 
 type psweep = {
-  p_domains : int;
-  p_total_s : float;          (* whole query set *)
-  p_dominated_s : float;      (* EdgeToPath-dominated subset *)
-  p_edge2path_s : float;      (* summed EdgeToPath stage time *)
-  p_identical : bool;         (* codelets byte-identical to 1-domain run *)
+  p_workers : int;
+  p_wall_s : float;           (* wall-clock for the whole query set *)
+  p_qps : float;              (* queries per second of wall-clock *)
+  p_identical : bool;         (* codelets byte-identical to 1-worker run *)
+  p_timeout_skips : int;      (* pairs excluded: either side timed out *)
 }
 
 let edge2path_share (q : Runner.qresult) =
@@ -132,76 +131,52 @@ let edge2path_share (q : Runner.qresult) =
 
 let run_parallel_domain ~timeout_s ~counts (dom : Domain.t) =
   Format.eprintf "  sweeping %s...@." dom.Domain.name;
-  (* every run keeps stage timing on, so instrumentation overhead is
-     uniform across domain counts and the speedups stay comparable *)
-  let run_at d =
-    with_pool d (fun par ->
-        Runner.run_domain ~timeout_s
-          ~tweak:(fun c -> { c with Engine.par })
-          ~progress:(fun i n -> progress (Printf.sprintf "%s x%d" dom.Domain.name d) i n)
-          ~stage_timing:true dom Engine.Dggt_alg)
+  let run_at w =
+    with_pool w (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Runner.run_domain ~timeout_s ?pool
+            ~progress:(fun i n ->
+              progress (Printf.sprintf "%s x%d" dom.Domain.name w) i n)
+            dom Engine.Dggt_alg
+        in
+        (r, Unix.gettimeofday () -. t0))
   in
-  let baseline = run_at (List.hd counts) in
-  let codes r =
-    List.map (fun (q : Runner.qresult) -> q.Runner.outcome.Engine.code) r.Runner.results
-  in
-  let base_codes = codes baseline in
-  (* which queries does EdgeToPath dominate? decided once, on the
-     sequential run, and reused for every domain count. When no query
-     crosses the 50% bar (on a fast substrate the indexed search is a
-     small slice of the pipeline) fall back to the ten highest-share
-     queries so the subset column still measures the fanned-out stage. *)
-  let shares = List.map edge2path_share baseline.Runner.results in
-  let dominated, dominated_rule =
-    if List.exists (fun s -> s >= 0.5) shares then
-      (List.map (fun s -> s >= 0.5) shares, "share>=0.5")
-    else
-      let ranked =
-        List.mapi (fun i s -> (s, i)) shares
-        |> List.sort (fun (a, _) (b, _) -> compare b a)
-      in
-      let top =
-        List.filteri (fun rank _ -> rank < 10) ranked
-        |> List.map snd |> List.sort_uniq compare
-      in
-      (List.mapi (fun i _ -> List.mem i top) shares, "top10-share")
-  in
-  let measure r =
-    let sum sel =
-      List.fold_left2
-        (fun acc keep (q : Runner.qresult) ->
-          if sel keep then acc +. q.Runner.outcome.Engine.time_s else acc)
-        0.0 dominated r.Runner.results
-    in
-    let e2p =
-      List.fold_left
-        (fun acc (q : Runner.qresult) ->
-          acc +. Option.value (List.assoc_opt "EdgeToPath" q.Runner.stage_s) ~default:0.0)
-        0.0 r.Runner.results
-    in
-    (sum (fun _ -> true), sum Fun.id, e2p)
+  let baseline, base_wall = run_at (List.hd counts) in
+  let nq = List.length baseline.Runner.results in
+  (* wall-clock timeouts are scheduling-dependent under contention (on a
+     1-core host every extra worker steals time from every query), so a
+     pair where either run timed out is incomparable — excluded and
+     counted, exactly like the automaton sweep *)
+  let compare_codes r =
+    List.fold_left2
+      (fun (same, skips) (a : Runner.qresult) (b : Runner.qresult) ->
+        if a.Runner.outcome.Engine.timed_out || b.Runner.outcome.Engine.timed_out
+        then (same, skips + 1)
+        else (same && a.Runner.outcome.Engine.code = b.Runner.outcome.Engine.code, skips))
+      (true, 0) baseline.Runner.results r.Runner.results
   in
   let sweep =
     List.map
-      (fun d ->
-        let r = if d = List.hd counts then baseline else run_at d in
-        let total_s, dominated_s, edge2path_s = measure r in
+      (fun w ->
+        let r, wall =
+          if w = List.hd counts then (baseline, base_wall) else run_at w
+        in
+        let identical, skips = compare_codes r in
         {
-          p_domains = d;
-          p_total_s = total_s;
-          p_dominated_s = dominated_s;
-          p_edge2path_s = edge2path_s;
-          p_identical = codes r = base_codes;
+          p_workers = w;
+          p_wall_s = wall;
+          p_qps = float_of_int nq /. Float.max wall 1e-9;
+          p_identical = identical;
+          p_timeout_skips = skips;
         })
       counts
   in
-  let ndom = List.length (List.filter Fun.id dominated) in
-  (dom, List.length baseline.Runner.results, ndom, dominated_rule, sweep)
+  (dom, nq, sweep)
 
 let parallel_json ~timeout_s results =
   let module J = Dggt_server.Jsonio in
   let f v = J.Num v and i n = J.Num (float_of_int n) in
-  let base sweep = (List.hd sweep).p_dominated_s in
   J.Obj
     [
       ("bench", J.Str "parallel");
@@ -211,25 +186,23 @@ let parallel_json ~timeout_s results =
       ("host_cores", i (Stdlib.Domain.recommended_domain_count ()));
       ( "domains",
         J.list
-          (fun ((dom : Domain.t), nq, ndom, dominated_rule, sweep) ->
+          (fun ((dom : Domain.t), nq, sweep) ->
+            let base = (List.hd sweep).p_wall_s in
             J.Obj
               [
                 ("name", J.Str dom.Domain.name);
                 ("queries", i nq);
-                ("edge2path_dominated", i ndom);
-                ("dominated_rule", J.Str dominated_rule);
                 ( "sweep",
                   J.list
                     (fun p ->
                       J.Obj
                         [
-                          ("search_domains", i p.p_domains);
-                          ("total_s", f p.p_total_s);
-                          ("dominated_s", f p.p_dominated_s);
-                          ("edge2path_stage_s", f p.p_edge2path_s);
-                          ( "dominated_speedup",
-                            f (base sweep /. Float.max p.p_dominated_s 1e-9) );
+                          ("workers", i p.p_workers);
+                          ("wall_s", f p.p_wall_s);
+                          ("queries_per_s", f p.p_qps);
+                          ("speedup", f (base /. Float.max p.p_wall_s 1e-9));
                           ("codelets_identical", J.Bool p.p_identical);
+                          ("timeout_skips", i p.p_timeout_skips);
                         ])
                     sweep );
               ])
@@ -240,10 +213,10 @@ let run_parallel ~timeout_s () =
   hr ();
   let counts = [ 1; 2; 4; 8 ] in
   Format.fprintf fmt
-    "Parallel EdgeToPath: DGGT engine, per-pair path searches fanned out on \
-     a Dggt_par domain pool@.(domain counts %s; host has %d core(s); stage \
-     tracing on in every run; 'identical' = codelets byte-equal to the \
-     sequential run)@.@."
+    "Batch throughput: whole queries fanned out over a Dggt_par worker \
+     pool@.(worker counts %s; host has %d core(s); 'identical' = codelets \
+     byte-equal to the sequential run, pairs where either side timed out \
+     excluded and counted as skips)@.@."
     (String.concat "/" (List.map string_of_int counts))
     (Stdlib.Domain.recommended_domain_count ());
   let results =
@@ -252,29 +225,21 @@ let run_parallel ~timeout_s () =
       [ Astmatcher.domain; Text_editing.domain ]
   in
   List.iter
-    (fun ((dom : Domain.t), nq, ndom, dominated_rule, sweep) ->
-      let base_total = (List.hd sweep).p_total_s in
-      let base_dom = (List.hd sweep).p_dominated_s in
-      Format.fprintf fmt
-        "%s: %d queries, %d in the EdgeToPath-heavy subset (rule: %s, \
-         decided on the 1-domain run)@.@."
-        dom.Domain.name nq ndom dominated_rule;
-      Format.fprintf fmt "  %8s %11s %8s %14s %8s %15s %10s@." "domains"
-        "total (s)" "speedup" "dominated (s)" "speedup" "EdgeToPath (s)"
-        "identical";
+    (fun ((dom : Domain.t), nq, sweep) ->
+      let base = (List.hd sweep).p_wall_s in
+      Format.fprintf fmt "%s: %d queries@.@." dom.Domain.name nq;
+      Format.fprintf fmt "  %8s %10s %12s %8s %10s %6s@." "workers" "wall (s)"
+        "queries/s" "speedup" "identical" "skips";
       List.iter
         (fun p ->
-          Format.fprintf fmt
-            "  %8d %11.3f %7.2fx %14.3f %7.2fx %15.3f %10s@." p.p_domains
-            p.p_total_s
-            (base_total /. Float.max p.p_total_s 1e-9)
-            p.p_dominated_s
-            (base_dom /. Float.max p.p_dominated_s 1e-9)
-            p.p_edge2path_s
-            (if p.p_identical then "yes" else "NO");
+          Format.fprintf fmt "  %8d %10.3f %12.1f %7.2fx %10s %6d@." p.p_workers
+            p.p_wall_s p.p_qps
+            (base /. Float.max p.p_wall_s 1e-9)
+            (if p.p_identical then "yes" else "NO")
+            p.p_timeout_skips;
           if not p.p_identical then
-            Format.fprintf fmt "  ^^^ DETERMINISM VIOLATION at %d domains@."
-              p.p_domains)
+            Format.fprintf fmt "  ^^^ DETERMINISM VIOLATION at %d workers@."
+              p.p_workers)
         sweep;
       Format.fprintf fmt "@.")
     results;
@@ -539,6 +504,252 @@ let run_incremental ~timeout_s ~limit () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Compiled automaton: DFS vs table-walk EdgeToPath over every domain *)
+(* (built-ins plus each pack under examples/packs), byte-identity     *)
+(* asserted per query, speedup measured on the dominated subset.      *)
+(* ------------------------------------------------------------------ *)
+
+type ameasure = {
+  a_total_s : float;     (* summed per-query wall time *)
+  a_e2p_s : float;       (* summed EdgeToPath stage time *)
+  a_dom_e2p_s : float;   (* EdgeToPath stage time, dominated subset only *)
+}
+
+type arow = {
+  au_domain : string;
+  au_queries : int;
+  au_dominated : int;
+  au_rule : string;
+  au_compile_s : float;
+  au_digest : string;
+  au_dfs : ameasure;
+  au_tw : ameasure;      (* table-walk (automaton) run *)
+  au_memo : Dggt_autom.Autom.memo_counters;
+  au_mismatches : (string * string) list;
+  au_timeout_skips : int;
+}
+
+let e2p_of (q : Runner.qresult) =
+  Option.value (List.assoc_opt "EdgeToPath" q.Runner.stage_s) ~default:0.0
+
+(* which queries does EdgeToPath dominate? decided on the DFS run: the
+   >=50% bar when any query crosses it, else the ten highest-share
+   queries (on a fast substrate the search is a small pipeline slice) *)
+let dominated_subset results =
+  let shares = List.map edge2path_share results in
+  if List.exists (fun s -> s >= 0.5) shares then
+    (List.map (fun s -> s >= 0.5) shares, "share>=0.5")
+  else
+    let ranked =
+      List.mapi (fun i s -> (s, i)) shares
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    let top =
+      List.filteri (fun rank _ -> rank < 10) ranked
+      |> List.map snd |> List.sort_uniq compare
+    in
+    (List.mapi (fun i _ -> List.mem i top) shares, "top10-share")
+
+let run_automaton_domain ~timeout_s ~limit (dom : Domain.t) =
+  let dom =
+    if limit >= List.length dom.Domain.queries then dom
+    else
+      {
+        dom with
+        Domain.queries = List.filteri (fun i _ -> i < limit) dom.Domain.queries;
+      }
+  in
+  let nq = List.length dom.Domain.queries in
+  Format.eprintf "  %s: DFS vs automaton (%d queries)...@." dom.Domain.name nq;
+  let run ?autom tag =
+    Runner.run_domain ~timeout_s ?autom ~stage_timing:true
+      ~progress:(fun i n -> progress (dom.Domain.name ^ "/" ^ tag) i n)
+      dom Engine.Dggt_alg
+  in
+  let dfs = run "dfs" in
+  let autom = Dggt_autom.Autom.compile (Lazy.force dom.Domain.graph) in
+  let tw = run ~autom "autom" in
+  let dominated, rule = dominated_subset dfs.Runner.results in
+  let measure (r : Runner.run) =
+    let fold f init = List.fold_left2 f init dominated r.Runner.results in
+    {
+      a_total_s =
+        fold (fun a _ q -> a +. q.Runner.outcome.Engine.time_s) 0.0;
+      a_e2p_s = fold (fun a _ q -> a +. e2p_of q) 0.0;
+      a_dom_e2p_s =
+        fold (fun a keep q -> if keep then a +. e2p_of q else a) 0.0;
+    }
+  in
+  (* per-query byte-identity; a timeout on either side makes the pair
+     incomparable (the faster run legitimately finishes more), counted
+     separately instead of flagged *)
+  let mismatches, skips =
+    List.fold_left2
+      (fun (ms, sk) (a : Runner.qresult) (b : Runner.qresult) ->
+        if a.Runner.outcome.Engine.timed_out || b.Runner.outcome.Engine.timed_out
+        then (ms, sk + 1)
+        else
+          match outcome_divergence a.Runner.outcome b.Runner.outcome with
+          | None -> (ms, sk)
+          | Some what -> ((a.Runner.query.Domain.text, what) :: ms, sk))
+      ([], 0) dfs.Runner.results tw.Runner.results
+  in
+  {
+    au_domain = dom.Domain.name;
+    au_queries = nq;
+    au_dominated = List.length (List.filter Fun.id dominated);
+    au_rule = rule;
+    au_compile_s = Dggt_autom.Autom.compile_time_s autom;
+    au_digest = Dggt_autom.Autom.digest autom;
+    au_dfs = measure dfs;
+    au_tw = measure tw;
+    au_memo = Dggt_autom.Autom.memo_counters autom;
+    au_mismatches = List.rev mismatches;
+    au_timeout_skips = skips;
+  }
+
+(* every domain the automaton must hold for: the built-ins plus whatever
+   example packs ship in the repo *)
+let automaton_domains () =
+  let packs =
+    let dir = "examples/packs" in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list |> List.sort compare
+      |> List.filter_map (fun sub ->
+             let p = Filename.concat dir sub in
+             if
+               Sys.is_directory p
+               && Sys.file_exists
+                    (Filename.concat p Dggt_pack.Loader.manifest_name)
+             then
+               match Dggt_pack.Loader.load p with
+               | Ok l -> Some l.Dggt_pack.Loader.domain
+               | Error e ->
+                   Format.eprintf "  skipping %s: %s@." p
+                     (Dggt_pack.Err.to_string e);
+                   None
+             else None)
+    else []
+  in
+  (* packs exported from the built-ins shadow them by name, like the
+     registry: no domain is measured twice *)
+  let taken =
+    List.map (fun (d : Domain.t) -> String.lowercase_ascii d.Domain.name) packs
+  in
+  List.filter
+    (fun (d : Domain.t) ->
+      not (List.mem (String.lowercase_ascii d.Domain.name) taken))
+    [ Astmatcher.domain; Text_editing.domain ]
+  @ packs
+
+let automaton_json ~timeout_s rows =
+  let module J = Dggt_server.Jsonio in
+  let f v = J.Num v and i n = J.Num (float_of_int n) in
+  let m (a : ameasure) =
+    J.Obj
+      [
+        ("total_s", f a.a_total_s);
+        ("edge2path_s", f a.a_e2p_s);
+        ("dominated_edge2path_s", f a.a_dom_e2p_s);
+      ]
+  in
+  J.Obj
+    [
+      ("bench", J.Str "automaton");
+      ("timeout_s", f timeout_s);
+      ( "domains",
+        J.list
+          (fun r ->
+            J.Obj
+              [
+                ("name", J.Str r.au_domain);
+                ("queries", i r.au_queries);
+                ("edge2path_dominated", i r.au_dominated);
+                ("dominated_rule", J.Str r.au_rule);
+                ("compile_s", f r.au_compile_s);
+                ("digest", J.Str r.au_digest);
+                ("dfs", m r.au_dfs);
+                ("automaton", m r.au_tw);
+                ( "edge2path_speedup",
+                  f (r.au_dfs.a_e2p_s /. Float.max r.au_tw.a_e2p_s 1e-9) );
+                ( "dominated_speedup",
+                  f
+                    (r.au_dfs.a_dom_e2p_s
+                    /. Float.max r.au_tw.a_dom_e2p_s 1e-9) );
+                ( "memo",
+                  J.Obj
+                    [
+                      ("hits", i r.au_memo.Dggt_autom.Autom.hits);
+                      ("misses", i r.au_memo.Dggt_autom.Autom.misses);
+                      ("entries", i r.au_memo.Dggt_autom.Autom.entries);
+                    ] );
+                ("timeout_skips", i r.au_timeout_skips);
+                ("identical", J.Bool (r.au_mismatches = []));
+                ( "mismatches",
+                  J.list
+                    (fun (text, what) ->
+                      J.Obj [ ("query", J.Str text); ("diverged", J.Str what) ])
+                    r.au_mismatches );
+              ])
+          rows );
+    ]
+
+let run_automaton ~timeout_s ~limit () =
+  hr ();
+  Format.fprintf fmt
+    "Compiled automaton: EdgeToPath as per-query DFS vs precompiled state \
+     tables@.(every domain: built-ins + examples/packs/*; stage tracing on \
+     in both runs; 'identical' = outcomes byte-equal per query, timeouts \
+     skipped)@.@.";
+  let rows =
+    List.map (run_automaton_domain ~timeout_s ~limit) (automaton_domains ())
+  in
+  Format.fprintf fmt "  %12s %4s %4s %9s %10s %10s %8s %8s %5s@." "domain" "q"
+    "dom" "compile" "e2p-dfs" "e2p-tw" "speedup" "dom-spd" "ident";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  %12s %4d %4d %7.1fms %9.3fs %9.3fs %7.2fx %7.2fx %5s@." r.au_domain
+        r.au_queries r.au_dominated
+        (r.au_compile_s *. 1000.)
+        r.au_dfs.a_e2p_s r.au_tw.a_e2p_s
+        (r.au_dfs.a_e2p_s /. Float.max r.au_tw.a_e2p_s 1e-9)
+        (r.au_dfs.a_dom_e2p_s /. Float.max r.au_tw.a_dom_e2p_s 1e-9)
+        (if r.au_mismatches = [] then "yes" else "NO"))
+    rows;
+  Format.fprintf fmt "@.";
+  let path = "BENCH_automaton.json" in
+  let oc = open_out path in
+  output_string oc
+    (Dggt_server.Jsonio.to_string (automaton_json ~timeout_s rows));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path;
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (text, what) ->
+          failed := true;
+          Format.eprintf "EQUIVALENCE VIOLATION (%s): %s diverged on %S@."
+            r.au_domain what text)
+        r.au_mismatches;
+      (* the tentpole claim: on the search-bound domain the table walk must
+         beat the DFS where the DFS actually spends its time *)
+      if
+        String.lowercase_ascii r.au_domain = "astmatcher"
+        && r.au_tw.a_dom_e2p_s >= r.au_dfs.a_dom_e2p_s
+      then begin
+        failed := true;
+        Format.eprintf
+          "AUTOMATON REGRESSION (%s): table walk %.3fs not faster than DFS \
+           %.3fs on the EdgeToPath-dominated subset@."
+          r.au_domain r.au_tw.a_dom_e2p_s r.au_dfs.a_dom_e2p_s
+      end)
+    rows;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
@@ -582,6 +793,14 @@ let micro_tests () =
           let dg = Queryprune.prune (Dggt_nlu.Depparser.parse te_q) in
           let w2a = Word2api.build doc dg in
           fun () -> ignore (Edge2path.build g dg w2a)));
+    Test.make ~name:"table3/edge2path-autom"
+      (Staged.stage
+         (let g = Lazy.force te.Domain.graph in
+          let doc = Lazy.force te.Domain.doc in
+          let autom = Dggt_autom.Autom.compile g in
+          let dg = Queryprune.prune (Dggt_nlu.Depparser.parse te_q) in
+          let w2a = Word2api.build doc dg in
+          fun () -> ignore (Edge2path.build ~autom g dg w2a)));
   ]
 
 let run_micro () =
@@ -610,14 +829,10 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let timeout_s = ref 20.0 in
-  let domains = ref 1 in
-  let limit = ref 8 in
+  let limit = ref (-1) in
   let rec parse acc = function
     | "--timeout" :: v :: rest ->
         timeout_s := float_of_string v;
-        parse acc rest
-    | "--domains" :: v :: rest ->
-        domains := int_of_string v;
         parse acc rest
     | "--limit" :: v :: rest ->
         limit := int_of_string v;
@@ -627,7 +842,8 @@ let () =
   in
   let targets = match parse [] args with [] -> [ "all" ] | ts -> ts in
   let timeout_s = !timeout_s in
-  let domains = !domains in
+  (* --limit caps queries per domain; each target picks its own default
+     (incremental: 8 prefix pairs, automaton: the full query set) *)
   let limit = !limit in
   let dispatch = function
     | "table1" -> run_table1 ()
@@ -638,8 +854,11 @@ let () =
     | "ablation" -> run_ablation ~timeout_s ()
     | "stages" -> run_stages ~timeout_s ()
     | "parallel" -> run_parallel ~timeout_s ()
-    | "incremental" -> run_incremental ~timeout_s ~limit ()
-    | "smoke" -> run_smoke ~timeout_s ~domains ()
+    | "automaton" ->
+        run_automaton ~timeout_s ~limit:(if limit < 0 then max_int else limit) ()
+    | "incremental" ->
+        run_incremental ~timeout_s ~limit:(if limit < 0 then 8 else limit) ()
+    | "smoke" -> run_smoke ~timeout_s ()
     | "micro" -> run_micro ()
     | "all" ->
         run_table1 ();

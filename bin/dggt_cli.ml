@@ -3,16 +3,18 @@
      dggt synth  -d textediting "delete all numbers"
      dggt synth  -d astmatcher --engine hisyn "find all virtual methods"
      dggt explain -d textediting "insert \"-\" at the start of each line"
-     dggt eval   -d astmatcher --timeout 5 --domains 4
-     dggt serve  --port 8080 --workers 4 --domains 4 --queue 64 --cache-size 512
+     dggt eval   -d astmatcher --timeout 5 --jobs 4
+     dggt autom  -d astmatcher
+     dggt serve  --port 8080 --workers 4 --queue 64 --cache-size 512
      dggt pack check examples/packs/textediting
      dggt pack dump -d textediting /tmp/te-pack
 
    `synth` prints the codelet; `explain` dumps every pipeline stage
    (dependency parse, pruned graph, WordToAPI map, orphans, statistics);
-   `eval` sweeps a benchmark domain and reports accuracy/timeouts; `serve`
-   runs the long-lived HTTP synthesis service (see lib/server/); `pack`
-   validates and exports on-disk domain packs (see lib/pack/).
+   `eval` sweeps a benchmark domain and reports accuracy/timeouts; `autom`
+   compiles and describes a domain's grammar automaton; `serve` runs the
+   long-lived HTTP synthesis service (see lib/server/); `pack` validates
+   and exports on-disk domain packs (see lib/pack/).
 
    Every synthesis command accepts --packs DIR: its subdirectories are
    loaded as domain packs next to the built-ins, and -d resolves against
@@ -65,13 +67,23 @@ let timeout_arg =
 let query_arg =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"The query words.")
 
-let domains_arg =
+let no_autom_arg =
+  Arg.(
+    value & flag
+    & info [ "no-autom" ]
+        ~doc:
+          "Skip compiling the grammar automaton and run EdgeToPath's \
+           per-query DFS instead. The synthesized codelet is \
+           byte-identical either way; this exists for A/B timing.")
+
+let jobs_arg =
   Arg.(
     value & opt int 1
-    & info [ "domains" ] ~docv:"N"
+    & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Parallel EdgeToPath search domains (1 = sequential). The \
-           synthesized codelet is byte-identical at every setting.")
+          "Worker domains evaluating whole queries concurrently (1 = \
+           sequential). Results are reported in query order and are \
+           byte-identical at every setting.")
 
 (* built-ins plus --packs, or the load error's file:line diagnostic *)
 let registry_of packs =
@@ -103,45 +115,53 @@ let with_domain packs name f =
       | Error msg -> `Error (false, msg)
       | Ok dom -> f dom)
 
-(* spin up the EdgeToPath fan-out pool for the command's lifetime; 1 =
+(* spin up the whole-query fan-out pool for the command's lifetime; 1 =
    sequential, no pool *)
-let with_pool domains f =
-  if domains > 1 then
-    let pool = Dggt_par.Pool.create ~workers:domains () in
+let with_pool jobs f =
+  if jobs > 1 then
+    let pool = Dggt_par.Pool.create ~workers:jobs () in
     Fun.protect
       ~finally:(fun () -> Dggt_par.Pool.shutdown pool)
       (fun () -> f (Some pool))
   else f None
 
-let config ?(par = None) dom alg timeout =
-  Domain.configure dom
-    { (Engine.default alg) with Engine.timeout_s = Some timeout; par }
+(* the grammar automaton, compiled up front unless --no-autom *)
+let autom_of ~no_autom (dom : Domain.t) =
+  if no_autom then None
+  else Some (Dggt_autom.Autom.compile (Lazy.force dom.Domain.graph))
+
+let config ?autom dom alg timeout =
+  Domain.configure ?autom dom
+    { (Engine.default alg) with Engine.timeout_s = Some timeout }
 
 (* --- synth --------------------------------------------------------- *)
 
 let synth_cmd =
-  let run dname packs alg timeout domains words =
+  let run dname packs alg timeout no_autom words =
     with_domain packs dname (fun dom ->
         let query = String.concat " " words in
-        with_pool domains (fun par ->
-            let o = Engine.run (config ~par dom alg timeout) query in
-            match o.Engine.code with
-            | Some code ->
-                Format.printf "%s@." code;
-                Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
-                  (Option.value o.Engine.cgt_size ~default:0);
-                `Ok ()
-            | None ->
-                Format.eprintf "no codelet: %s@."
-                  (Option.value o.Engine.failure ~default:"unknown failure");
-                `Error (false, "synthesis failed")))
+        let o =
+          Engine.run
+            (config ?autom:(autom_of ~no_autom dom) dom alg timeout)
+            query
+        in
+        match o.Engine.code with
+        | Some code ->
+            Format.printf "%s@." code;
+            Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
+              (Option.value o.Engine.cgt_size ~default:0);
+            `Ok ()
+        | None ->
+            Format.eprintf "no codelet: %s@."
+              (Option.value o.Engine.failure ~default:"unknown failure");
+            `Error (false, "synthesis failed"))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a codelet from a natural-language query.")
     Term.(
       ret
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
-       $ domains_arg $ query_arg))
+       $ no_autom_arg $ query_arg))
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -170,13 +190,12 @@ let explain_cmd =
 (* --- repl ---------------------------------------------------------- *)
 
 let repl_cmd =
-  let run dname packs alg timeout domains =
+  let run dname packs alg timeout no_autom =
     with_domain packs dname (fun dom ->
-        with_pool domains (fun par ->
-            Dggt_inc.Repl.run
-              ~prompt:(dom.Domain.name ^ "> ")
-              (config ~par dom alg timeout);
-            `Ok ()))
+        Dggt_inc.Repl.run
+          ~prompt:(dom.Domain.name ^ "> ")
+          (config ?autom:(autom_of ~no_autom dom) dom alg timeout);
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "repl"
@@ -188,17 +207,17 @@ let repl_cmd =
     Term.(
       ret
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
-       $ domains_arg))
+       $ no_autom_arg))
 
 (* --- eval ---------------------------------------------------------- *)
 
 let eval_cmd =
-  let run dname packs alg timeout domains =
+  let run dname packs alg timeout jobs no_autom =
     with_domain packs dname (fun dom ->
-        with_pool domains (fun par ->
+        with_pool jobs (fun pool ->
             let r =
-              Dggt_eval.Runner.run_domain ~timeout_s:timeout
-                ~tweak:(fun c -> { c with Engine.par })
+              Dggt_eval.Runner.run_domain ~timeout_s:timeout ?pool
+                ?autom:(autom_of ~no_autom dom)
                 ~progress:(fun i n ->
                   if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
                 dom alg
@@ -218,7 +237,24 @@ let eval_cmd =
     Term.(
       ret
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
-       $ domains_arg))
+       $ jobs_arg $ no_autom_arg))
+
+(* --- autom --------------------------------------------------------- *)
+
+let autom_cmd =
+  let run dname packs =
+    with_domain packs dname (fun dom ->
+        let a = Dggt_autom.Autom.compile (Lazy.force dom.Domain.graph) in
+        Format.printf "%s: %a@." dom.Domain.name Dggt_autom.Autom.pp_stats a;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "autom"
+       ~doc:
+         "Compile the domain's grammar into the EdgeToPath automaton and \
+          print its vitals: node/edge/API counts, epsilon-closure sizes, \
+          content digest and compile time.")
+    Term.(ret (const run $ domain_arg $ packs_arg))
 
 (* --- serve --------------------------------------------------------- *)
 
@@ -286,14 +322,13 @@ let serve_cmd =
             "Max live incremental sessions (least-recently-used beyond; 0 \
              disables session storage).")
   in
-  let run port addr workers domains queue cache_size timeout trace_buffer packs
+  let run port addr workers queue cache_size timeout trace_buffer packs
       session_ttl session_cap =
     Serve.run
       {
         Serve.addr;
         port;
         workers;
-        domains;
         queue_capacity = queue;
         cache_size;
         default_timeout_s = timeout;
@@ -313,9 +348,9 @@ let serve_cmd =
           GET /healthz, GET /debug/trace).")
     Term.(
       ret
-        (const run $ port_arg $ addr_arg $ workers_arg $ domains_arg
-       $ queue_arg $ cache_arg $ serve_timeout_arg $ trace_buffer_arg
-       $ packs_arg $ session_ttl_arg $ session_cap_arg))
+        (const run $ port_arg $ addr_arg $ workers_arg $ queue_arg
+       $ cache_arg $ serve_timeout_arg $ trace_buffer_arg $ packs_arg
+       $ session_ttl_arg $ session_cap_arg))
 
 (* --- pack ---------------------------------------------------------- *)
 
@@ -342,8 +377,15 @@ let pack_check_cmd =
             match Dggt_pack.Check.run loaded with
             | [] ->
                 let d = loaded.Dggt_pack.Loader.domain in
-                Printf.printf "%s: ok — %s (%d APIs, %d queries)\n" dir
-                  d.Domain.name (Domain.api_count d) (Domain.query_count d)
+                let a =
+                  Dggt_autom.Autom.compile (Lazy.force d.Domain.graph)
+                in
+                Printf.printf
+                  "%s: ok — %s (%d APIs, %d queries; automaton %s, %.1f ms)\n"
+                  dir d.Domain.name (Domain.api_count d)
+                  (Domain.query_count d)
+                  (String.sub (Dggt_autom.Autom.digest a) 0 12)
+                  (Dggt_autom.Autom.compile_time_s a *. 1000.)
             | errs ->
                 List.iter
                   (fun e -> problem "%s" (Dggt_pack.Err.to_string e))
@@ -404,4 +446,13 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ synth_cmd; explain_cmd; repl_cmd; eval_cmd; serve_cmd; pack_cmd ]))
+       (Cmd.group info
+          [
+            synth_cmd;
+            explain_cmd;
+            repl_cmd;
+            eval_cmd;
+            autom_cmd;
+            serve_cmd;
+            pack_cmd;
+          ]))

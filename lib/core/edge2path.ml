@@ -48,26 +48,35 @@ let make entries ~orphan_ids ~next_id =
     next_id;
   }
 
-(* Run the independent per-pair searches, optionally fanned across a
-   domain pool. Results come back in task order either way (the pool's
-   map preserves input order), so everything downstream — path ordinals,
-   epath ids, labels — is byte-identical to the sequential build. *)
-let run_searches ?pool f tasks =
-  match pool with
-  | None -> List.map f tasks
-  | Some p -> Dggt_par.Pool.map_ordered p f tasks
-
 (* all candidate (gov_api, dep_api) pairs, gov-major, self-pairs skipped —
-   the order the sequential build searched them in, which the parallel
-   reassembly must reproduce *)
+   the order the per-edge reassembly below consumes them in *)
 let candidate_pairs govs deps =
   List.concat_map
     (fun a -> List.filter_map (fun b -> if a = b then None else Some (a, b)) deps)
     govs
 
-let build ?limits ?pair_lookup ?pool g (dg : Depgraph.t) w2a =
+(* The per-pair search, automaton-accelerated when the caller compiled
+   one for this graph. The physical-equality guard turns a mismatched
+   automaton (compiled from some other graph) into a correct DFS run
+   instead of paths over the wrong node ids; Engine.target pairs the two
+   by construction, so the guard never fires on the normal path. *)
+let searcher ?limits ?autom g =
+  match autom with
+  | Some a when Dggt_autom.Autom.graph a == g ->
+      fun ~src_api ~dst_api ->
+        Dggt_autom.Autom.paths_between_apis ?limits a ~src_api ~dst_api
+  | _ -> fun ~src_api ~dst_api -> Gpath.search_between_apis ?limits g ~src_api ~dst_api
+
+let root_searcher ?limits ?autom g =
+  match autom with
+  | Some a when Dggt_autom.Autom.graph a == g ->
+      fun ~dst -> Dggt_autom.Autom.paths_from_root ?limits a ~dst
+  | _ -> fun ~dst -> Gpath.search_from_root ?limits g ~dst
+
+let build ?limits ?pair_lookup ?autom g (dg : Depgraph.t) w2a =
+  let searcher = searcher ?limits ?autom g in
   let search (a, b) =
-    let compute () = Gpath.search_between_apis ?limits g ~src_api:a ~dst_api:b in
+    let compute () = searcher ~src_api:a ~dst_api:b in
     match pair_lookup with
     | None -> compute ()
     | Some f -> f ~src:a ~dst:b compute
@@ -81,8 +90,7 @@ let build ?limits ?pair_lookup ?pool g (dg : Depgraph.t) w2a =
       dg.Depgraph.edges
   in
   let results =
-    run_searches ?pool search (List.concat_map snd edge_pairs)
-    |> Array.of_list
+    List.map search (List.concat_map snd edge_pairs) |> Array.of_list
   in
   let cursor = ref 0 in
   let next_id = ref 0 in
@@ -131,7 +139,8 @@ let orphans t = t.orphan_ids
 let total_path_count t = t.total
 let find t id = Hashtbl.find_opt t.by_id id
 
-let anchor_orphans ?limits ?pool g (dg : Depgraph.t) w2a t =
+let anchor_orphans ?limits ?autom g (dg : Depgraph.t) w2a t =
+  let search_root = root_searcher ?limits ?autom g in
   (* Rewrite each orphan's edge to hang off the dependency root, and search
      paths from the grammar root down to the orphan's candidate APIs. *)
   let orphan_set = t.orphan_ids in
@@ -148,7 +157,7 @@ let anchor_orphans ?limits ?pool g (dg : Depgraph.t) w2a t =
     }
   in
   (* per orphan edge, the candidate APIs (with their resolved grammar
-     nodes) whose root-anchored searches fan out across the pool *)
+     nodes) whose root-anchored searches run below *)
   let edge_deps =
     List.map
       (fun (e : Depgraph.edge) ->
@@ -165,11 +174,9 @@ let anchor_orphans ?limits ?pool g (dg : Depgraph.t) w2a t =
       edge_deps
   in
   let results =
-    run_searches ?pool
+    List.map
       (fun (_, dst) ->
-        match dst with
-        | None -> []
-        | Some dst -> Gpath.search_from_root ?limits g ~dst)
+        match dst with None -> [] | Some dst -> search_root ~dst)
       tasks
     |> Array.of_list
   in

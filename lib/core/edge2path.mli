@@ -26,7 +26,7 @@ val build :
     dst:string ->
     (unit -> Dggt_grammar.Gpath.t list) ->
     Dggt_grammar.Gpath.t list) ->
-  ?pool:Dggt_par.Pool.t ->
+  ?autom:Dggt_autom.Autom.t ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->
@@ -43,12 +43,14 @@ val build :
     query-independent — so a serving layer can back the hook with a cache
     keyed [(domain, src, dst)] and reuse results across requests.
 
-    [pool] fans the independent per-pair searches across a domain pool
-    ({!Dggt_par.Pool.map_ordered}); results are reassembled in edge/pair
-    order, so ids, labels and path lists are byte-identical to the
-    sequential build. When [pair_lookup] is also given it must be
-    domain-safe (the server's mutex-guarded LRU is). Default: in-process
-    sequential search. *)
+    [autom] is the fast path: per-pair searches run on the compiled
+    automaton's state tables ({!Dggt_autom.Autom.paths_between_apis}) —
+    byte-identical paths, ids and labels, at table-walk cost plus the
+    automaton's cross-query memo. It must be compiled from {e this}
+    graph ([Dggt_autom.Autom.graph autom == g]); a mismatched automaton
+    is ignored and the per-query DFS runs instead. [pair_lookup] still
+    wraps the automaton-backed compute, so reuse accounting and serving
+    caches keep working unchanged. *)
 
 val paths_of_edge : t -> Dggt_nlu.Depgraph.edge -> epath list
 val all : t -> epath list
@@ -64,7 +66,7 @@ val find : t -> int -> epath option
 
 val anchor_orphans :
   ?limits:Dggt_grammar.Gpath.limits ->
-  ?pool:Dggt_par.Pool.t ->
+  ?autom:Dggt_autom.Autom.t ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->
@@ -73,6 +75,7 @@ val anchor_orphans :
 (** The HISyn treatment: every orphan becomes a child of the dependency
     root, with candidate paths searched from the {e grammar root} down to
     the orphan's APIs ([gov_api = None]). Returns the rewritten dependency
-    graph and the extended map. *)
+    graph and the extended map. [autom] accelerates the root-anchored
+    searches exactly as in {!build}. *)
 
 val pp : Dggt_grammar.Ggraph.t -> Format.formatter -> t -> unit

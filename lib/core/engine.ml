@@ -25,9 +25,11 @@ type target = {
   graph : Dggt_grammar.Ggraph.t;
   doc : Apidoc.t;
   caches : lookups;
+  autom : Dggt_autom.Autom.t option;
 }
 
-let target ?(caches = no_lookups) graph doc = { graph; doc; caches }
+let target ?(caches = no_lookups) ?autom graph doc =
+  { graph; doc; caches; autom }
 
 type config = {
   algorithm : algorithm;
@@ -44,7 +46,6 @@ type config = {
   unit_filter : (string -> bool) option;
   stop_verbs : string list;
   trace : Trace.sink option;
-  par : Dggt_par.Pool.t option;
 }
 
 let default algorithm =
@@ -63,7 +64,6 @@ let default algorithm =
     unit_filter = None;
     stop_verbs = [];
     trace = None;
-    par = None;
   }
 
 type outcome = {
@@ -248,8 +248,8 @@ let front cfg tgt stats (pruned : Depgraph.t) =
     Trace.span tr "EdgeToPath" (fun sp ->
         let e2p =
           Edge2path.build ~limits:cfg.path_limits
-            ?pair_lookup:tgt.caches.edge2path ?pool:cfg.par tgt.graph pruned
-            w2a
+            ?pair_lookup:tgt.caches.edge2path ?autom:tgt.autom tgt.graph
+            pruned w2a
         in
         trace_edge_paths sp pruned e2p;
         Trace.int sp "total_paths" (Edge2path.total_path_count e2p);
@@ -339,7 +339,7 @@ let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
             Trace.span cfg.trace "OrphanAnchor" (fun asp ->
                 let dg, e2p =
                   Edge2path.anchor_orphans ~limits:cfg.path_limits
-                    ?pool:cfg.par tgt.graph pruned w2a e2p
+                    ?autom:tgt.autom tgt.graph pruned w2a e2p
                 in
                 Trace.int asp "paths_after_anchor"
                   (Edge2path.total_path_count e2p);
@@ -386,8 +386,8 @@ let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
             (fun (i, acc) dg ->
               let e2p =
                 Edge2path.build ~limits:cfg.path_limits
-                  ?pair_lookup:tgt.caches.edge2path ?pool:cfg.par tgt.graph
-                  dg w2a
+                  ?pair_lookup:tgt.caches.edge2path ?autom:tgt.autom
+                  tgt.graph dg w2a
               in
               if Trace.on sp then
                 Trace.int sp
@@ -432,8 +432,8 @@ let run_hisyn cfg tgt budget stats (pruned : Depgraph.t) =
         else
           Trace.span cfg.trace "OrphanAnchor" (fun asp ->
               let dg, e2p =
-                Edge2path.anchor_orphans ~limits:cfg.path_limits ?pool:cfg.par
-                  tgt.graph pruned w2a e2p
+                Edge2path.anchor_orphans ~limits:cfg.path_limits
+                  ?autom:tgt.autom tgt.graph pruned w2a e2p
               in
               Trace.int asp "paths_after_anchor" (Edge2path.total_path_count e2p);
               (dg, e2p))
@@ -539,8 +539,8 @@ let synthesize_ranked_cfg ?(k = 5) cfg tgt query =
             let dg = match variants with v :: _ -> v | [] -> pruned in
             ( dg,
               Edge2path.build ~limits:cfg.path_limits
-                ?pair_lookup:tgt.caches.edge2path ?pool:cfg.par tgt.graph dg
-                w2a )
+                ?pair_lookup:tgt.caches.edge2path ?autom:tgt.autom tgt.graph
+                dg w2a )
         in
         let ranked =
           Dggt.synthesize_ranked ~budget ~stats ~gprune:cfg.gprune

@@ -57,13 +57,28 @@ type target = {
       (** per-stage memoization; {!no_lookups} = compute everything. Part
           of the target, not the config: installing caches means building
           a different target, never mutating how the engine runs. *)
+  autom : Dggt_autom.Autom.t option;
+      (** the grammar compiled into state tables
+          ({!Dggt_autom.Autom.compile}); when present, EdgeToPath runs
+          on the automaton's transition tables and cross-query path memo
+          instead of the per-query DFS — byte-identical codelets, epath
+          labels and statistics. Must be compiled from [graph] (the
+          registry and {!Dggt_domains.Domain.configure} guarantee it);
+          [None] falls back to the DFS. *)
 }
-(** What to synthesize against. Build one per domain (grammar and document
-    are immutable and shared freely across threads) and reuse it for every
-    query — {!Dggt_domains.Domain.configure} returns a ready {!session}. *)
+(** What to synthesize against. Build one per domain (grammar, document
+    and automaton are immutable and shared freely across threads) and
+    reuse it for every query — {!Dggt_domains.Domain.configure} returns
+    a ready {!session}. *)
 
-val target : ?caches:lookups -> Dggt_grammar.Ggraph.t -> Apidoc.t -> target
-(** [caches] defaults to {!no_lookups}. *)
+val target :
+  ?caches:lookups ->
+  ?autom:Dggt_autom.Autom.t ->
+  Dggt_grammar.Ggraph.t ->
+  Apidoc.t ->
+  target
+(** [caches] defaults to {!no_lookups}; [autom] to [None] (DFS
+    EdgeToPath). *)
 
 type config = {
   algorithm : algorithm;
@@ -89,19 +104,18 @@ type config = {
   trace : Dggt_obs.Trace.sink option;
       (** stage-level tracing sink; [None] (the default) is the zero-cost
           off switch. Sinks are single-request: build one per call. *)
-  par : Dggt_par.Pool.t option;
-      (** domain pool for the EdgeToPath stage's per-pair searches
-          ({!Edge2path.build} / {!Edge2path.anchor_orphans}); results are
-          order-preserving, so the synthesized codelet, epath ids/labels
-          and statistics are byte-identical to a sequential run. [None]
-          (the default) computes in-process sequentially. The pool is
-          shared, long-lived state like the target's caches — create one
-          per process ([dggt serve --domains N]), not per query. *)
 }
+(** How to run. Parallelism note: the engine computes one query strictly
+    sequentially — [BENCH_parallel.json] showed intra-query fan-out of
+    the per-pair searches running 0.6–0.9x {e slower} than sequential,
+    so that knob is gone. Throughput comes from running {e whole
+    queries} concurrently (the server's worker pool,
+    {!Dggt_eval.Runner}'s [pool]); per-query search cost is attacked by
+    the compiled automaton ([target.autom]) instead. *)
 
 val default : algorithm -> config
 (** 20 s timeout, top_k 4, default path limits, all optimizations on,
-    tracing off, sequential ([par = None]). *)
+    tracing off. *)
 
 type outcome = {
   expr : Tree2expr.expr option;  (** the synthesized codelet *)

@@ -14,7 +14,17 @@ type t = {
   top_k : int option;
 }
 
-let configure ?caches t (cfg : Dggt_core.Engine.config) =
+let configure ?caches ?autom t (cfg : Dggt_core.Engine.config) =
+  (* When an automaton is supplied, synthesize against *its* graph: the
+     target's graph and the automaton are then consistent by construction
+     (Edge2path's physical-equality guard always passes), and an automaton
+     reused across a registry reload keeps its compiled graph alive
+     instead of forcing the domain's lazy copy. *)
+  let graph =
+    match autom with
+    | Some a -> Dggt_autom.Autom.graph a
+    | None -> Lazy.force t.graph
+  in
   {
     Dggt_core.Engine.cfg =
       {
@@ -26,7 +36,7 @@ let configure ?caches t (cfg : Dggt_core.Engine.config) =
         stop_verbs = t.stop_verbs;
         top_k = Option.value t.top_k ~default:cfg.Dggt_core.Engine.top_k;
       };
-    target = Dggt_core.Engine.target ?caches (Lazy.force t.graph) (Lazy.force t.doc);
+    target = Dggt_core.Engine.target ?caches ?autom graph (Lazy.force t.doc);
   }
 
 let api_count t = Dggt_core.Apidoc.size (Lazy.force t.doc)

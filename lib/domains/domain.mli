@@ -28,13 +28,18 @@ type t = {
 
 val configure :
   ?caches:Dggt_core.Engine.lookups ->
+  ?autom:Dggt_autom.Autom.t ->
   t ->
   Dggt_core.Engine.config ->
   Dggt_core.Engine.session
 (** Apply the domain's defaults/unit_filter/path_limits to an engine
     configuration, and build the synthesis target (forcing the domain's
-    grammar and document; [caches] installs per-stage memoization). The
-    session feeds {!Dggt_core.Engine.run} directly. *)
+    grammar and document; [caches] installs per-stage memoization). When
+    [autom] is given, the target's graph is the automaton's own graph
+    ([Dggt_autom.Autom.graph]) so EdgeToPath's table-walk fast path is
+    consistent by construction — compile it from this domain's grammar
+    (the registry does). The session feeds {!Dggt_core.Engine.run}
+    directly. *)
 
 val api_count : t -> int
 val query_count : t -> int

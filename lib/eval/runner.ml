@@ -16,37 +16,40 @@ type run = {
 }
 
 let run_domain ?(timeout_s = 20.0) ?(tweak = Fun.id) ?(progress = fun _ _ -> ())
-    ?(stage_timing = false) (dom : Domain.t) algorithm =
+    ?(stage_timing = false) ?pool ?autom (dom : Domain.t) algorithm =
   let ses =
-    Domain.configure dom
+    Domain.configure ?autom dom
       { (Engine.default algorithm) with Engine.timeout_s = Some timeout_s }
     |> Engine.with_cfg tweak
   in
   let n = List.length dom.Domain.queries in
+  (* completion counter, not an index: under a pool queries finish out of
+     order, so progress reports "how many done", monotonically *)
+  let finished = Atomic.make 0 in
+  let eval (q : Domain.query) =
+    let sink = if stage_timing then Some (Dggt_obs.Trace.create ()) else None in
+    let outcome =
+      Engine.run
+        (Engine.with_cfg (fun c -> { c with Engine.trace = sink }) ses)
+        q.Domain.text
+    in
+    let stage_s =
+      match sink with
+      | None -> []
+      | Some s -> Dggt_obs.Trace.durations (Dggt_obs.Trace.result s)
+    in
+    progress (Atomic.fetch_and_add finished 1 + 1) n;
+    {
+      query = q;
+      outcome;
+      correct = Domain.check dom outcome.Engine.expr q;
+      stage_s;
+    }
+  in
   let results =
-    List.mapi
-      (fun i (q : Domain.query) ->
-        let sink =
-          if stage_timing then Some (Dggt_obs.Trace.create ()) else None
-        in
-        let outcome =
-          Engine.run
-            (Engine.with_cfg (fun c -> { c with Engine.trace = sink }) ses)
-            q.Domain.text
-        in
-        let stage_s =
-          match sink with
-          | None -> []
-          | Some s -> Dggt_obs.Trace.durations (Dggt_obs.Trace.result s)
-        in
-        progress (i + 1) n;
-        {
-          query = q;
-          outcome;
-          correct = Domain.check dom outcome.Engine.expr q;
-          stage_s;
-        })
-      dom.Domain.queries
+    match pool with
+    | None -> List.map eval dom.Domain.queries
+    | Some p -> Dggt_par.Pool.map_ordered p eval dom.Domain.queries
   in
   { domain_name = dom.Domain.name; algorithm; timeout_s; results }
 

@@ -23,15 +23,27 @@ val run_domain :
   ?tweak:(Dggt_core.Engine.config -> Dggt_core.Engine.config) ->
   ?progress:(int -> int -> unit) ->
   ?stage_timing:bool ->
+  ?pool:Dggt_par.Pool.t ->
+  ?autom:Dggt_autom.Autom.t ->
   Dggt_domains.Domain.t ->
   Dggt_core.Engine.algorithm ->
   run
 (** Default timeout 20 s — the paper's interactive-use cutoff. [tweak]
     post-processes the domain-configured engine config (used by the
-    ablation bench to toggle optimizations). [progress i n] is called
-    after each query. [stage_timing] (default off) attaches a fresh trace
-    sink per query and records the per-stage durations in [stage_s];
-    leave it off when measuring end-to-end latency for the tables. *)
+    ablation bench to toggle optimizations). [progress done n] is called
+    after each query with the {e count} of finished queries (completion
+    order, not query order, under a pool). [stage_timing] (default off)
+    attaches a fresh trace sink per query and records the per-stage
+    durations in [stage_s]; leave it off when measuring end-to-end
+    latency for the tables.
+
+    [pool] fans {e whole queries} out over worker domains
+    ({!Dggt_par.Pool.map_ordered}) — each query is synthesized
+    sequentially, results come back in query order and are byte-identical
+    to a sequential run; this is the batch-throughput knob (queries/sec),
+    not a latency one. [autom] passes a compiled grammar automaton to
+    {!Dggt_domains.Domain.configure}, accelerating every query's
+    EdgeToPath stage. *)
 
 val accuracy : run -> float
 val timeouts : run -> int

@@ -112,10 +112,10 @@ let hooked_target t =
       };
   }
 
-(* Result-affecting config fields, compared field by field. [unit_filter],
-   [trace] and [par] are deliberately left out: the first two are closures
-   (structural (=) would raise Invalid_argument) and [par]/[trace] never
-   change the synthesized bytes; [unit_filter] is pinned at session creation
+(* Result-affecting config fields, compared field by field. [unit_filter]
+   and [trace] are deliberately left out: both are closures (structural
+   (=) would raise Invalid_argument) and [trace] never changes the
+   synthesized bytes; [unit_filter] is pinned at session creation
    (documented in the mli). *)
 let stage_cfg_equal (a : Engine.config) (b : Engine.config) =
   a.Engine.algorithm = b.Engine.algorithm

@@ -12,6 +12,11 @@ type t = {
   mutable base : entry list;
   mutable packs : entry list;
   mutable generation : int;
+  (* compiled automata keyed (normalized name, content key): a reload
+     that leaves a pack's digest unchanged reuses the exact same
+     automaton (pointer-equal), so hot /reload only pays compilation for
+     packs whose bytes actually changed *)
+  autos : (string * string, Dggt_autom.Autom.t) Hashtbl.t;
 }
 
 let locked t f =
@@ -69,7 +74,13 @@ let create ?(builtins = default_builtins) () =
   (match clash base with
   | Some (n, _) -> invalid_arg ("Domain_registry.create: duplicate name " ^ n)
   | None -> ());
-  { mu = Mutex.create (); base; packs = []; generation = 0 }
+  {
+    mu = Mutex.create ();
+    base;
+    packs = [];
+    generation = 0;
+    autos = Hashtbl.create 8;
+  }
 
 let entries t = locked t (fun () -> visible_unlocked t)
 let domains t = List.map (fun e -> e.domain) (entries t)
@@ -92,6 +103,14 @@ let register t ?(aliases = []) ?(origin = Builtin) domain =
           t.base <- t.base @ [ e ];
           t.generation <- t.generation + 1;
           Ok ())
+
+(* what identifies an entry's compiled automaton: for packs the manifest
+   digest (content-addressed — a reload with unchanged bytes hits the
+   cache), for built-ins the name (their grammars are compiled in) *)
+let content_key e =
+  match e.origin with
+  | Builtin -> "builtin:" ^ norm e.domain.Domain.name
+  | Pack { digest; _ } -> digest
 
 let pack_dirs dir =
   Sys.readdir dir |> Array.to_list |> List.sort compare
@@ -147,7 +166,36 @@ let load_dir t dir =
                entries already handed out keep working (immutable) *)
             t.packs <- fresh;
             t.generation <- t.generation + 1;
+            (* drop automata whose content key no longer names a visible
+               entry — dropped/changed packs release their tables; an
+               unchanged digest keeps its compiled automaton alive *)
+            let live = List.map content_key (visible_unlocked t) in
+            let stale =
+              Hashtbl.fold
+                (fun ((_, ck) as key) _ acc ->
+                  if List.mem ck live then acc else key :: acc)
+                t.autos []
+            in
+            List.iter (Hashtbl.remove t.autos) stale;
             Ok fresh)
+
+let automaton ?trace t (e : entry) =
+  let key = (norm e.domain.Domain.name, content_key e) in
+  match locked t (fun () -> Hashtbl.find_opt t.autos key) with
+  | Some a -> (a, false)
+  | None ->
+      (* compile outside the lock, [Ggraph.dist_from]-style: two racing
+         compilers both do the work, the first insert wins and the loser
+         is discarded — compilation is deterministic, so either serves *)
+      let a =
+        Dggt_autom.Autom.compile ?trace (Lazy.force e.domain.Domain.graph)
+      in
+      locked t (fun () ->
+          match Hashtbl.find_opt t.autos key with
+          | Some winner -> (winner, false)
+          | None ->
+              Hashtbl.add t.autos key a;
+              (a, true))
 
 let pack_digest t =
   let packs =

@@ -58,3 +58,16 @@ val generation : t -> int
 val pack_digest : t -> string
 (** Order-independent digest over the loaded packs' file digests;
     ["none"] when only built-ins are registered. *)
+
+val automaton :
+  ?trace:Dggt_obs.Trace.sink -> t -> entry -> Dggt_autom.Autom.t * bool
+(** The entry's grammar compiled into EdgeToPath state tables
+    ({!Dggt_autom.Autom.compile}), cached in the registry keyed by
+    content: a pack entry by its manifest digest, a built-in by its
+    name. The flag is [true] when this call compiled the automaton and
+    [false] on a cache hit — a {!load_dir} that leaves a pack's digest
+    unchanged hands back the {e pointer-equal} automaton, so a hot
+    [POST /reload] compiles exactly once per changed pack. [trace]
+    receives the AutomatonCompile span on fresh compiles only.
+    Compilation runs outside the registry lock; concurrent callers may
+    both compile, with the first to finish winning. *)

@@ -11,7 +11,6 @@ type params = {
   addr : string;
   port : int;
   workers : int;
-  domains : int;
   queue_capacity : int;
   cache_size : int;
   default_timeout_s : float;
@@ -26,7 +25,6 @@ let default_params =
     addr = "127.0.0.1";
     port = 8080;
     workers = 0;
-    domains = 1;
     queue_capacity = 64;
     cache_size = 512;
     default_timeout_s = 10.0;
@@ -55,6 +53,10 @@ type dstate = {
   aliases : string list;
   origin : Registry.origin;
   gen : int;
+  autom : Dggt_autom.Autom.t;
+      (* the grammar compiled into EdgeToPath state tables; held by the
+         registry's digest-keyed cache, so reloads reuse it whenever the
+         pack bytes are unchanged *)
   target : Engine.target;
   cfg_dggt : Engine.config;
   cfg_hisyn : Engine.config;
@@ -85,8 +87,6 @@ type trecord = {
 type t = {
   params : params;
   pool : Deadline_pool.t;
-  par : Dggt_par.Pool.t option;
-      (* EdgeToPath fan-out pool, shared by every request worker *)
   metrics : Smetrics.t;
   registry : Registry.t;
   build : string; (* git describe at startup, or "unknown" *)
@@ -95,7 +95,6 @@ type t = {
     (int * string * string * string * int, Engine.outcome * string list) Cache.t;
   rank_cache : (int * string * string * int, string list) Cache.t;
   word_cache : (int * string * string * string, Word2api.candidate list) Cache.t;
-  path_cache : (int * string * string * string, Dggt_grammar.Gpath.t list) Cache.t;
   sessions : srecord Sessions.t;
   traces : trecord Ring.t;
   dmu : Mutex.t; (* guards [dstates]; snapshot, never hold across work *)
@@ -668,6 +667,17 @@ let version_handler t =
          ("build", J.Str t.build);
          ("generation", J.Num (float_of_int (Registry.generation t.registry)));
          ("pack_digest", J.Str (Registry.pack_digest t.registry));
+         ( "automata",
+           J.list
+             (fun ds ->
+               J.Obj
+                 [
+                   ("domain", J.Str ds.dom.Dggt_domains.Domain.name);
+                   ("digest", J.Str (Dggt_autom.Autom.digest ds.autom));
+                   ( "compile_s",
+                     J.Num (Dggt_autom.Autom.compile_time_s ds.autom) );
+                 ])
+             (dstates t) );
        ])
 
 let healthz_handler t =
@@ -693,9 +703,23 @@ let debug_trace_handler t =
 (* lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let make_dstate ~word_cache ~path_cache ~par ~gen (e : Registry.entry) =
+(* [(dstate, compiled_now)]. The automaton comes from the registry's
+   digest-keyed cache: only a genuinely new/changed grammar pays a
+   compile, which the metrics record (count + stage histogram). The old
+   per-pair path cache is gone — the automaton's own memo plays that
+   role, and [edge2path = None] keeps the hook chain short. *)
+let make_dstate ~metrics ~registry ~word_cache ~gen (e : Registry.entry) =
   let d = e.Registry.domain in
   let name = d.Dggt_domains.Domain.name in
+  let sink = Trace.create () in
+  let autom, compiled = Registry.automaton ~trace:sink registry e in
+  if compiled then begin
+    Smetrics.observe_autom_compile metrics ~domain:name
+      (Dggt_autom.Autom.compile_time_s autom);
+    List.iter
+      (fun (stage, dur) -> Smetrics.observe_stage metrics ~stage dur)
+      (Trace.durations (Trace.result sink))
+  end;
   let lookups =
     {
       Engine.word2api =
@@ -705,36 +729,40 @@ let make_dstate ~word_cache ~path_cache ~par ~gen (e : Registry.entry) =
               (Cache.find_or_compute word_cache
                  (gen, name, lemma, Dggt_nlu.Pos.to_string pos)
                  compute));
-      Engine.edge2path =
-        Some
-          (fun ~src ~dst compute ->
-            fst (Cache.find_or_compute path_cache (gen, name, src, dst) compute));
+      Engine.edge2path = None;
     }
   in
   let s_dggt =
-    Dggt_domains.Domain.configure ~caches:lookups d
-      { (Engine.default Engine.Dggt_alg) with Engine.par }
+    Dggt_domains.Domain.configure ~caches:lookups ~autom d
+      (Engine.default Engine.Dggt_alg)
   in
   let s_hisyn =
-    Dggt_domains.Domain.configure d
-      { (Engine.default Engine.Hisyn_alg) with Engine.par }
+    Dggt_domains.Domain.configure ~autom d (Engine.default Engine.Hisyn_alg)
   in
-  {
-    dom = d;
-    aliases = e.Registry.aliases;
-    origin = e.Registry.origin;
-    gen;
-    target = s_dggt.Engine.target;
-    cfg_dggt = s_dggt.Engine.cfg;
-    cfg_hisyn = s_hisyn.Engine.cfg;
-  }
+  ( {
+      dom = d;
+      aliases = e.Registry.aliases;
+      origin = e.Registry.origin;
+      gen;
+      autom;
+      target = s_dggt.Engine.target;
+      cfg_dggt = s_dggt.Engine.cfg;
+      cfg_hisyn = s_hisyn.Engine.cfg;
+    },
+    compiled )
 
+(* [(dstates, compiled)]: how many automata this build actually compiled
+   (the rest were registry cache hits) *)
 let build_dstates t =
   let gen = Registry.generation t.registry in
-  List.map
-    (make_dstate ~word_cache:t.word_cache ~path_cache:t.path_cache
-       ~par:t.par ~gen)
-    (Registry.entries t.registry)
+  let pairs =
+    List.map
+      (make_dstate ~metrics:t.metrics ~registry:t.registry
+         ~word_cache:t.word_cache ~gen)
+      (Registry.entries t.registry)
+  in
+  ( List.map fst pairs,
+    List.length (List.filter (fun (_, compiled) -> compiled) pairs) )
 
 (* POST /reload: re-scan the pack directory, atomically swap the registry
    and the per-domain states, and drop every cache. In-flight requests
@@ -763,14 +791,13 @@ let reload_handler t =
                  ("detail", J.Str (Dggt_pack.Err.to_string e));
                ])
       | Ok packs ->
-          let fresh = build_dstates t in
+          let fresh, compiled = build_dstates t in
           Mutex.lock t.dmu;
           t.dstates <- fresh;
           Mutex.unlock t.dmu;
           Cache.clear t.q_cache;
           Cache.clear t.rank_cache;
           Cache.clear t.word_cache;
-          Cache.clear t.path_cache;
           respond_json 200
             (J.Obj
                [
@@ -780,6 +807,11 @@ let reload_handler t =
                  ( "generation",
                    J.Num (float_of_int (Registry.generation t.registry)) );
                  ("pack_digest", J.Str (Registry.pack_digest t.registry));
+                 (* how many grammars actually changed: unchanged digests
+                    reuse the compiled automaton, pointer-equal *)
+                 ("automata_compiled", J.Num (float_of_int compiled));
+                 ( "automata_reused",
+                   J.Num (float_of_int (List.length fresh - compiled)) );
                  ( "domains",
                    J.Arr
                      (List.map
@@ -833,14 +865,6 @@ let create params =
       ?workers:(if params.workers > 0 then Some params.workers else None)
       ~capacity:params.queue_capacity ()
   in
-  (* one shared EdgeToPath fan-out pool for the whole process; request
-     workers calling into it always help drain their own batch, so this
-     never deadlocks even when every request worker maps at once *)
-  let par =
-    if params.domains > 1 then
-      Some (Dggt_par.Pool.create ~workers:params.domains ())
-    else None
-  in
   let registry = Registry.create () in
   (match params.packs_dir with
   | None -> ()
@@ -850,19 +874,16 @@ let create params =
       | Error e -> failwith ("dggt serve: " ^ Dggt_pack.Err.to_string e)));
   let stage_cap = max 0 params.cache_size * 4 in
   let word_cache = Cache.create ~capacity:stage_cap in
-  let path_cache = Cache.create ~capacity:stage_cap in
   let t =
     {
       params;
       pool;
-      par;
       metrics;
       registry;
       build = Option.value (git_describe ()) ~default:"unknown";
       q_cache = Cache.create ~capacity:params.cache_size;
       rank_cache = Cache.create ~capacity:params.cache_size;
       word_cache;
-      path_cache;
       sessions =
         Sessions.create ~ttl_s:params.session_ttl_s ~cap:params.session_cap ();
       traces = Ring.create ~capacity:params.trace_buffer;
@@ -871,14 +892,27 @@ let create params =
       http = None;
     }
   in
-  t.dstates <- build_dstates t;
+  t.dstates <- fst (build_dstates t);
   Smetrics.set_queue_probe metrics (fun () -> Deadline_pool.depth pool);
   Smetrics.register_cache metrics "query" (fun () -> Cache.counters t.q_cache);
   Smetrics.register_cache metrics "rank" (fun () -> Cache.counters t.rank_cache);
   Smetrics.register_cache metrics "word2api" (fun () ->
       Cache.counters t.word_cache);
-  Smetrics.register_cache metrics "edge2path" (fun () ->
-      Cache.counters t.path_cache);
+  (* the automata's cross-query path memos, summed over the live domain
+     states — the successor of the old per-pair LRU's counters *)
+  Smetrics.register_cache metrics "autom_memo" (fun () ->
+      List.fold_left
+        (fun (acc : Cache.counters) ds ->
+          let c = Dggt_autom.Autom.memo_counters ds.autom in
+          {
+            Cache.hits = acc.Cache.hits + c.Dggt_autom.Autom.hits;
+            misses = acc.Cache.misses + c.Dggt_autom.Autom.misses;
+            evictions = acc.Cache.evictions;
+            size = acc.Cache.size + c.Dggt_autom.Autom.entries;
+            capacity = acc.Cache.capacity;
+          })
+        { Cache.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+        (dstates t));
   Smetrics.set_sessions_probe metrics (fun () -> Sessions.counters t.sessions);
   let http =
     Httpd.create ~addr:params.addr ~port:params.port (fun req -> handler t req)
@@ -896,26 +930,24 @@ let stop t =
       Httpd.stop h;
       Httpd.wait h
   | None -> ());
-  Deadline_pool.shutdown t.pool;
-  Option.iter Dggt_par.Pool.shutdown t.par
+  Deadline_pool.shutdown t.pool
 
 let wait t =
   (match t.http with Some h -> Httpd.wait h | None -> ());
-  Deadline_pool.shutdown t.pool;
-  Option.iter Dggt_par.Pool.shutdown t.par
+  Deadline_pool.shutdown t.pool
 
 let run params =
   let t = create params in
   (match t.http with Some h -> Httpd.handle_signals h | None -> ());
   Printf.printf
-    "dggt serve: listening on http://%s:%d (%d workers, %d search domains, \
-     queue %d, cache %d%s)\n\
+    "dggt serve: listening on http://%s:%d (%d workers, queue %d, cache %d, \
+     %d automata%s)\n\
      %!"
     params.addr (port t)
     (Deadline_pool.workers t.pool)
-    (max 1 params.domains)
     (Deadline_pool.capacity t.pool)
     params.cache_size
+    (List.length (dstates t))
     (match params.packs_dir with
     | Some d ->
         Printf.sprintf ", packs %s [%d loaded]" d

@@ -17,11 +17,16 @@
       counts and origin ([builtin], or [pack] with its directory and
       digest).
     - [GET /version] — the binary's build ([git describe] at startup, or
-      ["unknown"]), the registry generation and the aggregate pack digest;
-      clients poll it to observe hot reloads.
+      ["unknown"]), the registry generation, the aggregate pack digest and
+      an [automata] array (per domain: the compiled automaton's digest and
+      compile wall time); clients poll it to observe hot reloads.
     - [POST /reload] — re-scan [params.packs_dir] and atomically swap the
       pack-backed domains ({!Dggt_pack.Domain_registry.load_dir}), then
-      drop every cache. All-or-nothing: a broken pack leaves the registry,
+      drop every cache. The response reports [automata_compiled] versus
+      [automata_reused]: grammar automata are cached by pack digest
+      ({!Dggt_pack.Domain_registry.automaton}), so a hot reload compiles
+      exactly once per pack whose bytes changed and reuses the rest
+      pointer-equal. All-or-nothing: a broken pack leaves the registry,
       the domain states and the caches untouched ([500] with the
       file:line diagnostic). In-flight requests finish against the domain
       snapshot they already resolved — the swap only changes what later
@@ -63,21 +68,18 @@
 
     Caching policy: timed-out outcomes and empty rank lists are {e not}
     cached, so a repeat under a larger budget gets a fresh run. The
-    per-stage caches (WordToAPI candidates, EdgeToPath path sets) are
-    installed as the [caches] field of each domain's
-    {!Dggt_core.Engine.target} and shared across all requests of that
-    domain; every cache key includes the registry generation, so a reload
-    invalidates them wholesale. *)
+    WordToAPI candidate cache is installed as the [caches] field of each
+    domain's {!Dggt_core.Engine.target} and shared across all requests of
+    that domain; every cache key includes the registry generation, so a
+    reload invalidates it wholesale. EdgeToPath path sets are no longer
+    LRU-cached per pair: each domain's compiled automaton
+    ({!Dggt_autom.Autom}) memoizes its table-walk searches internally,
+    exposed as the [autom_memo] cache in [GET /metrics]. *)
 
 type params = {
   addr : string;
   port : int;                (** 0 = ephemeral, read back with {!port} *)
   workers : int;             (** <= 0 = one per recommended domain count *)
-  domains : int;             (** EdgeToPath search domains {e per process}
-                                 (one {!Dggt_par.Pool} shared by all request
-                                 workers); <= 1 = sequential search.
-                                 Synthesized codelets are byte-identical at
-                                 every setting *)
   queue_capacity : int;
   cache_size : int;          (** whole-query LRU entries; per-stage caches
                                  get 4x this; <= 0 disables caching *)
@@ -96,8 +98,8 @@ type params = {
 }
 
 val default_params : params
-(** 127.0.0.1:8080, auto workers, sequential search (domains 1), queue 64,
-    cache 512, timeout 10 s, trace buffer 32, no packs, sessions 64 × 300 s. *)
+(** 127.0.0.1:8080, auto workers, queue 64, cache 512, timeout 10 s, trace
+    buffer 32, no packs, sessions 64 × 300 s. *)
 
 val api_version : int
 (** The [v] field of every JSON response; currently [1]. *)
@@ -105,8 +107,9 @@ val api_version : int
 type t
 
 val create : params -> t
-(** Forces every domain's grammar/document (so worker domains never race
-    a [Lazy.force]), loads [packs_dir] if given (raising [Failure] with
+(** Forces every domain's grammar/document and compiles its automaton (so
+    worker domains never race a [Lazy.force] and the first request never
+    pays a compile), loads [packs_dir] if given (raising [Failure] with
     the file:line diagnostic when a pack is broken — at startup, unlike
     [POST /reload], a bad pack is fatal), spawns the pool and starts
     listening. *)

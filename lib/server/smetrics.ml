@@ -91,6 +91,10 @@ type t = {
   mutable inc_reused : int;
   mutable inc_computed : int;
   mutable sessions_probe : (unit -> Sessions.counters) option;
+  (* grammar-automaton compilations: count + last compile wall time, per
+     domain (reloads recompile only changed packs, so the counter exposes
+     exactly how often each domain paid the compile) *)
+  autom : (string, int ref * float ref) Hashtbl.t;
 }
 
 let create () =
@@ -107,6 +111,7 @@ let create () =
     inc_reused = 0;
     inc_computed = 0;
     sessions_probe = None;
+    autom = Hashtbl.create 8;
   }
 
 let locked t f =
@@ -160,6 +165,14 @@ let observe_reuse t ~reused ~computed ~splice =
 
 let set_sessions_probe t probe =
   locked t (fun () -> t.sessions_probe <- Some probe)
+
+let observe_autom_compile t ~domain seconds =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.autom domain with
+      | Some (n, s) ->
+          incr n;
+          s := seconds
+      | None -> Hashtbl.replace t.autom domain (ref 1, ref seconds))
 
 let quantile t q = locked t (fun () -> Hist.quantile t.latency q)
 
@@ -261,6 +274,29 @@ let render t =
               line "# TYPE dggt_sessions_evicted_total counter";
               line "dggt_sessions_evicted_total %d" c.Sessions.evicted
           | exception _ -> ()));
+      if Hashtbl.length t.autom > 0 then begin
+        let rows =
+          Hashtbl.fold (fun k (n, s) acc -> (k, !n, !s) :: acc) t.autom []
+          |> List.sort compare
+        in
+        line
+          "# HELP dggt_autom_compiles_total Grammar automaton compilations \
+           by domain.";
+        line "# TYPE dggt_autom_compiles_total counter";
+        List.iter
+          (fun (domain, n, _) ->
+            line "dggt_autom_compiles_total{domain=%S} %d" domain n)
+          rows;
+        line
+          "# HELP dggt_autom_compile_seconds Wall time of the domain's most \
+           recent automaton compilation.";
+        line "# TYPE dggt_autom_compile_seconds gauge";
+        List.iter
+          (fun (domain, _, s) ->
+            line "dggt_autom_compile_seconds{domain=%S} %s" domain
+              (fmt_float s))
+          rows
+      end;
       if t.inc_queries > 0 then begin
         line "# HELP dggt_inc_queries_total Incremental session revisions served.";
         line "# TYPE dggt_inc_queries_total counter";

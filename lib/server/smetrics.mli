@@ -68,6 +68,14 @@ val observe_reuse : t -> reused:int -> computed:int -> splice:bool -> unit
 val set_sessions_probe : t -> (unit -> Sessions.counters) -> unit
 (** The session-store gauges are sampled at render time. *)
 
+val observe_autom_compile : t -> domain:string -> float -> unit
+(** Record one grammar-automaton compilation for [domain]: bumps
+    [dggt_autom_compiles_total{domain}] and sets
+    [dggt_autom_compile_seconds{domain}] to the compile's wall time.
+    Registry cache hits are {e not} recorded — the counter measures
+    compilations actually paid, so a hot reload of unchanged packs leaves
+    it flat. *)
+
 val quantile : t -> float -> float
 (** Latency quantile over all recorded requests. *)
 
@@ -79,6 +87,8 @@ val render : t -> string
     [dggt_queue_depth], [dggt_inflight_requests], per-cache
     [dggt_cache_{hits,misses,evictions}_total] / [dggt_cache_entries],
     session-store gauges ([dggt_sessions],
-    [dggt_sessions_{created,expired,evicted}_total]) and incremental-reuse
-    counters ([dggt_inc_queries_total], [dggt_inc_splices_total],
+    [dggt_sessions_{created,expired,evicted}_total]), automaton counters
+    ([dggt_autom_compiles_total{domain}],
+    [dggt_autom_compile_seconds{domain}]) and incremental-reuse counters
+    ([dggt_inc_queries_total], [dggt_inc_splices_total],
     [dggt_inc_reuse_ratio]). *)

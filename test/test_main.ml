@@ -8,6 +8,7 @@ let () =
       ("grammar", Test_grammar.suite);
       ("obs", Test_obs.suite);
       ("core", Test_core.suite);
+      ("autom", Test_autom.suite);
       ("domains", Test_domains.suite);
       ("eval", Test_eval.suite);
       ("server", Test_server.suite);

@@ -1,15 +1,14 @@
-(* Tests for dggt_par and the parallel EdgeToPath path: the pool's
-   ordering/exception/nesting contracts, shutdown and capacity semantics,
-   byte-for-byte sequential-vs-parallel equivalence of Edge2path and the
-   whole engine over both benchmark domains' query sets, and races on the
-   shared state the fan-out exposes (the grammar distance memo, the
-   server's LRU cache, the deadline pool). *)
+(* Tests for dggt_par: the pool's ordering/exception/nesting contracts,
+   shutdown and capacity semantics, byte-for-byte equivalence of a
+   pooled whole-query batch run against a sequential one, and races on
+   the shared state the fan-out exposes (the grammar distance memo, the
+   server's LRU cache, the deadline pool). Since the intra-query
+   EdgeToPath fan-out was retired, the pool's only engine-facing role is
+   batch throughput: whole queries over worker domains. *)
 
 module Pool = Dggt_par.Pool
 module Engine = Dggt_core.Engine
-module Edge2path = Dggt_core.Edge2path
-module Queryprune = Dggt_core.Queryprune
-module Word2api = Dggt_core.Word2api
+module Runner = Dggt_eval.Runner
 module Domain = Dggt_domains.Domain
 module Ggraph = Dggt_grammar.Ggraph
 
@@ -129,89 +128,73 @@ let test_shutdown_under_load () =
   check_i "every accepted job ran" (Atomic.get accepted) (Atomic.get ran)
 
 (* ------------------------------------------------------------------ *)
-(* sequential-vs-parallel equivalence                                 *)
+(* batch run: pooled = sequential                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Dependency parsing is sequential and by far the most expensive stage on
-   the ASTMatcher queries; parse each domain's query set once and share
-   the graphs across the equivalence tests below. *)
-let parses (dom : Domain.t) =
-  List.map
-    (fun (q : Domain.query) -> (q, Dggt_nlu.Depparser.parse q.Domain.text))
-    dom.Domain.queries
+(* Runner.run_domain ?pool fans whole queries out over worker domains;
+   results must come back in query order with every observable outcome
+   field identical to a sequential run. A step budget instead of a wall
+   clock keeps both runs deterministic (steps don't depend on
+   scheduling); a truncated query set keeps the test quick. *)
+let truncate n (dom : Domain.t) =
+  { dom with Domain.queries = List.filteri (fun i _ -> i < n) dom.Domain.queries }
 
-let te_parses = lazy (parses Dggt_domains.Text_editing.domain)
-let am_parses = lazy (parses Dggt_domains.Astmatcher.domain)
-
-let parsed (dom : Domain.t) =
-  if dom.Domain.name = Dggt_domains.Astmatcher.domain.Domain.name then
-    Lazy.force am_parses
-  else Lazy.force te_parses
-
-(* EdgeToPath in isolation: identical epaths (ids, labels, API pair, the
-   full node/edge/api arrays of every path), identical orphan sets,
-   identical counts — over every query of the domain. *)
-let e2p_equiv (dom : Domain.t) () =
-  let g = Lazy.force dom.Domain.graph in
-  let doc = Lazy.force dom.Domain.doc in
-  with_pool (fun pool ->
-      List.iter
-        (fun ((q : Domain.query), parse) ->
-          let dg = Queryprune.prune parse in
-          let w2a = Word2api.build doc dg in
-          let seq = Edge2path.build g dg w2a in
-          let par = Edge2path.build ~pool g dg w2a in
-          check_b (q.Domain.text ^ ": build identical") true
-            (Edge2path.all seq = Edge2path.all par);
-          check_b (q.Domain.text ^ ": orphans identical") true
-            (Edge2path.orphans seq = Edge2path.orphans par);
-          check_i (q.Domain.text ^ ": counts identical")
-            (Edge2path.total_path_count seq)
-            (Edge2path.total_path_count par);
-          let dg_s, anch_s = Edge2path.anchor_orphans g dg w2a seq in
-          let dg_p, anch_p = Edge2path.anchor_orphans ~pool g dg w2a par in
-          check_b (q.Domain.text ^ ": anchored graph identical") true
-            (dg_s = dg_p);
-          check_b (q.Domain.text ^ ": anchored paths identical") true
-            (Edge2path.all anch_s = Edge2path.all anch_p))
-        (parsed dom))
-
-(* Whole-engine determinism: a step budget instead of a wall clock (the
-   EdgeToPath stage never consumes the budget, and steps don't depend on
-   scheduling), then every observable outcome field must match. Parsing
-   is shared via [parsed] and skipped with {!Engine.synthesize_graph};
-   [stride] subsamples the query set where the engine itself is slow. *)
-let engine_equiv algorithm ?(max_steps = 100_000) ?(stride = 1)
-    (dom : Domain.t) () =
-  let base =
-    {
-      (Engine.default algorithm) with
-      Engine.timeout_s = None;
-      max_steps = Some max_steps;
-    }
+let runner_equiv algorithm (dom : Domain.t) () =
+  let dom = truncate 8 dom in
+  let tweak c =
+    { c with Engine.timeout_s = None; max_steps = Some 100_000 }
   in
-  let ses_seq = Domain.configure dom base in
-  with_pool (fun pool ->
-      let ses_par =
-        Engine.with_cfg (fun c -> { c with Engine.par = Some pool }) ses_seq
-      in
-      List.iteri
-        (fun i ((q : Domain.query), dg) ->
-          if i mod stride = 0 then begin
-            let s = Engine.run_graph ses_seq dg in
-            let p = Engine.run_graph ses_par dg in
-            Alcotest.(check (option string))
-              (q.Domain.text ^ ": code") s.Engine.code p.Engine.code;
-            Alcotest.(check (option int))
-              (q.Domain.text ^ ": cgt_size") s.Engine.cgt_size p.Engine.cgt_size;
-            check_b (q.Domain.text ^ ": timed_out") s.Engine.timed_out
-              p.Engine.timed_out;
-            Alcotest.(check (option string))
-              (q.Domain.text ^ ": failure") s.Engine.failure p.Engine.failure;
-            check_b (q.Domain.text ^ ": stats") true
-              (s.Engine.stats = p.Engine.stats)
-          end)
-        (parsed dom))
+  let seq = Runner.run_domain ~tweak dom algorithm in
+  let par =
+    with_pool (fun pool -> Runner.run_domain ~tweak ~pool dom algorithm)
+  in
+  check_i "result count"
+    (List.length seq.Runner.results)
+    (List.length par.Runner.results);
+  List.iter2
+    (fun (s : Runner.qresult) (p : Runner.qresult) ->
+      let q = s.Runner.query.Domain.text in
+      Alcotest.(check string)
+        (q ^ ": query order") q p.Runner.query.Domain.text;
+      Alcotest.(check (option string))
+        (q ^ ": code") s.Runner.outcome.Engine.code p.Runner.outcome.Engine.code;
+      Alcotest.(check (option int))
+        (q ^ ": cgt_size") s.Runner.outcome.Engine.cgt_size
+        p.Runner.outcome.Engine.cgt_size;
+      check_b (q ^ ": timed_out") s.Runner.outcome.Engine.timed_out
+        p.Runner.outcome.Engine.timed_out;
+      Alcotest.(check (option string))
+        (q ^ ": failure") s.Runner.outcome.Engine.failure
+        p.Runner.outcome.Engine.failure;
+      check_b (q ^ ": stats") true
+        (s.Runner.outcome.Engine.stats = p.Runner.outcome.Engine.stats);
+      check_b (q ^ ": correct") s.Runner.correct p.Runner.correct)
+    seq.Runner.results par.Runner.results
+
+let test_runner_progress_counts () =
+  (* under a pool, progress reports completion counts: each callback sees
+     the number of finished queries, ending exactly at n *)
+  let dom = truncate 6 Dggt_domains.Text_editing.domain in
+  let seen = Mutex.create () and counts = ref [] in
+  let progress i n =
+    Mutex.lock seen;
+    counts := (i, n) :: !counts;
+    Mutex.unlock seen
+  in
+  let _run =
+    with_pool (fun pool ->
+        Runner.run_domain
+          ~tweak:(fun c ->
+            { c with Engine.timeout_s = None; max_steps = Some 10_000 })
+          ~progress ~pool dom Engine.Dggt_alg)
+  in
+  let counts = List.sort compare !counts in
+  check_i "one callback per query" 6 (List.length counts);
+  List.iteri
+    (fun i (got, n) ->
+      check_i "monotone completion count" (i + 1) got;
+      check_i "total" 6 n)
+    counts
 
 (* ------------------------------------------------------------------ *)
 (* shared state under real parallelism                                *)
@@ -320,22 +303,16 @@ let suite =
     ("submit: capacity bound and rejection", `Quick, test_submit_capacity);
     ("shutdown: idempotent", `Quick, test_shutdown_idempotent);
     ("shutdown: under concurrent submits", `Quick, test_shutdown_under_load);
-    ( "edge2path: par = seq, textediting query set",
+    ( "runner: pooled batch = seq, DGGT textediting",
       `Quick,
-      e2p_equiv Dggt_domains.Text_editing.domain );
-    ( "edge2path: par = seq, astmatcher query set",
+      runner_equiv Engine.Dggt_alg Dggt_domains.Text_editing.domain );
+    ( "runner: pooled batch = seq, DGGT astmatcher",
       `Quick,
-      e2p_equiv Dggt_domains.Astmatcher.domain );
-    ( "engine: par = seq, DGGT textediting",
+      runner_equiv Engine.Dggt_alg Dggt_domains.Astmatcher.domain );
+    ( "runner: pooled batch = seq, HISyn textediting",
       `Quick,
-      engine_equiv Engine.Dggt_alg Dggt_domains.Text_editing.domain );
-    ( "engine: par = seq, DGGT astmatcher",
-      `Slow,
-      engine_equiv Engine.Dggt_alg Dggt_domains.Astmatcher.domain );
-    ( "engine: par = seq, HISyn textediting",
-      `Quick,
-      engine_equiv Engine.Hisyn_alg ~max_steps:10_000 ~stride:4
-        Dggt_domains.Text_editing.domain );
+      runner_equiv Engine.Hisyn_alg Dggt_domains.Text_editing.domain );
+    ("runner: pooled progress counts", `Quick, test_runner_progress_counts);
     ("distance memo: races agree with sequential", `Quick, test_distance_memo_race);
     ("cache: racing find_or_compute", `Quick, test_cache_race);
     ( "server pool: deadline expiry with 4 workers",

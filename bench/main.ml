@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- stages           # per-stage latency table
      dune exec bench/main.exe -- parallel         # batch queries/sec sweep
      dune exec bench/main.exe -- automaton        # DFS vs compiled automaton
+     dune exec bench/main.exe -- pathmerge        # reference vs semiring PathMerge
      dune exec bench/main.exe -- incremental      # as-you-type session replay
      dune exec bench/main.exe -- --timeout 2 smoke  # reduced CI sweep
 
@@ -750,6 +751,164 @@ let run_automaton ~timeout_s ~limit () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Semiring PathMerge: the pre-semiring DFS-of-record walk (kept as   *)
+(* Dggt_eval.Refmerge) vs the generic Min_size chart over every       *)
+(* domain, byte-identity asserted per query — outcome, failure and    *)
+(* statistics alike — plus ranked-mode (Top_k) timing and head        *)
+(* agreement. The same domain sweep as the automaton gate.            *)
+(* ------------------------------------------------------------------ *)
+
+type prow = {
+  pm_domain : string;
+  pm_queries : int;
+  pm_ref_s : float;      (* summed wall time, reference walk *)
+  pm_sem_s : float;      (* summed wall time, semiring Min_size *)
+  pm_ranked_s : float;   (* summed wall time, run_ranked ~k *)
+  pm_ranked_k : int;
+  pm_ranked_nonempty : int;
+  pm_mismatches : (string * string) list;
+  pm_timeout_skips : int;
+}
+
+let run_pathmerge_domain ~timeout_s ~limit (dom : Domain.t) =
+  let dom =
+    if limit >= List.length dom.Domain.queries then dom
+    else
+      {
+        dom with
+        Domain.queries = List.filteri (fun i _ -> i < limit) dom.Domain.queries;
+      }
+  in
+  let nq = List.length dom.Domain.queries in
+  Format.eprintf "  %s: reference vs semiring PathMerge (%d queries)...@."
+    dom.Domain.name nq;
+  let ses =
+    Domain.configure dom
+      { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some timeout_s }
+  in
+  let k = 5 in
+  let ref_s = ref 0.0
+  and sem_s = ref 0.0
+  and ranked_s = ref 0.0
+  and ranked_nonempty = ref 0
+  and mismatches = ref []
+  and skips = ref 0 in
+  List.iteri
+    (fun i (q : Domain.query) ->
+      progress (dom.Domain.name ^ "/pathmerge") (i + 1) nq;
+      let o_sem = Engine.run ses q.Domain.text in
+      let o_ref =
+        Engine.synthesize_with_merge ~merge:Refmerge.synthesize
+          ses.Engine.cfg ses.Engine.target q.Domain.text
+      in
+      sem_s := !sem_s +. o_sem.Engine.time_s;
+      ref_s := !ref_s +. o_ref.Engine.time_s;
+      (* a timeout on either side makes the pair incomparable (the faster
+         walk legitimately finishes more), counted instead of flagged *)
+      if o_sem.Engine.timed_out || o_ref.Engine.timed_out then incr skips
+      else begin
+        (match outcome_divergence o_ref o_sem with
+        | None -> ()
+        | Some what ->
+            mismatches := (q.Domain.text, what) :: !mismatches);
+        let t0 = Unix.gettimeofday () in
+        let rk = Engine.run_ranked ~k ses q.Domain.text in
+        ranked_s := !ranked_s +. (Unix.gettimeofday () -. t0);
+        if rk <> [] then begin
+          incr ranked_nonempty;
+          (* the n-best head must be the Min_size codelet *)
+          match o_sem.Engine.code with
+          | Some c when (List.hd rk).Engine.code <> c ->
+              mismatches := (q.Domain.text, "ranked-head") :: !mismatches
+          | _ -> ()
+        end
+      end)
+    dom.Domain.queries;
+  {
+    pm_domain = dom.Domain.name;
+    pm_queries = nq;
+    pm_ref_s = !ref_s;
+    pm_sem_s = !sem_s;
+    pm_ranked_s = !ranked_s;
+    pm_ranked_k = k;
+    pm_ranked_nonempty = !ranked_nonempty;
+    pm_mismatches = List.rev !mismatches;
+    pm_timeout_skips = !skips;
+  }
+
+let pathmerge_json ~timeout_s rows =
+  let module J = Dggt_server.Jsonio in
+  let f v = J.Num v and i n = J.Num (float_of_int n) in
+  J.Obj
+    [
+      ("bench", J.Str "pathmerge");
+      ("timeout_s", f timeout_s);
+      ( "domains",
+        J.list
+          (fun r ->
+            J.Obj
+              [
+                ("name", J.Str r.pm_domain);
+                ("queries", i r.pm_queries);
+                ("reference_s", f r.pm_ref_s);
+                ("semiring_s", f r.pm_sem_s);
+                ( "overhead",
+                  f (r.pm_sem_s /. Float.max r.pm_ref_s 1e-9) );
+                ("ranked_k", i r.pm_ranked_k);
+                ("ranked_s", f r.pm_ranked_s);
+                ("ranked_nonempty", i r.pm_ranked_nonempty);
+                ("timeout_skips", i r.pm_timeout_skips);
+                ("identical", J.Bool (r.pm_mismatches = []));
+                ( "mismatches",
+                  J.list
+                    (fun (text, what) ->
+                      J.Obj [ ("query", J.Str text); ("diverged", J.Str what) ])
+                    r.pm_mismatches );
+              ])
+          rows );
+    ]
+
+let run_pathmerge ~timeout_s ~limit () =
+  hr ();
+  Format.fprintf fmt
+    "Semiring PathMerge: reference DFS-of-record walk vs generic Min_size \
+     chart@.(every domain: built-ins + examples/packs/*; 'identical' = \
+     outcomes byte-equal per query including stats, timeouts skipped; \
+     ranked = run_ranked ~k:5 under Top_k, head must match)@.@.";
+  let rows =
+    List.map (run_pathmerge_domain ~timeout_s ~limit) (automaton_domains ())
+  in
+  Format.fprintf fmt "  %12s %4s %10s %10s %8s %10s %6s %5s@." "domain" "q"
+    "reference" "semiring" "overhead" "ranked" "n-best" "ident";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %12s %4d %9.3fs %9.3fs %7.2fx %9.3fs %6d %5s@."
+        r.pm_domain r.pm_queries r.pm_ref_s r.pm_sem_s
+        (r.pm_sem_s /. Float.max r.pm_ref_s 1e-9)
+        r.pm_ranked_s r.pm_ranked_nonempty
+        (if r.pm_mismatches = [] then "yes" else "NO"))
+    rows;
+  Format.fprintf fmt "@.";
+  let path = "BENCH_pathmerge.json" in
+  let oc = open_out path in
+  output_string oc
+    (Dggt_server.Jsonio.to_string (pathmerge_json ~timeout_s rows));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path;
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (text, what) ->
+          failed := true;
+          Format.eprintf "EQUIVALENCE VIOLATION (%s): %s diverged on %S@."
+            r.pm_domain what text)
+        r.pm_mismatches)
+    rows;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
@@ -856,6 +1015,8 @@ let () =
     | "parallel" -> run_parallel ~timeout_s ()
     | "automaton" ->
         run_automaton ~timeout_s ~limit:(if limit < 0 then max_int else limit) ()
+    | "pathmerge" ->
+        run_pathmerge ~timeout_s ~limit:(if limit < 0 then max_int else limit) ()
     | "incremental" ->
         run_incremental ~timeout_s ~limit:(if limit < 0 then 8 else limit) ()
     | "smoke" -> run_smoke ~timeout_s ()

@@ -76,6 +76,15 @@ let no_autom_arg =
            per-query DFS instead. The synthesized codelet is \
            byte-identical either way; this exists for A/B timing.")
 
+let top_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "top" ] ~docv:"N"
+        ~doc:
+          "Print the $(docv) best candidate codelets instead of just the \
+           winner (the chart runs under the Top-k semiring; the first line \
+           is always the codelet a plain run would print).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -137,17 +146,26 @@ let config ?autom dom alg timeout =
 (* --- synth --------------------------------------------------------- *)
 
 let synth_cmd =
-  let run dname packs alg timeout no_autom words =
+  let run dname packs alg timeout no_autom top words =
     with_domain packs dname (fun dom ->
         let query = String.concat " " words in
-        let o =
-          Engine.run
-            (config ?autom:(autom_of ~no_autom dom) dom alg timeout)
-            query
-        in
+        let ses = config ?autom:(autom_of ~no_autom dom) dom alg timeout in
+        let o = Engine.run ses query in
         match o.Engine.code with
         | Some code ->
-            Format.printf "%s@." code;
+            if top > 1 then begin
+              (* ranked mode: the head is [code] by construction, so the
+                 plain run above is not wasted — it provides the timing
+                 and size lines either way *)
+              let hints = Engine.run_ranked ~k:top ses query in
+              List.iteri
+                (fun i (r : Engine.ranked) ->
+                  Format.printf "%d. %s  (size %d, covers %d, score %.2f)@."
+                    (i + 1) r.Engine.code r.Engine.size r.Engine.coverage
+                    r.Engine.score)
+                hints
+            end
+            else Format.printf "%s@." code;
             Format.eprintf "(%.1f ms, %d APIs)@." (o.Engine.time_s *. 1000.)
               (Option.value o.Engine.cgt_size ~default:0);
             `Ok ()
@@ -161,17 +179,17 @@ let synth_cmd =
     Term.(
       ret
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
-       $ no_autom_arg $ query_arg))
+       $ no_autom_arg $ top_arg $ query_arg))
 
 (* --- explain ------------------------------------------------------- *)
 
 let explain_cmd =
-  let run dname packs alg timeout words =
+  let run dname packs alg timeout top words =
     with_domain packs dname (fun dom ->
         let query = String.concat " " words in
         let o =
           Dggt_eval.Explain.run Format.std_formatter ~timeout_s:timeout
-            ~algorithm:alg dom query
+            ~algorithm:alg ~top dom query
         in
         if o.Engine.code <> None then `Ok ()
         else `Error (false, "synthesis failed"))
@@ -181,11 +199,12 @@ let explain_cmd =
        ~doc:
          "Trace one query through the six-step pipeline and narrate every \
           stage's decisions (candidate APIs, path counts, pruning, \
-          relocation, DGG updates).")
+          relocation, DGG updates). With --top N, also narrate the n-best \
+          candidates the Top-k chart kept.")
     Term.(
       ret
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
-       $ query_arg))
+       $ top_arg $ query_arg))
 
 (* --- repl ---------------------------------------------------------- *)
 

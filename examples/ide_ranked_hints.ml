@@ -46,6 +46,9 @@ let () =
          the hint panel, read off the dynamic grammar graph's root nodes *)
       let hints = Engine.run_ranked ~k:3 dses q in
       List.iteri
-        (fun i (_, code) -> Format.printf "  hint %d: %s@." (i + 1) code)
+        (fun i (r : Engine.ranked) ->
+          Format.printf "  hint %d: %s  (size %d, covers %d, score %.2f)@."
+            (i + 1) r.Engine.code r.Engine.size r.Engine.coverage
+            r.Engine.score)
         hints)
     queries

@@ -3,18 +3,12 @@ type node_kind =
   | ApiN of { dep : int; api : string }
   | PcgtN of { dep : int; api : string; idx : int }
 
-type node = {
-  id : int;
-  kind : node_kind;
-  mutable min_size : int;
-  mutable min_cgt : Cgt.t;
-  mutable assignment : (int * string) list;
-  mutable score : float; (* WordToAPI score of [assignment] *)
-}
+type node = { id : int; kind : node_kind; cell : Semiring.Cell.t }
 
 type edge = { src : int; dst : int; epath : int option }
 
 type t = {
+  objective : Semiring.t;
   mutable rev_nodes : node list;
   mutable rev_edges : edge list;
   mutable count : int;
@@ -23,22 +17,29 @@ type t = {
 }
 
 let mk_node t kind =
-  let n =
-    { id = t.count; kind; min_size = max_int; min_cgt = Cgt.empty;
-      assignment = []; score = 0.0 }
-  in
+  let n = { id = t.count; kind; cell = Semiring.zero t.objective } in
   t.rev_nodes <- n :: t.rev_nodes;
   t.count <- t.count + 1;
   n
 
-let create () =
-  let start =
-    { id = 0; kind = Start; min_size = 0; min_cgt = Cgt.empty; assignment = [];
-      score = 0.0 }
-  in
-  { rev_nodes = [ start ]; rev_edges = []; count = 1; api_tbl = Hashtbl.create 32; start_node = start }
+let create objective =
+  let start_cell = Semiring.zero objective in
+  (* the start node holds the empty derivation (size 0): paths extend it *)
+  ignore (Semiring.plus start_cell Semiring.one);
+  let start = { id = 0; kind = Start; cell = start_cell } in
+  {
+    objective;
+    rev_nodes = [ start ];
+    rev_edges = [];
+    count = 1;
+    api_tbl = Hashtbl.create 32;
+    start_node = start;
+  }
 
+let objective t = t.objective
 let start t = t.start_node
+let id n = n.id
+let kind n = n.kind
 
 let find_api t ~dep ~api = Hashtbl.find_opt t.api_tbl (dep, api)
 
@@ -55,34 +56,18 @@ let add_pcgt t ~dep ~api ~idx = mk_node t (PcgtN { dep; api; idx })
 let add_edge t ~src ~dst ~epath =
   t.rev_edges <- { src = src.id; dst = dst.id; epath } :: t.rev_edges
 
-let set_ n = n.min_size < max_int
+let best n = Semiring.Cell.best n.cell
+let solved n = Semiring.Cell.solved n.cell
+let choices n = Semiring.Cell.choices n.cell
+let cand_count n = List.length (Semiring.Cell.choices n.cell)
+let distinct_count n = Semiring.Cell.count n.cell
 
-let update_min n ~size ~cgt ~assignment ~score =
-  (* Coverage first (a partial CGT that interprets more of the query's
-     words wins), then size, then the WordToAPI score of the assignment,
-     then CGT structure — the structural tie-break keeps DGGT and the
-     HISyn baseline on the same tree among equal optima. *)
-  let cov = List.length assignment in
-  let cur_cov = List.length n.assignment in
-  let better =
-    (not (set_ n))
-    || cov > cur_cov
-    || (cov = cur_cov
-       && (size < n.min_size
-          || (size = n.min_size
-             && (score > n.score +. 1e-9
-                || (Float.abs (score -. n.score) <= 1e-9
-                   && Cgt.compare cgt n.min_cgt < 0)))))
-  in
-  if better then begin
-    n.min_size <- size;
-    n.min_cgt <- cgt;
-    n.assignment <- assignment;
-    n.score <- score
-  end;
-  better
+let size n =
+  match Semiring.Cell.best n.cell with
+  | Some c -> c.Semiring.size
+  | None -> max_int
 
-let set n = set_ n
+let improved n cand = Semiring.plus n.cell cand
 
 let nodes t = List.rev t.rev_nodes
 let edges t = List.rev t.rev_edges
@@ -102,6 +87,6 @@ let pp fmt t =
         | ApiN a -> Printf.sprintf "API(%d,%s)" a.dep a.api
         | PcgtN p -> Printf.sprintf "PCGT(%d,%s,#%d)" p.dep p.api p.idx
       in
-      if set n then Format.fprintf fmt "%s min_size=%d@ " label n.min_size
+      if solved n then Format.fprintf fmt "%s min_size=%d@ " label (size n)
       else Format.fprintf fmt "%s unset@ " label)
     (nodes t)

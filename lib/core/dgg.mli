@@ -6,12 +6,12 @@
     path they represent) and auxiliary zero-length edges (start -> API,
     PCGT -> its root API).
 
-    Every node memoizes the optimal partial CGT from the start node to
-    itself ([min_cgt]) and its size in APIs ([min_size]) — the dynamic
-    programming state that lets DGGT assemble the global optimum without
-    re-merging shared substructure. The [assignment] records which API each
-    covered dependency word resolved to (needed to bind query literals when
-    the chosen CGT is linearized). *)
+    Every node owns a chart cell ({!Semiring.Cell.t}) memoizing the best
+    partial CGT(s) from the start node to itself under the graph's
+    objective — the dynamic programming state that lets DGGT assemble the
+    global optimum without re-merging shared substructure. The DP state is
+    sealed: only {!improved} (the semiring accumulation) writes a cell;
+    everything else goes through the read-only accessors below. *)
 
 type node_kind =
   | Start
@@ -21,21 +21,21 @@ type node_kind =
       (** [idx]-th surviving combination for governor [dep] resolved as
           [api] *)
 
-type node = {
-  id : int;
-  kind : node_kind;
-  mutable min_size : int;   (** [max_int] until set *)
-  mutable min_cgt : Cgt.t;
-  mutable assignment : (int * string) list;
-  mutable score : float;    (** WordToAPI score of [assignment] *)
-}
+type node
 
 type edge = { src : int; dst : int; epath : int option (** None = auxiliary *) }
 
 type t
 
-val create : unit -> t
+val create : Semiring.t -> t
+(** A fresh graph whose cells accumulate under the given objective. The
+    start node holds the empty derivation (size 0). *)
+
+val objective : t -> Semiring.t
 val start : t -> node
+val id : node -> int
+val kind : node -> node_kind
+
 val add_api : t -> dep:int -> api:string -> node
 (** Returns the existing node when (dep, api) was added before. *)
 
@@ -43,21 +43,35 @@ val find_api : t -> dep:int -> api:string -> node option
 val add_pcgt : t -> dep:int -> api:string -> idx:int -> node
 val add_edge : t -> src:node -> dst:node -> epath:int option -> unit
 
-val update_min :
-  node -> size:int -> cgt:Cgt.t -> assignment:(int * string) list ->
-  score:float -> bool
-(** Keep the better of the current and proposed partial CGTs: more words
-    covered, then fewer APIs, then higher WordToAPI score, then CGT
-    structure. Returns [true] when the proposal replaced the memo — the
-    tracing layer records exactly these [min_size] improvements. *)
+val improved : node -> Semiring.cand -> bool
+(** Accumulate a candidate into the node's cell ({!Semiring.Cell.plus}).
+    Returns [true] when the node's best candidate changed — the tracing
+    layer records exactly these [min_size] improvements. The only cell
+    mutator. *)
 
-val set : node -> bool
-(** Has [min_size] been set? *)
+val best : node -> Semiring.cand option
+(** The node's optimal partial CGT, when one has been derived. *)
+
+val solved : node -> bool
+(** Has any candidate reached this node? *)
+
+val size : node -> int
+(** [size] of {!best}; [max_int] when unsolved (the historical
+    [min_size] sentinel). *)
+
+val choices : node -> Semiring.cand list
+(** All retained candidates, best first (more than one only under
+    {!Semiring.Top_k}). *)
+
+val cand_count : node -> int
+val distinct_count : node -> int
+(** Distinct CGTs offered to the cell ({!Semiring.Count} objective). *)
 
 val nodes : t -> node list
 val edges : t -> edge list
 val node_count : t -> int
 val edge_count : t -> int
+
 val api_nodes_of_dep : t -> int -> node list
 (** All API nodes registered for a dependency node, insertion order. *)
 

@@ -9,7 +9,16 @@ module Trace = Dggt_obs.Trace
    best API node. Case I (single child) and Case II (sibling children,
    with grammar- and size-based pruning before prefix-tree merging) follow
    the paper; coverage-first comparison and the single-edge fallback are
-   this implementation's robustness extensions (see DESIGN.md). *)
+   this implementation's robustness extensions (see DESIGN.md).
+
+   The walk is generic over the PathMerge objective ({!Semiring.t}): it
+   always extends by each child's BEST candidate — so the stream of
+   candidates offered to every cell is the same for every objective, the
+   Min_size instantiation is byte-identical to the historical ad-hoc memo
+   by construction, and Top_k's head provably equals Min_size's answer.
+   Top-k therefore ranks the best candidate per surviving derivation the
+   min-size DP actually evaluated; full k-best substitution of non-best
+   children is future work (DESIGN.md discusses the trade-off). *)
 
 let singleton_cgt g api =
   match Ggraph.api_node g api with
@@ -19,14 +28,45 @@ let singleton_cgt g api =
            { Gpath.nodes = [| nid |]; edges = [||]; apis = [| api |] })
   | None -> None
 
-let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
-    ?(trace : Trace.span option) g (dg : Depgraph.t) w2a e2p =
-  let dyng = Dgg.create () in
+(* coverage first (as in the cell order), then size, then the same
+   structural tie-break as the baseline; node id (creation order — the
+   WordToAPI ranking for single-word queries) breaks residual ties between
+   structurally identical options. Score here is the exact float
+   comparison the pre-semiring root selection used; the cell order's 1e-9
+   epsilon applies only inside {!Semiring.Cell.plus}. *)
+let root_compare ((a, ca) : Dgg.node * Semiring.cand) (b, cb) =
+  match
+    compare
+      (List.length cb.Semiring.assignment)
+      (List.length ca.Semiring.assignment)
+  with
+  | 0 -> (
+      match compare ca.Semiring.size cb.Semiring.size with
+      | 0 -> (
+          match compare cb.Semiring.score ca.Semiring.score with
+          | 0 -> (
+              match Cgt.compare ca.Semiring.cgt cb.Semiring.cgt with
+              | 0 -> compare (Dgg.id a) (Dgg.id b)
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let synthesize_with_graph ?(objective = Semiring.Min_size) ~budget ~stats
+    ?(gprune = true) ?(sprune = true) ?(trace : Trace.span option) g
+    (dg : Depgraph.t) w2a e2p =
+  let dyng = Dgg.create objective in
   let start = Dgg.start dyng in
   let lemma_of id =
     match Depgraph.node_opt dg id with
     | Some n -> n.Depgraph.lemma
     | None -> string_of_int id
+  in
+  let record_improved node cand =
+    let improved = Dgg.improved node cand in
+    if improved then
+      stats.Stats.dgg_improvements <- stats.Stats.dgg_improvements + 1;
+    improved
   in
 
   (* Seed an API node for a (dep, api) pair as a leaf interpretation. *)
@@ -35,11 +75,16 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
     | None -> ()
     | Some cgt ->
         let n = Dgg.add_api dyng ~dep ~api in
-        if not (Dgg.set n) then begin
+        if not (Dgg.solved n) then begin
           Dgg.add_edge dyng ~src:start ~dst:n ~epath:None;
           ignore
-            (Dgg.update_min n ~size:1 ~cgt ~assignment:[ (dep, api) ]
-               ~score:(Word2api.score w2a dep api))
+            (record_improved n
+               {
+                 Semiring.size = 1;
+                 cgt;
+                 assignment = [ (dep, api) ];
+                 score = Word2api.score w2a dep api;
+               })
         end
   in
 
@@ -96,7 +141,7 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
       Edge2path.paths_of_edge e2p e
       |> List.filter (fun (p : Edge2path.epath) ->
              match Dgg.find_api dyng ~dep:e.Depgraph.dep ~api:p.Edge2path.dep_api with
-             | Some child -> Dgg.set child
+             | Some child -> Dgg.solved child
              | None -> false)
     in
     let edges_with_paths =
@@ -106,7 +151,7 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
     in
     (* Every candidate API seeds a singleton interpretation (Algorithm 1,
        line 3 for leaves); for governors these are fallbacks that drop the
-       subtree — coverage-first update_min keeps them only when no fuller
+       subtree — coverage-first accumulation keeps them only when no fuller
        interpretation exists, which is what lets a mis-attached noise child
        degrade gracefully instead of erasing the word. *)
     List.iter (fun api -> seed_leaf id api)
@@ -124,7 +169,7 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
         match
           Dgg.find_api dyng ~dep:p.Edge2path.edge.Depgraph.dep ~api:p.Edge2path.dep_api
         with
-        | Some child when Dgg.set child -> child.Dgg.min_size - 1
+        | Some child when Dgg.solved child -> Dgg.size child - 1
         | _ -> 0
       in
       let conflict_tbl = Gprune.prepare g all_paths in
@@ -184,36 +229,38 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
                   stats.Stats.combos_merged <- stats.Stats.combos_merged + 1;
                 (* merge the combination's paths (the prefix tree) together
                    with the children's optimal partial CGTs *)
-                let merged, assignment, ok =
+                let acc, ok =
                   List.fold_left
-                    (fun (cgt, asg, ok) (p : Edge2path.epath) ->
-                      if not ok then (cgt, asg, false)
+                    (fun (acc, ok) (p : Edge2path.epath) ->
+                      if not ok then (acc, false)
                       else
                         match
                           Dgg.find_api dyng
                             ~dep:p.Edge2path.edge.Depgraph.dep
                             ~api:p.Edge2path.dep_api
                         with
-                        | Some child when Dgg.set child ->
-                            ( Cgt.merge (Cgt.merge_path cgt p.Edge2path.path)
-                                child.Dgg.min_cgt,
-                              child.Dgg.assignment @ asg,
-                              true )
-                        | _ -> (cgt, asg, false))
-                    (Cgt.empty, [], true)
-                    combo
+                        | Some child -> (
+                            match Dgg.best child with
+                            | Some cb ->
+                                ( Semiring.times acc ~path:p.Edge2path.path
+                                    ~child:cb,
+                                  true )
+                            | None -> (acc, false))
+                        | None -> (acc, false))
+                    (Semiring.one, true) combo
                 in
-                let assignment = (id, a) :: assignment in
+                let merged = acc.Semiring.cgt in
+                let assignment = (id, a) :: acc.Semiring.assignment in
                 if ok && Synres.injective assignment && Cgt.well_formed g merged
                 then begin
                   merged_any := true;
                   let size = Cgt.api_size g merged in
                   let score = Word2api.assignment_score w2a assignment in
+                  let cand = { Semiring.size; cgt = merged; assignment; score } in
                   let target = get_api_node () in
                   if case_ii then begin
                     let pcgt = Dgg.add_pcgt dyng ~dep:id ~api:a ~idx in
-                    ignore
-                      (Dgg.update_min pcgt ~size ~cgt:merged ~assignment ~score);
+                    ignore (record_improved pcgt cand);
                     List.iter
                       (fun (p : Edge2path.epath) ->
                         match
@@ -242,9 +289,7 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
                         | None -> ())
                     | _ -> ()
                   end;
-                  let improved =
-                    Dgg.update_min target ~size ~cgt:merged ~assignment ~score
-                  in
+                  let improved = record_improved target cand in
                   if improved && Trace.on trace then
                     Trace.int trace
                       (Printf.sprintf "min_size %s:%s" (lemma_of id) a)
@@ -283,59 +328,27 @@ let synthesize_with_graph ~budget ~stats ?(gprune = true) ?(sprune = true)
   end;
 
   (* the optimal CGT backtrack: the root word's best API node *)
-  let best =
-    Dgg.api_nodes_of_dep dyng dg.Depgraph.root
-    |> List.filter Dgg.set
-    |> Listutil.min_by (fun (a : Dgg.node) b ->
-           (* coverage first (as in update_min), then size, then the same
-              structural tie-break as the baseline; node id (creation order
-              — the WordToAPI ranking for single-word queries) breaks
-              residual ties between structurally identical options *)
-           match
-             compare (List.length b.Dgg.assignment) (List.length a.Dgg.assignment)
-           with
-           | 0 -> (
-               match compare a.Dgg.min_size b.Dgg.min_size with
-               | 0 -> (
-                   match compare b.Dgg.score a.Dgg.score with
-                   | 0 -> (
-                       match Cgt.compare a.Dgg.min_cgt b.Dgg.min_cgt with
-                       | 0 -> compare a.Dgg.id b.Dgg.id
-                       | c -> c)
-                   | c -> c)
-               | c -> c)
-           | c -> c)
-  in
   let res =
-    Option.map
-      (fun (n : Dgg.node) ->
-        { Synres.cgt = n.Dgg.min_cgt; size = n.Dgg.min_size; assignment = n.Dgg.assignment })
-      best
+    Dgg.api_nodes_of_dep dyng dg.Depgraph.root
+    |> List.filter_map (fun n -> Option.map (fun c -> (n, c)) (Dgg.best n))
+    |> Listutil.min_by root_compare
+    |> Option.map (fun (_, (c : Semiring.cand)) ->
+           { Synres.cgt = c.Semiring.cgt; size = c.Semiring.size;
+             assignment = c.Semiring.assignment })
   in
   (res, dyng)
 
-let synthesize ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p =
-  fst (synthesize_with_graph ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p)
+let synthesize ?objective ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p =
+  fst
+    (synthesize_with_graph ?objective ~budget ~stats ?gprune ?sprune ?trace g
+       dg w2a e2p)
 
-let synthesize_ranked ~budget ~stats ?gprune ?sprune ?trace ~k g
-    (dg : Depgraph.t) w2a e2p =
-  let _, dyng =
-    synthesize_with_graph ~budget ~stats ?gprune ?sprune ?trace g dg w2a e2p
-  in
-  Dgg.api_nodes_of_dep dyng dg.Depgraph.root
-  |> List.filter Dgg.set
-  |> List.sort (fun (a : Dgg.node) b ->
-         match
-           compare (List.length b.Dgg.assignment) (List.length a.Dgg.assignment)
-         with
-         | 0 -> (
-             match compare a.Dgg.min_size b.Dgg.min_size with
-             | 0 -> (
-                 match compare b.Dgg.score a.Dgg.score with
-                 | 0 -> compare a.Dgg.id b.Dgg.id
-                 | c -> c)
-             | c -> c)
+let ranked_of_graph dyng ~root =
+  Dgg.api_nodes_of_dep dyng root
+  |> List.concat_map (fun n ->
+         List.mapi (fun i c -> (n, i, c)) (Dgg.choices n))
+  |> List.sort (fun (n1, i1, c1) (n2, i2, c2) ->
+         match root_compare (n1, c1) (n2, c2) with
+         | 0 -> compare i1 i2
          | c -> c)
-  |> Listutil.take k
-  |> List.map (fun (n : Dgg.node) ->
-         { Synres.cgt = n.Dgg.min_cgt; size = n.Dgg.min_size; assignment = n.Dgg.assignment })
+  |> List.map (fun (_, _, c) -> c)

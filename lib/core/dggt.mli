@@ -12,11 +12,19 @@
       size-based pruning run {e before} prefix trees are merged — and
       records each survivor as a partial-CGT node;
     - the optimal global CGT is read off the root word's best API node
-      (the memoized [min_cgt] makes the paper's backtrack a lookup).
+      (the memoized cell makes the paper's backtrack a lookup).
+
+    The walk is one generic chart traversal over the {!Semiring} algebra,
+    instantiated per objective. It always extends by each child's best
+    candidate, so the candidate stream into every cell — and therefore
+    the winning CGT, the statistics and the emitted trace notes — is
+    identical for every objective; {!Semiring.Top_k} merely retains more
+    of that stream per cell.
 
     Complexity: O(sum over levels of p^e) instead of O(product). *)
 
 val synthesize :
+  ?objective:Semiring.t ->
   budget:Dggt_util.Budget.t ->
   stats:Stats.t ->
   ?gprune:bool ->
@@ -27,33 +35,16 @@ val synthesize :
   Word2api.t ->
   Edge2path.t ->
   Synres.t option
-(** Both pruning optimizations default to enabled. Raises
-    {!Dggt_util.Budget.Exhausted} on budget exhaustion. Returns the graph
-    structure statistics through [stats]. When [trace] is given (the
-    engine's open PathMerge span), decision-level notes are recorded on it:
-    per-governor combination counts before/after each pruning pass,
-    [min_size] improvements per (word, API) memo, and the final DGG level
-    sizes. *)
-
-val synthesize_ranked :
-  budget:Dggt_util.Budget.t ->
-  stats:Stats.t ->
-  ?gprune:bool ->
-  ?sprune:bool ->
-  ?trace:Dggt_obs.Trace.span ->
-  k:int ->
-  Dggt_grammar.Ggraph.t ->
-  Dggt_nlu.Depgraph.t ->
-  Word2api.t ->
-  Edge2path.t ->
-  Synres.t list
-(** The paper's §VII-B.4 usage mode: instead of only the optimal CGT,
-    return up to [k] candidate codelets ranked by (coverage, size, score)
-    — one per distinct interpretation of the root word, read directly off
-    the dynamic grammar graph's root API nodes. The head of the list is
-    exactly {!synthesize}'s answer. *)
+(** Both pruning optimizations default to enabled; [objective] defaults
+    to {!Semiring.Min_size}. Raises {!Dggt_util.Budget.Exhausted} on
+    budget exhaustion. Returns the graph structure statistics through
+    [stats]. When [trace] is given (the engine's open PathMerge span),
+    decision-level notes are recorded on it: per-governor combination
+    counts before/after each pruning pass, [min_size] improvements per
+    (word, API) memo, and the final DGG level sizes. *)
 
 val synthesize_with_graph :
+  ?objective:Semiring.t ->
   budget:Dggt_util.Budget.t ->
   stats:Stats.t ->
   ?gprune:bool ->
@@ -64,5 +55,20 @@ val synthesize_with_graph :
   Word2api.t ->
   Edge2path.t ->
   Synres.t option * Dgg.t
-(** Same, also exposing the constructed dynamic grammar graph (used by the
-    CLI's explain mode and by tests). *)
+(** Same, also exposing the constructed dynamic grammar graph (used by
+    the ranked mode, the CLI's explain mode and tests). *)
+
+val root_compare : Dgg.node * Semiring.cand -> Dgg.node * Semiring.cand -> int
+(** The final selection order over root-level candidates: coverage
+    (descending), size, exact score (descending), [Cgt.compare], node
+    creation order. This is the historical pre-semiring root selection;
+    it refines {!Semiring.compare_cand} by replacing the score epsilon
+    with exact comparison and adding the node-id tail. *)
+
+val ranked_of_graph : Dgg.t -> root:int -> Semiring.cand list
+(** The paper's §VII-B.4 usage mode: every candidate retained by the root
+    word's API-node cells, best first under {!root_compare} (cell rank
+    breaks residual ties). Under {!Semiring.Top_k} this is a real n-best
+    list — up to k candidates per root interpretation, not one; its head
+    is {!synthesize}'s answer. Read-only: call after
+    {!synthesize_with_graph} on the finished graph. *)

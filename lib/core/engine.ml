@@ -40,6 +40,7 @@ type config = {
   path_limits : Dggt_grammar.Gpath.limits;
   gprune : bool;
   sprune : bool;
+  objective : Semiring.t;
   orphan_reloc : bool;
   max_reloc_graphs : int;
   defaults : (string * string) list;
@@ -58,6 +59,7 @@ let default algorithm =
     path_limits = Dggt_grammar.Gpath.default_limits;
     gprune = true;
     sprune = true;
+    objective = Semiring.Min_size;
     orphan_reloc = true;
     max_reloc_graphs = 8;
     defaults = [];
@@ -326,8 +328,18 @@ let finish cfg tgt dg (res : Synres.t option) ~time_s ~timed_out ~stats =
                 stats;
               }))
 
-(* Step 5, DGGT: orphan relocation + dynamic-grammar-graph merging. *)
-let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
+(* Step 5, DGGT: orphan relocation + dynamic-grammar-graph merging.
+   Generic over the PathMerge implementation: [merge] gets each candidate
+   dependency graph and returns the synthesis result plus (for the real
+   DGGT walk) the dynamic grammar graph it built — the ranked mode reads
+   its n-best list off the winning variant's graph. *)
+let run_dggt_with cfg tgt stats (pruned : Depgraph.t)
+    ~(merge :
+       trace:Trace.span option ->
+       Depgraph.t ->
+       Word2api.t ->
+       Edge2path.t ->
+       Synres.t option * Dgg.t option) =
   let pruned, w2a, e2p, orphans = front cfg tgt stats pruned in
   Trace.span cfg.trace "PathMerge" (fun sp ->
       Trace.str sp "engine" "dggt";
@@ -347,11 +359,8 @@ let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
         in
         stats.Stats.paths_after_reloc <- Edge2path.total_path_count e2p;
         stats.Stats.reloc_graphs <- 1;
-        let res =
-          Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune
-            ?trace:sp tgt.graph dg w2a e2p
-        in
-        (dg, res)
+        let res, dyng = merge ~trace:sp dg w2a e2p in
+        (dg, res, dyng)
       end
       else begin
         let variants =
@@ -396,21 +405,18 @@ let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
               stats.Stats.paths_after_reloc <-
                 max stats.Stats.paths_after_reloc
                   (Edge2path.total_path_count e2p);
-              let res =
-                Dggt.synthesize ~budget ~stats ~gprune:cfg.gprune
-                  ~sprune:cfg.sprune ?trace:sp tgt.graph dg w2a e2p
-              in
+              let res, dyng = merge ~trace:sp dg w2a e2p in
               let acc =
                 match (acc, res) with
-                | None, Some r -> Some (dg, r)
-                | Some (_, b), Some r
+                | None, Some r -> Some (dg, r, dyng)
+                | Some (_, b, _), Some r
                 (* the paper's minimality is among CGTs covering the query's
                    semantics: a variant interpreting more of the words beats
                    a smaller CGT that dropped a subtree *)
                   when let cov x = List.length x.Synres.assignment in
                        cov r > cov b
                        || (cov r = cov b && r.Synres.size < b.Synres.size) ->
-                    Some (dg, r)
+                    Some (dg, r, dyng)
                 | _ -> acc
               in
               (i + 1, acc))
@@ -418,9 +424,18 @@ let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
           |> snd
         in
         match best with
-        | Some (dg, r) -> (dg, Some r)
-        | None -> (pruned, None)
+        | Some (dg, r, dyng) -> (dg, Some r, dyng)
+        | None -> (pruned, None, None)
       end)
+
+(* The real DGGT PathMerge as [run_dggt_with]'s merge. *)
+let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
+  run_dggt_with cfg tgt stats pruned ~merge:(fun ~trace dg w2a e2p ->
+      let res, dyng =
+        Dggt.synthesize_with_graph ~objective:cfg.objective ~budget ~stats
+          ~gprune:cfg.gprune ~sprune:cfg.sprune ?trace tgt.graph dg w2a e2p
+      in
+      (res, Some dyng))
 
 (* Step 5, HISyn baseline: root anchoring + exhaustive enumeration. *)
 let run_hisyn cfg tgt budget stats (pruned : Depgraph.t) =
@@ -484,7 +499,9 @@ let synthesize_pruned cfg tgt (pruned : Depgraph.t) =
   let t0 = Unix.gettimeofday () in
   let run () =
     match cfg.algorithm with
-    | Dggt_alg -> run_dggt cfg tgt budget stats pruned
+    | Dggt_alg ->
+        let dg, res, _dyng = run_dggt cfg tgt budget stats pruned in
+        (dg, res)
     | Hisyn_alg -> run_hisyn cfg tgt budget stats pruned
   in
   match run () with
@@ -520,44 +537,131 @@ let run s query = synthesize s.cfg s.target query
 let run_graph s dg = synthesize_graph s.cfg s.target dg
 let with_cfg f s = { s with cfg = f s.cfg }
 
-let synthesize_ranked_cfg ?(k = 5) cfg tgt query =
-  let budget = make_budget cfg in
+(* ------------------------------------------------------------------ *)
+(* PathMerge seam + ranked mode                                       *)
+(* ------------------------------------------------------------------ *)
+
+type merge_fn =
+  budget:Budget.t ->
+  stats:Stats.t ->
+  gprune:bool ->
+  sprune:bool ->
+  ?trace:Trace.span ->
+  Dggt_grammar.Ggraph.t ->
+  Depgraph.t ->
+  Word2api.t ->
+  Edge2path.t ->
+  Synres.t option
+
+let synthesize_with_merge ~(merge : merge_fn) cfg tgt query =
+  let cfg = { cfg with algorithm = Dggt_alg } in
   let stats = Stats.create () in
-  try
-    let pruned = prune_query cfg (parse_query cfg query) in
-    let pruned, w2a, e2p, orphans = front cfg tgt stats pruned in
-    Trace.span cfg.trace "PathMerge" (fun sp ->
-        Trace.str sp "engine" "dggt";
-        Trace.int sp "k" k;
-        let dg, e2p =
-          if orphans = [] then (pruned, e2p)
-          else
-            (* ranked mode keeps a single dependency graph: relocate orphans
-               to their first plausible governor so every hint shares one
-               parse *)
-            let variants = Orphan.relocate ~max_graphs:1 tgt.graph pruned w2a ~orphans in
-            let dg = match variants with v :: _ -> v | [] -> pruned in
-            ( dg,
-              Edge2path.build ~limits:cfg.path_limits
-                ?pair_lookup:tgt.caches.edge2path ?autom:tgt.autom tgt.graph
-                dg w2a )
+  let budget = make_budget cfg in
+  let t0 = Unix.gettimeofday () in
+  let pruned = prune_query cfg (parse_query cfg query) in
+  match
+    run_dggt_with cfg tgt stats pruned ~merge:(fun ~trace dg w2a e2p ->
+        let res =
+          match trace with
+          | Some sp ->
+              merge ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune
+                ~trace:sp tgt.graph dg w2a e2p
+          | None ->
+              merge ~budget ~stats ~gprune:cfg.gprune ~sprune:cfg.sprune
+                tgt.graph dg w2a e2p
         in
-        let ranked =
-          Dggt.synthesize_ranked ~budget ~stats ~gprune:cfg.gprune
-            ~sprune:cfg.sprune ?trace:sp ~k tgt.graph dg w2a e2p
-        in
-        List.filter_map
-          (fun (r : Synres.t) ->
-            let lits = literal_bindings dg r.Synres.assignment in
-            match
-              Result.map Tree2expr.normalize
-                (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph
-                   r.Synres.cgt)
-            with
-            | Ok expr -> Some (expr, Tree2expr.to_string expr)
-            | Error _ -> None)
-          ranked)
-  with Budget.Exhausted -> []
+        (res, None))
+  with
+  | dg', res, _dyng ->
+      let time_s = Unix.gettimeofday () -. t0 in
+      finish cfg tgt dg' res ~time_s ~timed_out:false ~stats
+  | exception Budget.Exhausted ->
+      let time_s =
+        match cfg.timeout_s with
+        | Some limit -> limit
+        | None -> Unix.gettimeofday () -. t0
+      in
+      finish cfg tgt pruned None ~time_s ~timed_out:true ~stats
+
+type ranked = {
+  expr : Tree2expr.expr;
+  code : string;
+  size : int;
+  coverage : int;
+  score : float;
+}
+
+(* Ranked mode is the full DGGT pipeline — same orphan relocation, same
+   variant selection — run under the Top_k objective; the n-best is then
+   a read off the winning variant's finished chart. k = 1 degenerates to
+   the Min_size cells, so the head is [synthesize]'s codelet by
+   construction. *)
+let synthesize_ranked_cfg ?(k = 5) cfg tgt query =
+  if k <= 0 then []
+  else
+    let cfg =
+      { cfg with algorithm = Dggt_alg; objective = Semiring.Top_k k }
+    in
+    let stats = Stats.create () in
+    let budget = make_budget cfg in
+    try
+      let pruned = prune_query cfg (parse_query cfg query) in
+      let dg, res, dyng = run_dggt cfg tgt budget stats pruned in
+      match dyng with
+      | None -> []
+      | Some dyng ->
+          (* the plain run's codelet, linearized exactly as [finish] would:
+             [Dgg.best]'s root selection compares scores exactly while cell
+             order uses the 1e-9 epsilon, so a pure re-sort of the chart can
+             put an epsilon-tied sibling first — the head is pinned to the
+             winner instead of left to that corner *)
+          let run_code =
+            Option.bind res (fun (r : Synres.t) ->
+                let lits = literal_bindings dg r.Synres.assignment in
+                match
+                  Result.map Tree2expr.normalize
+                    (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph
+                       r.Synres.cgt)
+                with
+                | Ok expr -> Some (Tree2expr.to_string expr)
+                | Error _ -> None)
+          in
+          let seen = Hashtbl.create 8 in
+          let ranked =
+            Dggt.ranked_of_graph dyng ~root:dg.Depgraph.root
+            |> List.filter_map (fun (c : Semiring.cand) ->
+                   let lits = literal_bindings dg c.Semiring.assignment in
+                   match
+                     Result.map Tree2expr.normalize
+                       (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph
+                          c.Semiring.cgt)
+                   with
+                   | Ok expr ->
+                       let code = Tree2expr.to_string expr in
+                       if Hashtbl.mem seen code then None
+                       else begin
+                         Hashtbl.add seen code ();
+                         Some
+                           {
+                             expr;
+                             code;
+                             size = c.Semiring.size;
+                             coverage = Semiring.coverage c;
+                             score = c.Semiring.score;
+                           }
+                       end
+                   | Error _ -> None)
+          in
+          let ranked =
+            match run_code with
+            | Some rc -> (
+                match List.partition (fun r -> r.code = rc) ranked with
+                | [ hd ], rest -> hd :: rest
+                | _ -> ranked)
+            | None -> ranked
+          in
+          Listutil.take k ranked
+    with Budget.Exhausted -> []
 
 let synthesize_ranked ?k cfg tgt query = synthesize_ranked_cfg ?k cfg tgt query
 let run_ranked ?k s query = synthesize_ranked_cfg ?k s.cfg s.target query

@@ -89,6 +89,13 @@ type config = {
   path_limits : Dggt_grammar.Gpath.limits;
   gprune : bool;              (** grammar-based pruning (DGGT) *)
   sprune : bool;              (** size-based pruning (DGGT) *)
+  objective : Semiring.t;
+      (** the PathMerge semiring instantiation (DGGT). {!Semiring.Min_size}
+          (the default) is the paper's objective; {!Semiring.Top_k} makes
+          every chart cell retain a bounded n-best (what {!run_ranked}
+          uses); {!Semiring.Count} additionally counts distinct CGTs per
+          cell. The winning codelet and the statistics are identical for
+          every objective — the walk always extends by best candidates. *)
   orphan_reloc : bool;        (** orphan relocation (DGGT); false falls
                                   back to HISyn's root anchoring *)
   max_reloc_graphs : int;
@@ -151,14 +158,51 @@ val absorb_modifiers :
     refines the head ("constructor expressions" -> cxxConstructExpr) and
     disappears as a separate word. *)
 
-val synthesize_ranked :
-  ?k:int -> config -> target -> string -> (Tree2expr.expr * string) list
-(** Ranked-hints mode (paper §VII-B.4): up to [k] candidate codelets for
-    the query, best first (default [k = 5]). Always uses the DGGT engine;
-    the head of the list is {!synthesize}'s codelet. Timeouts yield []. *)
+type ranked = {
+  expr : Tree2expr.expr;
+  code : string;   (** [Tree2expr.to_string] of [expr] *)
+  size : int;      (** CGT size in APIs *)
+  coverage : int;  (** query words the candidate interprets *)
+  score : float;   (** WordToAPI score of its assignment *)
+}
+(** One entry of an n-best list. *)
 
-val run_ranked : ?k:int -> session -> string -> (Tree2expr.expr * string) list
+val synthesize_ranked : ?k:int -> config -> target -> string -> ranked list
+(** Ranked-hints mode (paper §VII-B.4): up to [k] candidate codelets for
+    the query, best first (default [k = 5]) — the full DGGT pipeline run
+    under {!Semiring.Top_k}[ k], so the list is a real n-best read off the
+    finished chart (up to k candidates per root interpretation), sorted by
+    {!Dggt.root_compare} and duplicate-free (by code). The head is pinned
+    to {!synthesize}'s codelet — an invariant, not a sorting accident:
+    root selection compares scores exactly while cell order uses the 1e-9
+    epsilon, so an epsilon-tied sibling could otherwise sort first (see
+    DESIGN.md). [k = 1] degenerates to the {!Semiring.Min_size} chart.
+    Timeouts and [k <= 0] yield []. *)
+
+val run_ranked : ?k:int -> session -> string -> ranked list
 (** {!synthesize_ranked} over a {!session}. *)
+
+type merge_fn =
+  budget:Dggt_util.Budget.t ->
+  stats:Stats.t ->
+  gprune:bool ->
+  sprune:bool ->
+  ?trace:Dggt_obs.Trace.span ->
+  Dggt_grammar.Ggraph.t ->
+  Dggt_nlu.Depgraph.t ->
+  Word2api.t ->
+  Edge2path.t ->
+  Synres.t option
+(** The PathMerge seam: the signature of a step-5 implementation as the
+    DGGT pipeline calls it (once per relocation variant). *)
+
+val synthesize_with_merge : merge:merge_fn -> config -> target -> string -> outcome
+(** {!synthesize} with a replacement PathMerge spliced into the DGGT
+    pipeline (the algorithm is forced to [Dggt_alg]; orphan relocation,
+    variant selection, budget and timeout handling are unchanged). Used
+    by [bench pathmerge] and the property suite to run the pre-semiring
+    reference walk ({!Dggt_eval.Refmerge}) against the semiring one on
+    identical inputs. Never raises. *)
 
 val synthesize_graph : config -> target -> Dggt_nlu.Depgraph.t -> outcome
 (** Skip parsing: synthesize from a pre-built dependency graph (used by

@@ -12,6 +12,7 @@ type t = {
   mutable hisyn_combos_possible : int;
   mutable dgg_nodes : int;
   mutable dgg_edges : int;
+  mutable dgg_improvements : int;
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     hisyn_combos_possible = 0;
     dgg_nodes = 0;
     dgg_edges = 0;
+    dgg_improvements = 0;
   }
 
 let copy s =
@@ -46,6 +48,7 @@ let copy s =
     hisyn_combos_possible = s.hisyn_combos_possible;
     dgg_nodes = s.dgg_nodes;
     dgg_edges = s.dgg_edges;
+    dgg_improvements = s.dgg_improvements;
   }
 
 (* all fields are immediate ints, so structural equality is exactly
@@ -83,6 +86,7 @@ let add a b =
     hisyn_combos_enumerated = a.hisyn_combos_enumerated + b.hisyn_combos_enumerated;
     dgg_nodes = a.dgg_nodes + b.dgg_nodes;
     dgg_edges = a.dgg_edges + b.dgg_edges;
+    dgg_improvements = a.dgg_improvements + b.dgg_improvements;
   }
 
 let gprune_removed t = t.combos_total - t.combos_after_gprune
@@ -90,7 +94,7 @@ let sprune_removed t = t.combos_after_gprune - t.combos_after_sprune
 
 let pp fmt t =
   Format.fprintf fmt
-    "edges=%d paths=%d->%d orphans=%d graphs=%d combos=%d -gp-> %d -sp-> %d merged=%d hisyn_enum=%d dgg=%d/%d"
+    "edges=%d paths=%d->%d orphans=%d graphs=%d combos=%d -gp-> %d -sp-> %d merged=%d hisyn_enum=%d dgg=%d/%d improved=%d"
     t.dep_edges t.orig_paths t.paths_after_reloc t.orphan_count t.reloc_graphs
     t.combos_total t.combos_after_gprune t.combos_after_sprune t.combos_merged
-    t.hisyn_combos_enumerated t.dgg_nodes t.dgg_edges
+    t.hisyn_combos_enumerated t.dgg_nodes t.dgg_edges t.dgg_improvements

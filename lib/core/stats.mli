@@ -16,6 +16,10 @@ type t = {
   mutable hisyn_combos_possible : int;   (** baseline: full product (saturated) *)
   mutable dgg_nodes : int;          (** nodes in the dynamic grammar graph *)
   mutable dgg_edges : int;
+  mutable dgg_improvements : int;
+      (** DGG chart-cell best-candidate improvements (semiring [plus]
+          calls that changed a node's best — the PathMerge work the trace
+          layer narrates as [min_size] updates) *)
 }
 
 val create : unit -> t
@@ -40,7 +44,7 @@ val add : t -> t -> t
     - {e work-shaped} fields take the sum — each variant's effort really
       happened: [reloc_graphs], [combos_total], [combos_after_gprune],
       [combos_after_sprune], [combos_merged], [hisyn_combos_enumerated],
-      [dgg_nodes], [dgg_edges]. *)
+      [dgg_nodes], [dgg_edges], [dgg_improvements]. *)
 
 val pp : Format.formatter -> t -> unit
 val gprune_removed : t -> int

@@ -2,8 +2,8 @@ open Dggt_core
 open Dggt_domains
 module Trace = Dggt_obs.Trace
 
-let run fmt ?(timeout_s = 20.0) ?(algorithm = Engine.Dggt_alg) (dom : Domain.t)
-    query =
+let run fmt ?(timeout_s = 20.0) ?(algorithm = Engine.Dggt_alg) ?(top = 1)
+    (dom : Domain.t) query =
   let sink = Trace.create () in
   let ses =
     Domain.configure dom
@@ -29,4 +29,16 @@ let run fmt ?(timeout_s = 20.0) ?(algorithm = Engine.Dggt_alg) (dom : Domain.t)
       Format.fprintf fmt "@.no codelet (%s, %.3f ms)@."
         (Option.value o.Engine.failure ~default:"unknown failure")
         (o.Engine.time_s *. 1e3));
+  (* rank narration: re-run under the Top-k semiring and show what the
+     chart kept beyond the winner — same pipeline, wider cells *)
+  if top > 1 && o.Engine.code <> None && algorithm = Engine.Dggt_alg then begin
+    let hints = Engine.run_ranked ~k:top ses query in
+    Format.fprintf fmt "@.top-%d candidates (Top-k semiring chart):@." top;
+    List.iteri
+      (fun i (r : Engine.ranked) ->
+        Format.fprintf fmt "  %d. %s@.     size %d, covers %d words, score %.2f%s@."
+          (i + 1) r.Engine.code r.Engine.size r.Engine.coverage r.Engine.score
+          (if i = 0 then "  (the winner above)" else ""))
+      hints
+  end;
   o

@@ -9,9 +9,13 @@ val run :
   Format.formatter ->
   ?timeout_s:float ->
   ?algorithm:Dggt_core.Engine.algorithm ->
+  ?top:int ->
   Dggt_domains.Domain.t ->
   string ->
   Dggt_core.Engine.outcome
 (** Synthesize [query] against the domain with a fresh trace sink, print
     the narrative, and return the outcome (the caller decides exit codes).
-    Defaults: 20 s timeout, DGGT engine. *)
+    With [top > 1] (DGGT engine, successful synthesis) a rank-narration
+    section follows: the query re-run under {!Dggt_core.Semiring.Top_k}
+    and the n-best candidates the chart kept, head first. Defaults: 20 s
+    timeout, DGGT engine, [top = 1] (no rank section). *)

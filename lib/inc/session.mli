@@ -57,10 +57,10 @@ val query :
     Emits an ["IncrementalReuse"] span (after the stage spans) when tracing
     is on. Never raises. *)
 
-val ranked :
-  ?k:int -> t -> string -> (Dggt_core.Tree2expr.expr * string) list
-(** Ranked-hints mode through the session's memo tables. Does not advance
-    the revision history or disturb the last {!query}'s reuse accounting. *)
+val ranked : ?k:int -> t -> string -> Dggt_core.Engine.ranked list
+(** Ranked-hints mode ({!Dggt_core.Engine.run_ranked}'s top-k chart)
+    through the session's memo tables. Does not advance the revision
+    history or disturb the last {!query}'s reuse accounting. *)
 
 val reset : t -> unit
 (** Drop the revision history and memo tables; the next {!query} computes

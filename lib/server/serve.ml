@@ -92,8 +92,10 @@ type t = {
   build : string; (* git describe at startup, or "unknown" *)
   (* whole-query outcome, plus the ranked alternatives computed with it *)
   q_cache :
-    (int * string * string * string * int, Engine.outcome * string list) Cache.t;
-  rank_cache : (int * string * string * int, string list) Cache.t;
+    ( int * string * string * string * int,
+      Engine.outcome * Engine.ranked list )
+    Cache.t;
+  rank_cache : (int * string * string * int, Engine.ranked list) Cache.t;
   word_cache : (int * string * string * string, Word2api.candidate list) Cache.t;
   sessions : srecord Sessions.t;
   traces : trecord Ring.t;
@@ -166,26 +168,54 @@ let stats_json (s : Stats.t) =
       ("hisyn_combos_possible", i s.Stats.hisyn_combos_possible);
       ("dgg_nodes", i s.Stats.dgg_nodes);
       ("dgg_edges", i s.Stats.dgg_edges);
+      ("dgg_improvements", i s.Stats.dgg_improvements);
     ]
 
+(* the real n-best entries, rank + the tie-break quantities the client
+   would otherwise have to re-derive *)
+let ranked_json (rs : Engine.ranked list) =
+  J.Arr
+    (List.mapi
+       (fun i (r : Engine.ranked) ->
+         J.Obj
+           [
+             ("rank", J.Num (float_of_int (i + 1)));
+             ("code", J.Str r.Engine.code);
+             ("size", J.Num (float_of_int r.Engine.size));
+             ("coverage", J.Num (float_of_int r.Engine.coverage));
+             ("score", J.Num r.Engine.score);
+           ])
+       rs)
+
+(* protocol v1 compatibility: [alternatives] keeps its historical shape (a
+   bare code-string array) and the richer [ranked] field appears only when
+   an n-best was computed (k > 1) — a k=1 payload is byte-identical to the
+   pre-semiring one. *)
 let outcome_json ~domain ~engine ~query ~cached ~alternatives
     (o : Engine.outcome) =
   J.Obj
-    [
-      ("v", J.Num (float_of_int api_version));
-      ("ok", J.Bool (o.Engine.code <> None));
-      ("domain", J.Str domain);
-      ("engine", J.Str engine);
-      ("query", J.Str query);
-      ("code", J.opt (fun s -> J.Str s) o.Engine.code);
-      ("cgt_size", J.opt (fun n -> J.Num (float_of_int n)) o.Engine.cgt_size);
-      ("alternatives", J.Arr (List.map (fun c -> J.Str c) alternatives));
-      ("time_s", J.Num o.Engine.time_s);
-      ("timed_out", J.Bool o.Engine.timed_out);
-      ("failure", J.opt (fun s -> J.Str s) o.Engine.failure);
-      ("cached", J.Bool cached);
-      ("stats", stats_json o.Engine.stats);
-    ]
+    ([
+       ("v", J.Num (float_of_int api_version));
+       ("ok", J.Bool (o.Engine.code <> None));
+       ("domain", J.Str domain);
+       ("engine", J.Str engine);
+       ("query", J.Str query);
+       ("code", J.opt (fun s -> J.Str s) o.Engine.code);
+       ("cgt_size", J.opt (fun n -> J.Num (float_of_int n)) o.Engine.cgt_size);
+       ( "alternatives",
+         J.Arr
+           (List.map (fun (r : Engine.ranked) -> J.Str r.Engine.code)
+              alternatives) );
+     ]
+    @ (if alternatives = [] then []
+       else [ ("ranked", ranked_json alternatives) ])
+    @ [
+        ("time_s", J.Num o.Engine.time_s);
+        ("timed_out", J.Bool o.Engine.timed_out);
+        ("failure", J.opt (fun s -> J.Str s) o.Engine.failure);
+        ("cached", J.Bool cached);
+        ("stats", stats_json o.Engine.stats);
+      ])
 
 let value_json = function
   | Trace.Bool b -> J.Bool b
@@ -370,7 +400,6 @@ let synthesize_handler t (req : Httpd.request) =
                 if p.k > 1 && not o.Engine.timed_out then
                   Engine.synthesize_ranked ~k:p.k p.ds.cfg_dggt p.ds.target
                     p.query
-                  |> List.map snd
                 else []
               in
               let outcome =
@@ -395,7 +424,7 @@ let rank_handler t (req : Httpd.request) =
       let domain = p.ds.dom.Dggt_domains.Domain.name in
       let k = if p.k = 1 then 5 else p.k in
       let key = (p.ds.gen, domain, p.query, k) in
-      let render ~cached candidates =
+      let render ~cached (candidates : Engine.ranked list) =
         respond_json 200
           (J.Obj
              [
@@ -404,7 +433,12 @@ let rank_handler t (req : Httpd.request) =
                ("domain", J.Str domain);
                ("query", J.Str p.query);
                ("k", J.Num (float_of_int k));
-               ("candidates", J.Arr (List.map (fun c -> J.Str c) candidates));
+               ( "candidates",
+                 J.Arr
+                   (List.map
+                      (fun (r : Engine.ranked) -> J.Str r.Engine.code)
+                      candidates) );
+               ("ranked", ranked_json candidates);
                ("cached", J.Bool cached);
              ])
       in
@@ -423,10 +457,7 @@ let rank_handler t (req : Httpd.request) =
                   trace = Some sink;
                 }
               in
-              let cs =
-                Engine.synthesize_ranked ~k cfg p.ds.target p.query
-                |> List.map snd
-              in
+              let cs = Engine.synthesize_ranked ~k cfg p.ds.target p.query in
               record_trace t ~domain ~engine:"dggt" ~query:p.query
                 ~time_s:(Unix.gettimeofday () -. t0)
                 ~ok:(cs <> []) sink;
@@ -552,6 +583,11 @@ let session_query_handler t (req : Httpd.request) id =
                 | Some v when v > 0.0 -> Some (Float.min v 60.0)
                 | _ -> None (* keep the session default: splice stays armed *)
               in
+              let k =
+                match J.int_field "k" body with
+                | Some v -> max 1 (min v 20)
+                | None -> 1
+              in
               let deadline =
                 t0
                 +. Option.value timeout_s ~default:t.params.default_timeout_s
@@ -565,8 +601,18 @@ let session_query_handler t (req : Httpd.request) id =
                     | None -> cfg
                   in
                   Mutex.lock sr.smu;
-                  let outcome, reuse =
-                    match Dggt_inc.Session.query ~tweak sr.inc query with
+                  let (outcome, reuse), alternatives =
+                    match
+                      let oq = Dggt_inc.Session.query ~tweak sr.inc query in
+                      let rk =
+                        (* the n-best rides the session's memo tables; k=1
+                           keeps the historical payload (no ranked field) *)
+                        if k > 1 && not (fst oq).Engine.timed_out then
+                          Dggt_inc.Session.ranked ~k sr.inc query
+                        else []
+                      in
+                      (oq, rk)
+                    with
                     | v ->
                         Mutex.unlock sr.smu;
                         v
@@ -596,7 +642,7 @@ let session_query_handler t (req : Httpd.request) id =
                   let fields =
                     match
                       outcome_json ~domain:sr.sdomain ~engine:sr.sengine_name
-                        ~query ~cached:false ~alternatives:[] outcome
+                        ~query ~cached:false ~alternatives outcome
                     with
                     | J.Obj f -> f
                     | other -> [ ("outcome", other) ]

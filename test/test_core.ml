@@ -624,11 +624,11 @@ let test_ranked_hints () =
   check_b "at least one hint" true (hints <> []);
   check_b "k bound respected" true (List.length hints <= 5);
   (* the top hint is the single-result answer *)
-  let top = snd (List.hd hints) in
+  let top = (List.hd hints).Engine.code in
   let single = Engine.synthesize cfg tgt q in
   check_s "head of ranking = best codelet" (Option.value single.Engine.code ~default:"?") top;
   (* hints are distinct codelets *)
-  let codes = List.map snd hints in
+  let codes = List.map (fun (r : Engine.ranked) -> r.Engine.code) hints in
   check_i "no duplicate hints" (List.length codes)
     (List.length (Dggt_util.Listutil.uniq codes))
 
@@ -682,6 +682,8 @@ let test_stats_add_semantics () =
   b.Stats.dgg_nodes <- 11;
   a.Stats.dgg_edges <- 13;
   b.Stats.dgg_edges <- 17;
+  a.Stats.dgg_improvements <- 6;
+  b.Stats.dgg_improvements <- 8;
   let s = Stats.add a b in
   (* query-shaped fields take the max over variants *)
   check_i "dep_edges is max" 4 s.Stats.dep_edges;
@@ -698,6 +700,7 @@ let test_stats_add_semantics () =
   check_i "hisyn_combos_enumerated sums" 110 s.Stats.hisyn_combos_enumerated;
   check_i "dgg_nodes sums" 20 s.Stats.dgg_nodes;
   check_i "dgg_edges sums" 30 s.Stats.dgg_edges;
+  check_i "dgg_improvements sums" 14 s.Stats.dgg_improvements;
   (* adding a fresh zero record is the identity *)
   let z = Stats.add s (Stats.create ()) in
   check_b "zero is identity" true (z = s)

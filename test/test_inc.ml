@@ -218,8 +218,9 @@ let test_session_ranked () =
   ignore (Session.query s q);
   let revs = Session.revisions s in
   let hints = Session.ranked ~k:5 s q in
+  let code (r : Engine.ranked) = r.Engine.code in
   check_b "ranked equals scratch" true
-    (List.map snd hints = List.map snd (Engine.run_ranked ~k:5 base q));
+    (List.map code hints = List.map code (Engine.run_ranked ~k:5 base q));
   check_i "ranked does not advance revisions" revs (Session.revisions s)
 
 let test_session_trace_notes () =
@@ -371,8 +372,12 @@ let test_ranked_equivalence_both_domains () =
       check_b
         (dom.Dggt_domains.Domain.name ^ " ranked matches scratch")
         true
-        (List.map snd (Session.ranked ~k:5 s q)
-        = List.map snd (Engine.run_ranked ~k:5 base q)))
+        (List.map
+           (fun (r : Engine.ranked) -> r.Engine.code)
+           (Session.ranked ~k:5 s q)
+        = List.map
+            (fun (r : Engine.ranked) -> r.Engine.code)
+            (Engine.run_ranked ~k:5 base q)))
     [ te; am ]
 
 let suite =

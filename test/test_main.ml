@@ -16,5 +16,6 @@ let () =
       ("pack", Test_pack.suite);
       ("par", Test_par.suite);
       ("properties", Test_props.suite);
+      ("semiring", Test_semiring.suite);
       ("stress", Test_stress.suite);
     ]

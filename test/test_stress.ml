@@ -69,7 +69,7 @@ let test_dgg_structure () =
   let apis, pcgts, starts =
     List.fold_left
       (fun (a, p, s) (n : Dgg.node) ->
-        match n.Dgg.kind with
+        match Dgg.kind n with
         | Dgg.ApiN _ -> (a + 1, p, s)
         | Dgg.PcgtN _ -> (a, p + 1, s)
         | Dgg.Start -> (a, p, s + 1))
@@ -82,9 +82,9 @@ let test_dgg_structure () =
   let edges = Dgg.edges dyng in
   List.iter
     (fun (n : Dgg.node) ->
-      if n.Dgg.kind <> Dgg.Start then
+      if Dgg.kind n <> Dgg.Start then
         check_b "node has an incoming edge" true
-          (List.exists (fun (e : Dgg.edge) -> e.Dgg.dst = n.Dgg.id) edges))
+          (List.exists (fun (e : Dgg.edge) -> e.Dgg.dst = Dgg.id n) edges))
     nodes;
   (* the winning assignment covers only nodes of the dependency graph and
      the root's chosen API node has the reported size *)
@@ -99,15 +99,22 @@ let test_dgg_structure () =
   | None -> ())
 
 let test_dgg_memoizes_best () =
-  (* min_size fields never increase along the documented ordering: for any
-     API node, its recorded CGT really has the recorded size/coverage. *)
+  (* the sealed cell API: for any solved API node, its best candidate
+     really has the recorded size/coverage, and the choices list is
+     ordered best-first. *)
   let _, dyng, _, _ = build_dgg "insert \"-\" at the start of each line" in
   List.iter
     (fun (n : Dgg.node) ->
-      if Dgg.set n && n.Dgg.kind <> Dgg.Start then begin
-        check_i "min_size consistent with stored CGT" n.Dgg.min_size
-          (Cgt.api_size (Lazy.force graph) n.Dgg.min_cgt);
-        check_b "assignment nonempty when set" true (n.Dgg.assignment <> [])
+      if Dgg.solved n && Dgg.kind n <> Dgg.Start then begin
+        let c = Option.get (Dgg.best n) in
+        check_i "size consistent with stored CGT" (Dgg.size n)
+          (Cgt.api_size (Lazy.force graph) c.Semiring.cgt);
+        check_b "assignment nonempty when solved" true
+          (c.Semiring.assignment <> []);
+        check_b "best heads the choices" true
+          (match Dgg.choices n with
+          | h :: _ -> h == c
+          | [] -> false)
       end)
     (Dgg.nodes dyng)
 

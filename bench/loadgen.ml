@@ -36,6 +36,7 @@ let distinct = ref 12
 let engine = ref "dggt"
 let print_metrics = ref false
 let sessions = ref 0
+let warm_store = ref "" (* "" = no store *)
 
 let spec =
   [
@@ -54,6 +55,11 @@ let spec =
       Arg.Set_int sessions,
       "N session clients replaying edit sequences against POST /session \
        (replaces the /synthesize workload)" );
+    ( "--warm-store",
+      Arg.Set_string warm_store,
+      "DIR warm-start store for the in-process server; run twice with the \
+       same DIR and the second run serves warm-loaded entries — every \
+       answer is still checked against the local baselines" );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -458,6 +464,8 @@ let () =
             packs_dir = None;
             session_ttl_s = Serve.default_params.Serve.session_ttl_s;
             session_cap = Serve.default_params.Serve.session_cap;
+            store_dir = (if !warm_store = "" then None else Some !warm_store);
+            store_interval_s = Serve.default_params.Serve.store_interval_s;
           }
       in
       port := Serve.port s;

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- automaton        # DFS vs compiled automaton
      dune exec bench/main.exe -- pathmerge        # reference vs semiring PathMerge
      dune exec bench/main.exe -- incremental      # as-you-type session replay
+     dune exec bench/main.exe -- warmstart        # cold vs warm --store boot
      dune exec bench/main.exe -- --timeout 2 smoke  # reduced CI sweep
 
    The 20 s timeout is the paper's protocol; because this substrate is much
@@ -909,6 +910,329 @@ let run_pathmerge ~timeout_s ~limit () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start store: cold vs warm server boot over a loopback socket. *)
+(* Phase 1 boots with an empty --store, serves every query (checked   *)
+(* against a local Engine.run baseline), replays them as cache hits,  *)
+(* and shuts down (spilling caches + automaton images). Phase 2 boots *)
+(* the same store: first request must already hit, /metrics must show *)
+(* zero automaton compiles, and every warm-served response must be    *)
+(* byte-identical to the cold (fresh-synthesis) one on the            *)
+(* deterministic fields (code, cgt_size, failure, alternatives,       *)
+(* stats). Divergence exits non-zero.                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Dggt_server.Serve
+module WHist = Dggt_server.Smetrics.Hist
+
+(* one-shot HTTP/1.1 request over loopback, connection: close *)
+let ws_http ~port ~meth ~path ?(body = "") () =
+  let module J = Dggt_server.Jsonio in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\
+           content-type: application/json\r\ncontent-length: %d\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let rec write_all off =
+        if off < String.length req then
+          write_all (off + Unix.write_substring fd req off (String.length req - off))
+      in
+      write_all 0;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 4096 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status = Scanf.sscanf raw "HTTP/1.1 %d" (fun s -> s) in
+      let body =
+        let n = String.length raw in
+        let rec hdr_end i =
+          if i + 4 > n then n
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else hdr_end (i + 1)
+        in
+        let b = hdr_end 0 in
+        String.sub raw b (n - b)
+      in
+      (status, body))
+
+(* the deterministic slice of a /synthesize response: everything that
+   must survive the store byte-for-byte (time_s and cached may differ) *)
+type wfields = {
+  w_ok : string option;
+  w_code : string option;
+  w_cgt : string option;
+  w_failure : string option;
+  w_alts : string option;
+  w_stats : string option;
+}
+
+let wfields_of j =
+  let module J = Dggt_server.Jsonio in
+  let m k = Option.map J.to_string (J.member k j) in
+  {
+    w_ok = m "ok";
+    w_code = m "code";
+    w_cgt = m "cgt_size";
+    w_failure = m "failure";
+    w_alts = m "alternatives";
+    w_stats = m "stats";
+  }
+
+let wfields_diff a b =
+  let d n x y = if x = y then [] else [ n ] in
+  d "ok" a.w_ok b.w_ok @ d "code" a.w_code b.w_code
+  @ d "cgt_size" a.w_cgt b.w_cgt
+  @ d "failure" a.w_failure b.w_failure
+  @ d "alternatives" a.w_alts b.w_alts
+  @ d "stats" a.w_stats b.w_stats
+
+type wphase = {
+  wp_create_s : float;    (* Serve.create wall time *)
+  wp_first_hit_s : float; (* boot start -> first cached:true response *)
+  wp_replay : WHist.t;    (* per-request latency of the replay pass *)
+  wp_compiles : int;      (* dggt_autom_compiles_total samples in /metrics *)
+}
+
+let count_lines_with needle body =
+  String.split_on_char '\n' body
+  |> List.filter (fun l ->
+         String.length l >= String.length needle
+         && String.sub l 0 (String.length needle) = needle)
+  |> List.length
+
+let run_warmstart ~timeout_s ~limit () =
+  hr ();
+  let module J = Dggt_server.Jsonio in
+  Format.fprintf fmt
+    "Warm-start store: cold boot (empty store) vs warm boot (same \
+     store)@.(both domains, %d queries each; warm responses must be \
+     cache hits, byte-identical@.to the cold run's fresh synthesis, with \
+     zero automaton compiles at boot)@.@."
+    limit;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dggt-warmstart-%d" (Unix.getpid ()))
+  in
+  (* fresh store: wipe any leftover from a crashed earlier run *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let params =
+    {
+      Serve.default_params with
+      Serve.port = 0;
+      workers = 2;
+      queue_capacity = 64;
+      cache_size = 512;
+      default_timeout_s = timeout_s;
+      store_dir = Some dir;
+      store_interval_s = 0.0 (* spill on shutdown only: deterministic *);
+    }
+  in
+  let pick (d : Domain.t) =
+    d.Domain.queries
+    |> List.filter (fun (q : Domain.query) -> not q.Domain.hard)
+    |> (fun qs -> List.filteri (fun i _ -> i < limit) qs)
+    |> List.map (fun (q : Domain.query) -> (d, q.Domain.text))
+  in
+  let items = pick Text_editing.domain @ pick Astmatcher.domain in
+  Format.eprintf "  local baselines for %d queries...@." (List.length items);
+  let baselines =
+    List.map
+      (fun ((d : Domain.t), text) ->
+        let ses =
+          Domain.configure d
+            { (Engine.default Engine.Dggt_alg) with
+              Engine.timeout_s = Some timeout_s }
+        in
+        (d.Domain.name, text, (Engine.run ses text).Engine.code))
+      items
+  in
+  let failed = ref false in
+  let fail fmt_ = Format.kasprintf (fun s -> failed := true; Format.eprintf "%s@." s) fmt_ in
+  let post_synth ~port ~domain ~text =
+    let body =
+      J.to_string
+        (J.Obj
+           [
+             ("query", J.Str text);
+             ("domain", J.Str domain);
+             ("timeout", J.Num timeout_s);
+           ])
+    in
+    let st, b = ws_http ~port ~meth:"POST" ~path:"/synthesize" ~body () in
+    if st <> 200 then (fail "POST /synthesize -> %d for %S" st text; None)
+    else
+      match J.of_string b with
+      | Error e -> fail "bad JSON for %S: %s" text e; None
+      | Ok j -> Some j
+  in
+  (* ---- phase 1: cold ---- *)
+  Format.eprintf "  cold boot...@.";
+  let t0 = Unix.gettimeofday () in
+  let srv = Serve.create params in
+  let cold_create_s = Unix.gettimeofday () -. t0 in
+  let port = Serve.port srv in
+  (* prime: every query once, checking against the engine baseline *)
+  let expected =
+    List.filter_map
+      (fun (domain, text, base_code) ->
+        match post_synth ~port ~domain ~text with
+        | None -> None
+        | Some j ->
+            if Option.value (J.bool_field "timed_out" j) ~default:false then begin
+              (* timeouts are never cached; drop the pair from the replay *)
+              Format.eprintf "    (timeout on %S, excluded)@." text;
+              None
+            end
+            else begin
+              if J.str_field "code" j <> base_code then
+                fail "cold answer diverges from Engine.run on %S" text;
+              Some (domain, text, wfields_of j)
+            end)
+      baselines
+  in
+  (* first hit: the first primed query served from the whole-query cache *)
+  (match expected with
+  | (domain, text, _) :: _ -> (
+      match post_synth ~port ~domain ~text with
+      | Some j when J.bool_field "cached" j = Some true -> ()
+      | Some _ -> fail "cold repeat of %S was not a cache hit" text
+      | None -> ())
+  | [] -> fail "every query timed out; nothing to persist");
+  let cold_first_hit_s = Unix.gettimeofday () -. t0 in
+  let cold_replay = WHist.create () in
+  List.iter
+    (fun (domain, text, _) ->
+      let r0 = Unix.gettimeofday () in
+      ignore (post_synth ~port ~domain ~text);
+      WHist.observe cold_replay (Unix.gettimeofday () -. r0))
+    expected;
+  let cold_compiles =
+    let _, body = ws_http ~port ~meth:"GET" ~path:"/metrics" () in
+    count_lines_with "dggt_autom_compiles_total{" body
+  in
+  Serve.stop srv (* graceful: spills caches + automaton images, compacts *);
+  let cold =
+    {
+      wp_create_s = cold_create_s;
+      wp_first_hit_s = cold_first_hit_s;
+      wp_replay = cold_replay;
+      wp_compiles = cold_compiles;
+    }
+  in
+  (* ---- phase 2: warm ---- *)
+  Format.eprintf "  warm boot (same store)...@.";
+  let t0 = Unix.gettimeofday () in
+  let srv = Serve.create params in
+  let warm_create_s = Unix.gettimeofday () -. t0 in
+  let port = Serve.port srv in
+  (* before any request: the boot must have loaded records and compiled
+     nothing (both domains' automatons restored from their images) *)
+  let metrics_body = snd (ws_http ~port ~meth:"GET" ~path:"/metrics" ()) in
+  let warm_compiles =
+    count_lines_with "dggt_autom_compiles_total{" metrics_body
+  in
+  if warm_compiles > 0 then
+    fail "warm boot compiled %d automatons (expected 0)" warm_compiles;
+  if count_lines_with "dggt_store_records_loaded_total" metrics_body = 0 then
+    fail "warm boot loaded no store records";
+  (* first request must already be a hit *)
+  (match expected with
+  | (domain, text, _) :: _ -> (
+      match post_synth ~port ~domain ~text with
+      | Some j when J.bool_field "cached" j = Some true -> ()
+      | Some _ -> fail "warm first request %S missed the cache" text
+      | None -> ())
+  | [] -> ());
+  let warm_first_hit_s = Unix.gettimeofday () -. t0 in
+  let warm_replay = WHist.create () in
+  List.iter
+    (fun (domain, text, cold_f) ->
+      let r0 = Unix.gettimeofday () in
+      let j = post_synth ~port ~domain ~text in
+      WHist.observe warm_replay (Unix.gettimeofday () -. r0);
+      match j with
+      | None -> ()
+      | Some j ->
+          if J.bool_field "cached" j <> Some true then
+            fail "warm replay of %S missed the cache" text;
+          match wfields_diff cold_f (wfields_of j) with
+          | [] -> ()
+          | ds ->
+              fail "WARM DIVERGENCE on %S: %s differ" text
+                (String.concat ", " ds))
+    expected;
+  Serve.stop srv;
+  let warm =
+    {
+      wp_create_s = warm_create_s;
+      wp_first_hit_s = warm_first_hit_s;
+      wp_replay = warm_replay;
+      wp_compiles = warm_compiles;
+    }
+  in
+  (* ---- report ---- *)
+  let q h p = 1000. *. WHist.quantile h p in
+  Format.fprintf fmt "  %6s %9s %11s %9s %12s %12s@." "phase" "boot(s)"
+    "first-hit(s)" "compiles" "replay p50" "replay p99";
+  List.iter
+    (fun (name, p) ->
+      Format.fprintf fmt "  %6s %9.3f %11.3f %9d %9.2f ms %9.2f ms@." name
+        p.wp_create_s p.wp_first_hit_s p.wp_compiles (q p.wp_replay 0.5)
+        (q p.wp_replay 0.99))
+    [ ("cold", cold); ("warm", warm) ];
+  Format.fprintf fmt "@.";
+  let path = "BENCH_warmstart.json" in
+  let phase_json p =
+    J.Obj
+      [
+        ("create_s", J.Num p.wp_create_s);
+        ("first_hit_s", J.Num p.wp_first_hit_s);
+        ("autom_compiles", J.Num (float_of_int p.wp_compiles));
+        ("replay_p50_ms", J.Num (q p.wp_replay 0.5));
+        ("replay_p99_ms", J.Num (q p.wp_replay 0.99));
+        ("replay_max_ms", J.Num (1000. *. WHist.max_value p.wp_replay));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [
+            ("bench", J.Str "warmstart");
+            ("timeout_s", J.Num timeout_s);
+            ("queries", J.Num (float_of_int (List.length expected)));
+            ("cold", phase_json cold);
+            ("warm", phase_json warm);
+            ("identical", J.Bool (not !failed));
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path;
+  (* leave no temp store behind *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
@@ -1019,6 +1343,8 @@ let () =
         run_pathmerge ~timeout_s ~limit:(if limit < 0 then max_int else limit) ()
     | "incremental" ->
         run_incremental ~timeout_s ~limit:(if limit < 0 then 8 else limit) ()
+    | "warmstart" ->
+        run_warmstart ~timeout_s ~limit:(if limit < 0 then 6 else limit) ()
     | "smoke" -> run_smoke ~timeout_s ()
     | "micro" -> run_micro ()
     | "all" ->

@@ -341,8 +341,28 @@ let serve_cmd =
             "Max live incremental sessions (least-recently-used beyond; 0 \
              disables session storage).")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Warm-start store directory: caches and compiled automatons \
+             are reloaded from $(docv) at boot (so restarts start hot, \
+             skipping automaton compiles for unchanged packs) and spilled \
+             back periodically and on graceful shutdown. Corrupt or stale \
+             records are refused and rebuilt, never served.")
+  in
+  let store_interval_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "store-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds between periodic spills to --store (0 spills only on \
+             shutdown).")
+  in
   let run port addr workers queue cache_size timeout trace_buffer packs
-      session_ttl session_cap =
+      session_ttl session_cap store store_interval =
     Serve.run
       {
         Serve.addr;
@@ -355,6 +375,8 @@ let serve_cmd =
         packs_dir = packs;
         session_ttl_s = session_ttl;
         session_cap;
+        store_dir = store;
+        store_interval_s = store_interval;
       };
     `Ok ()
   in
@@ -369,7 +391,7 @@ let serve_cmd =
       ret
         (const run $ port_arg $ addr_arg $ workers_arg $ queue_arg
        $ cache_arg $ serve_timeout_arg $ trace_buffer_arg $ packs_arg
-       $ session_ttl_arg $ session_cap_arg))
+       $ session_ttl_arg $ session_cap_arg $ store_arg $ store_interval_arg))
 
 (* --- pack ---------------------------------------------------------- *)
 
@@ -458,6 +480,94 @@ let pack_cmd =
        ~doc:"Validate (check) and export (dump) on-disk domain packs.")
     [ pack_check_cmd; pack_dump_cmd ]
 
+(* --- store --------------------------------------------------------- *)
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"STOREDIR"
+        ~doc:"Warm-start store directory (as given to dggt serve --store).")
+
+(* the CLI opens the store under the server's payload schema, so its
+   loaded/skipped verdicts match what a boot would apply *)
+let with_store dir f =
+  match
+    Dggt_store.Store.open_dir ~schema:Dggt_server.Warmstore.schema_version dir
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok s -> f s
+
+let store_stats_cmd =
+  let run dir =
+    with_store dir (fun s ->
+        let st = Dggt_store.Store.stats s in
+        Printf.printf
+          "%s: %d bytes (%d committed), %d records loaded, %d skipped, %d \
+           rejected, %d trailing bytes\n"
+          dir st.Dggt_store.Store.log_bytes st.Dggt_store.Store.committed_bytes
+          st.Dggt_store.Store.s_loaded st.Dggt_store.Store.s_skipped
+          st.Dggt_store.Store.s_rejected st.Dggt_store.Store.s_trailing_bytes;
+        List.iter
+          (fun (kind, n) -> Printf.printf "  %-8s %d\n" kind n)
+          st.Dggt_store.Store.kinds;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize a warm-start store: file sizes, record verdicts under \
+          the current payload schema, and loaded records by kind.")
+    Term.(ret (const run $ store_dir_arg))
+
+let store_verify_cmd =
+  let run dir =
+    with_store dir (fun s ->
+        let l = Dggt_store.Store.verify s in
+        Printf.printf
+          "%s: %d records ok, %d skipped (schema), %d rejected, %d trailing \
+           bytes\n"
+          dir l.Dggt_store.Store.loaded l.Dggt_store.Store.skipped
+          l.Dggt_store.Store.rejected l.Dggt_store.Store.trailing_bytes;
+        if l.Dggt_store.Store.rejected > 0 then
+          `Error (false, "store has corrupt records (a boot rebuilds them)")
+        else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-check every record's framing and digests. Exits non-zero when \
+          any record is corrupt — a server boot would refuse those records \
+          and rebuild their contents, never serve them.")
+    Term.(ret (const run $ store_dir_arg))
+
+let store_compact_cmd =
+  let run dir =
+    with_store dir (fun s ->
+        match Dggt_store.Store.compact s with
+        | Error msg -> `Error (false, msg)
+        | Ok r ->
+            Printf.printf "%s: kept %d records, dropped %d, %d -> %d bytes\n"
+              dir r.Dggt_store.Store.kept r.Dggt_store.Store.dropped
+              r.Dggt_store.Store.bytes_before r.Dggt_store.Store.bytes_after;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Rewrite the log keeping only the newest record per (kind, name, \
+          engine): periodic spills append whole snapshots, so a \
+          long-running server's log folds down to one snapshot's worth.")
+    Term.(ret (const run $ store_dir_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect (stats), check (verify) and rewrite (compact) a warm-start \
+          store directory (dggt serve --store).")
+    [ store_stats_cmd; store_verify_cmd; store_compact_cmd ]
+
 let () =
   let info =
     Cmd.info "dggt" ~version:"1.0.0"
@@ -474,4 +584,5 @@ let () =
             autom_cmd;
             serve_cmd;
             pack_cmd;
+            store_cmd;
           ]))

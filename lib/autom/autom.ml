@@ -159,6 +159,80 @@ let compile ?trace ?(memo_cap = 65536) (g : Ggraph.t) =
       t)
 
 (* ------------------------------------------------------------------ *)
+(* serialized images                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything [compile] derives from the graph, as pure marshallable
+   data: no mutex, no atomics, no graph pointer — the two things a
+   [Marshal] of [t] itself would choke on (custom blocks) or duplicate
+   (the grammar, which the restorer already has). *)
+type image = {
+  i_api : bool array;
+  i_api_name : string array;
+  i_par_src : int array array;
+  i_par_edge : int array array;
+  i_closures : int array array;
+  i_dist_rows : int array array;
+  i_digest : string;
+  i_compile_s : float;
+}
+
+let to_image t =
+  {
+    i_api = t.api;
+    i_api_name = t.api_name;
+    i_par_src = t.par_src;
+    i_par_edge = t.par_edge;
+    i_closures = t.closures;
+    i_dist_rows = t.dist_rows;
+    i_digest = t.digest;
+    i_compile_s = t.compile_s;
+  }
+
+let image_digest i = i.i_digest
+let image_compile_time_s i = i.i_compile_s
+
+let of_image ?(memo_cap = 65536) (g : Ggraph.t) (i : image) =
+  let d = digest_of g in
+  let n = Ggraph.node_count g in
+  if d <> i.i_digest then
+    Error
+      (Printf.sprintf
+         "automaton image was built from a different grammar (image digest \
+          %s.., grammar %s..)"
+         (String.sub i.i_digest 0 (min 12 (String.length i.i_digest)))
+         (String.sub d 0 12))
+  else if
+    Array.length i.i_api <> n
+    || Array.length i.i_api_name <> n
+    || Array.length i.i_par_src <> n
+    || Array.length i.i_par_edge <> n
+    || Array.length i.i_closures <> n
+    || Array.length i.i_dist_rows <> n
+  then Error "automaton image table sizes do not match the grammar"
+  else
+    Ok
+      {
+        g;
+        api = i.i_api;
+        api_name = i.i_api_name;
+        par_src = i.i_par_src;
+        par_edge = i.i_par_edge;
+        closures = i.i_closures;
+        dist_rows = i.i_dist_rows;
+        digest = i.i_digest;
+        compile_s = i.i_compile_s;
+        memo =
+          {
+            mu = Mutex.create ();
+            tbl = Hashtbl.create 1024;
+            cap = memo_cap;
+            hits = Atomic.make 0;
+            misses = Atomic.make 0;
+          };
+      }
+
+(* ------------------------------------------------------------------ *)
 (* compiled-table reads                                               *)
 (* ------------------------------------------------------------------ *)
 

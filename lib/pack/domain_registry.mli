@@ -59,6 +59,15 @@ val pack_digest : t -> string
 (** Order-independent digest over the loaded packs' file digests;
     ["none"] when only built-ins are registered. *)
 
+val content_key : entry -> string
+(** What identifies the entry's compiled automaton across processes:
+    the manifest digest for a pack, ["builtin:<name>"] for a built-in
+    (their grammars are compiled in). This is the registry's automaton
+    cache key and the warm-start store's per-domain invalidation key —
+    an automaton record whose content key still matches skips
+    {!Dggt_autom.Autom.compile} on the next boot even when {e other}
+    packs changed. *)
+
 val automaton :
   ?trace:Dggt_obs.Trace.sink -> t -> entry -> Dggt_autom.Autom.t * bool
 (** The entry's grammar compiled into EdgeToPath state tables
@@ -71,3 +80,13 @@ val automaton :
     receives the AutomatonCompile span on fresh compiles only.
     Compilation runs outside the registry lock; concurrent callers may
     both compile, with the first to finish winning. *)
+
+val seed_automaton : t -> entry -> Dggt_autom.Autom.t -> bool
+(** Pre-install a compiled automaton for [entry] — the warm-start path:
+    a server that restored the automaton from its on-disk store
+    ({!Dggt_autom.Autom.of_image}) seeds it here so the boot-time
+    {!automaton} call is a cache hit and pays no compile. Returns
+    [false] (and installs nothing) when the automaton was not built
+    against the entry's own graph (physical equality — the restore path
+    guarantees it by construction) or when an automaton is already
+    cached for the entry's content key. *)

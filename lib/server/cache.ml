@@ -113,6 +113,29 @@ let keys_mru t =
       in
       go [] t.sentinel.next)
 
+(* Entries in recency order, least-recently-used first. Snapshot taken
+   under the lock; callers iterate outside it (see the .mli contract). *)
+let entries_lru t =
+  locked t (fun () ->
+      let rec go acc n =
+        if n == t.sentinel then acc
+        else
+          match n.payload with
+          | Some kv -> go (kv :: acc) n.next
+          | None -> go acc n.next
+      in
+      go [] t.sentinel.next)
+
+let fold f init t =
+  List.fold_left (fun acc (k, v) -> f acc k v) init (entries_lru t)
+
+let add_seq t seq = Seq.iter (fun (k, v) -> add t k v) seq
+
+let of_seq ~capacity seq =
+  let t = create ~capacity in
+  add_seq t seq;
+  t
+
 let counters t =
   locked t (fun () ->
       {

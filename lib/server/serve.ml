@@ -18,6 +18,8 @@ type params = {
   packs_dir : string option;
   session_ttl_s : float;
   session_cap : int;
+  store_dir : string option;
+  store_interval_s : float;
 }
 
 let default_params =
@@ -32,6 +34,8 @@ let default_params =
     packs_dir = None;
     session_ttl_s = 300.0;
     session_cap = 64;
+    store_dir = None;
+    store_interval_s = 60.0;
   }
 
 let known_domains =
@@ -53,6 +57,9 @@ type dstate = {
   aliases : string list;
   origin : Registry.origin;
   gen : int;
+  ckey : string;
+      (* the entry's content key (Registry.content_key): what the warm
+         store keys this domain's automaton record by *)
   autom : Dggt_autom.Autom.t;
       (* the grammar compiled into EdgeToPath state tables; held by the
          registry's digest-keyed cache, so reloads reuse it whenever the
@@ -102,6 +109,13 @@ type t = {
   dmu : Mutex.t; (* guards [dstates]; snapshot, never hold across work *)
   mutable dstates : dstate list;
   mutable http : Httpd.t option;
+  (* warm-start store (--store): spilled to periodically and on graceful
+     shutdown, loaded before the domain states are built at boot *)
+  store : Dggt_store.Store.t option;
+  spill_mu : Mutex.t; (* serializes spill/compact against each other *)
+  closing : bool Atomic.t; (* tells the spill thread to exit *)
+  finalized : bool Atomic.t; (* the shutdown spill runs exactly once *)
+  mutable spill_thread : Thread.t option;
 }
 
 let dstates t =
@@ -790,6 +804,7 @@ let make_dstate ~metrics ~registry ~word_cache ~gen (e : Registry.entry) =
       aliases = e.Registry.aliases;
       origin = e.Registry.origin;
       gen;
+      ckey = Registry.content_key e;
       autom;
       target = s_dggt.Engine.target;
       cfg_dggt = s_dggt.Engine.cfg;
@@ -809,6 +824,90 @@ let build_dstates t =
   in
   ( List.map fst pairs,
     List.length (List.filter (fun (_, compiled) -> compiled) pairs) )
+
+(* ------------------------------------------------------------------ *)
+(* warm-start store (--store)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Dggt_store.Store
+
+let warm_caches t =
+  { Warmstore.q = t.q_cache; rank = t.rank_cache; word = t.word_cache }
+
+let with_spill_lock t f =
+  Mutex.lock t.spill_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.spill_mu) f
+
+(* append one snapshot batch (caches + every live automaton). Failure is
+   a warning, never fatal: the store is an optimization, the server's
+   answers never depend on it. *)
+let spill_store t =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      with_spill_lock t (fun () ->
+          let automata =
+            List.map
+              (fun ds -> (ds.dom.Dggt_domains.Domain.name, ds.ckey, ds.autom))
+              (dstates t)
+          in
+          match
+            Warmstore.spill store
+              ~generation:(Registry.generation t.registry)
+              ~pack_digest:(Registry.pack_digest t.registry)
+              (warm_caches t) ~automata
+          with
+          | Ok r -> Smetrics.observe_store_spill t.metrics r.Warmstore.sp_seconds
+          | Error msg ->
+              Printf.eprintf "dggt serve: store spill failed: %s\n%!" msg)
+
+let compact_store ?drop t =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      with_spill_lock t (fun () ->
+          match Store.compact ?drop store with
+          | Ok _ -> ()
+          | Error msg ->
+              Printf.eprintf "dggt serve: store compaction failed: %s\n%!" msg)
+
+(* periodic spills; interval <= 0 means shutdown-only *)
+let start_spill_thread t =
+  match t.store with
+  | None -> ()
+  | Some _ when t.params.store_interval_s <= 0.0 -> ()
+  | Some _ ->
+      let th =
+        Thread.create
+          (fun () ->
+            let last = ref (Unix.gettimeofday ()) in
+            while not (Atomic.get t.closing) do
+              Thread.delay 0.2;
+              if
+                (not (Atomic.get t.closing))
+                && Unix.gettimeofday () -. !last >= t.params.store_interval_s
+              then begin
+                spill_store t;
+                last := Unix.gettimeofday ()
+              end
+            done)
+          ()
+      in
+      t.spill_thread <- Some th
+
+(* graceful shutdown: one final spill, then a compaction that folds the
+   run's appended snapshots down to the newest of each. Idempotent —
+   [stop] and [wait] both funnel through here. *)
+let finalize_store t =
+  if t.store <> None && Atomic.compare_and_set t.finalized false true then begin
+    Atomic.set t.closing true;
+    (match t.spill_thread with
+    | Some th -> ( try Thread.join th with _ -> ())
+    | None -> ());
+    t.spill_thread <- None;
+    spill_store t;
+    compact_store t
+  end
 
 (* POST /reload: re-scan the pack directory, atomically swap the registry
    and the per-domain states, and drop every cache. In-flight requests
@@ -844,6 +943,25 @@ let reload_handler t =
           Cache.clear t.q_cache;
           Cache.clear t.rank_cache;
           Cache.clear t.word_cache;
+          (* the on-disk mirror of those cleared caches: drop records
+             keyed against a pack digest that no longer matches (cache
+             records against the aggregate, automaton records against
+             their entry's content key), then persist the fresh
+             automatons so a crash right after the reload still boots
+             warm *)
+          if t.store <> None then begin
+            let live_ckeys = List.map (fun ds -> ds.ckey) fresh in
+            let pdigest = Registry.pack_digest t.registry in
+            compact_store
+              ~drop:(fun (h : Dggt_store.Store.header) ->
+                if h.Dggt_store.Store.kind = Warmstore.kind_cache then
+                  h.Dggt_store.Store.pack_digest <> pdigest
+                else if h.Dggt_store.Store.kind = Warmstore.kind_autom then
+                  not (List.mem h.Dggt_store.Store.pack_digest live_ckeys)
+                else false)
+              t;
+            spill_store t
+          end;
           respond_json 200
             (J.Obj
                [
@@ -918,6 +1036,14 @@ let create params =
       match Registry.load_dir registry dir with
       | Ok _ -> ()
       | Error e -> failwith ("dggt serve: " ^ Dggt_pack.Err.to_string e)));
+  let store =
+    match params.store_dir with
+    | None -> None
+    | Some dir -> (
+        match Store.open_dir ~schema:Warmstore.schema_version dir with
+        | Ok s -> Some s
+        | Error msg -> failwith ("dggt serve: --store " ^ dir ^ ": " ^ msg))
+  in
   let stage_cap = max 0 params.cache_size * 4 in
   let word_cache = Cache.create ~capacity:stage_cap in
   let t =
@@ -936,13 +1062,38 @@ let create params =
       dmu = Mutex.create ();
       dstates = [];
       http = None;
+      store;
+      spill_mu = Mutex.create ();
+      closing = Atomic.make false;
+      finalized = Atomic.make false;
+      spill_thread = None;
     }
   in
+  (* warm boot: replay the store BEFORE building the domain states, so
+     the seeded automatons make build_dstates' Registry.automaton calls
+     cache hits (zero compiles for unchanged content keys) and the LRUs
+     are populated before the first request lands *)
+  (match store with
+  | None -> ()
+  | Some s ->
+      let r =
+        Warmstore.load s
+          ~generation:(Registry.generation registry)
+          ~pack_digest:(Registry.pack_digest registry)
+          ~registry (warm_caches t)
+      in
+      Smetrics.observe_store_load metrics ~loaded:r.Warmstore.ld_applied
+        ~skipped:r.Warmstore.ld_skipped ~rejected:r.Warmstore.ld_rejected;
+      Smetrics.set_store_probe metrics (fun () ->
+          let bytes, records = Store.file_gauges s in
+          { Smetrics.store_log_bytes = bytes; store_records = records }));
   t.dstates <- fst (build_dstates t);
+  start_spill_thread t;
   Smetrics.set_queue_probe metrics (fun () -> Deadline_pool.depth pool);
-  Smetrics.register_cache metrics "query" (fun () -> Cache.counters t.q_cache);
-  Smetrics.register_cache metrics "rank" (fun () -> Cache.counters t.rank_cache);
-  Smetrics.register_cache metrics "word2api" (fun () ->
+  Smetrics.register_cache metrics "q_cache" (fun () -> Cache.counters t.q_cache);
+  Smetrics.register_cache metrics "rank_cache" (fun () ->
+      Cache.counters t.rank_cache);
+  Smetrics.register_cache metrics "word_cache" (fun () ->
       Cache.counters t.word_cache);
   (* the automata's cross-query path memos, summed over the live domain
      states — the successor of the old per-pair LRU's counters *)
@@ -976,10 +1127,12 @@ let stop t =
       Httpd.stop h;
       Httpd.wait h
   | None -> ());
+  finalize_store t;
   Deadline_pool.shutdown t.pool
 
 let wait t =
   (match t.http with Some h -> Httpd.wait h | None -> ());
+  finalize_store t;
   Deadline_pool.shutdown t.pool
 
 let run params =
@@ -994,13 +1147,17 @@ let run params =
     (Deadline_pool.capacity t.pool)
     params.cache_size
     (List.length (dstates t))
-    (match params.packs_dir with
-    | Some d ->
-        Printf.sprintf ", packs %s [%d loaded]" d
-          (List.length
-             (List.filter
-                (fun ds -> ds.origin <> Registry.Builtin)
-                (dstates t)))
+    ((match params.packs_dir with
+     | Some d ->
+         Printf.sprintf ", packs %s [%d loaded]" d
+           (List.length
+              (List.filter
+                 (fun ds -> ds.origin <> Registry.Builtin)
+                 (dstates t)))
+     | None -> "")
+    ^
+    match params.store_dir with
+    | Some d -> Printf.sprintf ", store %s" d
     | None -> "");
   wait t;
   Printf.printf "dggt serve: shut down cleanly\n%!"

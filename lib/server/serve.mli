@@ -95,11 +95,24 @@ type params = {
                                  accesses slide the window *)
   session_cap : int;         (** max live sessions (LRU beyond); <= 0
                                  disables the session endpoints' storage *)
+  store_dir : string option;
+      (** warm-start store directory ({!Dggt_store.Store} +
+          {!Warmstore}): loaded at boot — cache entries re-keyed under
+          the new generation gated on pack digest, automaton images
+          restored and seeded into the registry so boot compiles zero
+          automatons for unchanged content — spilled to every
+          [store_interval_s] and on graceful shutdown, and purged of
+          stale-digest records by [POST /reload]. [None] = no
+          persistence. Any corruption refuses-and-rebuilds: the server
+          recomputes, it never serves a record that failed a check. *)
+  store_interval_s : float;
+      (** periodic spill interval; [<= 0] spills only on shutdown *)
 }
 
 val default_params : params
 (** 127.0.0.1:8080, auto workers, queue 64, cache 512, timeout 10 s, trace
-    buffer 32, no packs, sessions 64 × 300 s. *)
+    buffer 32, no packs, sessions 64 × 300 s, no store (60 s spill
+    interval once one is given). *)
 
 val api_version : int
 (** The [v] field of every JSON response; currently [1]. *)

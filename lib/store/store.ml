@@ -1,0 +1,396 @@
+(* Append-only record log + index.
+
+   Layout of [store.log]:
+
+     magic                 "DGGTSTORE1\n"
+     record*               back to back, each:
+       marker              "REC1"
+       header length       u32 big-endian
+       payload length      u32 big-endian
+       header digest       16 raw bytes, MD5 of the header bytes
+       payload digest      16 raw bytes, MD5 of the payload bytes
+       header bytes        Marshal of [header]
+       payload bytes       opaque (the caller's Marshal)
+
+   [store.idx] commits how much of the log is real:
+
+     "DGGTIDX1\n<committed bytes>\n<record count>\n"
+
+   written atomically (tmp + rename) after every append/compact, so a
+   crash mid-append leaves at worst an uncommitted tail that the next
+   load ignores without calling it corruption.
+
+   Digests are verified BEFORE any [Marshal.from_string]: unmarshalling
+   only ever sees bytes this module wrote and checksummed. The threat
+   model is accidental corruption (truncation, bit rot, concurrent
+   writers) — MD5 is an integrity check here, not an authenticator, the
+   same stance as the registry's pack digests. Failure policy:
+
+   - header-level damage (bad magic/marker, impossible lengths, header
+     digest or unmarshal failure) poisons the frame chain: the scan
+     stops, the record and everything after it count as rejected;
+   - payload-digest damage rejects just that record (the frame lengths
+     were covered by the intact header digest, so the scan can skip to
+     the next record);
+   - a schema mismatch is a skip, not an error: the record is valid,
+     just written by a different payload layout.
+
+   A handle is not thread-safe; callers (the server) serialize their
+   spills. *)
+
+let log_name = "store.log"
+let idx_name = "store.idx"
+let magic = "DGGTSTORE1\n"
+let idx_magic = "DGGTIDX1"
+let marker = "REC1"
+let digest_len = 16
+
+type header = {
+  kind : string;
+  name : string;
+  generation : int;
+  pack_digest : string;
+  engine : string;
+  schema : int;
+}
+
+type record = { hdr : header; payload : string }
+
+type t = { dir : string; schema : int }
+
+let dir t = t.dir
+let schema t = t.schema
+let log_path t = Filename.concat t.dir log_name
+let idx_path t = Filename.concat t.dir idx_name
+
+(* ------------------------------------------------------------------ *)
+(* small binary + file helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Some (really_input_string ic n))
+
+(* atomic replace: write next to the target, rename over it *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* open / index                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_idx t ~committed ~records =
+  write_file_atomic (idx_path t)
+    (Printf.sprintf "%s\n%d\n%d\n" idx_magic committed records)
+
+(* [None] when the index is missing or damaged — the load then falls
+   back to scanning the whole log *)
+let read_idx t =
+  match read_file (idx_path t) with
+  | None -> None
+  | Some s -> (
+      match String.split_on_char '\n' s with
+      | m :: committed :: records :: _ when m = idx_magic -> (
+          match (int_of_string_opt committed, int_of_string_opt records) with
+          | Some c, Some r when c >= 0 && r >= 0 -> Some (c, r)
+          | _ -> None)
+      | _ -> None)
+
+let open_dir ~schema dir =
+  if schema < 0 then Error "store schema must be non-negative"
+  else begin
+    let rec mkdirs d =
+      if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+        mkdirs (Filename.dirname d);
+        try Unix.mkdir d 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      end
+    in
+    match mkdirs dir with
+    | () ->
+        if not (Sys.is_directory dir) then
+          Error (Printf.sprintf "%s exists and is not a directory" dir)
+        else begin
+          let t = { dir; schema } in
+          let log = log_path t in
+          if
+            (not (Sys.file_exists log))
+            || (let ic = open_in_bin log in
+                let n = in_channel_length ic in
+                close_in_noerr ic;
+                n = 0)
+          then begin
+            write_file_atomic log magic;
+            write_idx t ~committed:(String.length magic) ~records:0
+          end;
+          Ok t
+        end
+    | exception Unix.Unix_error (e, _, arg) ->
+        Error (Printf.sprintf "%s: %s" arg (Unix.error_message e))
+    | exception Sys_error msg -> Error msg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* append                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let marshal_header (h : header) = Marshal.to_string h []
+
+let frame (r : record) =
+  let hdr_bytes = marshal_header r.hdr in
+  let buf =
+    Buffer.create
+      (String.length hdr_bytes + String.length r.payload + 40)
+  in
+  Buffer.add_string buf marker;
+  put_u32 buf (String.length hdr_bytes);
+  put_u32 buf (String.length r.payload);
+  Buffer.add_string buf (Digest.string hdr_bytes);
+  Buffer.add_string buf (Digest.string r.payload);
+  Buffer.add_string buf hdr_bytes;
+  Buffer.add_string buf r.payload;
+  Buffer.contents buf
+
+let append t records =
+  let frames = List.map frame records in
+  let bytes = List.fold_left (fun a f -> a + String.length f) 0 frames in
+  match
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (log_path t)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter (output_string oc) frames;
+        flush oc)
+  with
+  | () ->
+      let committed = (Unix.stat (log_path t)).Unix.st_size in
+      let prior = match read_idx t with Some (_, r) -> r | None -> 0 in
+      write_idx t ~committed ~records:(prior + List.length records);
+      Ok bytes
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, arg) ->
+      Error (Printf.sprintf "%s: %s" arg (Unix.error_message e))
+
+(* ------------------------------------------------------------------ *)
+(* load                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type load = {
+  records : record list;  (** valid records, oldest first *)
+  loaded : int;
+  skipped : int;  (** valid frame, different schema *)
+  rejected : int;  (** failed a digest / frame / unmarshal check *)
+  trailing_bytes : int;  (** uncommitted tail past the index's commit *)
+}
+
+let empty_load =
+  { records = []; loaded = 0; skipped = 0; rejected = 0; trailing_bytes = 0 }
+
+(* one frame at [off]; [limit] is the committed scan end *)
+type parsed =
+  | Frame of record * int  (* record + next offset *)
+  | Bad_payload of int     (* digests disagree on the payload; skippable *)
+  | Poisoned               (* frame chain unusable from here on *)
+
+let parse_frame s off limit =
+  let remaining = limit - off in
+  if remaining < String.length marker + 8 + (2 * digest_len) then Poisoned
+  else if String.sub s off (String.length marker) <> marker then Poisoned
+  else begin
+    let hlen = get_u32 s (off + 4) in
+    let plen = get_u32 s (off + 8) in
+    let fixed = String.length marker + 8 + (2 * digest_len) in
+    if
+      hlen < 0 || plen < 0
+      || hlen > remaining - fixed
+      || plen > remaining - fixed - hlen
+    then Poisoned
+    else begin
+      let hdigest = String.sub s (off + 12) digest_len in
+      let pdigest = String.sub s (off + 12 + digest_len) digest_len in
+      let hoff = off + fixed in
+      let hdr_bytes = String.sub s hoff hlen in
+      let next = hoff + hlen + plen in
+      if Digest.string hdr_bytes <> hdigest then Poisoned
+      else
+        match (Marshal.from_string hdr_bytes 0 : header) with
+        | exception _ -> Poisoned
+        | hdr ->
+            let payload = String.sub s (hoff + hlen) plen in
+            if Digest.string payload <> pdigest then Bad_payload next
+            else Frame ({ hdr; payload }, next)
+    end
+  end
+
+let load t =
+  match read_file (log_path t) with
+  | None -> empty_load
+  | Some s ->
+      let size = String.length s in
+      let committed =
+        match read_idx t with
+        | Some (c, _) -> min c size
+        | None -> size
+      in
+      if
+        committed < String.length magic
+        || String.sub s 0 (min committed (String.length magic)) <> magic
+      then { empty_load with rejected = 1; trailing_bytes = size - committed }
+      else begin
+        let records = ref [] in
+        let loaded = ref 0 in
+        let skipped = ref 0 in
+        let rejected = ref 0 in
+        let off = ref (String.length magic) in
+        let continue = ref true in
+        while !continue && !off < committed do
+          match parse_frame s !off committed with
+          | Frame (r, next) ->
+              if r.hdr.schema = t.schema then begin
+                records := r :: !records;
+                incr loaded
+              end
+              else incr skipped;
+              off := next
+          | Bad_payload next ->
+              incr rejected;
+              off := next
+          | Poisoned ->
+              (* everything from here to the commit point is lost *)
+              incr rejected;
+              continue := false
+        done;
+        {
+          records = List.rev !records;
+          loaded = !loaded;
+          skipped = !skipped;
+          rejected = !rejected;
+          trailing_bytes = size - committed;
+        }
+      end
+
+(* ------------------------------------------------------------------ *)
+(* stats / verify / compact                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  log_bytes : int;
+  committed_bytes : int;
+  s_loaded : int;
+  s_skipped : int;
+  s_rejected : int;
+  s_trailing_bytes : int;
+  kinds : (string * int) list;  (** (kind, loaded count), sorted *)
+}
+
+let stats t =
+  let size =
+    match read_file (log_path t) with None -> 0 | Some s -> String.length s
+  in
+  let committed =
+    match read_idx t with Some (c, _) -> min c size | None -> size
+  in
+  let l = load t in
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let k = r.hdr.kind in
+      Hashtbl.replace kinds k (1 + Option.value (Hashtbl.find_opt kinds k) ~default:0))
+    l.records;
+  {
+    log_bytes = size;
+    committed_bytes = committed;
+    s_loaded = l.loaded;
+    s_skipped = l.skipped;
+    s_rejected = l.rejected;
+    s_trailing_bytes = l.trailing_bytes;
+    kinds = Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds [] |> List.sort compare;
+  }
+
+let verify t =
+  let l = load t in
+  { l with records = [] }
+
+(* cheap render-time gauges: one stat + one index read, no log scan *)
+let file_gauges t =
+  let bytes =
+    try (Unix.stat (log_path t)).Unix.st_size
+    with Unix.Unix_error _ | Sys_error _ -> 0
+  in
+  let records = match read_idx t with Some (_, r) -> r | None -> 0 in
+  (bytes, records)
+
+type compact_report = {
+  kept : int;
+  dropped : int;  (** superseded, [drop]ed, skipped or rejected records *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+(* Rewrite the log with only the newest record per (kind, name, engine)
+   among the schema-matching survivors of [drop]. Everything else —
+   superseded duplicates from periodic spills, stale-schema records,
+   corrupt frames, the uncommitted tail — is dropped. Atomic: the new
+   log is built next to the old and renamed over it, index last. *)
+let compact ?(drop = fun (_ : header) -> false) t =
+  let bytes_before =
+    match read_file (log_path t) with None -> 0 | Some s -> String.length s
+  in
+  let l = load t in
+  let total_seen = l.loaded + l.skipped + l.rejected in
+  let newest = Hashtbl.create 16 in
+  List.iteri
+    (fun i r ->
+      if not (drop r.hdr) then
+        Hashtbl.replace newest (r.hdr.kind, r.hdr.name, r.hdr.engine) (i, r))
+    l.records;
+  let keep =
+    Hashtbl.fold (fun _ ir acc -> ir :: acc) newest []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  List.iter (fun r -> Buffer.add_string buf (frame r)) keep;
+  let content = Buffer.contents buf in
+  match write_file_atomic (log_path t) content with
+  | () ->
+      write_idx t ~committed:(String.length content)
+        ~records:(List.length keep);
+      Ok
+        {
+          kept = List.length keep;
+          dropped = total_seen - List.length keep;
+          bytes_before;
+          bytes_after = String.length content;
+        }
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,119 @@
+(** The persistent warm-start store: an append-only record log plus an
+    index file, so a server restart can reload its caches and compiled
+    automatons instead of re-earning them ("refuse-and-rebuild" on any
+    doubt).
+
+    The store is deliberately {e generic}: records carry an opaque
+    payload string (the caller's [Marshal] output) under a small typed
+    {!header}. The serving layer's key discipline — registry generation,
+    pack digest, engine, payload schema — lives in the header, so this
+    module never depends on engine types and never unmarshals a payload.
+
+    {2 Integrity model}
+
+    [store.log] is magic + framed records; every frame carries the MD5
+    digest of its header bytes and of its payload bytes, and both are
+    verified {e before} any [Marshal.from_string] — unmarshalling only
+    ever sees bytes this module wrote and checksummed. [store.idx]
+    commits the log length after every append (written atomically via
+    tmp + rename), so a crash mid-append leaves an uncommitted tail the
+    next {!load} silently ignores. Damage inside the committed region is
+    counted, never raised:
+
+    - header-level damage (marker/length/header-digest/unmarshal) stops
+      the scan — that record and everything after it are lost (one
+      [rejected] count: the remaining frames cannot even be counted);
+    - a payload-digest mismatch rejects just that record (its frame
+      lengths were covered by the intact header digest);
+    - a schema mismatch is [skipped]: a valid record written by an older
+      or newer payload layout.
+
+    The digests defend against accidental corruption (truncation, bit
+    rot), not against an adversary with write access to the directory —
+    the same stance as the pack digests.
+
+    Handles are not thread-safe; the server serializes its spills. *)
+
+type header = {
+  kind : string;  (** record family, e.g. ["cache"] or ["autom"] *)
+  name : string;  (** cache name or domain name *)
+  generation : int;  (** registry generation at spill time *)
+  pack_digest : string;
+      (** what the payload was computed against: the registry's
+          aggregate pack digest for cache records, the entry's content
+          key for automaton records *)
+  engine : string;  (** engine the payload serves, or ["*"] *)
+  schema : int;  (** payload layout version; see {!open_dir} *)
+}
+
+type record = { hdr : header; payload : string }
+
+type t
+
+val open_dir : schema:int -> string -> (t, string) result
+(** Open (creating directory and files as needed) a store whose caller
+    marshals payloads under layout version [schema]. {!load} skips
+    records of any other schema — bumping the constant is how a payload
+    type change invalidates every old record at once. *)
+
+val dir : t -> string
+val schema : t -> int
+
+val append : t -> record list -> (int, string) result
+(** Append the records as one batch and commit the index; returns the
+    bytes written. On [Error] the index still points at the last good
+    commit, so a half-written batch is invisible to {!load}. *)
+
+type load = {
+  records : record list;  (** valid records, oldest first *)
+  loaded : int;
+  skipped : int;  (** valid frame, different schema *)
+  rejected : int;  (** failed a digest / frame / unmarshal check *)
+  trailing_bytes : int;  (** uncommitted tail past the index's commit *)
+}
+
+val load : t -> load
+(** Total: never raises, a missing or empty log is an empty load, and
+    damage shows up in the counters ({!header}-level damage truncates
+    [records] at the damage point). Callers filter [records] by their
+    own header discipline and count what they drop as skips. *)
+
+type stats = {
+  log_bytes : int;
+  committed_bytes : int;
+  s_loaded : int;
+  s_skipped : int;
+  s_rejected : int;
+  s_trailing_bytes : int;
+  kinds : (string * int) list;  (** (kind, loaded count), sorted *)
+}
+
+val stats : t -> stats
+(** One {!load} pass summarized — what [dggt store stats] prints and the
+    [dggt_store_*] gauges sample. *)
+
+val verify : t -> load
+(** {!load} with the records dropped: just the verdict counters, for
+    [dggt store verify] and the corruption tests. *)
+
+val file_gauges : t -> int * int
+(** [(log bytes, indexed record count)] — one [stat] and one index read,
+    no log scan, cheap enough for a [GET /metrics] render probe. The
+    record count is the index's (appends since the last compaction
+    included), not the post-filter loaded count. *)
+
+type compact_report = {
+  kept : int;
+  dropped : int;  (** superseded, [drop]ed, skipped or rejected records *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val compact : ?drop:(header -> bool) -> t -> (compact_report, string) result
+(** Rewrite the log keeping only the newest record per
+    [(kind, name, engine)] among schema-matching records that survive
+    [drop] (default: keep all); superseded duplicates from periodic
+    spills, stale-schema records, corrupt frames and the uncommitted
+    tail all go. Atomic (tmp + rename, index last). [POST /reload] uses
+    [drop] to purge records keyed against a pack digest that no longer
+    matches. *)

@@ -14,6 +14,7 @@ let () =
       ("server", Test_server.suite);
       ("inc", Test_inc.suite);
       ("pack", Test_pack.suite);
+      ("store", Test_store.suite);
       ("par", Test_par.suite);
       ("properties", Test_props.suite);
       ("semiring", Test_semiring.suite);

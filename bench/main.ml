@@ -797,7 +797,10 @@ let run_pathmerge_domain ~timeout_s ~limit (dom : Domain.t) =
   List.iteri
     (fun i (q : Domain.query) ->
       progress (dom.Domain.name ^ "/pathmerge") (i + 1) nq;
-      let o_sem = Engine.run ses q.Domain.text in
+      let o_sem =
+        Engine.respond ses
+          { Engine.input = Engine.Text q.Domain.text; mode = Engine.Plain }
+      in
       let o_ref =
         Engine.synthesize_with_merge ~merge:Refmerge.synthesize
           ses.Engine.cfg ses.Engine.target q.Domain.text
@@ -813,7 +816,11 @@ let run_pathmerge_domain ~timeout_s ~limit (dom : Domain.t) =
         | Some what ->
             mismatches := (q.Domain.text, what) :: !mismatches);
         let t0 = Unix.gettimeofday () in
-        let rk = Engine.run_ranked ~k ses q.Domain.text in
+        let rk =
+          (Engine.respond ses
+             { Engine.input = Engine.Text q.Domain.text; mode = Engine.Ranked k })
+            .Engine.ranked
+        in
         ranked_s := !ranked_s +. (Unix.gettimeofday () -. t0);
         if rk <> [] then begin
           incr ranked_nonempty;
@@ -1058,7 +1065,11 @@ let run_warmstart ~timeout_s ~limit () =
             { (Engine.default Engine.Dggt_alg) with
               Engine.timeout_s = Some timeout_s }
         in
-        (d.Domain.name, text, (Engine.run ses text).Engine.code))
+        ( d.Domain.name,
+          text,
+          (Engine.respond ses
+             { Engine.input = Engine.Text text; mode = Engine.Plain })
+            .Engine.code ))
       items
   in
   let failed = ref false in
@@ -1233,6 +1244,343 @@ let run_warmstart ~timeout_s ~limit () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Streaming rank: time-to-first-candidate vs full-search latency     *)
+(* over a live SSE stream (/rank?stream=1), plus the byte-identity    *)
+(* gate — the terminal [event: done] frame must carry exactly the     *)
+(* non-streaming /rank body, and its ranked list must match a local   *)
+(* Engine ranked run. Divergence exits non-zero.                      *)
+(* ------------------------------------------------------------------ *)
+
+(* streamed request over loopback: reads the chunked response
+   incrementally and timestamps every SSE frame as its chunk completes
+   (the server writes one chunk per frame). [ws_http] drains to EOF
+   before returning, which would erase exactly the quantity this bench
+   measures. Returns the status and the frames in arrival order with
+   seconds-since-send stamps. *)
+let stream_http ~port ~path ~body () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "POST %s HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\
+           content-type: application/json\r\ncontent-length: %d\r\n\r\n%s"
+          path (String.length body) body
+      in
+      let rec write_all off =
+        if off < String.length req then
+          write_all
+            (off + Unix.write_substring fd req off (String.length req - off))
+      in
+      write_all 0;
+      let t0 = Unix.gettimeofday () in
+      let acc = Buffer.create 8192 in
+      let chunk = Bytes.create 4096 in
+      let frames = ref [] in (* (seconds since send, frame) — newest first *)
+      let cur = ref 0 in (* parse cursor into the accumulated bytes *)
+      let status = ref 0 in
+      let in_body = ref false in
+      let finished = ref false in
+      let find_sub s sub from =
+        let n = String.length s and m = String.length sub in
+        let rec go i =
+          if i + m > n then None
+          else if String.sub s i m = sub then Some i
+          else go (i + 1)
+        in
+        go from
+      in
+      let rec pump () =
+        if not !finished then begin
+          let n = Unix.read fd chunk 0 4096 in
+          if n = 0 then finished := true
+          else begin
+            Buffer.add_subbytes acc chunk 0 n;
+            let now = Unix.gettimeofday () -. t0 in
+            let s = Buffer.contents acc in
+            if not !in_body then (
+              match find_sub s "\r\n\r\n" 0 with
+              | Some e ->
+                  status :=
+                    (try Scanf.sscanf s "HTTP/1.1 %d" (fun st -> st)
+                     with Scanf.Scan_failure _ | Failure _ -> 0);
+                  cur := e + 4;
+                  in_body := true
+              | None -> ());
+            if !in_body then begin
+              (* de-chunk: a complete chunk is one SSE frame *)
+              let rec dechunk () =
+                match find_sub s "\r\n" !cur with
+                | None -> ()
+                | Some le -> (
+                    match
+                      int_of_string_opt
+                        ("0x" ^ String.trim (String.sub s !cur (le - !cur)))
+                    with
+                    | None | Some 0 -> finished := true
+                    | Some size when String.length s >= le + 2 + size + 2 ->
+                        frames := (now, String.sub s (le + 2) size) :: !frames;
+                        cur := le + 2 + size + 2;
+                        dechunk ()
+                    | Some _ -> () (* chunk data still in flight *))
+              in
+              dechunk ()
+            end;
+            pump ()
+          end
+        end
+      in
+      (try pump () with Unix.Unix_error _ -> ());
+      (!status, List.rev !frames))
+
+(* "event: X\ndata: {json}\n\n" -> (X, json-text) *)
+let sse_event frame =
+  match String.split_on_char '\n' frame with
+  | ev :: data :: _
+    when String.length ev > 7
+         && String.sub ev 0 7 = "event: "
+         && String.length data > 6
+         && String.sub data 0 6 = "data: " ->
+      Some
+        ( String.sub ev 7 (String.length ev - 7),
+          String.sub data 6 (String.length data - 6) )
+  | _ -> None
+
+type st_row = {
+  st_domain : string;
+  st_query : string;
+  st_frames : int;          (* candidate revisions received *)
+  st_ttfc_s : float option; (* first candidate frame's arrival *)
+  st_done_s : float;        (* done frame's arrival = full-search latency *)
+  st_local_s : float;       (* direct Engine ranked run, same k *)
+}
+
+let run_stream ~timeout_s ~limit () =
+  hr ();
+  let module J = Dggt_server.Jsonio in
+  let module Wire = Dggt_server.Wire in
+  let k = 5 in
+  Format.fprintf fmt
+    "Streaming rank: time-to-first-candidate vs full-search latency@.(both \
+     domains, %d queries each over /rank?stream=1; the [event: done]@.frame \
+     must be byte-identical to the non-streaming /rank body, and its@.ranked \
+     list identical to a local Engine ranked run)@.@."
+    limit;
+  let params =
+    {
+      Serve.default_params with
+      Serve.port = 0;
+      workers = 2;
+      queue_capacity = 64;
+      cache_size = 512;
+      default_timeout_s = timeout_s;
+    }
+  in
+  let pick (d : Domain.t) =
+    d.Domain.queries
+    |> List.filter (fun (q : Domain.query) -> not q.Domain.hard)
+    |> (fun qs -> List.filteri (fun i _ -> i < limit) qs)
+    |> List.map (fun (q : Domain.query) -> (d, q.Domain.text))
+  in
+  let items = pick Text_editing.domain @ pick Astmatcher.domain in
+  let failed = ref false in
+  let fail fmt_ =
+    Format.kasprintf
+      (fun s ->
+        failed := true;
+        Format.eprintf "%s@." s)
+      fmt_
+  in
+  let srv = Serve.create params in
+  let port = Serve.port srv in
+  Format.eprintf "  %d queries over loopback port %d...@." (List.length items)
+    port;
+  let sessions = Hashtbl.create 4 in
+  let session_of (d : Domain.t) =
+    match Hashtbl.find_opt sessions d.Domain.name with
+    | Some s -> s
+    | None ->
+        let s =
+          Domain.configure d
+            { (Engine.default Engine.Dggt_alg) with
+              Engine.timeout_s = Some timeout_s }
+        in
+        Hashtbl.add sessions d.Domain.name s;
+        s
+  in
+  let rows =
+    List.map
+      (fun ((d : Domain.t), text) ->
+        let body =
+          J.to_string
+            (J.Obj
+               [
+                 ("query", J.Str text);
+                 ("domain", J.Str d.Domain.name);
+                 ("k", J.Num (float_of_int k));
+                 ("timeout", J.Num timeout_s);
+               ])
+        in
+        (* 1. streamed request, every frame timestamped on arrival *)
+        let status, frames =
+          stream_http ~port ~path:"/rank?stream=1" ~body ()
+        in
+        if status <> 200 then fail "stream /rank -> %d for %S" status text;
+        let parsed =
+          List.filter_map
+            (fun (t, f) -> Option.map (fun (e, d_) -> (t, e, d_)) (sse_event f))
+            frames
+        in
+        if List.length parsed <> List.length frames then
+          fail "unparseable SSE frame for %S" text;
+        let cands = List.filter (fun (_, e, _) -> e = "candidate") parsed in
+        (match List.filter (fun (_, e, _) -> e = "error") parsed with
+        | [] -> ()
+        | (_, _, d_) :: _ -> fail "stream error frame for %S: %s" text d_);
+        (* interim revisions must be strictly monotone *)
+        ignore
+          (List.fold_left
+             (fun prev (_, _, data) ->
+               match J.of_string data with
+               | Ok j -> (
+                   match J.int_field "revision" j with
+                   | Some r when r > prev -> r
+                   | Some r ->
+                       fail "revision %d after %d on %S" r prev text;
+                       r
+                   | None ->
+                       fail "candidate frame without revision on %S" text;
+                       prev)
+               | Error e ->
+                   fail "bad candidate JSON on %S: %s" text e;
+                   prev)
+             0 cands);
+        let done_t, done_body =
+          match List.filter (fun (_, e, _) -> e = "done") parsed with
+          | [ (t, _, d_) ] -> (t, d_)
+          | ds ->
+              fail "expected exactly one done frame for %S (got %d)" text
+                (List.length ds);
+              (0.0, "")
+        in
+        (* 2. wire-level identity: fresh non-streaming /rank, same body *)
+        let st2, b2 = ws_http ~port ~meth:"POST" ~path:"/rank" ~body () in
+        if st2 <> 200 then fail "POST /rank -> %d for %S" st2 text;
+        if st2 = 200 && done_body <> "" && b2 <> done_body then
+          fail
+            "STREAM DIVERGENCE on %S: done frame differs from the /rank body"
+            text;
+        (* 3. engine-level identity: local ranked run, same k *)
+        let t0 = Unix.gettimeofday () in
+        let o =
+          Engine.respond (session_of d)
+            { Engine.input = Engine.Text text; mode = Engine.Ranked k }
+        in
+        let local_s = Unix.gettimeofday () -. t0 in
+        (if done_body <> "" then
+           match J.of_string done_body with
+           | Ok j ->
+               let wire_ranked =
+                 Option.map J.to_string (J.member "ranked" j)
+               in
+               let local_ranked =
+                 Some (J.to_string (Wire.ranked_json o.Engine.ranked))
+               in
+               if wire_ranked <> local_ranked then
+                 fail
+                   "STREAM DIVERGENCE on %S: ranked list differs from a \
+                    local ranked run"
+                   text
+           | Error e -> fail "bad done JSON on %S: %s" text e);
+        let ttfc = match cands with (t, _, _) :: _ -> Some t | [] -> None in
+        (match ttfc with
+        | Some t when t >= done_t && done_t > 0.0 ->
+            fail "TTFC %.1f ms not below full-search %.1f ms on %S"
+              (1000. *. t) (1000. *. done_t) text
+        | _ -> ());
+        {
+          st_domain = d.Domain.name;
+          st_query = text;
+          st_frames = List.length cands;
+          st_ttfc_s = ttfc;
+          st_done_s = done_t;
+          st_local_s = local_s;
+        })
+      items
+  in
+  Serve.stop srv;
+  let mean = function
+    | [] -> 0.0
+    | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  Format.fprintf fmt "  %-12s %8s %12s %12s %12s %9s@." "domain" "queries"
+    "ttfc mean" "full mean" "local mean" "speedup";
+  let dom_json =
+    List.filter_map
+      (fun (d : Domain.t) ->
+        match List.filter (fun r -> r.st_domain = d.Domain.name) rows with
+        | [] -> None
+        | rs ->
+            let ttfcs = List.filter_map (fun r -> r.st_ttfc_s) rs in
+            let ttfc_mean = mean ttfcs in
+            let full_mean = mean (List.map (fun r -> r.st_done_s) rs) in
+            let local_mean = mean (List.map (fun r -> r.st_local_s) rs) in
+            if ttfcs <> [] && ttfc_mean >= full_mean then
+              fail "%s: mean TTFC %.1f ms is not below mean full-search %.1f ms"
+                d.Domain.name (1000. *. ttfc_mean) (1000. *. full_mean);
+            Format.fprintf fmt "  %-12s %8d %9.1f ms %9.1f ms %9.1f ms %8.1fx@."
+              d.Domain.name (List.length rs) (1000. *. ttfc_mean)
+              (1000. *. full_mean) (1000. *. local_mean)
+              (if ttfc_mean > 0. then full_mean /. ttfc_mean else 0.);
+            Some
+              (J.Obj
+                 [
+                   ("domain", J.Str d.Domain.name);
+                   ("queries", J.Num (float_of_int (List.length rs)));
+                   ("with_candidates", J.Num (float_of_int (List.length ttfcs)));
+                   ("ttfc_mean_ms", J.Num (1000. *. ttfc_mean));
+                   ("full_mean_ms", J.Num (1000. *. full_mean));
+                   ("local_mean_ms", J.Num (1000. *. local_mean));
+                   ( "speedup_x",
+                     J.Num
+                       (if ttfc_mean > 0. then full_mean /. ttfc_mean else 0.)
+                   );
+                 ]))
+      [ Text_editing.domain; Astmatcher.domain ]
+  in
+  Format.fprintf fmt "@.";
+  let path = "BENCH_stream.json" in
+  let row_json r =
+    J.Obj
+      [
+        ("domain", J.Str r.st_domain);
+        ("query", J.Str r.st_query);
+        ("candidate_frames", J.Num (float_of_int r.st_frames));
+        ("ttfc_ms", J.opt (fun t -> J.Num (1000. *. t)) r.st_ttfc_s);
+        ("full_ms", J.Num (1000. *. r.st_done_s));
+        ("local_ms", J.Num (1000. *. r.st_local_s));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [
+            ("bench", J.Str "stream");
+            ("k", J.Num (float_of_int k));
+            ("timeout_s", J.Num timeout_s);
+            ("domains", J.Arr dom_json);
+            ("rows", J.Arr (List.map row_json rows));
+            ("identical", J.Bool (not !failed));
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
@@ -1242,7 +1590,9 @@ let synth_once (dom : Domain.t) alg text =
     Domain.configure dom
       { (Engine.default alg) with Engine.timeout_s = Some 20.0 }
   in
-  fun () -> ignore (Engine.run ses text)
+  fun () ->
+    ignore
+      (Engine.respond ses { Engine.input = Engine.Text text; mode = Engine.Plain })
 
 let micro_tests () =
   let te = Text_editing.domain and am = Astmatcher.domain in
@@ -1345,6 +1695,8 @@ let () =
         run_incremental ~timeout_s ~limit:(if limit < 0 then 8 else limit) ()
     | "warmstart" ->
         run_warmstart ~timeout_s ~limit:(if limit < 0 then 6 else limit) ()
+    | "stream" ->
+        run_stream ~timeout_s ~limit:(if limit < 0 then 6 else limit) ()
     | "smoke" -> run_smoke ~timeout_s ()
     | "micro" -> run_micro ()
     | "all" ->

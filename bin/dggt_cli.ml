@@ -150,14 +150,21 @@ let synth_cmd =
     with_domain packs dname (fun dom ->
         let query = String.concat " " words in
         let ses = config ?autom:(autom_of ~no_autom dom) dom alg timeout in
-        let o = Engine.run ses query in
+        let o =
+          Engine.respond ses
+            { Engine.input = Engine.Text query; mode = Engine.Plain }
+        in
         match o.Engine.code with
         | Some code ->
             if top > 1 then begin
               (* ranked mode: the head is [code] by construction, so the
                  plain run above is not wasted — it provides the timing
                  and size lines either way *)
-              let hints = Engine.run_ranked ~k:top ses query in
+              let hints =
+                (Engine.respond ses
+                   { Engine.input = Engine.Text query; mode = Engine.Ranked top })
+                  .Engine.ranked
+              in
               List.iteri
                 (fun i (r : Engine.ranked) ->
                   Format.printf "%d. %s  (size %d, covers %d, score %.2f)@."
@@ -230,33 +237,95 @@ let repl_cmd =
 
 (* --- eval ---------------------------------------------------------- *)
 
+let check_envelope_arg =
+  Arg.(
+    value & flag
+    & info [ "check-envelope" ]
+        ~doc:
+          "After the run, compare accuracy and p95 latency against the \
+           domain pack's expect-accuracy / expect-p95-ms envelope and exit \
+           non-zero on any violation (the CI regression gate). Requires a \
+           pack-loaded domain (--packs) whose manifest pins an envelope.")
+
+(* the envelope lives in the pack manifest; the registry knows the pack's
+   directory, the loader re-reads the expectations from it *)
+let envelope_of reg dname =
+  match Registry.find_entry reg dname with
+  | Some { Registry.origin = Registry.Pack { dir; _ }; _ } -> (
+      match Dggt_pack.Loader.load dir with
+      | Error e -> Error (Dggt_pack.Err.to_string e)
+      | Ok l ->
+          Ok
+            {
+              Dggt_eval.Envelope.min_accuracy = l.Dggt_pack.Loader.expect_accuracy;
+              max_p95_ms = l.Dggt_pack.Loader.expect_p95_ms;
+            })
+  | Some _ ->
+      Error
+        (Printf.sprintf
+           "--check-envelope: %S is a built-in, not a pack; envelopes live \
+            in domain.pack manifests (use --packs)"
+           dname)
+  | None -> Error (Printf.sprintf "unknown domain %S" dname)
+
 let eval_cmd =
-  let run dname packs alg timeout jobs no_autom =
-    with_domain packs dname (fun dom ->
-        with_pool jobs (fun pool ->
-            let r =
-              Dggt_eval.Runner.run_domain ~timeout_s:timeout ?pool
-                ?autom:(autom_of ~no_autom dom)
-                ~progress:(fun i n ->
-                  if i mod 25 = 0 || i = n then Format.eprintf "  %d/%d@." i n)
-                dom alg
-            in
-            Format.printf "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
-              r.Dggt_eval.Runner.domain_name
-              (match alg with
-              | Engine.Dggt_alg -> "DGGT"
-              | Engine.Hisyn_alg -> "HISyn")
-              (Dggt_eval.Runner.accuracy r)
-              (Dggt_eval.Runner.timeouts r)
-              (Dggt_eval.Runner.total_time r);
-            `Ok ()))
+  let run dname packs alg timeout jobs no_autom check_envelope =
+    match registry_of packs with
+    | Error msg -> `Error (false, msg)
+    | Ok reg -> (
+        match resolve_domain reg dname with
+        | Error msg -> `Error (false, msg)
+        | Ok dom ->
+            with_pool jobs (fun pool ->
+                let r =
+                  Dggt_eval.Runner.run_domain ~timeout_s:timeout ?pool
+                    ?autom:(autom_of ~no_autom dom)
+                    ~progress:(fun i n ->
+                      if i mod 25 = 0 || i = n then
+                        Format.eprintf "  %d/%d@." i n)
+                    dom alg
+                in
+                Format.printf
+                  "%s / %s: accuracy %.3f, %d timeouts, %.2f s total@."
+                  r.Dggt_eval.Runner.domain_name
+                  (match alg with
+                  | Engine.Dggt_alg -> "DGGT"
+                  | Engine.Hisyn_alg -> "HISyn")
+                  (Dggt_eval.Runner.accuracy r)
+                  (Dggt_eval.Runner.timeouts r)
+                  (Dggt_eval.Runner.total_time r);
+                if not check_envelope then `Ok ()
+                else
+                  match envelope_of reg dname with
+                  | Error msg -> `Error (false, msg)
+                  | Ok exp ->
+                      let v = Dggt_eval.Envelope.check exp r in
+                      Format.printf
+                        "envelope: accuracy %.3f (floor %s), p95 %.1f ms \
+                         (ceiling %s)@."
+                        v.Dggt_eval.Envelope.accuracy
+                        (match exp.Dggt_eval.Envelope.min_accuracy with
+                        | Some f -> Printf.sprintf "%.3f" f
+                        | None -> "none")
+                        v.Dggt_eval.Envelope.p95_ms
+                        (match exp.Dggt_eval.Envelope.max_p95_ms with
+                        | Some c -> Printf.sprintf "%.1f ms" c
+                        | None -> "none");
+                      if Dggt_eval.Envelope.ok v then `Ok ()
+                      else begin
+                        List.iter
+                          (fun s ->
+                            Format.eprintf "envelope violation: %s@." s)
+                          v.Dggt_eval.Envelope.violations;
+                        `Error (false, "eval envelope violated")
+                      end))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Run a benchmark domain's full query set.")
     Term.(
       ret
         (const run $ domain_arg $ packs_arg $ engine_arg $ timeout_arg
-       $ jobs_arg $ no_autom_arg))
+       $ jobs_arg $ no_autom_arg $ check_envelope_arg))
 
 (* --- autom --------------------------------------------------------- *)
 

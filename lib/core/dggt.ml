@@ -53,8 +53,8 @@ let root_compare ((a, ca) : Dgg.node * Semiring.cand) (b, cb) =
   | c -> c
 
 let synthesize_with_graph ?(objective = Semiring.Min_size) ~budget ~stats
-    ?(gprune = true) ?(sprune = true) ?(trace : Trace.span option) g
-    (dg : Depgraph.t) w2a e2p =
+    ?(gprune = true) ?(sprune = true) ?(trace : Trace.span option)
+    ?(on_improve : (Semiring.cand -> unit) option) g (dg : Depgraph.t) w2a e2p =
   let dyng = Dgg.create objective in
   let start = Dgg.start dyng in
   let lemma_of id =
@@ -62,10 +62,26 @@ let synthesize_with_graph ?(objective = Semiring.Min_size) ~budget ~stats
     | Some n -> n.Depgraph.lemma
     | None -> string_of_int id
   in
+  (* the emission seam: a root cell's best just changed, so the candidate
+     that caused the change is the walk's current best interpretation of
+     the whole query under that root API — stream it out. Only API nodes
+     of the root dependency word qualify (they are exactly the cells
+     [ranked_of_graph] reads the final n-best off); improvements of inner
+     cells or partial-CGT nodes are intermediate state, not candidates. *)
+  let emit_root node cand =
+    match on_improve with
+    | None -> ()
+    | Some f -> (
+        match Dgg.kind node with
+        | Dgg.ApiN { dep; _ } when dep = dg.Depgraph.root -> f cand
+        | _ -> ())
+  in
   let record_improved node cand =
     let improved = Dgg.improved node cand in
-    if improved then
+    if improved then begin
       stats.Stats.dgg_improvements <- stats.Stats.dgg_improvements + 1;
+      emit_root node cand
+    end;
     improved
   in
 

@@ -50,13 +50,25 @@ val synthesize_with_graph :
   ?gprune:bool ->
   ?sprune:bool ->
   ?trace:Dggt_obs.Trace.span ->
+  ?on_improve:(Semiring.cand -> unit) ->
   Dggt_grammar.Ggraph.t ->
   Dggt_nlu.Depgraph.t ->
   Word2api.t ->
   Edge2path.t ->
   Synres.t option * Dgg.t
 (** Same, also exposing the constructed dynamic grammar graph (used by
-    the ranked mode, the CLI's explain mode and tests). *)
+    the ranked mode, the CLI's explain mode and tests).
+
+    [on_improve] is the streaming emission seam: it fires inside the
+    chart walk each time a {e root} cell's best-first bounded cell
+    changes — i.e. whenever one of the root dependency word's API-node
+    cells (exactly the cells {!ranked_of_graph} later reads the n-best
+    off) accepts a new best candidate. The callback receives the
+    candidate that caused the change, in walk order: a strictly
+    improving sequence per root cell, whose last emission per cell is
+    that cell's final best. It must not mutate the graph; it runs on
+    the synthesizing thread, so a slow callback slows the walk. [None]
+    (the default) is a single closure check per improvement. *)
 
 val root_compare : Dgg.node * Semiring.cand -> Dgg.node * Semiring.cand -> int
 (** The final selection order over root-level candidates: coverage

@@ -68,10 +68,19 @@ let default algorithm =
     trace = None;
   }
 
+type ranked = {
+  expr : Tree2expr.expr;
+  code : string;
+  size : int;
+  coverage : int;
+  score : float;
+}
+
 type outcome = {
   expr : Tree2expr.expr option;
   code : string option;
   cgt_size : int option;
+  ranked : ranked list;
   time_s : float;
   timed_out : bool;
   failure : string option;
@@ -288,6 +297,7 @@ let finish cfg tgt dg (res : Synres.t option) ~time_s ~timed_out ~stats =
             expr = None;
             code = None;
             cgt_size = None;
+            ranked = [];
             time_s;
             timed_out;
             failure =
@@ -310,6 +320,7 @@ let finish cfg tgt dg (res : Synres.t option) ~time_s ~timed_out ~stats =
                 expr = Some expr;
                 code = Some code;
                 cgt_size = Some r.Synres.size;
+                ranked = [];
                 time_s;
                 timed_out;
                 failure = None;
@@ -322,6 +333,7 @@ let finish cfg tgt dg (res : Synres.t option) ~time_s ~timed_out ~stats =
                 expr = None;
                 code = None;
                 cgt_size = Some r.Synres.size;
+                ranked = [];
                 time_s;
                 timed_out;
                 failure = Some msg;
@@ -428,12 +440,18 @@ let run_dggt_with cfg tgt stats (pruned : Depgraph.t)
         | None -> (pruned, None, None)
       end)
 
-(* The real DGGT PathMerge as [run_dggt_with]'s merge. *)
-let run_dggt cfg tgt budget stats (pruned : Depgraph.t) =
+(* The real DGGT PathMerge as [run_dggt_with]'s merge. [on_cand] is the
+   streaming seam: it receives the relocation variant's dependency graph
+   (needed to bind query literals at linearization time) together with
+   each root-cell improvement the chart walk emits. *)
+let run_dggt ?(on_cand : (Depgraph.t -> Semiring.cand -> unit) option) cfg tgt
+    budget stats (pruned : Depgraph.t) =
   run_dggt_with cfg tgt stats pruned ~merge:(fun ~trace dg w2a e2p ->
+      let on_improve = Option.map (fun f c -> f dg c) on_cand in
       let res, dyng =
         Dggt.synthesize_with_graph ~objective:cfg.objective ~budget ~stats
-          ~gprune:cfg.gprune ~sprune:cfg.sprune ?trace tgt.graph dg w2a e2p
+          ~gprune:cfg.gprune ~sprune:cfg.sprune ?trace ?on_improve tgt.graph
+          dg w2a e2p
       in
       (res, Some dyng))
 
@@ -533,8 +551,6 @@ let prune = prune_query
 
 type session = { cfg : config; target : target }
 
-let run s query = synthesize s.cfg s.target query
-let run_graph s dg = synthesize_graph s.cfg s.target dg
 let with_cfg f s = { s with cfg = f s.cfg }
 
 (* ------------------------------------------------------------------ *)
@@ -583,49 +599,120 @@ let synthesize_with_merge ~(merge : merge_fn) cfg tgt query =
       in
       finish cfg tgt pruned None ~time_s ~timed_out:true ~stats
 
-type ranked = {
-  expr : Tree2expr.expr;
+(* ------------------------------------------------------------------ *)
+(* consolidated request API: plain / ranked as one shape, streaming   *)
+(* as a delivery mode of the same request                             *)
+(* ------------------------------------------------------------------ *)
+
+type input = Text of string | Graph of Depgraph.t
+type mode = Plain | Ranked of int
+type request = { input : input; mode : mode }
+
+type candidate = {
+  rank : int;
   code : string;
   size : int;
   coverage : int;
   score : float;
+  revision : int;
 }
+
+(* Live n-best bookkeeping for streaming: every root-cell improvement is
+   linearized and slotted into a running best list ordered like
+   [Dggt.root_compare]'s observable part (coverage desc, size asc, score
+   desc, code); entries that land in the top [k] are emitted with their
+   current rank and a monotone revision number. The interim list is a
+   best-effort view — orphan-relocation variants each stream their own
+   improvements — and only the terminal ranked list, read off the winning
+   variant's finished chart, is authoritative. *)
+let make_emitter ~k cfg tgt (emit : candidate -> unit) =
+  let order (a : ranked) (b : ranked) =
+    match compare b.coverage a.coverage with
+    | 0 -> (
+        match compare a.size b.size with
+        | 0 -> (
+            match compare b.score a.score with
+            | 0 -> compare a.code b.code
+            | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  let entries : ranked list ref = ref [] in
+  let revision = ref 0 in
+  fun (dg : Depgraph.t) (c : Semiring.cand) ->
+    let lits = literal_bindings dg c.Semiring.assignment in
+    match
+      Result.map Tree2expr.normalize
+        (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph c.Semiring.cgt)
+    with
+    | Error _ -> ()
+    | Ok expr ->
+        let entry =
+          {
+            expr;
+            code = Tree2expr.to_string expr;
+            size = c.Semiring.size;
+            coverage = Semiring.coverage c;
+            score = c.Semiring.score;
+          }
+        in
+        let improves =
+          match
+            List.find_opt (fun (e : ranked) -> e.code = entry.code) !entries
+          with
+          | Some old -> order entry old < 0
+          | None -> true
+        in
+        if improves then begin
+          entries :=
+            List.sort order
+              (entry
+              :: List.filter (fun (e : ranked) -> e.code <> entry.code) !entries
+              );
+          let rec index i = function
+            | [] -> None
+            | (e : ranked) :: tl ->
+                if e.code == entry.code then Some i else index (i + 1) tl
+          in
+          match index 0 !entries with
+          | Some i when i < k ->
+              incr revision;
+              emit
+                {
+                  rank = i + 1;
+                  code = entry.code;
+                  size = entry.size;
+                  coverage = entry.coverage;
+                  score = entry.score;
+                  revision = !revision;
+                }
+          | _ -> ()
+        end
 
 (* Ranked mode is the full DGGT pipeline — same orphan relocation, same
    variant selection — run under the Top_k objective; the n-best is then
    a read off the winning variant's finished chart. k = 1 degenerates to
-   the Min_size cells, so the head is [synthesize]'s codelet by
+   the Min_size cells, so the head is the plain run's codelet by
    construction. *)
-let synthesize_ranked_cfg ?(k = 5) cfg tgt query =
-  if k <= 0 then []
-  else
-    let cfg =
-      { cfg with algorithm = Dggt_alg; objective = Semiring.Top_k k }
-    in
-    let stats = Stats.create () in
-    let budget = make_budget cfg in
-    try
-      let pruned = prune_query cfg (parse_query cfg query) in
-      let dg, res, dyng = run_dggt cfg tgt budget stats pruned in
+let respond_ranked ?on_candidate ~k cfg tgt (pruned : Depgraph.t) =
+  let k = max 1 k in
+  let cfg = { cfg with algorithm = Dggt_alg; objective = Semiring.Top_k k } in
+  let stats = Stats.create () in
+  let budget = make_budget cfg in
+  let t0 = Unix.gettimeofday () in
+  let on_cand = Option.map (fun f -> make_emitter ~k cfg tgt f) on_candidate in
+  match run_dggt ?on_cand cfg tgt budget stats pruned with
+  | dg, res, dyng -> (
+      let time_s = Unix.gettimeofday () -. t0 in
+      let outcome = finish cfg tgt dg res ~time_s ~timed_out:false ~stats in
       match dyng with
-      | None -> []
+      | None -> outcome
       | Some dyng ->
-          (* the plain run's codelet, linearized exactly as [finish] would:
-             [Dgg.best]'s root selection compares scores exactly while cell
-             order uses the 1e-9 epsilon, so a pure re-sort of the chart can
-             put an epsilon-tied sibling first — the head is pinned to the
-             winner instead of left to that corner *)
-          let run_code =
-            Option.bind res (fun (r : Synres.t) ->
-                let lits = literal_bindings dg r.Synres.assignment in
-                match
-                  Result.map Tree2expr.normalize
-                    (Tree2expr.of_cgt ~lits ~defaults:cfg.defaults tgt.graph
-                       r.Synres.cgt)
-                with
-                | Ok expr -> Some (Tree2expr.to_string expr)
-                | Error _ -> None)
-          in
+          (* the head is pinned to the plain run's codelet (already
+             linearized by [finish]): [Dgg.best]'s root selection compares
+             scores exactly while cell order uses the 1e-9 epsilon, so a
+             pure re-sort of the chart can put an epsilon-tied sibling
+             first — an invariant, not a sorting accident (DESIGN.md) *)
           let seen = Hashtbl.create 8 in
           let ranked =
             Dggt.ranked_of_graph dyng ~root:dg.Depgraph.root
@@ -653,15 +740,51 @@ let synthesize_ranked_cfg ?(k = 5) cfg tgt query =
                    | Error _ -> None)
           in
           let ranked =
-            match run_code with
+            match outcome.code with
             | Some rc -> (
-                match List.partition (fun r -> r.code = rc) ranked with
+                match
+                  List.partition (fun (r : ranked) -> r.code = rc) ranked
+                with
                 | [ hd ], rest -> hd :: rest
                 | _ -> ranked)
             | None -> ranked
           in
-          Listutil.take k ranked
-    with Budget.Exhausted -> []
+          { outcome with ranked = Listutil.take k ranked })
+  | exception Budget.Exhausted ->
+      let time_s =
+        match cfg.timeout_s with
+        | Some limit -> limit
+        | None -> Unix.gettimeofday () -. t0
+      in
+      finish cfg tgt pruned None ~time_s ~timed_out:true ~stats
 
-let synthesize_ranked ?k cfg tgt query = synthesize_ranked_cfg ?k cfg tgt query
-let run_ranked ?k s query = synthesize_ranked_cfg ?k s.cfg s.target query
+let respond ?on_candidate (s : session) (req : request) =
+  let graph_of () =
+    match req.input with
+    | Text q -> parse_query s.cfg q
+    | Graph dg -> dg
+  in
+  match req.mode with
+  | Plain ->
+      (* the streaming seam only exists on the DGGT chart walk; a Plain
+         request has no n-best to improve, so the callback never fires *)
+      synthesize_graph s.cfg s.target (graph_of ())
+  | Ranked k ->
+      respond_ranked ?on_candidate ~k s.cfg s.target
+        (prune_query s.cfg (graph_of ()))
+
+let run_streaming ?(k = 5) ~on_candidate s query =
+  respond ~on_candidate s { input = Text query; mode = Ranked k }
+
+(* thin wrappers over [respond]; kept for one PR, then callers should be
+   on the request shape *)
+let run s query = respond s { input = Text query; mode = Plain }
+let run_graph s dg = respond s { input = Graph dg; mode = Plain }
+
+let synthesize_ranked ?(k = 5) cfg tgt query =
+  if k <= 0 then []
+  else
+    (respond { cfg; target = tgt } { input = Text query; mode = Ranked k })
+      .ranked
+
+let run_ranked ?k s query = synthesize_ranked ?k s.cfg s.target query

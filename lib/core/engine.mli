@@ -124,10 +124,23 @@ val default : algorithm -> config
 (** 20 s timeout, top_k 4, default path limits, all optimizations on,
     tracing off. *)
 
+type ranked = {
+  expr : Tree2expr.expr;
+  code : string;   (** [Tree2expr.to_string] of [expr] *)
+  size : int;      (** CGT size in APIs *)
+  coverage : int;  (** query words the candidate interprets *)
+  score : float;   (** WordToAPI score of its assignment *)
+}
+(** One entry of an n-best list. *)
+
 type outcome = {
   expr : Tree2expr.expr option;  (** the synthesized codelet *)
   code : string option;          (** [Tree2expr.to_string] of [expr] *)
   cgt_size : int option;
+  ranked : ranked list;
+      (** the n-best list, best first — populated by [Ranked]-mode
+          {!respond} (its head is [code] whenever a codelet was found);
+          [[]] in [Plain] mode and on timeout *)
   time_s : float;                (** wall-clock, capped at the limit on
                                      timeout *)
   timed_out : bool;
@@ -148,8 +161,78 @@ type session = { cfg : config; target : target }
 val with_cfg : (config -> config) -> session -> session
 (** [with_cfg f s] is [{ s with cfg = f s.cfg }]. *)
 
+(** {2 The request shape}
+
+    One entry point for every delivery mode. A {!request} says {e what}
+    to answer ([input]: query text, or a pre-built dependency graph) and
+    {e in which shape} ([mode]: the plain single-codelet outcome, or an
+    n-best list of [k] ranked candidates); {!respond} executes it over a
+    {!session}. Streaming is not a third mode but a delivery option of
+    the same request: pass [on_candidate] and [Ranked]-mode responses
+    additionally emit every improving root-cell candidate while the
+    chart walk runs — the returned outcome (with its final [ranked]
+    list) is byte-identical with and without the callback. *)
+
+type input =
+  | Text of string            (** run the full pipeline from stage 1 *)
+  | Graph of Dggt_nlu.Depgraph.t
+      (** skip parsing: synthesize from a pre-built dependency graph (no
+          DependencyParse span is emitted when tracing) *)
+
+type mode =
+  | Plain  (** one codelet; [outcome.ranked] is [[]] *)
+  | Ranked of int
+      (** up to [k] candidate codelets (paper §VII-B.4), best first, in
+          [outcome.ranked] — the full DGGT pipeline run under
+          {!Semiring.Top_k}[ k] (the algorithm is forced to [Dggt_alg]),
+          so the list is a real n-best read off the finished chart,
+          sorted by {!Dggt.root_compare} and duplicate-free (by code).
+          The head is pinned to the [Plain] codelet — an invariant, not
+          a sorting accident: root selection compares scores exactly
+          while cell order uses the 1e-9 epsilon, so an epsilon-tied
+          sibling could otherwise sort first (see DESIGN.md). [k <= 1]
+          degenerates to the {!Semiring.Min_size} chart. Timeouts yield
+          [ranked = []] with [timed_out] set. *)
+
+type request = { input : input; mode : mode }
+
+type candidate = {
+  rank : int;      (** 1-based position in the live n-best at emission *)
+  code : string;
+  size : int;      (** CGT size in APIs *)
+  coverage : int;  (** query words the candidate interprets *)
+  score : float;   (** WordToAPI score of its assignment *)
+  revision : int;  (** monotone per-request emission counter, from 1 *)
+}
+(** One streamed emission: the chart walk found a candidate that entered
+    (or moved up in) the current top-[k]. Revisions are strictly
+    increasing; ranks are positions in the {e live} list, so a later
+    revision can demote an earlier code. Candidates are interim — under
+    orphan relocation each variant streams its own improvements — and
+    only the terminal [outcome.ranked] list is authoritative. *)
+
+val respond : ?on_candidate:(candidate -> unit) -> session -> request -> outcome
+(** Execute one request. Never raises (callback exceptions excepted —
+    [on_candidate] runs on the synthesizing thread, inside the budget'd
+    region, and is only consulted in [Ranked] mode: [Plain] requests
+    have no n-best to improve, so the callback never fires there). *)
+
+val run_streaming :
+  ?k:int -> on_candidate:(candidate -> unit) -> session -> string -> outcome
+(** [run_streaming ~k ~on_candidate s q] is
+    [respond ~on_candidate s { input = Text q; mode = Ranked k }]
+    ([k] defaults to 5): emit-as-you-improve delivery of the ranked
+    request. Time-to-first-candidate is bounded by the first root-cell
+    improvement, not by the full search ([bench stream] pins the gap). *)
+
+(** {2 Deprecated wrappers}
+
+    Thin aliases of {!respond} kept for one PR; new callers should build
+    a {!request}. *)
+
 val run : session -> string -> outcome
-(** [run s q] is [synthesize s.cfg s.target q]. Never raises. *)
+(** [run s q] is [respond s { input = Text q; mode = Plain }]. Never
+    raises. *)
 
 val absorb_modifiers :
   Apidoc.t -> Dggt_nlu.Depgraph.t -> Word2api.t -> Dggt_nlu.Depgraph.t * Word2api.t
@@ -158,26 +241,10 @@ val absorb_modifiers :
     refines the head ("constructor expressions" -> cxxConstructExpr) and
     disappears as a separate word. *)
 
-type ranked = {
-  expr : Tree2expr.expr;
-  code : string;   (** [Tree2expr.to_string] of [expr] *)
-  size : int;      (** CGT size in APIs *)
-  coverage : int;  (** query words the candidate interprets *)
-  score : float;   (** WordToAPI score of its assignment *)
-}
-(** One entry of an n-best list. *)
-
 val synthesize_ranked : ?k:int -> config -> target -> string -> ranked list
-(** Ranked-hints mode (paper §VII-B.4): up to [k] candidate codelets for
-    the query, best first (default [k = 5]) — the full DGGT pipeline run
-    under {!Semiring.Top_k}[ k], so the list is a real n-best read off the
-    finished chart (up to k candidates per root interpretation), sorted by
-    {!Dggt.root_compare} and duplicate-free (by code). The head is pinned
-    to {!synthesize}'s codelet — an invariant, not a sorting accident:
-    root selection compares scores exactly while cell order uses the 1e-9
-    epsilon, so an epsilon-tied sibling could otherwise sort first (see
-    DESIGN.md). [k = 1] degenerates to the {!Semiring.Min_size} chart.
-    Timeouts and [k <= 0] yield []. *)
+(** [(respond { cfg; target } { input = Text q; mode = Ranked k }).ranked]
+    (default [k = 5]; [k <= 0] yields [[]] without running). See
+    {!mode}'s [Ranked] case for the list's contract. *)
 
 val run_ranked : ?k:int -> session -> string -> ranked list
 (** {!synthesize_ranked} over a {!session}. *)
@@ -233,7 +300,7 @@ val synthesize_pruned : config -> target -> Dggt_nlu.Depgraph.t -> outcome
     splice rests on. Never raises. *)
 
 val run_graph : session -> Dggt_nlu.Depgraph.t -> outcome
-(** {!synthesize_graph} over a {!session}. *)
+(** [respond s { input = Graph dg; mode = Plain }]. *)
 
 val stage_names : string list
 (** The span names of the six pipeline stages, in pipeline order:

@@ -1,0 +1,45 @@
+type expectation = {
+  min_accuracy : float option;
+  max_p95_ms : float option;
+}
+
+type verdict = {
+  accuracy : float;
+  p95_ms : float;
+  violations : string list;
+}
+
+(* nearest-rank p95 over the run's per-query times; timeouts count at
+   their full budget, which is exactly the pessimism we want — a run that
+   starts timing out blows its latency ceiling *)
+let p95_ms (r : Runner.run) =
+  match List.sort compare (Runner.times r) with
+  | [] -> 0.0
+  | times ->
+      let n = List.length times in
+      let rank = max 0 (int_of_float (ceil (0.95 *. float_of_int n)) - 1) in
+      List.nth times rank *. 1000.0
+
+let check exp (r : Runner.run) =
+  let accuracy = Runner.accuracy r in
+  let p95 = p95_ms r in
+  let violations =
+    (match exp.min_accuracy with
+    | Some floor when accuracy < floor ->
+        [
+          Printf.sprintf "accuracy %.3f below the expect-accuracy floor %.3f"
+            accuracy floor;
+        ]
+    | _ -> [])
+    @
+    match exp.max_p95_ms with
+    | Some ceiling when p95 > ceiling ->
+        [
+          Printf.sprintf "p95 %.1f ms above the expect-p95-ms ceiling %.1f ms"
+            p95 ceiling;
+        ]
+    | _ -> []
+  in
+  { accuracy; p95_ms = p95; violations }
+
+let ok v = v.violations = []

@@ -29,9 +29,9 @@ let run_domain ?(timeout_s = 20.0) ?(tweak = Fun.id) ?(progress = fun _ _ -> ())
   let eval (q : Domain.query) =
     let sink = if stage_timing then Some (Dggt_obs.Trace.create ()) else None in
     let outcome =
-      Engine.run
+      Engine.respond
         (Engine.with_cfg (fun c -> { c with Engine.trace = sink }) ses)
-        q.Domain.text
+        { Engine.input = Engine.Text q.Domain.text; mode = Engine.Plain }
     in
     let stage_s =
       match sink with

@@ -29,11 +29,12 @@ let print_outcome ppf (o : Engine.outcome) =
 
 let help ppf =
   Format.fprintf ppf
-    ":help   show this text@\n\
-     :reset  drop the session history@\n\
-     :trace  toggle the stage-by-stage narrative@\n\
-     :stats  cumulative reuse totals@\n\
-     :quit   leave (also :q or end of input)@."
+    ":help    show this text@\n\
+     :reset   drop the session history@\n\
+     :trace   toggle the stage-by-stage narrative@\n\
+     :stream  toggle live top-5 suggestions (printed as the chart improves)@\n\
+     :stats   cumulative reuse totals@\n\
+     :quit    leave (also :q or end of input)@."
 
 let print_totals ppf t =
   let pct reused total =
@@ -63,6 +64,7 @@ let run ?(input = stdin) ?(ppf = Format.std_formatter) ?(prompt = "dggt> ")
     }
   in
   let tracing = ref false in
+  let streaming = ref false in
   Format.fprintf ppf "incremental session — :help for commands@.";
   let rec loop () =
     Format.fprintf ppf "%s@?" prompt;
@@ -84,6 +86,11 @@ let run ?(input = stdin) ?(ppf = Format.std_formatter) ?(prompt = "dggt> ")
             Format.fprintf ppf "trace %s@."
               (if !tracing then "on" else "off");
             loop ()
+        | ":stream" ->
+            streaming := not !streaming;
+            Format.fprintf ppf "stream %s@."
+              (if !streaming then "on" else "off");
+            loop ()
         | ":stats" ->
             print_totals ppf totals;
             loop ()
@@ -98,6 +105,24 @@ let run ?(input = stdin) ?(ppf = Format.std_formatter) ?(prompt = "dggt> ")
             | Some s -> Format.fprintf ppf "%a@." Trace.pp (Trace.result s)
             | None -> ());
             absorb totals reuse;
+            (* live suggestions ride the session's memo tables (cheap after
+               the query above); interim lines print as the chart improves,
+               the numbered list at the end is the authoritative n-best *)
+            if !streaming then begin
+              let on_candidate (c : Engine.candidate) =
+                Format.fprintf ppf "  ~ %d. %s  (size %d, rev %d)@."
+                  c.Engine.rank c.Engine.code c.Engine.size c.Engine.revision
+              in
+              let o =
+                Session.respond ~on_candidate session
+                  { Engine.input = Engine.Text q; mode = Engine.Ranked 5 }
+              in
+              List.iteri
+                (fun i (r : Engine.ranked) ->
+                  Format.fprintf ppf "%d. %s  (size %d, covers %d)@." (i + 1)
+                    r.Engine.code r.Engine.size r.Engine.coverage)
+                o.Engine.ranked
+            end;
             loop ())
   in
   loop ()

@@ -7,6 +7,11 @@
     - [:help] — list commands
     - [:reset] — drop the session history (next query computes from scratch)
     - [:trace] — toggle the per-query stage narrative ([dggt explain] style)
+    - [:stream] — toggle live suggestions: after each answer, a ranked
+      top-5 pass streams interim [~ rank. code] lines as the chart's
+      n-best improves (the {!Dggt_core.Engine.respond} [on_candidate]
+      hook), then prints the final numbered list — the terminal list is
+      authoritative, interim lines are previews
     - [:stats] — cumulative reuse totals for the session
     - [:quit] / [:q] / EOF — leave
 

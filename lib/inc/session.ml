@@ -259,13 +259,20 @@ let query ?tweak t q =
   t.prev <- Some { tokens; pruned; outcome; cfg };
   (outcome, reuse)
 
-let ranked ?k t q =
-  (* serve ranked hints through the session tables, but put the last
-     revision's reuse accounting back afterwards *)
+let respond ?on_candidate ?tweak t req =
+  (* serve one-shot requests (ranked hints, streams) through the session
+     tables, but put the last revision's reuse accounting back afterwards *)
   Mutex.lock t.mu;
   let saved = (t.w_reused, t.w_computed, t.p_reused, t.p_computed) in
   Mutex.unlock t.mu;
-  let res = Engine.synthesize_ranked ?k t.base.Engine.cfg (hooked_target t) q in
+  let cfg =
+    match tweak with None -> t.base.Engine.cfg | Some f -> f t.base.Engine.cfg
+  in
+  let res =
+    Engine.respond ?on_candidate
+      { Engine.cfg; target = hooked_target t }
+      req
+  in
   Mutex.lock t.mu;
   let wr, wc, pr, pc = saved in
   t.w_reused <- wr;
@@ -274,6 +281,12 @@ let ranked ?k t q =
   t.p_computed <- pc;
   Mutex.unlock t.mu;
   res
+
+let ranked ?(k = 5) t q =
+  if k <= 0 then []
+  else
+    (respond t { Engine.input = Engine.Text q; mode = Engine.Ranked k })
+      .Engine.ranked
 
 let reset t =
   Mutex.lock t.mu;

@@ -57,10 +57,24 @@ val query :
     Emits an ["IncrementalReuse"] span (after the stage spans) when tracing
     is on. Never raises. *)
 
+val respond :
+  ?on_candidate:(Dggt_core.Engine.candidate -> unit) ->
+  ?tweak:(Dggt_core.Engine.config -> Dggt_core.Engine.config) ->
+  t ->
+  Dggt_core.Engine.request ->
+  Dggt_core.Engine.outcome
+(** {!Dggt_core.Engine.respond} through the session's memo tables:
+    one-shot requests (ranked hints, streamed candidates) that do not
+    advance the revision history or disturb the last {!query}'s reuse
+    accounting. [on_candidate] is the streaming hook — see
+    {!Dggt_core.Engine.respond}; [tweak] adjusts the base config for this
+    call (trace sink, timeout) exactly as in {!query}. *)
+
 val ranked : ?k:int -> t -> string -> Dggt_core.Engine.ranked list
 (** Ranked-hints mode ({!Dggt_core.Engine.run_ranked}'s top-k chart)
-    through the session's memo tables. Does not advance the revision
-    history or disturb the last {!query}'s reuse accounting. *)
+    through the session's memo tables — [respond] with a [Ranked k] text
+    request. Does not advance the revision history or disturb the last
+    {!query}'s reuse accounting. *)
 
 val reset : t -> unit
 (** Drop the revision history and memo tables; the next {!query} computes

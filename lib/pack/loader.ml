@@ -9,6 +9,8 @@ type loaded = {
   doc_entries : Docfile.entry list;
   query_entries : Queryfile.entry list;
   manifest : Manifest.t;
+  expect_accuracy : float option;
+  expect_p95_ms : float option;
 }
 
 let manifest_name = "domain.pack"
@@ -20,6 +22,7 @@ let known_keys =
   [
     "name"; "description"; "source"; "start"; "alias"; "default";
     "stop-verbs"; "unit-apis"; "max-nodes"; "max-paths"; "max-steps"; "top-k";
+    "expect-accuracy"; "expect-p95-ms";
   ]
 
 let ( let* ) = Result.bind
@@ -79,6 +82,32 @@ let words m key =
   match Manifest.value m key with
   | None -> []
   | Some v -> Dggt_util.Strutil.split_ws v
+
+(* the eval envelope: expected-floor accuracy (a fraction) and
+   expected-ceiling p95 latency (milliseconds). Only [dggt eval
+   --check-envelope] consumes them; loading just validates the ranges. *)
+let parse_envelope m =
+  let* acc = Manifest.num_value m "expect-accuracy" in
+  let* () =
+    match acc with
+    | Some v when v < 0.0 || v > 1.0 ->
+        let b = Option.get (Manifest.find m "expect-accuracy") in
+        Error
+          (Err.vf ~line:b.Manifest.line m.Manifest.file
+             "expect-accuracy must be a fraction in [0, 1], got %g" v)
+    | _ -> Ok ()
+  in
+  let* p95 = Manifest.num_value m "expect-p95-ms" in
+  let* () =
+    match p95 with
+    | Some v when v <= 0.0 ->
+        let b = Option.get (Manifest.find m "expect-p95-ms") in
+        Error
+          (Err.vf ~line:b.Manifest.line m.Manifest.file
+             "expect-p95-ms must be positive, got %g" v)
+    | _ -> Ok ()
+  in
+  Ok (acc, p95)
 
 let digest_files paths =
   let buf = Buffer.create 65536 in
@@ -151,6 +180,7 @@ let load dir =
     let* defaults = parse_defaults m in
     let* path_limits = parse_limits m in
     let* top_k = pos_int m "top-k" in
+    let* expect_accuracy, expect_p95_ms = parse_envelope m in
     let unit_filter =
       match words m "unit-apis" with
       | [] -> None
@@ -191,4 +221,6 @@ let load dir =
         doc_entries;
         query_entries;
         manifest = m;
+        expect_accuracy;
+        expect_p95_ms;
       }

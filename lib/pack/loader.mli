@@ -6,7 +6,9 @@
       [description], [source], [alias] (repeatable), [default]
       (repeatable, [default = <nonterminal> <codelet>]), [stop-verbs] and
       [unit-apis] (space-separated), [max-nodes]/[max-paths]/[max-steps]
-      (the {!Dggt_grammar.Gpath.limits} overrides), [top-k];
+      (the {!Dggt_grammar.Gpath.limits} overrides), [top-k],
+      [expect-accuracy]/[expect-p95-ms] (the eval envelope — performance
+      expectations [dggt eval --check-envelope] enforces);
     - [grammar.bnf] — the DSL grammar, parsed by {!Dggt_grammar.Bnf}
       through {!Dggt_grammar.Cfg.of_text};
     - [api.doc] — the API reference document ({!Docfile});
@@ -30,6 +32,12 @@ type loaded = {
   doc_entries : Docfile.entry list;     (** with line numbers, for {!Check} *)
   query_entries : Queryfile.entry list; (** with line numbers, for {!Check} *)
   manifest : Manifest.t;
+  expect_accuracy : float option;
+      (** [expect-accuracy]: the accuracy floor the pack's query set is
+          expected to hold, as a fraction in [[0, 1]] *)
+  expect_p95_ms : float option;
+      (** [expect-p95-ms]: the p95 synthesis-latency ceiling in
+          milliseconds (positive) *)
 }
 
 (** The pack's file names: ["domain.pack"], ["grammar.bnf"], ["api.doc"],

@@ -60,3 +60,14 @@ let int_value t key =
           Error
             (Err.vf ~line:b.line t.file "%s: expected an integer, got %S"
                key b.value))
+
+let num_value t key =
+  match find t key with
+  | None -> Ok None
+  | Some b -> (
+      match float_of_string_opt b.value with
+      | Some v when Float.is_finite v -> Ok (Some v)
+      | _ ->
+          Error
+            (Err.vf ~line:b.line t.file "%s: expected a number, got %S" key
+               b.value))

@@ -27,5 +27,9 @@ val int_value : t -> string -> (int option, Err.t) result
 (** [Ok None] when the key is absent; an error naming the binding's line
     when the value is not an integer. *)
 
+val num_value : t -> string -> (float option, Err.t) result
+(** Like {!int_value} for finite decimal numbers (the eval-envelope
+    keys). *)
+
 val read_file : string -> (string, Err.t) result
 (** Whole-file read shared by the pack loaders; the error names the path. *)

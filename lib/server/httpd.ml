@@ -10,6 +10,11 @@ type response = {
   status : int;
   headers : (string * string) list;
   body : string;
+  stream : ((string -> unit) -> unit) option;
+      (* when set, [body] is ignored and the producer is run on the
+         connection thread with a chunk writer: the response goes out as
+         [transfer-encoding: chunked] and the connection closes after
+         the terminal chunk *)
 }
 
 let reason_phrase = function
@@ -32,7 +37,17 @@ let reason_phrase = function
   | _ -> "Server Error"
 
 let response ?(content_type = "application/json") ?(headers = []) status body =
-  { status; headers = ("content-type", content_type) :: headers; body }
+  { status; headers = ("content-type", content_type) :: headers; body;
+    stream = None }
+
+let stream_response ?(content_type = "text/event-stream") ?(headers = [])
+    status producer =
+  {
+    status;
+    headers = ("content-type", content_type) :: headers;
+    body = "";
+    stream = Some producer;
+  }
 
 let header (req : request) name =
   List.assoc_opt (String.lowercase_ascii name) req.headers
@@ -175,19 +190,48 @@ let write_all fd s =
   go 0
 
 let write_response fd ~keep_alive (r : response) =
-  let buf = Buffer.create (String.length r.body + 256) in
-  Buffer.add_string buf
-    (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason_phrase r.status));
-  List.iter
-    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
-    r.headers;
-  Buffer.add_string buf
-    (Printf.sprintf "content-length: %d\r\n" (String.length r.body));
-  Buffer.add_string buf
-    (if keep_alive then "connection: keep-alive\r\n" else "connection: close\r\n");
-  Buffer.add_string buf "\r\n";
-  Buffer.add_string buf r.body;
-  write_all fd (Buffer.contents buf)
+  match r.stream with
+  | None ->
+      let buf = Buffer.create (String.length r.body + 256) in
+      Buffer.add_string buf
+        (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason_phrase r.status));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        r.headers;
+      Buffer.add_string buf
+        (Printf.sprintf "content-length: %d\r\n" (String.length r.body));
+      Buffer.add_string buf
+        (if keep_alive then "connection: keep-alive\r\n"
+         else "connection: close\r\n");
+      Buffer.add_string buf "\r\n";
+      Buffer.add_string buf r.body;
+      write_all fd (Buffer.contents buf)
+  | Some producer ->
+      (* chunked transfer: headers first, then one chunk frame per
+         producer emission, then the terminal zero chunk. The connection
+         never outlives a streamed response (connection: close): the
+         producer runs arbitrary work between chunks, so request
+         pipelining behind it would sit on an unbounded delay. A write
+         failure mid-stream (client went away — SIGPIPE is ignored, so
+         it surfaces as EPIPE) aborts the producer; the caller treats it
+         like any connection error. *)
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason_phrase r.status));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        r.headers;
+      Buffer.add_string buf "transfer-encoding: chunked\r\n";
+      Buffer.add_string buf "connection: close\r\n";
+      Buffer.add_string buf "\r\n";
+      write_all fd (Buffer.contents buf);
+      let chunk data =
+        if String.length data > 0 then
+          write_all fd
+            (Printf.sprintf "%x\r\n%s\r\n" (String.length data) data)
+      in
+      producer chunk;
+      write_all fd "0\r\n\r\n"
 
 (* One request: returns (request, keep_alive) or raises. [pending] holds
    bytes already read past the previous request's end. *)
@@ -250,6 +294,9 @@ let conn_loop t fd =
             with _ ->
               response 500 {|{"error":"internal server error"}|}
           in
+          (* a streamed response always closes the connection (its
+             headers said so); don't read another request off it *)
+          let keep_alive = keep_alive && Option.is_none resp.stream in
           write_response fd ~keep_alive resp;
           if keep_alive then loop ()
       | exception Http_error (status, msg) ->

@@ -6,8 +6,12 @@
     connection's thread; blocking there (e.g. waiting for a worker-pool
     result) is fine and does not stall other connections.
 
-    Not implemented (requests using them get a [400]/[501]): chunked
-    transfer encoding, pipelining beyond read-one-write-one, TLS. *)
+    Chunked transfer encoding is supported on the {e response} side only
+    ({!stream_response}: the handler returns a producer and the
+    connection thread writes one chunk frame per emission — how the SSE
+    endpoints stream candidates). Not implemented (requests using them
+    get a [400]/[501]): chunked {e request} bodies, pipelining beyond
+    read-one-write-one, TLS. *)
 
 type request = {
   meth : string;                     (** uppercased: "GET", "POST", … *)
@@ -21,6 +25,10 @@ type response = {
   status : int;
   headers : (string * string) list;
   body : string;
+  stream : ((string -> unit) -> unit) option;
+      (** [None] (every fixed response): [body] is sent with a
+          [Content-Length]. [Some producer]: [body] is ignored and the
+          response is chunked — see {!stream_response}. *)
 }
 
 val response :
@@ -28,6 +36,27 @@ val response :
   response
 (** [content_type] defaults to ["application/json"]. [Content-Length] and
     [Connection] are added at write time; don't set them. *)
+
+val stream_response :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  int ->
+  ((string -> unit) -> unit) ->
+  response
+(** A chunked response ([content_type] defaults to
+    ["text/event-stream"]). After the status line and headers
+    ([transfer-encoding: chunked], [connection: close]) go out, the
+    producer runs {e on the connection thread} with a chunk writer: each
+    call emits one chunk frame immediately (empty strings are skipped —
+    an empty chunk would terminate the stream); when the producer
+    returns, the terminal zero chunk is written and the connection
+    closes (streamed responses are never kept alive). If the peer
+    disconnects mid-stream, the next write raises ([SIGPIPE] is
+    ignored, so it surfaces as [EPIPE]) and aborts the producer — a
+    producer holding locks or counters must release them with
+    [Fun.protect]. Producer exceptions propagate: the connection is
+    dropped without the terminal chunk, which clients see as a
+    truncated (invalid) chunked body, not a complete response. *)
 
 val reason_phrase : int -> string
 val header : request -> string -> string option

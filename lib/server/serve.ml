@@ -4,8 +4,10 @@ module Trace = Dggt_obs.Trace
 module Ring = Dggt_obs.Ring
 module Registry = Dggt_pack.Domain_registry
 
-(* JSON API version; bump on incompatible response-shape changes *)
-let api_version = 1
+(* JSON API version; bump on incompatible response-shape changes. The
+   payload shapes themselves live in {!Wire}, shared between the fixed
+   v1 bodies and the SSE frames. *)
+let api_version = Wire.api_version
 
 type params = {
   addr : string;
@@ -162,96 +164,11 @@ let ivar_read iv =
   v
 
 (* ------------------------------------------------------------------ *)
-(* json renderings                                                    *)
+(* json renderings (the shapes live in Wire, shared with SSE frames)  *)
 (* ------------------------------------------------------------------ *)
 
-let stats_json (s : Stats.t) =
-  let i n = J.Num (float_of_int n) in
-  J.Obj
-    [
-      ("dep_edges", i s.Stats.dep_edges);
-      ("orig_paths", i s.Stats.orig_paths);
-      ("paths_after_reloc", i s.Stats.paths_after_reloc);
-      ("orphan_count", i s.Stats.orphan_count);
-      ("reloc_graphs", i s.Stats.reloc_graphs);
-      ("combos_total", i s.Stats.combos_total);
-      ("combos_after_gprune", i s.Stats.combos_after_gprune);
-      ("combos_after_sprune", i s.Stats.combos_after_sprune);
-      ("combos_merged", i s.Stats.combos_merged);
-      ("hisyn_combos_enumerated", i s.Stats.hisyn_combos_enumerated);
-      ("hisyn_combos_possible", i s.Stats.hisyn_combos_possible);
-      ("dgg_nodes", i s.Stats.dgg_nodes);
-      ("dgg_edges", i s.Stats.dgg_edges);
-      ("dgg_improvements", i s.Stats.dgg_improvements);
-    ]
-
-(* the real n-best entries, rank + the tie-break quantities the client
-   would otherwise have to re-derive *)
-let ranked_json (rs : Engine.ranked list) =
-  J.Arr
-    (List.mapi
-       (fun i (r : Engine.ranked) ->
-         J.Obj
-           [
-             ("rank", J.Num (float_of_int (i + 1)));
-             ("code", J.Str r.Engine.code);
-             ("size", J.Num (float_of_int r.Engine.size));
-             ("coverage", J.Num (float_of_int r.Engine.coverage));
-             ("score", J.Num r.Engine.score);
-           ])
-       rs)
-
-(* protocol v1 compatibility: [alternatives] keeps its historical shape (a
-   bare code-string array) and the richer [ranked] field appears only when
-   an n-best was computed (k > 1) — a k=1 payload is byte-identical to the
-   pre-semiring one. *)
-let outcome_json ~domain ~engine ~query ~cached ~alternatives
-    (o : Engine.outcome) =
-  J.Obj
-    ([
-       ("v", J.Num (float_of_int api_version));
-       ("ok", J.Bool (o.Engine.code <> None));
-       ("domain", J.Str domain);
-       ("engine", J.Str engine);
-       ("query", J.Str query);
-       ("code", J.opt (fun s -> J.Str s) o.Engine.code);
-       ("cgt_size", J.opt (fun n -> J.Num (float_of_int n)) o.Engine.cgt_size);
-       ( "alternatives",
-         J.Arr
-           (List.map (fun (r : Engine.ranked) -> J.Str r.Engine.code)
-              alternatives) );
-     ]
-    @ (if alternatives = [] then []
-       else [ ("ranked", ranked_json alternatives) ])
-    @ [
-        ("time_s", J.Num o.Engine.time_s);
-        ("timed_out", J.Bool o.Engine.timed_out);
-        ("failure", J.opt (fun s -> J.Str s) o.Engine.failure);
-        ("cached", J.Bool cached);
-        ("stats", stats_json o.Engine.stats);
-      ])
-
-let value_json = function
-  | Trace.Bool b -> J.Bool b
-  | Trace.Int n -> J.Num (float_of_int n)
-  | Trace.Float f -> J.Num f
-  | Trace.Str s -> J.Str s
-
-let event_json (e : Trace.event) =
-  J.Obj
-    [
-      ("id", J.Num (float_of_int e.Trace.id));
-      ("parent", J.opt (fun p -> J.Num (float_of_int p)) e.Trace.parent);
-      ("stage", J.Str e.Trace.stage);
-      ("start_s", J.Num e.Trace.start_s);
-      ("dur_s", J.Num e.Trace.dur_s);
-      (* note keys repeat (one per decision) — an array of pairs, not an
-         object *)
-      ( "notes",
-        J.list
-          (fun (k, v) -> J.Obj [ ("key", J.Str k); ("value", value_json v) ])
-          e.Trace.notes );
-    ]
+let outcome_json = Wire.outcome_json
+let error_json = Wire.error_json
 
 let trecord_json r =
   J.Obj
@@ -261,10 +178,9 @@ let trecord_json r =
       ("query", J.Str r.tquery);
       ("time_s", J.Num r.ttime_s);
       ("ok", J.Bool r.tok);
-      ("events", J.list event_json r.ttrace.Trace.events);
+      ("events", J.list Wire.event_json r.ttrace.Trace.events);
     ]
 
-let error_json msg = J.to_string (J.Obj [ ("error", J.Str msg) ])
 let respond_json ?headers status v = Httpd.response ?headers status (J.to_string v)
 
 (* ------------------------------------------------------------------ *)
@@ -278,42 +194,73 @@ type parsed = {
   engine_name : string;
   timeout_s : float;
   k : int;
+  stream : bool;
 }
 
+(* [?stream=1] switches delivery to SSE. The flag always travels in the
+   URL query string, so it composes with both request styles (GET
+   parameters and POST bodies). *)
+let stream_requested (req : Httpd.request) =
+  match List.assoc_opt "stream" req.Httpd.query with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* GET carries its parameters in the URL query string, POST in a JSON
+   body; both produce the same [parsed] record *)
 let parse_request t (req : Httpd.request) =
-  match J.of_string req.Httpd.body with
+  let from_url = req.Httpd.meth = "GET" in
+  match if from_url then Ok (J.Obj []) else J.of_string req.Httpd.body with
   | Error e -> Error e
   | Ok body -> (
-      match J.str_field "query" body with
+      let str name =
+        if from_url then List.assoc_opt name req.Httpd.query
+        else J.str_field name body
+      in
+      let num name =
+        if from_url then
+          Option.bind (List.assoc_opt name req.Httpd.query) float_of_string_opt
+        else J.num_field name body
+      in
+      let int name =
+        if from_url then
+          Option.bind (List.assoc_opt name req.Httpd.query) int_of_string_opt
+        else J.int_field name body
+      in
+      match str "query" with
       | None | Some "" -> Error "missing required string field \"query\""
       | Some query -> (
-          let dname =
-            Option.value (J.str_field "domain" body) ~default:"textediting"
-          in
+          let dname = Option.value (str "domain") ~default:"textediting" in
           match find_dstate t dname with
           | None ->
               Error
                 (Printf.sprintf "unknown domain %S (see GET /domains)" dname)
           | Some ds -> (
-              match
-                Option.value (J.str_field "engine" body) ~default:"dggt"
-              with
+              match Option.value (str "engine") ~default:"dggt" with
               | ("dggt" | "hisyn") as engine_name ->
                   let engine =
                     if engine_name = "dggt" then Engine.Dggt_alg
                     else Engine.Hisyn_alg
                   in
                   let timeout_s =
-                    match J.num_field "timeout" body with
+                    match num "timeout" with
                     | Some v when v > 0.0 -> Float.min v 60.0
                     | _ -> t.params.default_timeout_s
                   in
                   let k =
-                    match J.int_field "k" body with
+                    match int "k" with
                     | Some v -> max 1 (min v 20)
                     | None -> 1
                   in
-                  Ok { query; ds; engine; engine_name; timeout_s; k }
+                  Ok
+                    {
+                      query;
+                      ds;
+                      engine;
+                      engine_name;
+                      timeout_s;
+                      k;
+                      stream = stream_requested req;
+                    }
               | e -> Error (Printf.sprintf "unknown engine %S (dggt|hisyn)" e))))
 
 (* ------------------------------------------------------------------ *)
@@ -372,12 +319,95 @@ let via_pool t ~domain ~deadline ~t0 work =
           Httpd.response 500 (error_json msg)
       | `Ok resp -> resp)
 
+(* ------------------------------------------------------------------ *)
+(* streaming (SSE) delivery                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A streamed request runs on the connection thread inside the chunked
+   producer — not on the worker pool: candidate frames must reach the
+   socket while the chart walk is still running, and a pool worker has
+   nowhere to write mid-run. Streams therefore sidestep the pool's
+   backpressure (they are bounded by the connection count instead) and
+   the response caches (interim frames are the point; a cache could only
+   replay the terminal payload). The terminal [event: done] frame is
+   rendered by the same {!Wire} function as the fixed response body, so
+   the final candidate list is byte-for-byte what the non-streaming
+   endpoint returns.
+
+   Frame protocol: zero or more [event: candidate] frames (strictly
+   increasing [revision]), then exactly one terminal frame — [event:
+   done] on success, [event: error] with the real status in the body
+   when the deadline expires or the run fails (the HTTP status already
+   went out as 200 when the stream opened). A client disconnect surfaces
+   as [EPIPE] on the next frame write, which aborts the chart walk
+   mid-run; the metrics and trace for the partial stream still land. *)
+let stream_ranked t ~domain ~engine_label ~query ~t0
+    ~(done_frame : Engine.outcome -> J.t)
+    ~(run :
+       sink:Trace.sink ->
+       on_candidate:(Engine.candidate -> unit) ->
+       Engine.outcome) =
+  Httpd.stream_response 200 (fun chunk ->
+      let sink = Trace.create () in
+      let ttfc = ref None in
+      let count = ref 0 in
+      let on_candidate (c : Engine.candidate) =
+        if !ttfc = None then ttfc := Some (Unix.gettimeofday () -. t0);
+        incr count;
+        chunk (Wire.sse_frame ~event:"candidate" (Wire.candidate_json c))
+      in
+      Smetrics.incr_inflight t.metrics;
+      let settle () =
+        Smetrics.decr_inflight t.metrics;
+        Smetrics.observe_stream t.metrics ~candidates:!count ~ttfc_s:!ttfc
+      in
+      match Fun.protect ~finally:settle (fun () -> run ~sink ~on_candidate) with
+      | o ->
+          Trace.span (Some sink) "Stream" (fun sp ->
+              Trace.int sp "candidates" !count;
+              match !ttfc with
+              | Some s -> Trace.float sp "ttfc_s" s
+              | None -> ());
+          record_trace t ~domain ~engine:engine_label ~query
+            ~time_s:o.Engine.time_s
+            ~ok:(o.Engine.code <> None)
+            sink;
+          if o.Engine.timed_out then begin
+            observe t ~domain ~outcome:"timeout" t0;
+            chunk
+              (Wire.sse_frame ~event:"error"
+                 (Wire.stream_error_json ~status:504
+                    "request deadline expired mid-stream"))
+          end
+          else begin
+            observe t ~domain
+              ~outcome:(if o.Engine.ranked = [] then "failed" else "ok")
+              t0;
+            chunk (Wire.sse_frame ~event:"done" (done_frame o))
+          end
+      | exception e ->
+          observe t ~domain ~outcome:"failed" t0;
+          (* the peer may already be gone (EPIPE raised by a frame write
+             landed here) — the terminal frame is best-effort *)
+          (try
+             chunk
+               (Wire.sse_frame ~event:"error"
+                  (Wire.stream_error_json ~status:500 (Printexc.to_string e)))
+           with _ -> ()))
+
 let synthesize_handler t (req : Httpd.request) =
   let t0 = Unix.gettimeofday () in
   match parse_request t req with
   | Error msg ->
       observe t ~domain:"-" ~outcome:"bad_request" t0;
       Httpd.response 400 (error_json msg)
+  | Ok p when p.stream ->
+      (* streaming is ranked delivery; /synthesize keeps its fixed shape *)
+      observe t ~domain:p.ds.dom.Dggt_domains.Domain.name
+        ~outcome:"bad_request" t0;
+      Httpd.response 400
+        (error_json
+           "streaming delivery is available on /rank and /session/<id>/query")
   | Ok p -> (
       let domain = p.ds.dom.Dggt_domains.Domain.name in
       let key = (p.ds.gen, domain, p.engine_name, p.query, p.k) in
@@ -434,27 +464,31 @@ let rank_handler t (req : Httpd.request) =
   | Error msg ->
       observe t ~domain:"-" ~outcome:"bad_request" t0;
       Httpd.response 400 (error_json msg)
+  | Ok p when p.stream ->
+      let domain = p.ds.dom.Dggt_domains.Domain.name in
+      let k = if p.k = 1 then 5 else p.k in
+      stream_ranked t ~domain ~engine_label:"dggt" ~query:p.query ~t0
+        ~done_frame:(fun o ->
+          Wire.rank_json ~domain ~query:p.query ~k ~cached:false
+            o.Engine.ranked)
+        ~run:(fun ~sink ~on_candidate ->
+          let cfg =
+            {
+              p.ds.cfg_dggt with
+              Engine.timeout_s = Some p.timeout_s;
+              trace = Some sink;
+            }
+          in
+          Engine.respond ~on_candidate
+            { Engine.cfg; target = p.ds.target }
+            { Engine.input = Engine.Text p.query; mode = Engine.Ranked k })
   | Ok p -> (
       let domain = p.ds.dom.Dggt_domains.Domain.name in
       let k = if p.k = 1 then 5 else p.k in
       let key = (p.ds.gen, domain, p.query, k) in
       let render ~cached (candidates : Engine.ranked list) =
         respond_json 200
-          (J.Obj
-             [
-               ("v", J.Num (float_of_int api_version));
-               ("ok", J.Bool (candidates <> []));
-               ("domain", J.Str domain);
-               ("query", J.Str p.query);
-               ("k", J.Num (float_of_int k));
-               ( "candidates",
-                 J.Arr
-                   (List.map
-                      (fun (r : Engine.ranked) -> J.Str r.Engine.code)
-                      candidates) );
-               ("ranked", ranked_json candidates);
-               ("cached", J.Bool cached);
-             ])
+          (Wire.rank_json ~domain ~query:p.query ~k ~cached candidates)
       in
       match Cache.find t.rank_cache key with
       | Some cs ->
@@ -484,35 +518,7 @@ let rank_handler t (req : Httpd.request) =
 (* incremental sessions                                               *)
 (* ------------------------------------------------------------------ *)
 
-let reuse_json (r : Dggt_inc.Reuse.t) =
-  let open Dggt_inc.Reuse in
-  let i n = J.Num (float_of_int n) in
-  let stage (s : stage) =
-    J.Obj [ ("reused", i s.reused); ("computed", i s.computed) ]
-  in
-  J.Obj
-    [
-      ("revision", i r.revision);
-      ("splice", J.Bool r.splice);
-      ( "tokens",
-        J.Obj
-          [
-            ("kept", i r.tokens_kept);
-            ("added", i r.tokens_added);
-            ("removed", i r.tokens_removed);
-          ] );
-      ( "edges",
-        J.Obj
-          [
-            ("kept", i r.edges_kept);
-            ("added", i r.edges_added);
-            ("removed", i r.edges_removed);
-          ] );
-      ("words", stage r.words);
-      ("pairs", stage r.pairs);
-      ("dgg_rows", stage r.dgg_rows);
-      ("reuse_ratio", J.Num (overall_ratio r));
-    ]
+let reuse_json = Wire.reuse_json
 
 let session_create_handler t (req : Httpd.request) =
   match J.of_string (if req.Httpd.body = "" then "{}" else req.Httpd.body) with
@@ -602,11 +608,41 @@ let session_query_handler t (req : Httpd.request) id =
                 | Some v -> max 1 (min v 20)
                 | None -> 1
               in
-              let deadline =
-                t0
-                +. Option.value timeout_s ~default:t.params.default_timeout_s
-              in
-              via_pool t ~domain:sr.sdomain ~deadline ~t0 (fun () ->
+              if stream_requested req then
+                let k = if k = 1 then 5 else k in
+                let timeout_v =
+                  Option.value timeout_s ~default:t.params.default_timeout_s
+                in
+                stream_ranked t ~domain:sr.sdomain
+                  ~engine_label:sr.sengine_name ~query ~t0
+                  ~done_frame:(fun o ->
+                    Wire.with_fields
+                      (Wire.rank_json ~domain:sr.sdomain ~query ~k
+                         ~cached:false o.Engine.ranked)
+                      [ ("session", J.Str id) ])
+                  ~run:(fun ~sink ~on_candidate ->
+                    let tweak cfg =
+                      {
+                        cfg with
+                        Engine.trace = Some sink;
+                        timeout_s = Some timeout_v;
+                      }
+                    in
+                    Mutex.lock sr.smu;
+                    Fun.protect
+                      ~finally:(fun () -> Mutex.unlock sr.smu)
+                      (fun () ->
+                        Dggt_inc.Session.respond ~on_candidate ~tweak sr.inc
+                          {
+                            Engine.input = Engine.Text query;
+                            mode = Engine.Ranked k;
+                          }))
+              else
+                let deadline =
+                  t0
+                  +. Option.value timeout_s ~default:t.params.default_timeout_s
+                in
+                via_pool t ~domain:sr.sdomain ~deadline ~t0 (fun () ->
                   let sink = Trace.create () in
                   let tweak cfg =
                     let cfg = { cfg with Engine.trace = Some sink } in
@@ -653,22 +689,16 @@ let session_query_handler t (req : Httpd.request) id =
                     else "ok"
                   in
                   observe t ~domain:sr.sdomain ~outcome:outcome_label t0;
-                  let fields =
-                    match
-                      outcome_json ~domain:sr.sdomain ~engine:sr.sengine_name
-                        ~query ~cached:false ~alternatives outcome
-                    with
-                    | J.Obj f -> f
-                    | other -> [ ("outcome", other) ]
-                  in
                   `Ok
                     (respond_json 200
-                       (J.Obj
-                          (fields
-                          @ [
-                              ("session", J.Str id);
-                              ("reuse", reuse_json reuse);
-                            ]))))))
+                       (Wire.with_fields
+                          (outcome_json ~domain:sr.sdomain
+                             ~engine:sr.sengine_name ~query ~cached:false
+                             ~alternatives outcome)
+                          [
+                            ("session", J.Str id);
+                            ("reuse", reuse_json reuse);
+                          ])))))
 
 let session_delete_handler t id =
   if Sessions.remove t.sessions id then
@@ -727,6 +757,9 @@ let version_handler t =
          ("build", J.Str t.build);
          ("generation", J.Num (float_of_int (Registry.generation t.registry)));
          ("pack_digest", J.Str (Registry.pack_digest t.registry));
+         (* delivery modes beyond the fixed v1 bodies; clients probe here
+            before sending [?stream=1] *)
+         ("capabilities", J.list (fun s -> J.Str s) [ "streaming" ]);
          ( "automata",
            J.list
              (fun ds ->
@@ -993,8 +1026,8 @@ let handler t (req : Httpd.request) =
   | "GET", "/domains" -> domains_handler t
   | "GET", "/version" -> version_handler t
   | "GET", "/debug/trace" -> debug_trace_handler t
-  | "POST", "/synthesize" -> synthesize_handler t req
-  | "POST", "/rank" -> rank_handler t req
+  | ("GET" | "POST"), "/synthesize" -> synthesize_handler t req
+  | ("GET" | "POST"), "/rank" -> rank_handler t req
   | "POST", "/reload" -> reload_handler t
   | "POST", "/session" -> session_create_handler t req
   | ( _,

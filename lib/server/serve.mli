@@ -6,13 +6,28 @@
     [{"v": 1}], the API version; it is bumped on incompatible shape
     changes. Endpoints:
 
-    - [POST /synthesize] — body
+    - [GET/POST /synthesize] — parameters
       [{"query": s, "domain": s?, "engine": "dggt"|"hisyn"?, "timeout": f?,
-        "k": n?}]; responds with the codelet, timing, per-stage statistics
-      and (for [k > 1]) up to [k] ranked alternatives. Repeat queries are
-      served from the whole-query cache without touching the pool.
-    - [POST /rank] — [{"query": s, "domain": s?, "timeout": f?, "k": n?}];
-      ranked candidate codelets (paper §VII-B.4).
+        "k": n?}] (a [GET] carries them in the URL query string, a [POST]
+      in the JSON body); responds with the codelet, timing, per-stage
+      statistics and (for [k > 1]) up to [k] ranked alternatives. Repeat
+      queries are served from the whole-query cache without touching the
+      pool.
+    - [GET/POST /rank] — same parameter carriage,
+      [{"query": s, "domain": s?, "timeout": f?, "k": n?}]; ranked
+      candidate codelets (paper §VII-B.4). With [?stream=1] in the URL
+      the response switches to streamed delivery: a chunked
+      [text/event-stream] of [event: candidate] frames — one per
+      improvement of the live n-best during the chart walk, with a
+      monotone [revision] counter — terminated by exactly one
+      [event: done] frame whose payload is byte-for-byte the
+      non-streaming [/rank] body, or one [event: error] frame carrying
+      the real status ([504] on deadline expiry mid-stream) since the
+      HTTP status already went out as [200]. Streamed requests run on
+      the connection thread (not the worker pool) and bypass the
+      response caches; interim frames are best-effort previews, only
+      the [done] payload is authoritative. [GET /version] advertises
+      ["streaming"] under [capabilities].
     - [GET /domains] — the available domains with aliases, API/query
       counts and origin ([builtin], or [pack] with its directory and
       digest).
@@ -40,7 +55,11 @@
       Sessions live in a TTL + LRU store ({!Sessions}, sized by
       [params.session_ttl_s] / [params.session_cap]).
     - [POST /session/<id>/query] — [{"query": s, "timeout": f?}]; one
-      revision of the session's query. The response is the [/synthesize]
+      revision of the session's query. With [?stream=1] the response is
+      the same SSE stream as [/rank?stream=1] (served through the
+      session's memo tables, holding the session's lock for the duration
+      of the stream; the [done] frame gains a [session] field) — it does
+      not advance the session's revision history. The response is the [/synthesize]
       shape plus [session] and a [reuse] object (revision number, splice
       flag, token/edge diff, reused-vs-computed counts per stage and the
       overall [reuse_ratio]). Revisions of one session are serialized;

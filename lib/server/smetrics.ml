@@ -90,6 +90,11 @@ type t = {
   mutable inc_splices : int;
   mutable inc_reused : int;
   mutable inc_computed : int;
+  (* streamed (SSE) requests: total served, candidate frames written,
+     time-to-first-candidate distribution *)
+  mutable streams : int;
+  mutable stream_candidates : int;
+  stream_ttfc : Hist.t;
   mutable sessions_probe : (unit -> Sessions.counters) option;
   (* grammar-automaton compilations: count + last compile wall time, per
      domain (reloads recompile only changed packs, so the counter exposes
@@ -120,6 +125,9 @@ let create () =
     inc_splices = 0;
     inc_reused = 0;
     inc_computed = 0;
+    streams = 0;
+    stream_candidates = 0;
+    stream_ttfc = Hist.create ();
     sessions_probe = None;
     autom = Hashtbl.create 8;
     store_loaded = 0;
@@ -181,6 +189,14 @@ let observe_reuse t ~reused ~computed ~splice =
 
 let set_sessions_probe t probe =
   locked t (fun () -> t.sessions_probe <- Some probe)
+
+let observe_stream t ~candidates ~ttfc_s =
+  locked t (fun () ->
+      t.streams <- t.streams + 1;
+      t.stream_candidates <- t.stream_candidates + candidates;
+      match ttfc_s with
+      | Some s -> Hist.observe t.stream_ttfc s
+      | None -> ())
 
 let observe_autom_compile t ~domain seconds =
   locked t (fun () ->
@@ -353,6 +369,27 @@ let render t =
               line "# TYPE dggt_store_records gauge";
               line "dggt_store_records %d" g.store_records
           | exception _ -> ()));
+      if t.streams > 0 then begin
+        line "# HELP dggt_streams_total Streamed (SSE) requests served.";
+        line "# TYPE dggt_streams_total counter";
+        line "dggt_streams_total %d" t.streams;
+        line
+          "# HELP dggt_stream_candidates_total Candidate frames written \
+           across all streams.";
+        line "# TYPE dggt_stream_candidates_total counter";
+        line "dggt_stream_candidates_total %d" t.stream_candidates;
+        line
+          "# HELP dggt_stream_ttfc_seconds Time from request start to the \
+           first streamed candidate.";
+        line "# TYPE dggt_stream_ttfc_seconds histogram";
+        List.iter
+          (fun (le, cum) ->
+            line "dggt_stream_ttfc_seconds_bucket{le=%S} %d" (fmt_float le) cum)
+          (Hist.buckets t.stream_ttfc);
+        line "dggt_stream_ttfc_seconds_sum %s"
+          (fmt_float (Hist.sum t.stream_ttfc));
+        line "dggt_stream_ttfc_seconds_count %d" (Hist.count t.stream_ttfc)
+      end;
       if t.inc_queries > 0 then begin
         line "# HELP dggt_inc_queries_total Incremental session revisions served.";
         line "# TYPE dggt_inc_queries_total counter";

@@ -68,6 +68,12 @@ val observe_reuse : t -> reused:int -> computed:int -> splice:bool -> unit
 val set_sessions_probe : t -> (unit -> Sessions.counters) -> unit
 (** The session-store gauges are sampled at render time. *)
 
+val observe_stream : t -> candidates:int -> ttfc_s:float option -> unit
+(** Record one finished streamed (SSE) request: how many candidate frames
+    it wrote and the time from request start to the first one ([None]
+    when the stream ended without emitting a candidate — the TTFC
+    histogram only sees streams that produced one). *)
+
 val observe_autom_compile : t -> domain:string -> float -> unit
 (** Record one grammar-automaton compilation for [domain]: bumps
     [dggt_autom_compiles_total{domain}] and sets
@@ -108,6 +114,8 @@ val render : t -> string
     when a store probe is installed
     ([dggt_store_records_{loaded,skipped,rejected}_total],
     [dggt_store_spills_total], [dggt_store_spill_seconds],
-    [dggt_store_log_bytes], [dggt_store_records]) and incremental-reuse
-    counters ([dggt_inc_queries_total], [dggt_inc_splices_total],
-    [dggt_inc_reuse_ratio]). *)
+    [dggt_store_log_bytes], [dggt_store_records]), streaming counters
+    once a stream has been served ([dggt_streams_total],
+    [dggt_stream_candidates_total], [dggt_stream_ttfc_seconds]
+    histogram) and incremental-reuse counters ([dggt_inc_queries_total],
+    [dggt_inc_splices_total], [dggt_inc_reuse_ratio]). *)

@@ -116,6 +116,42 @@ let test_speedups_mismatch () =
     (fun () -> ignore (Metrics.speedups ~baseline:h ~optimized:shorter))
 
 (* ------------------------------------------------------------------ *)
+(* Envelope                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_envelope_check () =
+  let _, d = Lazy.force runs in
+  let p95 = Envelope.p95_ms d in
+  check_b "p95 positive" true (p95 > 0.0);
+  (* generous bounds: inside the envelope, verdict carries measurements *)
+  let v =
+    Envelope.check
+      { Envelope.min_accuracy = Some 0.1; max_p95_ms = Some (p95 +. 1000.0) }
+      d
+  in
+  check_b "inside the envelope" true (Envelope.ok v);
+  check_b "verdict carries measurements" true
+    (Float.abs (v.Envelope.accuracy -. Runner.accuracy d) < 1e-9
+    && Float.abs (v.Envelope.p95_ms -. p95) < 1e-9);
+  (* impossible floor and ceiling: one violation each, named *)
+  let v =
+    Envelope.check
+      { Envelope.min_accuracy = Some 1.1; max_p95_ms = Some (p95 /. 1e6) }
+      d
+  in
+  check_i "both axes violated" 2 (List.length v.Envelope.violations);
+  check_b "not ok" false (Envelope.ok v);
+  let has sub s = Dggt_util.Strutil.contains_sub ~sub s in
+  check_b "violations name the keys" true
+    (List.exists (has "expect-accuracy") v.Envelope.violations
+    && List.exists (has "expect-p95-ms") v.Envelope.violations);
+  (* absent bounds opt the axis out *)
+  let v =
+    Envelope.check { Envelope.min_accuracy = None; max_p95_ms = None } d
+  in
+  check_b "no bounds, no violations" true (Envelope.ok v)
+
+(* ------------------------------------------------------------------ *)
 (* Report rendering                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +205,7 @@ let suite =
     Alcotest.test_case "buckets partition" `Slow test_buckets;
     Alcotest.test_case "accumulated curve" `Slow test_accumulated;
     Alcotest.test_case "speedups mismatch rejected" `Slow test_speedups_mismatch;
+    Alcotest.test_case "envelope check" `Slow test_envelope_check;
     Alcotest.test_case "table1 renders" `Quick test_table1_renders;
     Alcotest.test_case "table2 renders" `Slow test_table2_renders;
     Alcotest.test_case "fig7/fig8 render" `Slow test_fig7_fig8_render;

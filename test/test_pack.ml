@@ -178,6 +178,63 @@ let test_bad_limits () =
   check_b "says positive" true
     (Dggt_util.Strutil.contains_sub ~sub:"positive" e.Err.message)
 
+let test_manifest_num_value () =
+  let d = fresh_dir () in
+  let p = Filename.concat d "m.pack" in
+  write p "a = 2.5\nb = nope\n";
+  match Manifest.load p with
+  | Error e -> Alcotest.fail (Err.to_string e)
+  | Ok m ->
+      check_b "num" true (Manifest.num_value m "a" = Ok (Some 2.5));
+      check_b "absent is None" true (Manifest.num_value m "missing" = Ok None);
+      check_b "non-numeric errors" true
+        (Result.is_error (Manifest.num_value m "b"))
+
+let test_envelope_keys () =
+  let d = te_pack_dir () in
+  let m = Filename.concat d "domain.pack" in
+  write m (read m ^ "expect-accuracy = 0.85\nexpect-p95-ms = 1500\n");
+  (match Loader.load d with
+  | Error e -> Alcotest.fail (Err.to_string e)
+  | Ok l ->
+      check_b "accuracy floor parsed" true
+        (l.Loader.expect_accuracy = Some 0.85);
+      check_b "p95 ceiling parsed" true (l.Loader.expect_p95_ms = Some 1500.0));
+  (* a pack without the keys simply has no envelope *)
+  let d2 = te_pack_dir () in
+  match Loader.load d2 with
+  | Error e -> Alcotest.fail (Err.to_string e)
+  | Ok l ->
+      check_b "no envelope by default" true
+        (l.Loader.expect_accuracy = None && l.Loader.expect_p95_ms = None)
+
+let test_envelope_validation () =
+  (* accuracy outside [0, 1] *)
+  let d = te_pack_dir () in
+  let m = Filename.concat d "domain.pack" in
+  write m (read m ^ "expect-accuracy = 1.5\n");
+  let e = err_of (Loader.load d) in
+  check_s "names domain.pack" "domain.pack" (base e.Err.file);
+  check_i "points at the key" (line_count m - 1) e.Err.line;
+  check_b "says fraction" true
+    (Dggt_util.Strutil.contains_sub ~sub:"fraction" e.Err.message);
+  (* p95 ceiling must be positive *)
+  let d = te_pack_dir () in
+  write
+    (Filename.concat d "domain.pack")
+    (read (Filename.concat d "domain.pack") ^ "expect-p95-ms = 0\n");
+  let e = err_of (Loader.load d) in
+  check_b "says positive" true
+    (Dggt_util.Strutil.contains_sub ~sub:"positive" e.Err.message);
+  (* non-numeric value *)
+  let d = te_pack_dir () in
+  write
+    (Filename.concat d "domain.pack")
+    (read (Filename.concat d "domain.pack") ^ "expect-accuracy = fast\n");
+  let e = err_of (Loader.load d) in
+  check_b "says number" true
+    (Dggt_util.Strutil.contains_sub ~sub:"number" e.Err.message)
+
 let test_undefined_start () =
   let d = te_pack_dir () in
   let m = Filename.concat d "domain.pack" in
@@ -673,6 +730,9 @@ let suite =
     Alcotest.test_case "unparseable ground truth" `Quick
       test_unparseable_ground_truth;
     Alcotest.test_case "bad limits" `Quick test_bad_limits;
+    Alcotest.test_case "manifest num_value" `Quick test_manifest_num_value;
+    Alcotest.test_case "envelope keys parsed" `Quick test_envelope_keys;
+    Alcotest.test_case "envelope validation" `Quick test_envelope_validation;
     Alcotest.test_case "undefined start symbol" `Quick test_undefined_start;
     Alcotest.test_case "queries.tsv optional" `Quick test_queries_optional;
     Alcotest.test_case "check: unknown doc api" `Quick test_check_unknown_doc_api;

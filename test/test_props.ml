@@ -202,6 +202,71 @@ let prop_engine_deterministic =
       let b = Engine.run ses q in
       a.Engine.code = b.Engine.code)
 
+(* Streaming delivery changes when candidates arrive, never what they
+   are: a ranked run with an [on_candidate] hook must end on exactly the
+   list the plain [run_ranked ~k] returns, with interim revisions
+   strictly monotone and every emitted rank inside the top-k window. *)
+let te_session =
+  lazy
+    (Dggt_domains.Domain.configure Dggt_domains.Text_editing.domain
+       { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 10.0 })
+
+let am_session =
+  lazy
+    (Dggt_domains.Domain.configure Dggt_domains.Astmatcher.domain
+       { (Engine.default Engine.Dggt_alg) with Engine.timeout_s = Some 10.0 })
+
+let am_queries =
+  lazy
+    (Dggt_domains.Astmatcher.domain.Dggt_domains.Domain.queries
+    |> List.filter (fun (q : Dggt_domains.Domain.query) ->
+           not q.Dggt_domains.Domain.hard)
+    |> List.filteri (fun i _ -> i < 4)
+    |> List.map (fun (q : Dggt_domains.Domain.query) ->
+           q.Dggt_domains.Domain.text))
+
+let stream_case_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun q -> (`Te, q)) te_query_gen);
+        (1, map (fun q -> (`Am, q)) (oneofl (Lazy.force am_queries)));
+      ])
+
+let prop_stream_equivalent =
+  QCheck.Test.make
+    ~name:"streamed final candidates are byte-identical to run_ranked"
+    ~count:24
+    (QCheck.make stream_case_gen ~print:snd)
+    (fun (which, q) ->
+      let ses =
+        Lazy.force (match which with `Te -> te_session | `Am -> am_session)
+      in
+      let k = 5 in
+      let emitted = ref [] in
+      let o =
+        Engine.respond
+          ~on_candidate:(fun c -> emitted := c :: !emitted)
+          ses
+          { Engine.input = Engine.Text q; mode = Engine.Ranked k }
+      in
+      let baseline = Engine.run_ranked ~k ses q in
+      let emitted = List.rev !emitted in
+      let revisions_monotone =
+        fst
+          (List.fold_left
+             (fun (ok, prev) (c : Engine.candidate) ->
+               (ok && c.Engine.revision > prev, c.Engine.revision))
+             (true, 0) emitted)
+      in
+      o.Engine.ranked = baseline
+      && revisions_monotone
+      && List.for_all
+           (fun (c : Engine.candidate) ->
+             c.Engine.rank >= 1 && c.Engine.rank <= k)
+           emitted
+      && (baseline = [] || emitted <> []))
+
 (* Tree2expr parses whatever it prints (beyond the unit cases). *)
 let expr_gen =
   let open QCheck.Gen in
@@ -234,5 +299,6 @@ let suite =
       prop_gprune_lossless;
       prop_cgt_merge_acI;
       prop_engine_deterministic;
+      prop_stream_equivalent;
       prop_expr_print_parse;
     ]

@@ -443,8 +443,17 @@ let test_e2e_synthesize () =
       (* error paths *)
       let st, _ = http ~port ~meth:"GET" ~path:"/nope" () in
       check_i "404" 404 st;
-      let st, _ = http ~port ~meth:"GET" ~path:"/synthesize" () in
+      let st, _ = http ~port ~meth:"PUT" ~path:"/synthesize" () in
       check_i "405" 405 st;
+      (* GET carries parameters in the URL query; without one it is a
+         missing-query 400, not a method error *)
+      let st, _ = http ~port ~meth:"GET" ~path:"/synthesize" () in
+      check_i "400 missing query" 400 st;
+      (* streaming is rank-only: /synthesize?stream=1 is rejected up front *)
+      let st, _ =
+        http ~port ~meth:"POST" ~path:"/synthesize?stream=1" ~body:reqbody ()
+      in
+      check_i "400 stream on synthesize" 400 st;
       let st, _ = http ~port ~meth:"POST" ~path:"/synthesize" ~body:"{oops" () in
       check_i "400 bad json" 400 st;
       let st, _ =
@@ -603,6 +612,225 @@ let test_e2e_session_reload_410 () =
       in
       check_i "fresh session queries" 200 st)
 
+(* ------------------------------------------------------------------ *)
+(* streaming: SSE frames over chunked transfer on /rank?stream=1      *)
+(* ------------------------------------------------------------------ *)
+
+(* de-chunk a chunked-transfer body into its frames. The input is the
+   final byte string, which the socket delivered in whatever segments it
+   pleased — so this exercises reassembly across arbitrary chunk/read
+   boundaries by construction. *)
+let dechunk body =
+  let n = String.length body in
+  let find_crlf from =
+    let rec go i =
+      if i + 1 >= n then None
+      else if body.[i] = '\r' && body.[i + 1] = '\n' then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  let rec go acc cur =
+    match find_crlf cur with
+    | None -> List.rev acc
+    | Some le -> (
+        match
+          int_of_string_opt ("0x" ^ String.trim (String.sub body cur (le - cur)))
+        with
+        | None | Some 0 -> List.rev acc
+        | Some size when le + 2 + size + 2 <= n ->
+            go (String.sub body (le + 2) size :: acc) (le + 2 + size + 2)
+        | Some _ -> List.rev acc)
+  in
+  go [] 0
+
+(* "event: X\ndata: {json}\n\n" -> (X, json-text) *)
+let sse_event frame =
+  match String.split_on_char '\n' frame with
+  | ev :: data :: _
+    when String.length ev > 7
+         && String.sub ev 0 7 = "event: "
+         && String.length data > 6
+         && String.sub data 0 6 = "data: " ->
+      Some
+        ( String.sub ev 7 (String.length ev - 7),
+          String.sub data 6 (String.length data - 6) )
+  | _ -> None
+
+let test_stream_rank () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      let reqbody =
+        J.to_string
+          (J.Obj
+             [
+               ("query", J.Str "insert \"> \" at the start of each line");
+               ("domain", J.Str "te");
+               ("k", J.Num 5.);
+             ])
+      in
+      let st, raw = http ~port ~meth:"POST" ~path:"/rank?stream=1" ~body:reqbody () in
+      check_i "stream status" 200 st;
+      let frames = dechunk raw in
+      check_b "has frames" true (frames <> []);
+      let evs = List.filter_map sse_event frames in
+      check_i "all frames well-formed" (List.length frames) (List.length evs);
+      let rec split_last = function
+        | [] -> ([], None)
+        | [ x ] -> ([], Some x)
+        | x :: tl ->
+            let xs, l = split_last tl in
+            (x :: xs, l)
+      in
+      let cands, last = split_last evs in
+      check_b "at least one interim revision" true (cands <> []);
+      List.iter (fun (e, _) -> check_s "interim event" "candidate" e) cands;
+      ignore
+        (List.fold_left
+           (fun prev (_, d) ->
+             let j = Result.get_ok (J.of_string d) in
+             let r = Option.get (J.int_field "revision" j) in
+             check_b "revision monotone" true (r > prev);
+             let rk = Option.get (J.int_field "rank" j) in
+             check_b "rank within top-k" true (rk >= 1 && rk <= 5);
+             r)
+           0 cands);
+      let done_ev, done_body = Option.get last in
+      check_s "terminal event" "done" done_ev;
+      (* the done frame is byte-for-byte the non-streaming /rank body
+         (the stream bypassed the cache, so this one is a fresh compute) *)
+      let st, plain = http ~port ~meth:"POST" ~path:"/rank" ~body:reqbody () in
+      check_i "plain rank status" 200 st;
+      check_s "done frame = non-streaming body" plain done_body;
+      (* GET with URL-carried parameters streams the same bytes *)
+      let st, raw2 =
+        http ~port ~meth:"GET"
+          ~path:
+            "/rank?stream=1&k=5&domain=te&query=insert%20%22%3E%20%22%20at%20the%20start%20of%20each%20line"
+          ()
+      in
+      check_i "GET stream status" 200 st;
+      (match List.rev (List.filter_map sse_event (dechunk raw2)) with
+      | (ev, body2) :: _ ->
+          check_s "GET terminal event" "done" ev;
+          check_s "GET done frame identical" done_body body2
+      | [] -> Alcotest.fail "GET stream produced no frames"))
+
+let test_stream_deadline () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      (* a deadline far too tight to finish: the stream must end with an
+         [event: error] frame carrying the 504 it could no longer send as
+         a status line *)
+      let reqbody =
+        J.to_string
+          (J.Obj
+             [
+               ( "query",
+                 J.Str
+                   "find cxx constructor expressions which declare a cxx \
+                    method named \"PI\"" );
+               ("domain", J.Str "am");
+               ("timeout", J.Num 0.001);
+             ])
+      in
+      let st, raw = http ~port ~meth:"POST" ~path:"/rank?stream=1" ~body:reqbody () in
+      check_i "headers already sent: 200" 200 st;
+      match List.rev (List.filter_map sse_event (dechunk raw)) with
+      | (ev, data) :: _ ->
+          check_s "terminal error frame" "error" ev;
+          let j = Result.get_ok (J.of_string data) in
+          check_b "frame carries 504" true (J.int_field "status" j = Some 504);
+          check_b "frame not ok" true (J.bool_field "ok" j = Some false)
+      | [] -> Alcotest.fail "deadline stream produced no frames")
+
+let test_stream_disconnect () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      let body =
+        J.to_string
+          (J.Obj
+             [
+               ("query", J.Str "delete all numbers in every line");
+               ("domain", J.Str "te");
+               ("k", J.Num 5.);
+             ])
+      in
+      (* hang up mid-stream: read only the response head, then close *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "POST /rank?stream=1 HTTP/1.1\r\nhost: x\r\ncontent-length: \
+           %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let b = Bytes.create 64 in
+      ignore (Unix.read fd b 0 64);
+      Unix.close fd;
+      (* the producer hits EPIPE and aborts; the server must shrug it
+         off and serve the next connection normally *)
+      let st, _ = http ~port ~meth:"GET" ~path:"/healthz" () in
+      check_i "alive after disconnect" 200 st;
+      let st, plain = http ~port ~meth:"POST" ~path:"/rank" ~body () in
+      check_i "rank after disconnect" 200 st;
+      check_b "rank ok" true
+        (J.bool_field "ok" (Result.get_ok (J.of_string plain)) = Some true))
+
+let test_stream_session () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      let st, j =
+        get_json ~port ~meth:"POST" ~path:"/session" ~body:{|{"domain":"te"}|} ()
+      in
+      check_i "session created" 201 st;
+      let sid = Option.get (J.str_field "session" j) in
+      let qbody =
+        J.to_string
+          (J.Obj
+             [
+               ("query", J.Str "delete all numbers in every line");
+               ("k", J.Num 5.);
+             ])
+      in
+      let st, raw =
+        http ~port ~meth:"POST"
+          ~path:("/session/" ^ sid ^ "/query?stream=1")
+          ~body:qbody ()
+      in
+      check_i "session stream status" 200 st;
+      (match List.rev (List.filter_map sse_event (dechunk raw)) with
+      | (ev, data) :: _ ->
+          check_s "session terminal event" "done" ev;
+          let dj = Result.get_ok (J.of_string data) in
+          check_b "done ok" true (J.bool_field "ok" dj = Some true);
+          check_b "done carries session id" true
+            (J.str_field "session" dj = Some sid)
+      | [] -> Alcotest.fail "session stream produced no frames");
+      (* the stream released the session lock and did not advance the
+         revision history: the first ordinary query is still revision 1 *)
+      let st, j =
+        get_json ~port ~meth:"POST"
+          ~path:("/session/" ^ sid ^ "/query")
+          ~body:(J.to_string (J.Obj [ ("query", J.Str "delete all numbers in every line") ]))
+          ()
+      in
+      check_i "post-stream query" 200 st;
+      let reuse = Option.get (J.member "reuse" j) in
+      check_b "stream did not advance revisions" true
+        (J.int_field "revision" reuse = Some 1))
+
+let test_version_streaming () =
+  with_server (fun srv ->
+      let port = Serve.port srv in
+      let st, j = get_json ~port ~meth:"GET" ~path:"/version" () in
+      check_i "version status" 200 st;
+      match J.member "capabilities" j with
+      | Some (J.Arr caps) ->
+          check_b "streaming advertised" true (List.mem (J.Str "streaming") caps)
+      | _ -> Alcotest.fail "capabilities missing")
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -615,4 +843,11 @@ let suite =
     Alcotest.test_case "pool bounded queue" `Quick test_pool_bounded_queue;
     Alcotest.test_case "pool deadline drop" `Quick test_pool_deadline;
     Alcotest.test_case "e2e loopback service" `Quick test_e2e_synthesize;
+    Alcotest.test_case "e2e sessions" `Quick test_e2e_sessions;
+    Alcotest.test_case "e2e session reload 410" `Quick test_e2e_session_reload_410;
+    Alcotest.test_case "stream rank sse" `Quick test_stream_rank;
+    Alcotest.test_case "stream deadline error frame" `Quick test_stream_deadline;
+    Alcotest.test_case "stream client disconnect" `Quick test_stream_disconnect;
+    Alcotest.test_case "stream session query" `Quick test_stream_session;
+    Alcotest.test_case "version advertises streaming" `Quick test_version_streaming;
   ]

@@ -229,6 +229,7 @@ let outcome code =
     Engine.expr = None;
     code = Some code;
     cgt_size = Some 2;
+    ranked = [];
     time_s = 0.01;
     timed_out = false;
     failure = None;

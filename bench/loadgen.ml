@@ -37,6 +37,7 @@ let engine = ref "dggt"
 let print_metrics = ref false
 let sessions = ref 0
 let warm_store = ref "" (* "" = no store *)
+let shards = ref 0 (* 0 = single in-process server *)
 
 let spec =
   [
@@ -60,6 +61,12 @@ let spec =
       "DIR warm-start store for the in-process server; run twice with the \
        same DIR and the second run serves warm-loaded entries — every \
        answer is still checked against the local baselines" );
+    ( "--shards",
+      Arg.Set_int shards,
+      "N in-process mode boots an N-shard router (worker processes behind \
+       a consistent-hash front) instead of a single server; combines with \
+       --sessions to drive sticky and stateless traffic together, all \
+       still baseline-checked" );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -67,7 +74,7 @@ let spec =
 (* ------------------------------------------------------------------ *)
 
 let connect () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string !host, !port));
   fd
 
@@ -445,44 +452,101 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "loadgen [options]";
   let session_mode = !sessions > 0 in
+  (* --shards composes with --sessions: a sharded run drives sticky
+     (session) and stateless (/synthesize) traffic at the same time,
+     exercising both routing paths through the front router *)
+  let mixed = !shards > 0 && session_mode in
+  let stateless_mode = (not session_mode) || mixed in
   let sitems =
     if session_mode then Array.of_list (build_session_mix ()) else [||]
   in
-  let items = if session_mode then [||] else Array.of_list (build_mix ()) in
+  let items = if stateless_mode then Array.of_list (build_mix ()) else [||] in
   let server =
     if !port = 0 then begin
-      let s =
-        Serve.create
-          {
-            Serve.addr = !host;
-            port = 0;
-            workers = !workers;
-            queue_capacity = !queue;
-            cache_size = !cache_size;
-            default_timeout_s = !timeout_s;
-            trace_buffer = Serve.default_params.Serve.trace_buffer;
-            packs_dir = None;
-            session_ttl_s = Serve.default_params.Serve.session_ttl_s;
-            session_cap = Serve.default_params.Serve.session_cap;
-            store_dir = (if !warm_store = "" then None else Some !warm_store);
-            store_interval_s = Serve.default_params.Serve.store_interval_s;
-          }
-      in
-      port := Serve.port s;
-      Printf.printf "in-process server on port %d\n%!" !port;
-      Some s
+      if !shards > 0 then begin
+        let module Router = Dggt_shard.Router in
+        let exe =
+          let guess =
+            Filename.concat
+              (Filename.dirname (Filename.dirname Sys.executable_name))
+              (Filename.concat "bin" "dggt_cli.exe")
+          in
+          if Filename.is_relative guess then
+            Filename.concat (Sys.getcwd ()) guess
+          else guess
+        in
+        if not (Sys.file_exists exe) then begin
+          Printf.eprintf
+            "loadgen --shards: worker binary %s missing (run: dune build \
+             bin/dggt_cli.exe)\n"
+            exe;
+          exit 2
+        end;
+        let r =
+          Router.create
+            {
+              Router.default_params with
+              Router.addr = !host;
+              port = 0;
+              shards = !shards;
+              exe;
+              worker_args =
+                (if !workers > 0 then
+                   [ "--workers"; string_of_int !workers ]
+                 else [])
+                @ [
+                    "--queue"; string_of_int !queue;
+                    "--cache-size"; string_of_int !cache_size;
+                    "--timeout"; Printf.sprintf "%g" !timeout_s;
+                  ];
+              store_dir =
+                (if !warm_store = "" then None else Some !warm_store);
+              proxy_timeout_s = Float.max 30.0 (!timeout_s *. 2.0);
+            }
+        in
+        port := Router.port r;
+        Printf.printf "in-process %d-shard router on port %d\n%!" !shards
+          !port;
+        Some (`Router r)
+      end
+      else begin
+        let s =
+          Serve.create
+            {
+              Serve.addr = !host;
+              port = 0;
+              unix_socket = None;
+              workers = !workers;
+              queue_capacity = !queue;
+              cache_size = !cache_size;
+              default_timeout_s = !timeout_s;
+              trace_buffer = Serve.default_params.Serve.trace_buffer;
+              packs_dir = None;
+              session_ttl_s = Serve.default_params.Serve.session_ttl_s;
+              session_cap = Serve.default_params.Serve.session_cap;
+              store_dir = (if !warm_store = "" then None else Some !warm_store);
+              store_interval_s = Serve.default_params.Serve.store_interval_s;
+            }
+        in
+        port := Serve.port s;
+        Printf.printf "in-process server on port %d\n%!" !port;
+        Some (`Single s)
+      end
     end
     else None
   in
   let t = tally () in
   let wall0 = Unix.gettimeofday () in
   let threads =
-    if session_mode then
-      List.init !sessions (fun id ->
-          Thread.create (fun () -> session_client_loop t sitems id) ())
-    else
+    (if session_mode then
+       List.init !sessions (fun id ->
+           Thread.create (fun () -> session_client_loop t sitems id) ())
+     else [])
+    @
+    if stateless_mode then
       List.init !clients (fun id ->
           Thread.create (fun () -> client_loop t items id) ())
+    else []
   in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. wall0 in
@@ -491,7 +555,12 @@ let () =
     if session_mode then answered + t.rejected + t.expired + t.gone + t.errors
     else !clients * !requests
   in
-  if session_mode then
+  if mixed then
+    Printf.printf
+      "\n%d outcomes (%d session clients + %d stateless clients, %d \
+       iterations each), %.2f s wall\n"
+      total !sessions !clients !requests wall
+  else if session_mode then
     Printf.printf
       "\n%d session revisions (%d session clients x %d sequences), %.2f s \
        wall\n"
@@ -524,5 +593,8 @@ let () =
     | s, _ -> Printf.printf "GET /metrics -> %d\n" s);
     try Unix.close fd with Unix.Unix_error _ -> ()
   end;
-  (match server with Some s -> Serve.stop s | None -> ());
+  (match server with
+  | Some (`Single s) -> Serve.stop s
+  | Some (`Router r) -> Dggt_shard.Router.stop r
+  | None -> ());
   if t.wrong > 0 then exit 1

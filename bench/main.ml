@@ -934,7 +934,7 @@ module WHist = Dggt_server.Smetrics.Hist
 (* one-shot HTTP/1.1 request over loopback, connection: close *)
 let ws_http ~port ~meth ~path ?(body = "") () =
   let module J = Dggt_server.Jsonio in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -1258,7 +1258,7 @@ let run_warmstart ~timeout_s ~limit () =
    measures. Returns the status and the frames in arrival order with
    seconds-since-send stamps. *)
 let stream_http ~port ~path ~body () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -1581,6 +1581,308 @@ let run_stream ~timeout_s ~limit () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Sharded serving: the 2-shard router vs the single-process server.  *)
+(* Every /rank body, SSE frame sequence (fresh and cache-replayed),   *)
+(* and /synthesize deterministic field set must be byte-identical     *)
+(* across the two topologies; a worker SIGKILLed under load must cost *)
+(* zero failed stateless requests and surface as a respawn in both    *)
+(* /version and the merged /metrics. Divergence exits non-zero.       *)
+(* ------------------------------------------------------------------ *)
+
+module Router = Dggt_shard.Router
+module Sring = Dggt_shard.Ring
+module Ssup = Dggt_shard.Supervisor
+
+(* the dggt binary the router's workers run: resolved relative to this
+   bench executable inside the same _build tree *)
+let worker_exe () =
+  let guess =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "dggt_cli.exe")
+  in
+  if Filename.is_relative guess then Filename.concat (Sys.getcwd ()) guess
+  else guess
+
+let run_shard ~timeout_s ~limit () =
+  hr ();
+  let module J = Dggt_server.Jsonio in
+  let k = 5 in
+  Format.fprintf fmt
+    "Sharded serving: 2-shard router vs the single-process server@.(both \
+     domains, %d queries each; /rank bodies and SSE frame sequences@.must \
+     be byte-identical across the two topologies, and a worker crash@.under \
+     load must cost zero failed stateless requests)@.@."
+    limit;
+  let exe = worker_exe () in
+  if not (Sys.file_exists exe) then begin
+    Format.eprintf
+      "bench shard: worker binary %s missing (run: dune build bin/dggt_cli.exe)@."
+      exe;
+    exit 1
+  end;
+  let failed = ref false in
+  let fail fmt_ =
+    Format.kasprintf
+      (fun s ->
+        failed := true;
+        Format.eprintf "%s@." s)
+      fmt_
+  in
+  let single =
+    Serve.create
+      {
+        Serve.default_params with
+        Serve.port = 0;
+        workers = 2;
+        queue_capacity = 64;
+        cache_size = 512;
+        default_timeout_s = timeout_s;
+      }
+  in
+  let sport = Serve.port single in
+  let router =
+    Router.create
+      {
+        Router.default_params with
+        Router.port = 0;
+        shards = 2;
+        exe;
+        worker_args =
+          [
+            "--workers"; "2"; "--queue"; "64"; "--cache-size"; "512";
+            "--timeout"; Printf.sprintf "%g" timeout_s;
+          ];
+        proxy_timeout_s = Float.max 30.0 (timeout_s *. 2.0);
+      }
+  in
+  let rport = Router.port router in
+  Format.eprintf "  single on port %d, 2-shard router on port %d@." sport rport;
+  let pick (d : Domain.t) =
+    d.Domain.queries
+    |> List.filter (fun (q : Domain.query) -> not q.Domain.hard)
+    |> (fun qs -> List.filteri (fun i _ -> i < limit) qs)
+    |> List.map (fun (q : Domain.query) -> (d.Domain.name, q.Domain.text))
+  in
+  let items = pick Text_editing.domain @ pick Astmatcher.domain in
+  let rank_body (domain, text) =
+    J.to_string
+      (J.Obj
+         [
+           ("query", J.Str text);
+           ("domain", J.Str domain);
+           ("k", J.Num (float_of_int k));
+           ("timeout", J.Num timeout_s);
+         ])
+  in
+  (* ---- identity: every surface, both topologies, byte for byte ---- *)
+  Format.eprintf "  identity pass over %d queries...@." (List.length items);
+  let frames_of fs = List.map snd fs in
+  List.iter
+    (fun ((domain, text) as item) ->
+      let body = rank_body item in
+      (* 1. fresh streams: first contact with this query on both sides,
+         so the full candidate-frame sequence is live engine output *)
+      let st1, f1 = stream_http ~port:sport ~path:"/rank?stream=1" ~body () in
+      let st2, f2 = stream_http ~port:rport ~path:"/rank?stream=1" ~body () in
+      if st1 <> 200 then fail "single stream /rank -> %d for %S" st1 text;
+      if st2 <> 200 then fail "sharded stream /rank -> %d for %S" st2 text;
+      if frames_of f1 <> frames_of f2 then
+        fail
+          "SHARD DIVERGENCE on %S: fresh SSE frame sequences differ (%d vs \
+           %d frames)"
+          text (List.length f1) (List.length f2);
+      (* 2. non-streaming /rank: fresh compute, then cached on both *)
+      let sa, ba = ws_http ~port:sport ~meth:"POST" ~path:"/rank" ~body () in
+      let sb, bb = ws_http ~port:rport ~meth:"POST" ~path:"/rank" ~body () in
+      if sa <> 200 then fail "single /rank -> %d for %S" sa text;
+      if sb <> 200 then fail "sharded /rank -> %d for %S" sb text;
+      if sa = 200 && sb = 200 && ba <> bb then
+        fail "SHARD DIVERGENCE on %S: /rank bodies differ" text;
+      (* 3. replayed streams: the whole-query cache answers both now *)
+      let _, g1 = stream_http ~port:sport ~path:"/rank?stream=1" ~body () in
+      let _, g2 = stream_http ~port:rport ~path:"/rank?stream=1" ~body () in
+      if frames_of g1 <> frames_of g2 then
+        fail "SHARD DIVERGENCE on %S: replayed SSE frame sequences differ"
+          text;
+      (* 4. /synthesize: deterministic fields only (time_s may differ) *)
+      let sbody =
+        J.to_string
+          (J.Obj
+             [
+               ("query", J.Str text);
+               ("domain", J.Str domain);
+               ("timeout", J.Num timeout_s);
+             ])
+      in
+      let sc, bc =
+        ws_http ~port:sport ~meth:"POST" ~path:"/synthesize" ~body:sbody ()
+      in
+      let sd, bd =
+        ws_http ~port:rport ~meth:"POST" ~path:"/synthesize" ~body:sbody ()
+      in
+      if sc <> 200 || sd <> 200 then
+        fail "/synthesize -> %d (single) / %d (sharded) for %S" sc sd text
+      else
+        match (J.of_string bc, J.of_string bd) with
+        | Ok jc, Ok jd -> (
+            match wfields_diff (wfields_of jc) (wfields_of jd) with
+            | [] -> ()
+            | ds ->
+                fail "SHARD DIVERGENCE on %S: /synthesize %s differ" text
+                  (String.concat ", " ds))
+        | Error e, _ | _, Error e ->
+            fail "bad /synthesize JSON for %S: %s" text e)
+    items;
+  (* ---- throughput: cache-hot /rank, same closed loop on both ---- *)
+  let qps ~port ~label =
+    let threads = 4 and per = 40 in
+    let arr = Array.of_list items in
+    let errs = Atomic.make 0 in
+    let run id =
+      for i = 0 to per - 1 do
+        let body = rank_body arr.((id + i) mod Array.length arr) in
+        match ws_http ~port ~meth:"POST" ~path:"/rank" ~body () with
+        | 200, _ -> ()
+        | _ -> Atomic.incr errs
+        | exception _ -> Atomic.incr errs
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let ts = List.init threads (fun id -> Thread.create run id) in
+    List.iter Thread.join ts;
+    let wall = Unix.gettimeofday () -. t0 in
+    if Atomic.get errs > 0 then
+      fail "%s: %d failed requests during the throughput pass" label
+        (Atomic.get errs);
+    float_of_int (threads * per) /. wall
+  in
+  Format.eprintf "  throughput (cache-hot /rank, 4 clients x 40 each)...@.";
+  let single_qps = qps ~port:sport ~label:"single" in
+  let sharded_qps = qps ~port:rport ~label:"sharded" in
+  (* ---- crash under load: SIGKILL the worker serving TextEditing ---- *)
+  Format.eprintf "  crash-under-load: SIGKILL the TextEditing worker...@.";
+  let te_key = String.lowercase_ascii Text_editing.domain.Domain.name in
+  let victim_slot =
+    Option.value (Sring.lookup (Router.ring router) te_key) ~default:0
+  in
+  let victim_pid =
+    match Ssup.find (Router.supervisor router) victim_slot with
+    | Some w -> w.Ssup.pid
+    | None -> -1
+  in
+  if victim_pid < 0 then fail "no live worker behind slot %d" victim_slot;
+  let te_items =
+    Array.of_list
+      (List.filter
+         (fun (d, _) -> d = Text_editing.domain.Domain.name)
+         items)
+  in
+  let stop_clients = Atomic.make false in
+  let crash_failures = Atomic.make 0 and crash_total = Atomic.make 0 in
+  let client id =
+    let i = ref id in
+    while not (Atomic.get stop_clients) do
+      let body = rank_body te_items.(!i mod Array.length te_items) in
+      incr i;
+      (match ws_http ~port:rport ~meth:"POST" ~path:"/rank" ~body () with
+      | 200, _ -> ()
+      | st, _ ->
+          Atomic.incr crash_failures;
+          Format.eprintf "    non-200 (%d) during the crash phase@." st
+      | exception e ->
+          Atomic.incr crash_failures;
+          Format.eprintf "    transport error during the crash phase: %s@."
+            (Printexc.to_string e));
+      Atomic.incr crash_total
+    done
+  in
+  let ts = List.init 4 (fun id -> Thread.create client id) in
+  Thread.delay 0.4;
+  if victim_pid > 0 then (
+    try Unix.kill victim_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  Thread.delay 3.0;
+  Atomic.set stop_clients true;
+  List.iter Thread.join ts;
+  if Atomic.get crash_failures > 0 then
+    fail "worker crash cost %d failed stateless requests (of %d)"
+      (Atomic.get crash_failures) (Atomic.get crash_total);
+  (* the respawn must become visible in the topology and merged metrics *)
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec await () =
+    match Ssup.find (Router.supervisor router) victim_slot with
+    | Some w when w.Ssup.state = Ssup.Healthy && w.Ssup.respawns >= 1 -> true
+    | _ ->
+        if Unix.gettimeofday () >= deadline then false
+        else begin
+          Thread.delay 0.05;
+          await ()
+        end
+  in
+  if not (await ()) then
+    fail "slot %d did not respawn to healthy within 15 s" victim_slot;
+  let respawns =
+    match Ssup.find (Router.supervisor router) victim_slot with
+    | Some w -> w.Ssup.respawns
+    | None -> 0
+  in
+  let metrics = snd (ws_http ~port:rport ~meth:"GET" ~path:"/metrics" ()) in
+  let respawn_line =
+    Printf.sprintf "dggt_shard_respawns_total{shard=\"%d\"}" victim_slot
+  in
+  let reports_respawn =
+    String.split_on_char '\n' metrics
+    |> List.exists (fun l ->
+           String.length l > String.length respawn_line
+           && String.sub l 0 (String.length respawn_line) = respawn_line
+           && String.trim
+                (String.sub l
+                   (String.length respawn_line)
+                   (String.length l - String.length respawn_line))
+              <> "0")
+  in
+  if not reports_respawn then
+    fail "merged /metrics does not report the respawn (%s)" respawn_line;
+  Serve.stop single;
+  Router.stop router;
+  (* ---- report ---- *)
+  Format.fprintf fmt "  %-12s %12s@." "topology" "rank qps";
+  Format.fprintf fmt "  %-12s %12.1f@." "single" single_qps;
+  Format.fprintf fmt "  %-12s %12.1f@." "sharded(2)" sharded_qps;
+  Format.fprintf fmt
+    "  crash: %d stateless requests across the kill, %d failed, slot %d \
+     respawns=%d@.@."
+    (Atomic.get crash_total)
+    (Atomic.get crash_failures)
+    victim_slot respawns;
+  let path = "BENCH_shard.json" in
+  let oc = open_out path in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [
+            ("bench", J.Str "shard");
+            ("shards", J.Num 2.0);
+            ("timeout_s", J.Num timeout_s);
+            ("queries", J.Num (float_of_int (List.length items)));
+            ("single_qps", J.Num single_qps);
+            ("sharded_qps", J.Num sharded_qps);
+            ( "crash",
+              J.Obj
+                [
+                  ("requests", J.Num (float_of_int (Atomic.get crash_total)));
+                  ("failures", J.Num (float_of_int (Atomic.get crash_failures)));
+                  ("victim_slot", J.Num (float_of_int victim_slot));
+                  ("respawns", J.Num (float_of_int respawns));
+                ] );
+            ("identical", J.Bool (not !failed));
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one Test.make per evaluation artifact,   *)
 (* measuring the engine work that artifact exercises.                 *)
 (* ------------------------------------------------------------------ *)
@@ -1697,6 +1999,8 @@ let () =
         run_warmstart ~timeout_s ~limit:(if limit < 0 then 6 else limit) ()
     | "stream" ->
         run_stream ~timeout_s ~limit:(if limit < 0 then 6 else limit) ()
+    | "shard" ->
+        run_shard ~timeout_s ~limit:(if limit < 0 then 4 else limit) ()
     | "smoke" -> run_smoke ~timeout_s ()
     | "micro" -> run_micro ()
     | "all" ->

@@ -430,24 +430,85 @@ let serve_cmd =
             "Seconds between periodic spills to --store (0 spills only on \
              shutdown).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) worker processes behind a consistent-hash router \
+             instead of one in-process server: the router proxies over Unix \
+             sockets, health-checks and respawns workers, fans POST /reload \
+             out, merges GET /metrics and reports the topology in GET \
+             /version. With --store each worker gets its own shard-N \
+             subdirectory. 0 = single-process serving.")
+  in
+  let unix_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix-socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of TCP \
+             (--addr/--port are ignored). This is how the --shards router \
+             runs its workers; it is also usable directly behind any local \
+             reverse proxy.")
+  in
   let run port addr workers queue cache_size timeout trace_buffer packs
-      session_ttl session_cap store store_interval =
-    Serve.run
-      {
-        Serve.addr;
-        port;
-        workers;
-        queue_capacity = queue;
-        cache_size;
-        default_timeout_s = timeout;
-        trace_buffer;
-        packs_dir = packs;
-        session_ttl_s = session_ttl;
-        session_cap;
-        store_dir = store;
-        store_interval_s = store_interval;
-      };
-    `Ok ()
+      session_ttl session_cap store store_interval shards unix_socket =
+    if shards > 0 then begin
+      (* router mode: the workers re-run this same binary with
+         --unix-socket; every per-worker knob the user set travels to
+         them on their command line *)
+      let worker_args =
+        (if workers > 0 then [ "--workers"; string_of_int workers ] else [])
+        @ [
+            "--queue";
+            string_of_int queue;
+            "--cache-size";
+            string_of_int cache_size;
+            "--timeout";
+            Printf.sprintf "%g" timeout;
+            "--trace-buffer";
+            string_of_int trace_buffer;
+            "--session-ttl";
+            Printf.sprintf "%g" session_ttl;
+            "--session-cap";
+            string_of_int session_cap;
+          ]
+        @ (match packs with Some d -> [ "--packs"; d ] | None -> [])
+      in
+      Dggt_shard.Router.run
+        {
+          Dggt_shard.Router.default_params with
+          Dggt_shard.Router.addr;
+          port;
+          shards;
+          exe = Sys.executable_name;
+          worker_args;
+          store_dir = store;
+          proxy_timeout_s = Float.max 30.0 (timeout *. 2.0);
+        };
+      `Ok ()
+    end
+    else begin
+      Serve.run
+        {
+          Serve.addr;
+          port;
+          unix_socket;
+          workers;
+          queue_capacity = queue;
+          cache_size;
+          default_timeout_s = timeout;
+          trace_buffer;
+          packs_dir = packs;
+          session_ttl_s = session_ttl;
+          session_cap;
+          store_dir = store;
+          store_interval_s = store_interval;
+        };
+      `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -455,12 +516,14 @@ let serve_cmd =
          "Run the concurrent HTTP synthesis service (POST /synthesize, POST \
           /rank, POST /reload, POST /session, POST /session/ID/query, \
           DELETE /session/ID, GET /domains, GET /version, GET /metrics, \
-          GET /healthz, GET /debug/trace).")
+          GET /healthz, GET /debug/trace). With --shards N, run N worker \
+          processes behind a consistent-hash router on the same endpoints.")
     Term.(
       ret
         (const run $ port_arg $ addr_arg $ workers_arg $ queue_arg
        $ cache_arg $ serve_timeout_arg $ trace_buffer_arg $ packs_arg
-       $ session_ttl_arg $ session_cap_arg $ store_arg $ store_interval_arg))
+       $ session_ttl_arg $ session_cap_arg $ store_arg $ store_interval_arg
+       $ shards_arg $ unix_socket_arg))
 
 (* --- pack ---------------------------------------------------------- *)
 

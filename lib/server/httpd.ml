@@ -109,6 +109,9 @@ let parse_query s =
 type t = {
   listener : Unix.file_descr;
   bound_port : int;
+  unix_path : string option;
+      (* when set, the listener is a Unix-domain socket at this path; the
+         path is unlinked once the accept loop has been joined *)
   handler : request -> response;
   max_header : int;
   max_body : int;
@@ -322,7 +325,7 @@ let conn_loop t fd =
 let accept_loop t =
   let rec loop () =
     if not (Atomic.get t.stopped) then begin
-      match Unix.accept t.listener with
+      match Unix.accept ~cloexec:true t.listener with
       | fd, _ ->
           Mutex.lock t.mu;
           if Atomic.get t.stopped then begin
@@ -345,11 +348,29 @@ let accept_loop t =
   loop ()
 
 let create ?(addr = "127.0.0.1") ?(backlog = 128) ?(max_header_bytes = 16384)
-    ?(max_body_bytes = 1 lsl 20) ?(idle_timeout_s = 30.0) ~port handler =
+    ?(max_body_bytes = 1 lsl 20) ?(idle_timeout_s = 30.0) ?unix_path ~port
+    handler =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listener Unix.SO_REUSEADDR true;
-  (try Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+  (* cloexec everywhere: the sharding supervisor forks workers from this
+     process, and an inherited listener or connection fd would keep the
+     peer's EOF from ever arriving after we close our copy *)
+  let listener =
+    match unix_path with
+    | None -> Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0
+    | Some _ -> Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  (try Unix.setsockopt listener Unix.SO_REUSEADDR true
+   with Unix.Unix_error _ -> ());
+  (try
+     match unix_path with
+     | None ->
+         Unix.bind listener
+           (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+     | Some path ->
+         (* a stale socket file from a crashed predecessor would make the
+            bind fail; binding over it is what restarts want *)
+         (try Unix.unlink path with Unix.Unix_error _ -> ());
+         Unix.bind listener (Unix.ADDR_UNIX path)
    with e ->
      (try Unix.close listener with Unix.Unix_error _ -> ());
      raise e);
@@ -363,6 +384,7 @@ let create ?(addr = "127.0.0.1") ?(backlog = 128) ?(max_header_bytes = 16384)
     {
       listener;
       bound_port;
+      unix_path;
       handler;
       max_header = max_header_bytes;
       max_body = max_body_bytes;
@@ -403,6 +425,9 @@ let stop t =
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
   (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.unix_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
   Mutex.lock t.mu;
   while t.active > 0 do
     Condition.wait t.conns_done t.mu

@@ -69,14 +69,22 @@ val create :
   ?max_header_bytes:int ->
   ?max_body_bytes:int ->
   ?idle_timeout_s:float ->
+  ?unix_path:string ->
   port:int ->
   (request -> response) ->
   t
 (** Binds, listens and starts the accept thread immediately. [port 0]
     binds an ephemeral port — read it back with {!port}. [addr] defaults to
-    "127.0.0.1". Oversized headers/bodies get [431]/[413]; a connection
-    idle longer than [idle_timeout_s] (default 30 s) is closed. [SIGPIPE]
-    is ignored process-wide so writes to dead peers fail as exceptions. *)
+    "127.0.0.1". With [unix_path] the listener is a {e Unix-domain} socket
+    at that path instead of TCP ([addr]/[port] are ignored, {!port}
+    reports [port] as given): the seam the sharded router's workers listen
+    on. A stale socket file is unlinked before binding, and the path is
+    removed again by {!wait} once the accept loop has exited. Everything
+    else — request parsing, keep-alive, chunked streaming — behaves
+    identically over both transports. Oversized headers/bodies get
+    [431]/[413]; a connection idle longer than [idle_timeout_s] (default
+    30 s) is closed. [SIGPIPE] is ignored process-wide so writes to dead
+    peers fail as exceptions. *)
 
 val port : t -> int
 

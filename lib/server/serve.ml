@@ -12,6 +12,9 @@ let api_version = Wire.api_version
 type params = {
   addr : string;
   port : int;
+  unix_socket : string option;
+      (* listen on a Unix-domain socket at this path instead of TCP —
+         how sharded workers sit behind the front router *)
   workers : int;
   queue_capacity : int;
   cache_size : int;
@@ -28,6 +31,7 @@ let default_params =
   {
     addr = "127.0.0.1";
     port = 8080;
+    unix_socket = None;
     workers = 0;
     queue_capacity = 64;
     cache_size = 512;
@@ -395,6 +399,36 @@ let stream_ranked t ~domain ~engine_label ~query ~t0
                   (Wire.stream_error_json ~status:500 (Printexc.to_string e)))
            with _ -> ()))
 
+(* a whole-query cache hit under [?stream=1]: there is no chart walk to
+   stream, so the outcome is replayed — the cached winner as one
+   [event: candidate] frame (rank 1, revision 1), then the terminal
+   [event: done] whose payload is byte-for-byte the cached non-streaming
+   body ([cached] included). Streams still never {e write} the rank
+   cache; only prior non-streaming requests arm the replay. *)
+let stream_replay t ~domain ~query ~k (cs : Engine.ranked list) =
+  Httpd.stream_response 200 (fun chunk ->
+      Smetrics.observe_stream_replay t.metrics;
+      Smetrics.observe_stream t.metrics
+        ~candidates:(if cs = [] then 0 else 1)
+        ~ttfc_s:None;
+      (match cs with
+      | top :: _ ->
+          chunk
+            (Wire.sse_frame ~event:"candidate"
+               (Wire.candidate_json
+                  {
+                    Engine.rank = 1;
+                    revision = 1;
+                    code = top.Engine.code;
+                    size = top.Engine.size;
+                    coverage = top.Engine.coverage;
+                    score = top.Engine.score;
+                  }))
+      | [] -> ());
+      chunk
+        (Wire.sse_frame ~event:"done"
+           (Wire.rank_json ~domain ~query ~k ~cached:true cs)))
+
 let synthesize_handler t (req : Httpd.request) =
   let t0 = Unix.gettimeofday () in
   match parse_request t req with
@@ -464,9 +498,14 @@ let rank_handler t (req : Httpd.request) =
   | Error msg ->
       observe t ~domain:"-" ~outcome:"bad_request" t0;
       Httpd.response 400 (error_json msg)
-  | Ok p when p.stream ->
+  | Ok p when p.stream -> (
       let domain = p.ds.dom.Dggt_domains.Domain.name in
       let k = if p.k = 1 then 5 else p.k in
+      match Cache.find t.rank_cache (p.ds.gen, domain, p.query, k) with
+      | Some cs ->
+          observe t ~domain ~outcome:"cached" t0;
+          stream_replay t ~domain ~query:p.query ~k cs
+      | None ->
       stream_ranked t ~domain ~engine_label:"dggt" ~query:p.query ~t0
         ~done_frame:(fun o ->
           Wire.rank_json ~domain ~query:p.query ~k ~cached:false
@@ -481,7 +520,7 @@ let rank_handler t (req : Httpd.request) =
           in
           Engine.respond ~on_candidate
             { Engine.cfg; target = p.ds.target }
-            { Engine.input = Engine.Text p.query; mode = Engine.Ranked k })
+            { Engine.input = Engine.Text p.query; mode = Engine.Ranked k }))
   | Ok p -> (
       let domain = p.ds.dom.Dggt_domains.Domain.name in
       let k = if p.k = 1 then 5 else p.k in
@@ -546,8 +585,13 @@ let session_create_handler t (req : Httpd.request) =
                   { Engine.cfg; target = ds.target }
               in
               let domain = ds.dom.Dggt_domains.Domain.name in
+              (* the shard router mints placement-encoding ids and passes
+                 them down; direct clients leave the field out *)
+              let requested_id =
+                match J.str_field "id" body with Some "" -> None | v -> v
+              in
               let id =
-                Sessions.add t.sessions
+                Sessions.add ?id:requested_id t.sessions
                   {
                     smu = Mutex.create ();
                     sdomain = domain;
@@ -1145,7 +1189,9 @@ let create params =
         (dstates t));
   Smetrics.set_sessions_probe metrics (fun () -> Sessions.counters t.sessions);
   let http =
-    Httpd.create ~addr:params.addr ~port:params.port (fun req -> handler t req)
+    Httpd.create ~addr:params.addr ?unix_path:params.unix_socket
+      ~port:params.port
+      (fun req -> handler t req)
   in
   t.http <- Some http;
   t
@@ -1172,10 +1218,12 @@ let run params =
   let t = create params in
   (match t.http with Some h -> Httpd.handle_signals h | None -> ());
   Printf.printf
-    "dggt serve: listening on http://%s:%d (%d workers, queue %d, cache %d, \
+    "dggt serve: listening on %s (%d workers, queue %d, cache %d, \
      %d automata%s)\n\
      %!"
-    params.addr (port t)
+    (match params.unix_socket with
+    | Some path -> "unix:" ^ path
+    | None -> Printf.sprintf "http://%s:%d" params.addr (port t))
     (Deadline_pool.workers t.pool)
     (Deadline_pool.capacity t.pool)
     params.cache_size

@@ -24,9 +24,14 @@
       non-streaming [/rank] body, or one [event: error] frame carrying
       the real status ([504] on deadline expiry mid-stream) since the
       HTTP status already went out as [200]. Streamed requests run on
-      the connection thread (not the worker pool) and bypass the
-      response caches; interim frames are best-effort previews, only
-      the [done] payload is authoritative. [GET /version] advertises
+      the connection thread (not the worker pool); interim frames are
+      best-effort previews, only the [done] payload is authoritative.
+      Streams never {e write} the response caches, but they do read
+      them: when a prior non-streaming [/rank] cached the same
+      (generation, domain, query, k), the stream replays the cached
+      outcome — one [event: candidate] frame (rank 1, revision 1) then
+      [event: done] byte-for-byte the cached body — counted by
+      [dggt_stream_cache_replays_total]. [GET /version] advertises
       ["streaming"] under [capabilities].
     - [GET /domains] — the available domains with aliases, API/query
       counts and origin ([builtin], or [pack] with its directory and
@@ -49,9 +54,12 @@
       registry generation, so they can never be served against a reloaded
       domain of the same name. [400] when the server was started without
       [--packs].
-    - [POST /session] — body [{"domain": s?, "engine": "dggt"|"hisyn"?}];
-      opens an incremental synthesis session ({!Dggt_inc.Session}) against
-      the domain's current generation and answers [201] with its id.
+    - [POST /session] — body [{"domain": s?, "engine": "dggt"|"hisyn"?,
+      "id": s?}]; opens an incremental synthesis session
+      ({!Dggt_inc.Session}) against the domain's current generation and
+      answers [201] with its id — freshly minted, or ["id"] verbatim when
+      the caller supplies one (the shard router mints ids that encode
+      worker placement).
       Sessions live in a TTL + LRU store ({!Sessions}, sized by
       [params.session_ttl_s] / [params.session_cap]).
     - [POST /session/<id>/query] — [{"query": s, "timeout": f?}]; one
@@ -98,6 +106,11 @@
 type params = {
   addr : string;
   port : int;                (** 0 = ephemeral, read back with {!port} *)
+  unix_socket : string option;
+      (** listen on a Unix-domain socket at this path instead of TCP
+          ([addr]/[port] are then ignored) — how sharded workers sit
+          behind the {!Dggt_shard} router; [None] (the default) keeps the
+          TCP listener *)
   workers : int;             (** <= 0 = one per recommended domain count *)
   queue_capacity : int;
   cache_size : int;          (** whole-query LRU entries; per-stage caches

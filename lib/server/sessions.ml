@@ -88,13 +88,23 @@ let drop_tail t now =
     | None -> ()
   end
 
-let add t payload =
+let add ?id t payload =
   locked t (fun () ->
       let now = t.clock () in
+      (* a caller-minted id (the shard router pins placement into its
+         session ids) silently replaces any previous entry under it *)
+      (match id with
+      | Some id -> (
+          match Hashtbl.find_opt t.tbl id with
+          | Some n ->
+              unlink n;
+              Hashtbl.remove t.tbl id
+          | None -> ())
+      | None -> ());
       while Hashtbl.length t.tbl >= max t.cap 0 && Hashtbl.length t.tbl > 0 do
         drop_tail t now
       done;
-      let id = fresh_id t now in
+      let id = match id with Some id -> id | None -> fresh_id t now in
       if t.cap > 0 then begin
         let n =
           {

@@ -31,9 +31,12 @@ val create : ?clock:(unit -> float) -> ttl_s:float -> cap:int -> unit -> 'a t
 (** [clock] defaults to [Unix.gettimeofday]. [cap] ≤ 0 means every [add]
     immediately evicts — effectively a disabled store. *)
 
-val add : 'a t -> 'a -> string
-(** Insert a session, returning its fresh id. Inserting over capacity
-    first drops expired entries, then the least-recently-used live one. *)
+val add : ?id:string -> 'a t -> 'a -> string
+(** Insert a session, returning its id — freshly minted, or [id] verbatim
+    when the caller supplies one (the shard router mints ids that encode
+    worker placement; a supplied id replaces any existing entry under it).
+    Inserting over capacity first drops expired entries, then the
+    least-recently-used live one. *)
 
 val find : 'a t -> string -> [ `Found of 'a | `Expired | `Missing ]
 val remove : 'a t -> string -> bool

@@ -94,6 +94,7 @@ type t = {
      time-to-first-candidate distribution *)
   mutable streams : int;
   mutable stream_candidates : int;
+  mutable stream_replays : int;
   stream_ttfc : Hist.t;
   mutable sessions_probe : (unit -> Sessions.counters) option;
   (* grammar-automaton compilations: count + last compile wall time, per
@@ -127,6 +128,7 @@ let create () =
     inc_computed = 0;
     streams = 0;
     stream_candidates = 0;
+    stream_replays = 0;
     stream_ttfc = Hist.create ();
     sessions_probe = None;
     autom = Hashtbl.create 8;
@@ -197,6 +199,9 @@ let observe_stream t ~candidates ~ttfc_s =
       match ttfc_s with
       | Some s -> Hist.observe t.stream_ttfc s
       | None -> ())
+
+let observe_stream_replay t =
+  locked t (fun () -> t.stream_replays <- t.stream_replays + 1)
 
 let observe_autom_compile t ~domain seconds =
   locked t (fun () ->
@@ -378,6 +383,11 @@ let render t =
            across all streams.";
         line "# TYPE dggt_stream_candidates_total counter";
         line "dggt_stream_candidates_total %d" t.stream_candidates;
+        line
+          "# HELP dggt_stream_cache_replays_total Streams answered by \
+           replaying a cached outcome.";
+        line "# TYPE dggt_stream_cache_replays_total counter";
+        line "dggt_stream_cache_replays_total %d" t.stream_replays;
         line
           "# HELP dggt_stream_ttfc_seconds Time from request start to the \
            first streamed candidate.";

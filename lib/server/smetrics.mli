@@ -74,6 +74,13 @@ val observe_stream : t -> candidates:int -> ttfc_s:float option -> unit
     when the stream ended without emitting a candidate — the TTFC
     histogram only sees streams that produced one). *)
 
+val observe_stream_replay : t -> unit
+(** Record one streamed request answered from the response cache — a
+    replay of the cached outcome as a single candidate frame plus the
+    terminal frame, never a live chart walk. Bumps
+    [dggt_stream_cache_replays_total]; replays are also ordinary streams,
+    so callers pair this with {!observe_stream}. *)
+
 val observe_autom_compile : t -> domain:string -> float -> unit
 (** Record one grammar-automaton compilation for [domain]: bumps
     [dggt_autom_compiles_total{domain}] and sets
@@ -116,6 +123,7 @@ val render : t -> string
     [dggt_store_spills_total], [dggt_store_spill_seconds],
     [dggt_store_log_bytes], [dggt_store_records]), streaming counters
     once a stream has been served ([dggt_streams_total],
-    [dggt_stream_candidates_total], [dggt_stream_ttfc_seconds]
+    [dggt_stream_candidates_total], [dggt_stream_cache_replays_total],
+    [dggt_stream_ttfc_seconds]
     histogram) and incremental-reuse counters ([dggt_inc_queries_total],
     [dggt_inc_splices_total], [dggt_inc_reuse_ratio]). *)

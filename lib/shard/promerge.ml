@@ -1,0 +1,73 @@
+(* Prometheus text manipulation by line shape: '#' starts a comment,
+   anything else is "name[{labels}] value". We only ever feed this our
+   own Smetrics.render output, but the line handling is shape-driven, not
+   name-driven, so pack-added series merge correctly too. *)
+
+let is_comment line = String.length line > 0 && line.[0] = '#'
+
+(* the metric name a "# HELP name ..." / "# TYPE name ..." line is about;
+   None for other comments *)
+let comment_subject line =
+  match String.split_on_char ' ' line with
+  | "#" :: ("HELP" | "TYPE") :: name :: _ -> Some name
+  | _ -> None
+
+let relabel_line ~shard line =
+  let tag = Printf.sprintf "shard=\"%d\"" shard in
+  match String.index_opt line '{' with
+  | Some i ->
+      String.sub line 0 (i + 1)
+      ^ tag ^ ","
+      ^ String.sub line (i + 1) (String.length line - i - 1)
+  | None -> (
+      match String.index_opt line ' ' with
+      | Some i ->
+          String.sub line 0 i
+          ^ "{" ^ tag ^ "}"
+          ^ String.sub line i (String.length line - i)
+      | None -> line (* malformed; pass through untouched *))
+
+let lines s = String.split_on_char '\n' s
+
+let relabel ~shard s =
+  lines s
+  |> List.map (fun line ->
+         if line = "" || is_comment line then line
+         else relabel_line ~shard line)
+  |> String.concat "\n"
+
+let merge scrapes ~extra =
+  let seen = Hashtbl.create 64 in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (shard, text) ->
+      List.iter
+        (fun line ->
+          if line = "" then ()
+          else if is_comment line then begin
+            match comment_subject line with
+            | Some name ->
+                (* HELP and TYPE dedup independently *)
+                let key =
+                  (match String.split_on_char ' ' line with
+                  | _ :: kind :: _ -> kind
+                  | _ -> "")
+                  ^ ":" ^ name
+                in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  Buffer.add_string b line;
+                  Buffer.add_char b '\n'
+                end
+            | None ->
+                Buffer.add_string b line;
+                Buffer.add_char b '\n'
+          end
+          else begin
+            Buffer.add_string b (relabel_line ~shard line);
+            Buffer.add_char b '\n'
+          end)
+        (lines text))
+    scrapes;
+  Buffer.add_string b extra;
+  Buffer.contents b

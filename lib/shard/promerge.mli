@@ -1,0 +1,25 @@
+(** Merging worker [/metrics] scrapes into one Prometheus exposition.
+
+    Merge rules (documented in DESIGN.md §Sharded serving):
+
+    - every {e sample} line gains a [shard="<slot>"] label, so
+      same-named series from different workers never collide and
+      aggregation stays a PromQL [sum by] away;
+    - [# HELP] / [# TYPE] comment lines are kept once per metric name —
+      first worker wins; workers run the same binary, so the texts are
+      identical anyway;
+    - blank lines are dropped; everything else passes through in worker
+      order, followed by the router's own [dggt_shard_*] section
+      verbatim (router series carry their own labels and are never
+      relabeled). *)
+
+val relabel : shard:int -> string -> string
+(** One worker's exposition with [shard="<n>"] injected into every
+    sample line: ["name{a=\"b\"} 1"] becomes
+    ["name{shard=\"n\",a=\"b\"} 1"], and a bare ["name 1"] becomes
+    ["name{shard=\"n\"} 1"]. Comment and blank lines are unchanged. *)
+
+val merge : (int * string) list -> extra:string -> string
+(** [merge scrapes ~extra]: relabeled worker scrapes (pairs of slot and
+    exposition text) concatenated under the dedup rule above, with
+    [extra] appended. *)

@@ -1,0 +1,200 @@
+(* A deliberately small HTTP/1.1 client: request line + headers out,
+   status line + headers in, then either a content-length body or chunked
+   frames. It only ever talks to our own Httpd over a local Unix socket,
+   so the parser handles exactly what Httpd emits (no continuation
+   headers, no trailers). *)
+
+type body = Fixed of string | Stream of ((string -> unit) -> unit)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : body;
+}
+
+let max_line = 16 * 1024
+
+(* read one CRLF-terminated line (returned without the terminator) *)
+let read_line fd =
+  let buf = Buffer.create 64 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > max_line then failwith "header line too long"
+    else
+      match Unix.read fd one 0 1 with
+      | 0 -> failwith "connection closed mid-line"
+      | _ ->
+          let c = Bytes.get one 0 in
+          if c = '\n' then begin
+            let s = Buffer.contents buf in
+            let n = String.length s in
+            if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+          end
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+  in
+  go ()
+
+let read_exactly fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.read fd b !off (n - !off) with
+    | 0 -> failwith "connection closed mid-body"
+    | k -> off := !off + k
+  done;
+  Bytes.unsafe_to_string b
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  let n = Bytes.length b in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let parse_status_line line =
+  (* "HTTP/1.1 200 OK" *)
+  match String.split_on_char ' ' line with
+  | _ :: code :: _ -> (
+      match int_of_string_opt code with
+      | Some c -> c
+      | None -> failwith ("bad status line: " ^ line))
+  | _ -> failwith ("bad status line: " ^ line)
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> failwith ("bad header line: " ^ line)
+  | Some i ->
+      ( String.lowercase_ascii (String.sub line 0 i),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let rec read_headers fd acc =
+  match read_line fd with
+  | "" -> List.rev acc
+  | line -> read_headers fd (parse_header line :: acc)
+
+(* one chunked frame's payload; "" on the terminal zero chunk *)
+let read_chunk fd =
+  let size_line = read_line fd in
+  let size =
+    (* chunk extensions (";...") never appear in our Httpd's output, but
+       strip them anyway *)
+    let s =
+      match String.index_opt size_line ';' with
+      | Some i -> String.sub size_line 0 i
+      | None -> size_line
+    in
+    match int_of_string_opt ("0x" ^ String.trim s) with
+    | Some n when n >= 0 -> n
+    | _ -> failwith ("bad chunk size: " ^ size_line)
+  in
+  if size = 0 then begin
+    (* terminal chunk's trailing CRLF (we never send trailers) *)
+    ignore (read_line fd);
+    None
+  end
+  else begin
+    let payload = read_exactly fd size in
+    (match read_line fd with
+    | "" -> ()
+    | s -> failwith ("missing chunk terminator: " ^ s));
+    Some payload
+  end
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request ~socket ?(timeout_s = 30.0) ?(headers = []) ?body ~meth ~path () =
+  let fd =
+    (* cloexec: a worker forked mid-request must not inherit this fd *)
+    try Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+    with e -> failwith (Printexc.to_string e)
+  in
+  match
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "%s %s HTTP/1.1\r\nhost: dggt-shard\r\n" meth path);
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+      headers;
+    (match body with
+    | Some body ->
+        Buffer.add_string b
+          (Printf.sprintf "content-length: %d\r\n" (String.length body))
+    | None -> ());
+    Buffer.add_string b "connection: close\r\n\r\n";
+    (match body with Some body -> Buffer.add_string b body | None -> ());
+    write_all fd (Buffer.contents b);
+    let status = parse_status_line (read_line fd) in
+    let headers = read_headers fd [] in
+    (status, headers)
+  with
+  | exception e ->
+      (* nothing (or only a partial head) arrived: the retryable case *)
+      close_quietly fd;
+      Error (Printexc.to_string e)
+  | status, headers ->
+      let chunked =
+        match List.assoc_opt "transfer-encoding" headers with
+        | Some te -> String.lowercase_ascii te = "chunked"
+        | None -> false
+      in
+      if chunked then
+        (* hand the open connection to the pump; one emit per frame *)
+        let pump emit =
+          Fun.protect
+            ~finally:(fun () -> close_quietly fd)
+            (fun () ->
+              let rec go () =
+                match read_chunk fd with
+                | Some payload ->
+                    emit payload;
+                    go ()
+                | None -> ()
+              in
+              go ())
+        in
+        Ok { status; headers; body = Stream pump }
+      else begin
+        match
+          let len =
+            match List.assoc_opt "content-length" headers with
+            | Some l -> (
+                match int_of_string_opt (String.trim l) with
+                | Some n when n >= 0 -> n
+                | _ -> failwith ("bad content-length: " ^ l))
+            | None -> 0
+          in
+          read_exactly fd len
+        with
+        | body ->
+            close_quietly fd;
+            Ok { status; headers; body = Fixed body }
+        | exception e ->
+            close_quietly fd;
+            (* the head arrived, so this response is {e not} retryable;
+               surface it as a 502-shaped failure rather than Error *)
+            Ok
+              {
+                status = 502;
+                headers = [ ("content-type", "application/json") ];
+                body =
+                  Fixed
+                    (Printf.sprintf
+                       "{\"error\": \"worker body read failed: %s\"}"
+                       (String.escaped (Printexc.to_string e)));
+              }
+      end
+
+let fixed_body r =
+  match r.body with
+  | Fixed s -> s
+  | Stream pump ->
+      let b = Buffer.create 1024 in
+      pump (Buffer.add_string b);
+      Buffer.contents b

@@ -1,0 +1,55 @@
+(** One-shot HTTP/1.1 client over a Unix-domain socket — the router's
+    side of the worker wire.
+
+    Each call opens a fresh connection, sends one request with
+    [connection: close], and reads one response. No pooling: connects on
+    a local Unix socket are a few microseconds, and one-shot connections
+    make the failure model trivial — a worker crash surfaces as exactly
+    one transport error on exactly the requests it was serving.
+
+    The error/response split is the router's retry contract:
+    [Error _] means the transport failed {e before a complete status
+    line and header block arrived} — nothing was delivered to the
+    client, so a stateless request may safely be retried against the
+    respawned worker. Once a [response] is returned, bytes are
+    attributable to the client and the router must not retry. *)
+
+type body =
+  | Fixed of string
+      (** a [content-length] (or empty) body, fully read; the connection
+          is already closed *)
+  | Stream of ((string -> unit) -> unit)
+      (** a [transfer-encoding: chunked] body, {e not yet read}: the
+          connection stays open until the pump is run. [Stream pump]
+          calls the emit function once per upstream chunk frame — the
+          worker writes one SSE frame per chunk, so frame boundaries
+          survive the proxy — and closes the connection when the
+          terminal chunk arrives (or on any error, which it re-raises).
+          The pump must be run exactly once. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list; (** names lowercased *)
+  body : body;
+}
+
+val request :
+  socket:string ->
+  ?timeout_s:float ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:string ->
+  path:string ->
+  unit ->
+  (response, string) result
+(** [path] is the full request target, query string included.
+    [timeout_s] (default 30) bounds each socket read, not the whole
+    exchange — a streaming response may legitimately take longer than
+    any fixed budget, but a worker that stops mid-frame for [timeout_s]
+    is treated as dead. [body] implies [content-length]; the request
+    always carries [connection: close]. *)
+
+val fixed_body : response -> string
+(** The body of a [Fixed] response; drains a [Stream] into one string
+    (convenience for callers that don't need frame boundaries, e.g. the
+    metrics scraper and the heartbeat). *)

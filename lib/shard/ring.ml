@@ -1,0 +1,62 @@
+(* Classic consistent hashing: every slot drops [replicas] placement
+   points on a 63-bit circle, lookup binary-searches the sorted point
+   array for the successor of the key's hash. MD5 (stdlib Digest) is the
+   point/key hash — not for security, for its even spread; the first 8
+   digest bytes give the position, masked positive so comparisons stay
+   plain int. *)
+
+type t = {
+  n : int;
+  points : (int * int) array; (* (position, slot), sorted by position *)
+}
+
+let hash s =
+  let d = Digest.string s in
+  Int64.to_int
+    (Int64.logand
+       (String.get_int64_be d 0)
+       0x3FFF_FFFF_FFFF_FFFFL)
+
+let make ?(replicas = 64) n =
+  if n <= 0 then { n = 0; points = [||] }
+  else begin
+    let points = Array.make (n * replicas) (0, 0) in
+    for slot = 0 to n - 1 do
+      for r = 0 to replicas - 1 do
+        points.((slot * replicas) + r) <-
+          (hash (Printf.sprintf "slot-%d-point-%d" slot r), slot)
+      done
+    done;
+    (* ties (astronomically unlikely) resolve by slot number, keeping the
+       order deterministic across builds *)
+    Array.sort compare points;
+    { n; points }
+  end
+
+let slots t = t.n
+
+let lookup t key =
+  if t.n = 0 then None
+  else begin
+    let h = hash key in
+    let len = Array.length t.points in
+    (* first index with position >= h, or 0 (wrap) when h is past the
+       last point *)
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+    done;
+    let i = if !lo = len then 0 else !lo in
+    Some (snd t.points.(i))
+  end
+
+let spread t keys =
+  let counts = Array.make (max t.n 1) 0 in
+  List.iter
+    (fun k ->
+      match lookup t k with
+      | Some s -> counts.(s) <- counts.(s) + 1
+      | None -> ())
+    keys;
+  counts

@@ -1,0 +1,33 @@
+(** Consistent-hash ring over worker slots.
+
+    The router keys every request by domain name (stateless) or session
+    uid (sticky), hashes the key onto a circle, and walks clockwise to
+    the first placement point — each slot owns many points ("virtual
+    nodes"), so keys spread evenly and a slot joining or leaving moves
+    only the keys between its points and their predecessors: an expected
+    [K/N] of the keyspace, not a full reshuffle (the property the ring
+    exists for; modular hashing would move almost everything).
+
+    Placement is a pure function of [(slots, replicas)] — no clock, no
+    randomness — so every router instance built with the same shape
+    routes identically, and tests can assert exact placements. *)
+
+type t
+
+val make : ?replicas:int -> int -> t
+(** [make n] is a ring over slots [0 .. n-1]. [replicas] (default 64) is
+    the number of placement points per slot; more points smooth the
+    distribution at the cost of a larger sorted array. [n <= 0] is the
+    empty ring. *)
+
+val slots : t -> int
+
+val lookup : t -> string -> int option
+(** The slot owning [key]: the first placement point at or clockwise
+    after [MD5(key)], wrapping around. [None] only for the empty ring.
+    Total and deterministic. *)
+
+val spread : t -> string list -> int array
+(** Keys-per-slot census for a key list — how the distribution and
+    movement tests observe the ring. [spread t keys].(s) counts the keys
+    that {!lookup} places on slot [s]. *)

@@ -1,0 +1,695 @@
+module Httpd = Dggt_server.Httpd
+module J = Dggt_server.Jsonio
+module Hist = Dggt_server.Smetrics.Hist
+module Strutil = Dggt_util.Strutil
+
+type params = {
+  addr : string;
+  port : int;
+  shards : int;
+  exe : string;
+  worker_args : string list;
+  store_dir : string option;
+  sockets_dir : string option;
+  hb_interval_s : float;
+  proxy_timeout_s : float;
+  retry_window_s : float;
+  ready_timeout_s : float;
+}
+
+let default_params =
+  {
+    addr = "127.0.0.1";
+    port = 8080;
+    shards = 2;
+    exe = "";
+    worker_args = [];
+    store_dir = None;
+    sockets_dir = None;
+    hb_interval_s = 0.5;
+    proxy_timeout_s = 30.0;
+    retry_window_s = 20.0;
+    ready_timeout_s = 60.0;
+  }
+
+(* router-side counters; all under [mu] (the Hist is not self-locking) *)
+type rmetrics = {
+  mu : Mutex.t;
+  requests : (int * string, int ref) Hashtbl.t; (* (slot, status class) *)
+  mutable retries : int;
+  mutable sticky_gone : int;
+  proxy_latency : Hist.t;
+}
+
+type t = {
+  params : params;
+  ring : Ring.t;
+  sup : Supervisor.t;
+  rm : rmetrics;
+  umu : Mutex.t; (* guards the uid counter *)
+  mutable uid_counter : int;
+  mutable http : Httpd.t option;
+}
+
+let api_version = Dggt_server.Wire.api_version
+let error_json = Dggt_server.Wire.error_json
+
+(* ------------------------------------------------------------------ *)
+(* router metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let class_of_status s =
+  if s >= 500 then "5xx"
+  else if s >= 400 then "4xx"
+  else if s >= 300 then "3xx"
+  else "2xx"
+
+let count_request t slot cls =
+  Mutex.lock t.rm.mu;
+  (match Hashtbl.find_opt t.rm.requests (slot, cls) with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.rm.requests (slot, cls) (ref 1));
+  Mutex.unlock t.rm.mu
+
+let count_retry t =
+  Mutex.lock t.rm.mu;
+  t.rm.retries <- t.rm.retries + 1;
+  Mutex.unlock t.rm.mu
+
+let count_sticky_gone t =
+  Mutex.lock t.rm.mu;
+  t.rm.sticky_gone <- t.rm.sticky_gone + 1;
+  Mutex.unlock t.rm.mu
+
+let observe_latency t seconds =
+  Mutex.lock t.rm.mu;
+  Hist.observe t.rm.proxy_latency seconds;
+  Mutex.unlock t.rm.mu
+
+let fmt_float v =
+  if Float.abs v = Float.infinity then "+Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* the router's own exposition — appended after the merged worker
+   scrapes; these series carry their own shard labels *)
+let render_shard_metrics t =
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let ws = Supervisor.workers t.sup in
+  line "# HELP dggt_shard_workers Worker slots behind the router.";
+  line "# TYPE dggt_shard_workers gauge";
+  line "dggt_shard_workers %d" (List.length ws);
+  line "# HELP dggt_shard_worker_up Worker health (1 = heartbeat ok).";
+  line "# TYPE dggt_shard_worker_up gauge";
+  List.iter
+    (fun (w : Supervisor.worker) ->
+      line "dggt_shard_worker_up{shard=\"%d\"} %d" w.Supervisor.slot
+        (if w.Supervisor.state = Supervisor.Healthy then 1 else 0))
+    ws;
+  line "# HELP dggt_shard_respawns_total Worker respawns by the supervisor.";
+  line "# TYPE dggt_shard_respawns_total counter";
+  List.iter
+    (fun (w : Supervisor.worker) ->
+      line "dggt_shard_respawns_total{shard=\"%d\"} %d" w.Supervisor.slot
+        w.Supervisor.respawns)
+    ws;
+  line "# HELP dggt_shard_heartbeat_failures_total Failed worker heartbeats.";
+  line "# TYPE dggt_shard_heartbeat_failures_total counter";
+  List.iter
+    (fun (w : Supervisor.worker) ->
+      line "dggt_shard_heartbeat_failures_total{shard=\"%d\"} %d"
+        w.Supervisor.slot w.Supervisor.hb_failures)
+    ws;
+  Mutex.lock t.rm.mu;
+  let reqs =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.rm.requests []
+    |> List.sort compare
+  in
+  let retries = t.rm.retries and sticky_gone = t.rm.sticky_gone in
+  let buckets = Hist.buckets t.rm.proxy_latency in
+  let lat_sum = Hist.sum t.rm.proxy_latency in
+  let lat_count = Hist.count t.rm.proxy_latency in
+  Mutex.unlock t.rm.mu;
+  line
+    "# HELP dggt_shard_requests_total Proxied requests by worker and status \
+     class.";
+  line "# TYPE dggt_shard_requests_total counter";
+  List.iter
+    (fun ((slot, cls), n) ->
+      line "dggt_shard_requests_total{shard=\"%d\",class=%S} %d" slot cls n)
+    reqs;
+  line
+    "# HELP dggt_shard_retries_total Stateless requests retried after a \
+     transport failure.";
+  line "# TYPE dggt_shard_retries_total counter";
+  line "dggt_shard_retries_total %d" retries;
+  line
+    "# HELP dggt_shard_sticky_gone_total Sticky requests answered 410 because \
+     the session's worker was replaced.";
+  line "# TYPE dggt_shard_sticky_gone_total counter";
+  line "dggt_shard_sticky_gone_total %d" sticky_gone;
+  line "# HELP dggt_shard_proxy_latency_seconds Proxied request latency.";
+  line "# TYPE dggt_shard_proxy_latency_seconds histogram";
+  List.iter
+    (fun (le, cum) ->
+      line "dggt_shard_proxy_latency_seconds_bucket{le=%S} %d" (fmt_float le)
+        cum)
+    buckets;
+  line "dggt_shard_proxy_latency_seconds_sum %s" (fmt_float lat_sum);
+  line "dggt_shard_proxy_latency_seconds_count %d" lat_count;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* request forwarding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let urlencode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+          Buffer.add_char b c
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+(* the worker-side request target: path plus re-encoded query string *)
+let target (req : Httpd.request) =
+  match req.Httpd.query with
+  | [] -> req.Httpd.path
+  | q ->
+      req.Httpd.path ^ "?"
+      ^ String.concat "&"
+          (List.map (fun (k, v) -> urlencode k ^ "=" ^ urlencode v) q)
+
+let content_type_of (headers : (string * string) list) =
+  List.assoc_opt "content-type" headers
+
+(* forward one request to [slot]'s worker. [retryable] requests (the
+   stateless ones) are re-sent across the crash/respawn window as long
+   as the transport failed before any response byte; sticky requests
+   surface the failure immediately (their state died with the worker).
+   A chunked upstream body becomes a chunked downstream response whose
+   producer pumps one chunk per upstream frame — SSE passes through
+   unbuffered. *)
+let forward t ~slot ~retryable ~meth ~path ?body () =
+  let deadline = Unix.gettimeofday () +. t.params.retry_window_s in
+  let rec attempt () =
+    let socket =
+      match Supervisor.find t.sup slot with
+      | Some w -> w.Supervisor.socket
+      | None -> Printf.sprintf "/nonexistent/w%d.sock" slot
+    in
+    let t0 = Unix.gettimeofday () in
+    match
+      Proxy.request ~socket ~timeout_s:t.params.proxy_timeout_s ~meth ~path
+        ?body ()
+    with
+    | Ok resp ->
+        observe_latency t (Unix.gettimeofday () -. t0);
+        count_request t slot (class_of_status resp.Proxy.status);
+        (match resp.Proxy.body with
+        | Proxy.Fixed b ->
+            Httpd.response
+              ?content_type:(content_type_of resp.Proxy.headers)
+              resp.Proxy.status b
+        | Proxy.Stream pump -> Httpd.stream_response resp.Proxy.status pump)
+    | Error msg ->
+        Supervisor.note_transport_failure t.sup slot;
+        count_request t slot "transport_error";
+        if retryable && Unix.gettimeofday () < deadline then begin
+          count_retry t;
+          Thread.delay 0.05;
+          attempt ()
+        end
+        else
+          Httpd.response 502
+            (error_json
+               (Printf.sprintf "worker %d unreachable: %s" slot msg))
+  in
+  attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* routing keys                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* the domain a stateless request targets, lowercased; mirrors the
+   worker's own parameter carriage (GET: query string, POST: JSON body)
+   and its "textediting" default *)
+let domain_key (req : Httpd.request) =
+  let named =
+    match List.assoc_opt "domain" req.Httpd.query with
+    | Some d -> Some d
+    | None -> (
+        if req.Httpd.body = "" then None
+        else
+          match J.of_string req.Httpd.body with
+          | Ok b -> J.str_field "domain" b
+          | Error _ -> None)
+  in
+  Strutil.lowercase (Option.value named ~default:"textediting")
+
+let first_healthy_slot t =
+  match
+    List.find_opt
+      (fun (w : Supervisor.worker) -> w.Supervisor.state = Supervisor.Healthy)
+      (Supervisor.workers t.sup)
+  with
+  | Some w -> w.Supervisor.slot
+  | None -> 0
+
+(* which worker serves a stateless request: /synthesize and /rank hash
+   their domain (cache affinity); everything else is replicated state,
+   any healthy worker will do *)
+let stateless_slot t (req : Httpd.request) =
+  match req.Httpd.path with
+  | "/synthesize" | "/rank" ->
+      Option.value (Ring.lookup t.ring (domain_key req)) ~default:0
+  | _ -> first_healthy_slot t
+
+(* ------------------------------------------------------------------ *)
+(* sticky sessions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* "<uid>.w<slot>e<epoch>" <-> (uid, slot, epoch) *)
+let parse_placement id =
+  match String.rindex_opt id '.' with
+  | None -> None
+  | Some i -> (
+      let suffix = String.sub id (i + 1) (String.length id - i - 1) in
+      if String.length suffix < 4 || suffix.[0] <> 'w' then None
+      else
+        match String.index_opt suffix 'e' with
+        | None -> None
+        | Some j -> (
+            match
+              ( int_of_string_opt (String.sub suffix 1 (j - 1)),
+                int_of_string_opt
+                  (String.sub suffix (j + 1) (String.length suffix - j - 1))
+              )
+            with
+            | Some slot, Some epoch when slot >= 0 && epoch >= 1 ->
+                Some (slot, epoch)
+            | _ -> None))
+
+let mint_uid t =
+  Mutex.lock t.umu;
+  let n = t.uid_counter in
+  t.uid_counter <- n + 1;
+  Mutex.unlock t.umu;
+  Printf.sprintf "u%x-%06x" n
+    (int_of_float (Unix.gettimeofday () *. 1000.) land 0xffffff)
+
+(* POST /session: mint the uid, place it on the ring, pin the owning
+   worker's current epoch into the id, and have the worker create the
+   session under exactly that id. The id is (re)built inside the retry
+   loop: if the worker dies between placement and creation, the retry
+   pins the respawned epoch. *)
+let session_create_handler t (req : Httpd.request) =
+  match
+    J.of_string (if req.Httpd.body = "" then "{}" else req.Httpd.body)
+  with
+  | Error e -> Httpd.response 400 (error_json e)
+  | Ok (J.Obj fields) ->
+      let uid = mint_uid t in
+      let slot = Option.value (Ring.lookup t.ring uid) ~default:0 in
+      let deadline = Unix.gettimeofday () +. t.params.retry_window_s in
+      let rec attempt () =
+        let w = Supervisor.find t.sup slot in
+        let epoch, socket =
+          match w with
+          | Some w -> (w.Supervisor.epoch, w.Supervisor.socket)
+          | None -> (1, Printf.sprintf "/nonexistent/w%d.sock" slot)
+        in
+        let id = Printf.sprintf "%s.w%de%d" uid slot epoch in
+        let body =
+          J.to_string
+            (J.Obj
+               (List.filter (fun (k, _) -> k <> "id") fields
+               @ [ ("id", J.Str id) ]))
+        in
+        let t0 = Unix.gettimeofday () in
+        match
+          Proxy.request ~socket ~timeout_s:t.params.proxy_timeout_s
+            ~meth:"POST" ~path:"/session" ~body ()
+        with
+        | Ok resp ->
+            observe_latency t (Unix.gettimeofday () -. t0);
+            count_request t slot (class_of_status resp.Proxy.status);
+            Httpd.response
+              ?content_type:(content_type_of resp.Proxy.headers)
+              resp.Proxy.status (Proxy.fixed_body resp)
+        | Error msg ->
+            Supervisor.note_transport_failure t.sup slot;
+            count_request t slot "transport_error";
+            if Unix.gettimeofday () < deadline then begin
+              count_retry t;
+              Thread.delay 0.05;
+              attempt ()
+            end
+            else
+              Httpd.response 502
+                (error_json
+                   (Printf.sprintf "worker %d unreachable: %s" slot msg))
+      in
+      attempt ()
+  | Ok _ -> Httpd.response 400 (error_json "request body must be an object")
+
+(* /session/<id>[/query]: the id itself says where to go. An epoch
+   mismatch means the owning worker was replaced since the session was
+   created — its state is gone, and unlike the stateless paths this is
+   not retryable: 410, mirroring the single-process server's
+   reload-stranded sessions. Ids without our suffix (created before a
+   router sat in front, or hand-made) fall back to hashing the whole id:
+   stable routing, but no replacement detection. *)
+let sticky_handler t (req : Httpd.request) id =
+  match parse_placement id with
+  | Some (slot, epoch) when slot < t.params.shards -> (
+      match Supervisor.find t.sup slot with
+      | Some w when w.Supervisor.epoch <> epoch ->
+          count_sticky_gone t;
+          Httpd.response 410
+            (error_json
+               "session lost: its worker was replaced (create a new session)")
+      | _ ->
+          forward t ~slot ~retryable:false ~meth:req.Httpd.meth
+            ~path:(target req) ~body:req.Httpd.body ())
+  | _ ->
+      let slot = Option.value (Ring.lookup t.ring id) ~default:0 in
+      forward t ~slot ~retryable:false ~meth:req.Httpd.meth
+        ~path:(target req) ~body:req.Httpd.body ()
+
+(* ------------------------------------------------------------------ *)
+(* fan-out endpoints                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* scrape every worker; workers that fail to answer are skipped (their
+   series simply age out downstream) but noted as a comment *)
+let metrics_handler t =
+  let scrapes =
+    List.filter_map
+      (fun (w : Supervisor.worker) ->
+        match
+          Proxy.request ~socket:w.Supervisor.socket
+            ~timeout_s:t.params.proxy_timeout_s ~meth:"GET" ~path:"/metrics"
+            ()
+        with
+        | Ok resp when resp.Proxy.status = 200 ->
+            Some (w.Supervisor.slot, Proxy.fixed_body resp)
+        | Ok resp ->
+            ignore (Proxy.fixed_body resp);
+            None
+        | Error _ -> None)
+      (Supervisor.workers t.sup)
+  in
+  Httpd.response ~content_type:"text/plain; version=0.0.4" 200
+    (Promerge.merge scrapes ~extra:(render_shard_metrics t))
+
+let reload_handler t =
+  let results =
+    List.map
+      (fun (w : Supervisor.worker) ->
+        match
+          Proxy.request ~socket:w.Supervisor.socket
+            ~timeout_s:t.params.proxy_timeout_s ~meth:"POST" ~path:"/reload"
+            ~body:"" ()
+        with
+        | Ok resp ->
+            let body = Proxy.fixed_body resp in
+            let payload =
+              match J.of_string body with Ok v -> v | Error _ -> J.Str body
+            in
+            (w.Supervisor.slot, resp.Proxy.status, payload)
+        | Error msg ->
+            (w.Supervisor.slot, 502, J.Obj [ ("error", J.Str msg) ]))
+      (Supervisor.workers t.sup)
+  in
+  let all_ok = List.for_all (fun (_, status, _) -> status = 200) results in
+  Httpd.response
+    (if all_ok then 200 else 502)
+    (J.to_string
+       (J.Obj
+          [
+            ("v", J.Num (float_of_int api_version));
+            ("ok", J.Bool all_ok);
+            ( "shards",
+              J.Arr
+                (List.map
+                   (fun (slot, status, payload) ->
+                     J.Obj
+                       [
+                         ("shard", J.Num (float_of_int slot));
+                         ("status", J.Num (float_of_int status));
+                         ("response", payload);
+                       ])
+                   results) );
+          ]))
+
+let state_str = function
+  | Supervisor.Starting -> "starting"
+  | Supervisor.Healthy -> "healthy"
+  | Supervisor.Backoff -> "backoff"
+  | Supervisor.Stopped -> "stopped"
+
+(* shard topology: the supervisor's view of each slot, enriched with the
+   worker's own /version answer (build, generation, pack digest) when it
+   is reachable. Pack digests are the reload-consistency check: after a
+   partially-failed /reload fan-out, workers can diverge — the router
+   flags that rather than hiding it. *)
+let version_handler t =
+  let ws =
+    List.map
+      (fun (w : Supervisor.worker) ->
+        let remote =
+          match
+            Proxy.request ~socket:w.Supervisor.socket
+              ~timeout_s:t.params.proxy_timeout_s ~meth:"GET" ~path:"/version"
+              ()
+          with
+          | Ok resp when resp.Proxy.status = 200 -> (
+              match J.of_string (Proxy.fixed_body resp) with
+              | Ok v -> Some v
+              | Error _ -> None)
+          | Ok resp ->
+              ignore (Proxy.fixed_body resp);
+              None
+          | Error _ -> None
+        in
+        (w, remote))
+      (Supervisor.workers t.sup)
+  in
+  let digests =
+    List.filter_map
+      (fun (_, remote) -> Option.bind remote (J.str_field "pack_digest"))
+      ws
+  in
+  let mismatch =
+    match digests with
+    | [] -> false
+    | d :: rest -> List.exists (fun d' -> d' <> d) rest
+  in
+  Httpd.response 200
+    (J.to_string
+       (J.Obj
+          [
+            ("v", J.Num (float_of_int api_version));
+            ("role", J.Str "router");
+            ("shards", J.Num (float_of_int t.params.shards));
+            ("pack_digest_mismatch", J.Bool mismatch);
+            ( "workers",
+              J.Arr
+                (List.map
+                   (fun ((w : Supervisor.worker), remote) ->
+                     let remote_fields =
+                       match remote with
+                       | None -> []
+                       | Some v ->
+                           List.filter_map
+                             (fun key ->
+                               Option.map
+                                 (fun s -> (key, J.Str s))
+                                 (J.str_field key v))
+                             [ "build"; "pack_digest" ]
+                           @
+                           (match J.num_field "generation" v with
+                           | Some g -> [ ("generation", J.Num g) ]
+                           | None -> [])
+                     in
+                     J.Obj
+                       ([
+                          ("shard", J.Num (float_of_int w.Supervisor.slot));
+                          ("pid", J.Num (float_of_int w.Supervisor.pid));
+                          ("epoch", J.Num (float_of_int w.Supervisor.epoch));
+                          ("state", J.Str (state_str w.Supervisor.state));
+                          ( "respawns",
+                            J.Num (float_of_int w.Supervisor.respawns) );
+                          ( "heartbeat_failures",
+                            J.Num (float_of_int w.Supervisor.hb_failures) );
+                          ("socket", J.Str w.Supervisor.socket);
+                        ]
+                       @ remote_fields))
+                   ws) );
+          ]))
+
+let healthz_handler t =
+  let ws = Supervisor.workers t.sup in
+  let healthy =
+    List.length
+      (List.filter
+         (fun (w : Supervisor.worker) ->
+           w.Supervisor.state = Supervisor.Healthy)
+         ws)
+  in
+  Httpd.response 200
+    (J.to_string
+       (J.Obj
+          [
+            ("status", J.Str (if healthy > 0 then "ok" else "degraded"));
+            ("role", J.Str "router");
+            ("workers", J.Num (float_of_int (List.length ws)));
+            ("healthy", J.Num (float_of_int healthy));
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let session_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "session"; id ] when id <> "" -> Some id
+  | [ ""; "session"; id; "query" ] when id <> "" -> Some id
+  | _ -> None
+
+let handler t (req : Httpd.request) =
+  match (req.Httpd.meth, req.Httpd.path) with
+  | "GET", "/healthz" -> healthz_handler t
+  | "GET", "/metrics" -> metrics_handler t
+  | "GET", "/version" -> version_handler t
+  | "POST", "/reload" -> reload_handler t
+  | "POST", "/session" -> session_create_handler t req
+  | meth, path -> (
+      match session_path path with
+      | Some id -> sticky_handler t req id
+      | None ->
+          let slot = stateless_slot t req in
+          forward t ~slot ~retryable:(meth <> "DELETE") ~meth
+            ~path:(target req) ~body:req.Httpd.body ())
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir = "/" || dir = "." || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let dir_counter = Atomic.make 0
+
+let fresh_sockets_dir () =
+  (* socket paths must stay under the 108-byte sun_path limit, so the
+     directory name is kept short *)
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dggt-sh-%d-%d" (Unix.getpid ())
+       (Atomic.fetch_and_add dir_counter 1))
+
+let create params =
+  if params.shards <= 0 then invalid_arg "Router.create: shards must be > 0";
+  if params.exe = "" then invalid_arg "Router.create: exe must be set";
+  let sockets_dir =
+    match params.sockets_dir with
+    | Some d -> d
+    | None -> fresh_sockets_dir ()
+  in
+  let argv ~slot ~socket =
+    let store_args =
+      match params.store_dir with
+      | None -> []
+      | Some root ->
+          let dir = Filename.concat root (Printf.sprintf "shard-%d" slot) in
+          mkdir_p dir;
+          [ "--store"; dir ]
+    in
+    Array.of_list
+      ((params.exe :: "serve" :: "--unix-socket" :: socket
+       :: params.worker_args)
+      @ store_args)
+  in
+  let sup =
+    Supervisor.start
+      {
+        Supervisor.default_params with
+        Supervisor.shards = params.shards;
+        sockets_dir;
+        argv;
+        hb_interval_s = params.hb_interval_s;
+      }
+  in
+  let t =
+    {
+      params;
+      ring = Ring.make params.shards;
+      sup;
+      rm =
+        {
+          mu = Mutex.create ();
+          requests = Hashtbl.create 16;
+          retries = 0;
+          sticky_gone = 0;
+          proxy_latency = Hist.create ();
+        };
+      umu = Mutex.create ();
+      uid_counter = 0;
+      http = None;
+    }
+  in
+  let http =
+    Httpd.create ~addr:params.addr ~port:params.port (fun req -> handler t req)
+  in
+  t.http <- Some http;
+  if params.ready_timeout_s > 0.0 then
+    ignore (Supervisor.await_healthy sup ~timeout_s:params.ready_timeout_s);
+  t
+
+let port t = match t.http with Some h -> Httpd.port h | None -> t.params.port
+let supervisor t = t.sup
+let ring t = t.ring
+
+let stop t =
+  (match t.http with
+  | Some h ->
+      Httpd.stop h;
+      Httpd.wait h
+  | None -> ());
+  Supervisor.stop t.sup
+
+let wait t =
+  (match t.http with Some h -> Httpd.wait h | None -> ());
+  Supervisor.stop t.sup
+
+let run params =
+  let t = create params in
+  (match t.http with Some h -> Httpd.handle_signals h | None -> ());
+  Printf.printf
+    "dggt serve: router on http://%s:%d, %d shard workers (sockets in %s%s)\n%!"
+    params.addr (port t) params.shards
+    (match Supervisor.workers t.sup with
+    | w :: _ -> Filename.dirname w.Supervisor.socket
+    | [] -> "?")
+    (match params.store_dir with
+    | Some d -> Printf.sprintf ", store %s" d
+    | None -> "");
+  wait t;
+  Printf.printf "dggt serve: router shut down cleanly\n%!"

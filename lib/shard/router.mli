@@ -1,0 +1,97 @@
+(** The front router: one client-facing HTTP port, N worker processes.
+
+    [dggt serve --shards N] runs this instead of a single in-process
+    server. The router owns a {!Supervisor} (spawn / heartbeat / respawn
+    / drain of N [dggt serve --unix-socket] children) and proxies every
+    client request over the worker's Unix socket, choosing the worker by
+    a consistent-hash {!Ring}:
+
+    - {e stateless} requests ([/synthesize], [/rank]) hash the request's
+      {e domain name}, so each domain's whole-query and stage caches
+      concentrate on one worker instead of being diluted N ways;
+      [/domains] and [/debug/trace] go to the first healthy worker (all
+      workers answer identically). A transport failure {e before any
+      response byte} is retried against the (re)spawned worker for up to
+      the retry window — a worker crash under load costs latency, never
+      a failed stateless request;
+    - {e sticky} requests ([/session/...]) ride the placement baked into
+      the session id. The router mints every session id as
+      [<uid>.w<slot>e<epoch>]: the ring places the fresh [uid], and the
+      suffix pins the slot and the worker epoch it was created under
+      ({!Supervisor} increments the epoch on every respawn). Sticky
+      requests are never retried across a replacement — the session's
+      in-memory state died with the worker — and an epoch mismatch
+      answers [410 Gone] so typing clients re-create, exactly like the
+      single-process server's reload-stranded sessions;
+    - [POST /reload] fans out to every worker and reports per-shard
+      results; [GET /metrics] scrapes every worker and merges the
+      expositions ({!Promerge}: [shard="<n>"] on every sample, HELP/TYPE
+      deduped) plus the router's own [dggt_shard_*] series (per-worker
+      request counts by status class, respawns, heartbeat failures,
+      retries, sticky 410s, proxy latency histogram); [GET /version]
+      reports the shard topology — worker count, pids, epochs, states,
+      per-worker pack digests — and flags digest mismatches between
+      workers; [GET /healthz] is the router's own liveness.
+
+    Streamed responses ([?stream=1] SSE) pass through chunk-by-chunk:
+    the worker writes one SSE frame per chunk and the router re-emits
+    each chunk as it arrives ({!Proxy.Stream}), so frame boundaries and
+    pacing survive and nothing is buffered. *)
+
+type params = {
+  addr : string;
+  port : int;                  (** 0 = ephemeral, read back with {!port} *)
+  shards : int;
+  exe : string;                (** worker executable (the dggt binary);
+                                   workers run
+                                   [exe serve --unix-socket <sock> <worker_args>] *)
+  worker_args : string list;   (** extra argv for every worker (pool size,
+                                   cache size, --packs, ...) *)
+  store_dir : string option;   (** warm-start root: worker [i] gets
+                                   [--store <dir>/shard-<i>], so each
+                                   worker's spills stay its own and PR 8
+                                   warm boots compose with sharding *)
+  sockets_dir : string option; (** where the worker sockets live;
+                                   [None] = a fresh per-router directory
+                                   under the system temp dir *)
+  hb_interval_s : float;       (** supervisor heartbeat period *)
+  proxy_timeout_s : float;     (** per-read timeout on proxied requests *)
+  retry_window_s : float;      (** how long a stateless request keeps
+                                   retrying across a crash/respawn before
+                                   giving up with 502 *)
+  ready_timeout_s : float;     (** how long {!create} waits for all
+                                   workers' first heartbeat; 0 = don't
+                                   wait (the retry window covers
+                                   stragglers) *)
+}
+
+val default_params : params
+(** 127.0.0.1:8080, 2 shards, [exe] unset (callers pass the dggt
+    binary, usually [Sys.executable_name]), no store, temp sockets,
+    heartbeat 0.5 s, proxy timeout 30 s, retry window 20 s, ready
+    timeout 60 s. *)
+
+type t
+
+val create : params -> t
+(** Spawn the workers, bind the client port, and (per
+    [ready_timeout_s]) wait for the fleet's first heartbeats. Raises
+    [Invalid_argument] on [shards <= 0] or an empty [exe]. *)
+
+val port : t -> int
+val supervisor : t -> Supervisor.t
+val ring : t -> Ring.t
+
+val stop : t -> unit
+(** Drain: stop accepting, finish in-flight proxied requests, then
+    {!Supervisor.stop} the workers (SIGTERM, grace, SIGKILL). Blocks;
+    idempotent. *)
+
+val wait : t -> unit
+(** Block until the router has been stopped ({!stop} or a signal wired
+    via [Httpd.handle_signals]), then stop the workers. *)
+
+val run : params -> unit
+(** CLI entry point: {!create}, install SIGINT/SIGTERM handlers (SIGTERM
+    drains gracefully), print the topology, serve until a signal
+    arrives, shut the fleet down cleanly. *)

@@ -1,0 +1,93 @@
+(** Worker process supervision for the shard router.
+
+    Owns N worker slots. Each slot runs one [dggt serve --unix-socket]
+    child process on a fixed socket path; the supervisor spawns them,
+    heartbeats them ([GET /version] over the socket), reaps and respawns
+    crashed ones with bounded exponential backoff, and tears everything
+    down on {!stop} (SIGTERM, a drain grace, then SIGKILL stragglers).
+
+    Epochs are the sticky-routing contract: every (re)spawn of a slot
+    increments its epoch, and the router bakes [(slot, epoch)] into the
+    session ids it mints — so a session whose worker died is detected by
+    a plain epoch comparison, no session table needed ({!Router}
+    answers 410 on mismatch, because the worker's in-memory session
+    state died with the process).
+
+    Failure detection is two-pronged: [waitpid WNOHANG] on each child
+    pid catches real exits within a monitor tick, and the heartbeat
+    catches livelocked workers — [hb_tolerance] consecutive failed
+    heartbeats kill (SIGKILL) and respawn the worker. The monitor only
+    ever waits on its own child pids, so it cannot steal exit statuses
+    from unrelated children of the process (e.g. in-process test
+    harnesses that also fork). *)
+
+type state =
+  | Starting  (** spawned, no successful heartbeat yet *)
+  | Healthy
+  | Backoff   (** dead, waiting out the respawn backoff *)
+  | Stopped   (** supervisor is shutting down *)
+
+type worker = {
+  slot : int;
+  pid : int;           (** current child pid; [-1] while in backoff *)
+  epoch : int;         (** increments on every (re)spawn, from 1 *)
+  state : state;
+  respawns : int;      (** respawns so far (first spawn not counted) *)
+  hb_failures : int;   (** cumulative failed heartbeats *)
+  socket : string;     (** the slot's Unix-socket path (stable) *)
+}
+
+type params = {
+  shards : int;
+  sockets_dir : string;        (** created if missing; socket paths are
+                                   [<dir>/w<slot>.sock] *)
+  argv : slot:int -> socket:string -> string array;
+      (** the worker command line for a slot; [argv.(0)] is the
+          executable path *)
+  hb_interval_s : float;       (** heartbeat period (default 0.5) *)
+  hb_timeout_s : float;        (** per-heartbeat socket timeout (2.0) *)
+  hb_tolerance : int;          (** consecutive failures before the
+                                   worker is killed and respawned (3);
+                                   a [Starting] worker is exempt — boot
+                                   (automaton compiles, store replay)
+                                   may legitimately outlast several
+                                   heartbeat periods *)
+  backoff_base_s : float;      (** first respawn delay (0.1) *)
+  backoff_cap_s : float;       (** backoff ceiling (5.0); the delay
+                                   doubles per consecutive death and
+                                   resets once a respawned worker
+                                   reaches [Healthy] *)
+}
+
+val default_params : params
+(** 2 shards under [/tmp], [argv] unset (raises — callers always supply
+    it), heartbeat 0.5 s / 2 s / tolerance 3, backoff 0.1 s doubling to
+    5 s. *)
+
+type t
+
+val start : params -> t
+(** Spawn every slot's worker and the monitor thread. Returns
+    immediately; workers come up asynchronously (poll {!workers} or
+    {!await_healthy}). *)
+
+val workers : t -> worker list
+(** Snapshot of all slots, in slot order. *)
+
+val find : t -> int -> worker option
+(** Snapshot of one slot. *)
+
+val await_healthy : t -> timeout_s:float -> bool
+(** Block until every slot is [Healthy] (true) or the timeout passes
+    (false — some slots may still be starting; the router serves from
+    whatever is healthy). *)
+
+val note_transport_failure : t -> int -> unit
+(** The router failed to reach this slot's socket. Wakes the monitor to
+    heartbeat it immediately instead of waiting out the interval,
+    shortening the crash-to-respawn window under load. *)
+
+val stop : ?grace_s:float -> t -> unit
+(** Drain: SIGTERM every live worker, wait up to [grace_s] (default 5)
+    for clean exits, SIGKILL the rest, reap everything, join the
+    monitor, unlink the sockets. Idempotent. *)

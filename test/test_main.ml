@@ -16,6 +16,7 @@ let () =
       ("pack", Test_pack.suite);
       ("store", Test_store.suite);
       ("par", Test_par.suite);
+      ("shard", Test_shard.suite);
       ("properties", Test_props.suite);
       ("semiring", Test_semiring.suite);
       ("stress", Test_stress.suite);

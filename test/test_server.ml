@@ -283,7 +283,7 @@ let test_pool_deadline () =
 
 (* one-shot HTTP client: Connection: close, read to EOF *)
 let http ~port ~meth ~path ?(body = "") () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -702,7 +702,14 @@ let test_stream_rank () =
       let st, plain = http ~port ~meth:"POST" ~path:"/rank" ~body:reqbody () in
       check_i "plain rank status" 200 st;
       check_s "done frame = non-streaming body" plain done_body;
-      (* GET with URL-carried parameters streams the same bytes *)
+      (* the plain /rank above populated the whole-query cache, so a
+         GET stream of the same query is a replay: exactly one candidate
+         frame (the winner) and a done frame carrying the cached body *)
+      let st, cached_plain = http ~port ~meth:"POST" ~path:"/rank" ~body:reqbody () in
+      check_i "cached rank status" 200 st;
+      check_b "plain rank now cached" true
+        (J.bool_field "cached" (Result.get_ok (J.of_string cached_plain))
+        = Some true);
       let st, raw2 =
         http ~port ~meth:"GET"
           ~path:
@@ -710,11 +717,22 @@ let test_stream_rank () =
           ()
       in
       check_i "GET stream status" 200 st;
-      (match List.rev (List.filter_map sse_event (dechunk raw2)) with
-      | (ev, body2) :: _ ->
-          check_s "GET terminal event" "done" ev;
-          check_s "GET done frame identical" done_body body2
-      | [] -> Alcotest.fail "GET stream produced no frames"))
+      (match List.filter_map sse_event (dechunk raw2) with
+      | [ (ev1, cand); (ev2, body2) ] ->
+          check_s "replay first event" "candidate" ev1;
+          let cj = Result.get_ok (J.of_string cand) in
+          check_b "replay candidate is rank 1" true
+            (J.int_field "rank" cj = Some 1);
+          check_s "replay terminal event" "done" ev2;
+          check_s "replay done frame = cached body" cached_plain body2
+      | evs ->
+          Alcotest.failf "replay stream produced %d frames (want 2)"
+            (List.length evs));
+      (* the replay is counted in /metrics *)
+      let _, metrics = http ~port ~meth:"GET" ~path:"/metrics" () in
+      check_b "replay counter exported" true
+        (Dggt_util.Strutil.contains_sub
+           ~sub:"dggt_stream_cache_replays_total 1" metrics))
 
 let test_stream_deadline () =
   with_server (fun srv ->
@@ -757,7 +775,7 @@ let test_stream_disconnect () =
              ])
       in
       (* hang up mid-stream: read only the response head, then close *)
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
       let req =
         Printf.sprintf

@@ -1,0 +1,289 @@
+(* lib/shard: the consistent-hash ring, the metrics merger, and an
+   end-to-end pass over a live router with real worker processes. *)
+
+module Ring = Dggt_shard.Ring
+module Promerge = Dggt_shard.Promerge
+module Router = Dggt_shard.Router
+module Supervisor = Dggt_shard.Supervisor
+module J = Dggt_server.Jsonio
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let keys n = List.init n (Printf.sprintf "key-%d")
+
+(* ------------------------------------------------------------------ *)
+(* ring                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_deterministic () =
+  let r1 = Ring.make 4 and r2 = Ring.make 4 in
+  check_i "slots" 4 (Ring.slots r1);
+  List.iter
+    (fun k ->
+      let a = Ring.lookup r1 k in
+      check_b "total" true (a <> None);
+      check_b "same ring, same key, same slot" true (a = Ring.lookup r1 k);
+      check_b "identically built rings route identically" true
+        (a = Ring.lookup r2 k))
+    (keys 200);
+  (* spread is just a census of lookup *)
+  let ks = keys 200 in
+  let census = Ring.spread r1 ks in
+  check_i "census total" 200 (Array.fold_left ( + ) 0 census);
+  check_i "census width" 4 (Array.length census);
+  (* the empty ring maps nothing *)
+  check_b "empty ring" true (Ring.lookup (Ring.make 0) "x" = None)
+
+let test_ring_distribution () =
+  let n = 4 and total = 1000 in
+  let census = Ring.spread (Ring.make n) (keys total) in
+  Array.iteri
+    (fun slot c ->
+      if c < total / n / 3 then
+        Alcotest.failf "slot %d owns only %d of %d keys" slot c total)
+    census
+
+(* a slot joining moves only the keys it takes over — every moved key
+   lands on the new slot, and the count stays near K/N (the consistent
+   hashing contract; reading the comparison right-to-left is the same
+   bound for a slot leaving) *)
+let test_ring_movement () =
+  let total = 1000 in
+  let before = Ring.make 4 and after = Ring.make 5 in
+  let moved =
+    List.filter
+      (fun k -> Ring.lookup before k <> Ring.lookup after k)
+      (keys total)
+  in
+  check_b "join reassigns something" true (moved <> []);
+  List.iter
+    (fun k ->
+      match Ring.lookup after k with
+      | Some 4 -> ()
+      | s ->
+          Alcotest.failf "moved key %s landed on %s, not the joining slot" k
+            (match s with Some s -> string_of_int s | None -> "none"))
+    moved;
+  let bound = 2 * total / 5 in
+  if List.length moved > bound then
+    Alcotest.failf "join moved %d of %d keys (bound %d)" (List.length moved)
+      total bound
+
+(* ------------------------------------------------------------------ *)
+(* prometheus merge                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_promerge_relabel () =
+  check_s "labeled sample" "m{shard=\"3\",a=\"b\"} 1"
+    (Promerge.relabel ~shard:3 "m{a=\"b\"} 1");
+  check_s "bare sample" "m{shard=\"3\"} 2" (Promerge.relabel ~shard:3 "m 2");
+  check_s "comments pass through" "# HELP m words"
+    (Promerge.relabel ~shard:3 "# HELP m words")
+
+let test_promerge_merge () =
+  let w0 = "# HELP m words\n# TYPE m counter\nm{a=\"b\"} 1\n" in
+  let w1 = "# HELP m words\n# TYPE m counter\nm{a=\"b\"} 5\n" in
+  let merged = Promerge.merge [ (0, w0); (1, w1) ] ~extra:"router_up 1\n" in
+  let lines =
+    String.split_on_char '\n' merged |> List.filter (fun l -> l <> "")
+  in
+  let count p = List.length (List.filter p lines) in
+  check_i "HELP deduped" 1 (count (fun l -> l = "# HELP m words"));
+  check_i "TYPE deduped" 1 (count (fun l -> l = "# TYPE m counter"));
+  check_i "both samples survive, relabeled" 1
+    (count (fun l -> l = "m{shard=\"0\",a=\"b\"} 1"));
+  check_i "second worker sample" 1
+    (count (fun l -> l = "m{shard=\"1\",a=\"b\"} 5"));
+  check_i "router extra appended verbatim" 1
+    (count (fun l -> l = "router_up 1"))
+
+(* ------------------------------------------------------------------ *)
+(* end to end: a live router over real worker processes               *)
+(* ------------------------------------------------------------------ *)
+
+(* the dggt binary, resolved inside the same _build tree as this test
+   runner (test/dune declares the dependency). The runner's cwd depends
+   on how it was launched — `dune runtest` runs it in test/, `dune exec`
+   where it was invoked — so try every plausible root. *)
+let cli_exe () =
+  let rel = Filename.concat "bin" "dggt_cli.exe" in
+  let abs p = if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p in
+  let candidates =
+    [
+      abs
+        (Filename.concat
+           (Filename.dirname (Filename.dirname Sys.executable_name))
+           rel);
+      abs (Filename.concat Filename.parent_dir_name rel);
+      abs (Filename.concat (Filename.concat "_build" "default") rel);
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> Some exe
+  | None ->
+      Printf.eprintf
+        "test_shard: dggt_cli.exe not found near the runner; router \
+         end-to-end coverage skipped (looked at %s)\n%!"
+        (String.concat ", " candidates);
+      None
+
+let with_router f =
+  match cli_exe () with
+  | None -> () (* binary not built alongside the tests; nothing to drive *)
+  | Some exe ->
+      let router =
+        Router.create
+          {
+            Router.default_params with
+            Router.port = 0;
+            shards = 2;
+            exe;
+            worker_args =
+              [
+                "--workers"; "1"; "--queue"; "16"; "--cache-size"; "64";
+                "--timeout"; "10";
+              ];
+          }
+      in
+      Fun.protect ~finally:(fun () -> Router.stop router) (fun () -> f router)
+
+(* "<uid>.w<slot>e<epoch>" -> slot *)
+let slot_of_sid sid =
+  match String.rindex_opt sid '.' with
+  | None -> Alcotest.failf "session id %S carries no placement" sid
+  | Some i -> (
+      let suffix = String.sub sid (i + 1) (String.length sid - i - 1) in
+      try Scanf.sscanf suffix "w%de%d" (fun slot _epoch -> slot)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        Alcotest.failf "unparseable placement suffix %S" suffix)
+
+let await_respawn router slot ~min_respawns =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    match Supervisor.find (Router.supervisor router) slot with
+    | Some w
+      when w.Supervisor.state = Supervisor.Healthy
+           && w.Supervisor.respawns >= min_respawns ->
+        ()
+    | _ ->
+        if Unix.gettimeofday () >= deadline then
+          Alcotest.failf "slot %d did not respawn to healthy" slot
+        else begin
+          Thread.delay 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let test_router_end_to_end () =
+  with_router (fun router ->
+      let port = Router.port router in
+      let http = Test_server.http in
+      (* topology: /version names both workers with live pids *)
+      let st, body = http ~port ~meth:"GET" ~path:"/version" () in
+      check_i "version status" 200 st;
+      let j = Result.get_ok (J.of_string body) in
+      check_b "router role" true (J.str_field "role" j = Some "router");
+      let workers =
+        match J.member "workers" j with
+        | Some (J.Arr ws) -> ws
+        | _ -> Alcotest.fail "no workers array in /version"
+      in
+      check_i "two workers" 2 (List.length workers);
+      List.iter
+        (fun w ->
+          check_b "live pid" true
+            (match J.int_field "pid" w with Some p -> p > 0 | None -> false))
+        workers;
+      check_b "digests agree" true
+        (J.bool_field "pack_digest_mismatch" j = Some false);
+      (* stateless traffic reaches both domain homes *)
+      let rank domain query =
+        http ~port ~meth:"POST" ~path:"/rank"
+          ~body:
+            (J.to_string
+               (J.Obj [ ("query", J.Str query); ("domain", J.Str domain) ]))
+          ()
+      in
+      let st, body = rank "te" "insert \"> \" at the start of each line" in
+      check_i "te rank via router" 200 st;
+      check_b "te rank ok" true
+        (J.bool_field "ok" (Result.get_ok (J.of_string body)) = Some true);
+      let st, _ = rank "am" "find nodes of type functionDecl" in
+      check_i "am rank via router" 200 st;
+      (* sticky: the minted id encodes a slot this router really has *)
+      let st, body =
+        http ~port ~meth:"POST" ~path:"/session"
+          ~body:(J.to_string (J.Obj [ ("domain", J.Str "te") ]))
+          ()
+      in
+      check_i "session create" 201 st;
+      let sid =
+        Option.get (J.str_field "session" (Result.get_ok (J.of_string body)))
+      in
+      let slot = slot_of_sid sid in
+      check_b "slot in range" true (slot = 0 || slot = 1);
+      let qbody =
+        J.to_string (J.Obj [ ("query", J.Str "delete all numbers") ])
+      in
+      let qpath = "/session/" ^ sid ^ "/query" in
+      let st, _ = http ~port ~meth:"POST" ~path:qpath ~body:qbody () in
+      check_i "session query routed to its worker" 200 st;
+      (* a second query to the same id keeps working: same live worker *)
+      let st, _ = http ~port ~meth:"POST" ~path:qpath ~body:qbody () in
+      check_i "session query again" 200 st;
+      (* kill the session's worker: after the respawn the old epoch is
+         gone and the sticky request must answer 410, not silently land
+         on a fresh worker that never heard of the session *)
+      let pid =
+        match Supervisor.find (Router.supervisor router) slot with
+        | Some w -> w.Supervisor.pid
+        | None -> Alcotest.failf "no worker behind slot %d" slot
+      in
+      Unix.kill pid Sys.sigkill;
+      await_respawn router slot ~min_respawns:1;
+      let st, _ = http ~port ~meth:"POST" ~path:qpath ~body:qbody () in
+      check_i "replaced worker answers 410 Gone" 410 st;
+      (* the respawn is visible in the merged exposition *)
+      let _, metrics = http ~port ~meth:"GET" ~path:"/metrics" () in
+      check_b "respawn counted" true
+        (Dggt_util.Strutil.contains_sub
+           ~sub:
+             (Printf.sprintf "dggt_shard_respawns_total{shard=\"%d\"} 1" slot)
+           metrics);
+      check_b "sticky 410 counted" true
+        (Dggt_util.Strutil.contains_sub ~sub:"dggt_shard_sticky_gone_total 1"
+           metrics);
+      (* a fresh session created after the respawn works again *)
+      let st, body =
+        http ~port ~meth:"POST" ~path:"/session"
+          ~body:(J.to_string (J.Obj [ ("domain", J.Str "te") ]))
+          ()
+      in
+      check_i "post-respawn session create" 201 st;
+      let sid2 =
+        Option.get (J.str_field "session" (Result.get_ok (J.of_string body)))
+      in
+      let st, _ =
+        http ~port ~meth:"POST"
+          ~path:("/session/" ^ sid2 ^ "/query")
+          ~body:qbody ()
+      in
+      check_i "post-respawn session query" 200 st)
+
+let suite =
+  [
+    Alcotest.test_case "ring: deterministic total placement" `Quick
+      test_ring_deterministic;
+    Alcotest.test_case "ring: keys spread over all slots" `Quick
+      test_ring_distribution;
+    Alcotest.test_case "ring: slot join moves only its keys" `Quick
+      test_ring_movement;
+    Alcotest.test_case "promerge: relabel" `Quick test_promerge_relabel;
+    Alcotest.test_case "promerge: merge dedups comments" `Quick
+      test_promerge_merge;
+    Alcotest.test_case "router: topology, routing, sticky 410" `Slow
+      test_router_end_to_end;
+  ]
